@@ -1,0 +1,171 @@
+// Command mtdbench reproduces the paper's §5 "handling many tables"
+// experiment: a fixed tenant population with a fixed per-tenant dataset
+// and a fixed session count, swept over schema variability — the number
+// of CRM schema instances tenants are consolidated into (Table 1). It
+// prints the Table 2 metric block (baseline compliance, throughput,
+// 95 % response times per action class, buffer-pool hit ratios), which
+// also yields the Figure 7 series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/testbed"
+)
+
+func main() {
+	var (
+		tenants   = flag.Int("tenants", 120, "number of tenants (paper: 10000)")
+		rows      = flag.Int("rows", 12, "rows per tenant per table (stands in for 1.4 MB/tenant)")
+		sessions  = flag.Int("sessions", 8, "concurrent client sessions (paper: 40)")
+		actions   = flag.Int("actions", 1200, "action cards per configuration")
+		memMB     = flag.Int64("mem-mb", 12, "database memory budget in MiB")
+		latency   = flag.Duration("latency", 80*time.Microsecond, "simulated I/O latency per buffer-pool miss")
+		varList   = flag.String("variability", "0,0.5,0.65,0.8,1.0", "comma-separated schema variabilities")
+		seed      = flag.Int64("seed", 2008, "random seed")
+		appendIns = flag.Bool("append-insert", false, "use append heap placement instead of best-fit (§5 insert anomaly ablation)")
+		confOnly  = flag.Bool("print-config", false, "print Table 1 and exit")
+		layoutFl  = flag.String("layout", "basic", "schema-mapping layout: basic, extension, chunk, chunkfold, universal")
+		withExts  = flag.Bool("extensions", false, "enable tenant extensions in schema and workload (§7's complete setting; needs a non-basic layout)")
+	)
+	flag.Parse()
+
+	var variabilities []float64
+	for _, s := range strings.Split(*varList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad variability %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		variabilities = append(variabilities, v)
+	}
+
+	// Table 1: schema variability and data distribution.
+	fmt.Println("Table 1: Schema Variability and Data Distribution")
+	fmt.Printf("%-12s %-18s %-22s %s\n", "Variability", "Schema instances", "Tenants per instance", "Total tables")
+	for _, v := range variabilities {
+		inst := testbed.VariabilityConfig(v, *tenants)
+		lo, hi := *tenants/inst, (*tenants+inst-1)/inst
+		span := fmt.Sprintf("%d", lo)
+		if hi != lo {
+			span = fmt.Sprintf("%d-%d", lo, hi)
+		}
+		fmt.Printf("%-12.2f %-18d %-22s %d\n", v, inst, span, inst*len(testbed.CRMTables))
+	}
+	fmt.Println()
+	if *confOnly {
+		return
+	}
+
+	mode := storage.InsertBestFit
+	if *appendIns {
+		mode = storage.InsertAppend
+	}
+	var newLayout func(*core.Schema) (core.Layout, error)
+	switch *layoutFl {
+	case "basic":
+		newLayout = nil // testbed default
+	case "extension":
+		newLayout = func(s *core.Schema) (core.Layout, error) { return core.NewExtensionLayout(s) }
+	case "chunk":
+		newLayout = func(s *core.Schema) (core.Layout, error) {
+			return core.NewChunkLayout(s, core.ChunkOptions{Defs: core.UniformChunkDefs(s, 8)})
+		}
+	case "chunkfold":
+		newLayout = func(s *core.Schema) (core.Layout, error) {
+			return core.NewChunkFoldingLayout(s, core.FoldingOptions{})
+		}
+	case "universal":
+		newLayout = func(s *core.Schema) (core.Layout, error) { return core.NewUniversalLayout(s, 32) }
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layout %q\n", *layoutFl)
+		os.Exit(1)
+	}
+	if *withExts && *layoutFl == "basic" {
+		fmt.Fprintln(os.Stderr, "-extensions needs a non-basic -layout")
+		os.Exit(1)
+	}
+
+	type runOut struct {
+		v   float64
+		res *testbed.Result
+	}
+	var runs []runOut
+	for _, v := range variabilities {
+		inst := testbed.VariabilityConfig(v, *tenants)
+		fmt.Fprintf(os.Stderr, "setting up variability %.2f (%d instances, %d tables)...\n",
+			v, inst, inst*len(testbed.CRMTables))
+		bed, err := testbed.Setup(testbed.Config{
+			Tenants: *tenants, Instances: inst, RowsPerTable: *rows,
+			Sessions: *sessions, Actions: *actions, Seed: *seed,
+			MemoryBytes: *memMB << 20, ReadLatency: *latency, InsertMode: mode,
+			NewLayout: newLayout, WithExtensions: *withExts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "setup: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := bed.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "run: %v\n", err)
+			os.Exit(1)
+		}
+		runs = append(runs, runOut{v, res})
+	}
+
+	baseline := testbed.BaselineOf(runs[0].res)
+
+	// Table 2: experimental results.
+	fmt.Println("Table 2: Experimental Results")
+	head := []string{"Metric"}
+	for _, r := range runs {
+		head = append(head, fmt.Sprintf("%.2f", r.v))
+	}
+	fmt.Println(strings.Join(pad(head), " "))
+	row := func(name string, f func(*testbed.Result) string) {
+		cells := []string{name}
+		for _, r := range runs {
+			cells = append(cells, f(r.res))
+		}
+		fmt.Println(strings.Join(pad(cells), " "))
+	}
+	row("Baseline Compliance [%]", func(r *testbed.Result) string {
+		return fmt.Sprintf("%.1f", r.Compliance(baseline))
+	})
+	row("Throughput [1/min]", func(r *testbed.Result) string {
+		return fmt.Sprintf("%.1f", r.Throughput())
+	})
+	for c := testbed.SelectLight; c <= testbed.UpdateHeavy; c++ {
+		c := c
+		row("95% RT "+c.String()+" [ms]", func(r *testbed.Result) string {
+			return fmt.Sprintf("%.2f", float64(r.Quantile(c, 0.95))/float64(time.Millisecond))
+		})
+	}
+	row("Bufferpool Hit Data [%]", func(r *testbed.Result) string {
+		return fmt.Sprintf("%.2f", 100*r.Stats.Pool.HitRatio(storage.CatData))
+	})
+	row("Bufferpool Hit Index [%]", func(r *testbed.Result) string {
+		return fmt.Sprintf("%.2f", 100*r.Stats.Pool.HitRatio(storage.CatIndex))
+	})
+	fmt.Println()
+	fmt.Println("Figure 7 series: (a) compliance, (b) throughput, (c) hit ratios — columns above.")
+}
+
+func pad(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		w := 12
+		if i == 0 {
+			w = 28
+		}
+		out[i] = fmt.Sprintf("%-*s", w, c)
+	}
+	return out
+}

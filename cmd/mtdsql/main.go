@@ -1,0 +1,163 @@
+// Command mtdsql is a small multi-tenant SQL shell over the paper's
+// running example (Figure 4): it provisions the Account schema with the
+// health-care and automotive extensions under a chosen layout, loads
+// the example rows, and executes logical SQL for a tenant — showing the
+// rewritten physical SQL and, on request, the physical plan.
+//
+// Usage:
+//
+//	mtdsql -layout chunk -tenant 17 "SELECT Beds FROM Account WHERE Hospital = 'State'"
+//	echo "SELECT * FROM Account" | mtdsql -layout pivot -tenant 42 -explain
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func buildLayout(name string, schema *core.Schema) (core.Layout, error) {
+	switch name {
+	case "private":
+		return core.NewPrivateLayout(schema)
+	case "extension":
+		return core.NewExtensionLayout(schema)
+	case "universal":
+		return core.NewUniversalLayout(schema, 16)
+	case "pivot":
+		return core.NewPivotLayout(schema, true)
+	case "chunk":
+		return core.NewChunkLayout(schema, core.ChunkOptions{})
+	case "chunk-flat":
+		return core.NewChunkLayout(schema, core.ChunkOptions{Flattened: true})
+	case "vertical":
+		return core.NewVerticalLayout(schema, nil)
+	case "chunkfold":
+		return core.NewChunkFoldingLayout(schema, core.FoldingOptions{
+			ConventionalExtensions: []string{"HealthcareAccount"},
+		})
+	}
+	return nil, fmt.Errorf("unknown layout %q (private, extension, universal, pivot, chunk, chunk-flat, vertical, chunkfold)", name)
+}
+
+func exampleSchema() *core.Schema {
+	return &core.Schema{
+		Tables: []*core.Table{{
+			Name: "Account",
+			Key:  "Aid",
+			Columns: []core.Column{
+				{Name: "Aid", Type: types.IntType, NotNull: true, Indexed: true},
+				{Name: "Name", Type: types.VarcharType(50)},
+			},
+		}},
+		Extensions: []*core.Extension{
+			{Name: "HealthcareAccount", Base: "Account", Columns: []core.Column{
+				{Name: "Hospital", Type: types.VarcharType(50)},
+				{Name: "Beds", Type: types.IntType},
+			}},
+			{Name: "AutomotiveAccount", Base: "Account", Columns: []core.Column{
+				{Name: "Dealers", Type: types.IntType},
+			}},
+		},
+	}
+}
+
+func main() {
+	var (
+		layoutName = flag.String("layout", "chunk", "schema-mapping layout")
+		tenant     = flag.Int64("tenant", 17, "tenant ID (17, 35, or 42)")
+		explain    = flag.Bool("explain", false, "also print the physical plan")
+	)
+	flag.Parse()
+
+	schema := exampleSchema()
+	layout, err := buildLayout(*layoutName, schema)
+	fatalIf(err)
+	db := engine.Open(engine.Config{})
+	fatalIf(layout.Create(db, []*core.Tenant{
+		{ID: 17, Extensions: []string{"HealthcareAccount"}},
+		{ID: 35},
+		{ID: 42, Extensions: []string{"AutomotiveAccount"}},
+	}))
+	m := core.NewMapper(db, layout)
+	load := []struct {
+		tenant int64
+		q      string
+	}{
+		{17, "INSERT INTO Account (Aid, Name, Hospital, Beds) VALUES (1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)"},
+		{35, "INSERT INTO Account (Aid, Name) VALUES (1, 'Ball')"},
+		{42, "INSERT INTO Account (Aid, Name, Dealers) VALUES (1, 'Big', 65)"},
+	}
+	for _, l := range load {
+		_, err := m.Exec(l.tenant, l.q)
+		fatalIf(err)
+	}
+
+	var stmts []string
+	if flag.NArg() > 0 {
+		stmts = flag.Args()
+	} else {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" {
+				stmts = append(stmts, line)
+			}
+		}
+	}
+	for _, stmt := range stmts {
+		fmt.Printf("tenant %d> %s\n", *tenant, stmt)
+		phys, err := m.RewriteSQL(*tenant, stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		for _, p := range phys {
+			fmt.Println("  physical:", p)
+		}
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(stmt)), "SELECT") {
+			if *explain {
+				plan, err := m.Explain(*tenant, stmt)
+				if err == nil {
+					fmt.Println("  plan:")
+					for _, line := range strings.Split(strings.TrimRight(plan, "\n"), "\n") {
+						fmt.Println("    " + line)
+					}
+				}
+			}
+			rows, err := m.Query(*tenant, stmt)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println("  " + strings.Join(rows.Columns, " | "))
+			for _, r := range rows.Data {
+				cells := make([]string, len(r))
+				for i, v := range r {
+					cells[i] = v.String()
+				}
+				fmt.Println("  " + strings.Join(cells, " | "))
+			}
+		} else {
+			res, err := m.Exec(*tenant, stmt)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("  %d row(s) affected\n", res.RowsAffected)
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "Multi-Tenant Databases for Software as a
+// Service: Schema-Mapping Techniques" (Aulbach, Grust, Jacobs, Kemper,
+// Rittinger; SIGMOD 2008) as a Go library: the schema-mapping layer
+// with Chunk Folding (internal/core), an embedded relational engine as
+// the substrate (internal/engine and below), the paper's multi-tenant
+// CRM testbed (internal/testbed), and the §6 chunk experiments
+// (internal/chunkexp).
+//
+// The benchmark file in this package regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package repro

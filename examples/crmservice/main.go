@@ -1,0 +1,55 @@
+// crmservice runs the paper's hosted-CRM testbed (§4) for a short
+// burst: the ten-table Figure 5 schema, a tenant population spread over
+// schema instances, concurrent worker sessions dealing the Figure 6
+// action mix, and the §5 metric block at the end.
+//
+//	go run ./examples/crmservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/testbed"
+)
+
+func main() {
+	cfg := testbed.Config{
+		Tenants:      24,
+		Instances:    testbed.VariabilityConfig(0.5, 24),
+		RowsPerTable: 10,
+		Sessions:     6,
+		Actions:      600,
+		Seed:         2008,
+		MemoryBytes:  16 << 20,
+		ReadLatency:  40 * time.Microsecond,
+	}
+	fmt.Printf("hosted CRM service: %d tenants on %d schema instances (%d tables), %d sessions\n",
+		cfg.Tenants, cfg.Instances, cfg.Instances*len(testbed.CRMTables), cfg.Sessions)
+
+	bed, err := testbed.Setup(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dataset loaded; dealing action cards...")
+	res, err := bed.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted %d actions in %v (%.0f actions/min), %d errors\n",
+		res.TotalActions(), res.Elapsed.Round(time.Millisecond), res.Throughput(), res.Errors)
+	fmt.Println("95% response times per class:")
+	for c := testbed.SelectLight; c <= testbed.UpdateHeavy; c++ {
+		fmt.Printf("  %-14s %8.2f ms  (%d actions)\n",
+			c, float64(res.Quantile(c, 0.95))/float64(time.Millisecond), len(res.Durations[c]))
+	}
+	fmt.Printf("buffer pool: data hit %.2f%%, index hit %.2f%% (capacity %d pages)\n",
+		100*res.Stats.Pool.HitRatio(storage.CatData),
+		100*res.Stats.Pool.HitRatio(storage.CatIndex),
+		res.Stats.Pool.Capacity)
+	fmt.Printf("meta-data budget: %d tables consuming %d KiB\n",
+		res.Stats.Tables, res.Stats.MetaBytes/1024)
+}

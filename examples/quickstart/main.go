@@ -1,0 +1,102 @@
+// Quickstart: the paper's running example (Figure 4) on Chunk Folding.
+//
+// Three tenants share one hosted Account application. Tenant 17 runs a
+// health-care business and extends Account with Hospital and Beds;
+// tenant 42 extends it with Dealers for the automotive industry;
+// tenant 35 uses the plain base schema. Chunk Folding stores the base
+// table conventionally and folds the extensions into generic chunk
+// tables — each tenant still sees a private logical Account table.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+func main() {
+	// 1. The logical schema: one base table, two industry extensions.
+	schema := &core.Schema{
+		Tables: []*core.Table{{
+			Name: "Account",
+			Key:  "Aid",
+			Columns: []core.Column{
+				{Name: "Aid", Type: types.IntType, NotNull: true, Indexed: true},
+				{Name: "Name", Type: types.VarcharType(50)},
+			},
+		}},
+		Extensions: []*core.Extension{
+			{Name: "HealthcareAccount", Base: "Account", Columns: []core.Column{
+				{Name: "Hospital", Type: types.VarcharType(50)},
+				{Name: "Beds", Type: types.IntType},
+			}},
+			{Name: "AutomotiveAccount", Base: "Account", Columns: []core.Column{
+				{Name: "Dealers", Type: types.IntType},
+			}},
+		},
+	}
+
+	// 2. Pick a schema-mapping layout: Chunk Folding (Figure 4f).
+	layout, err := core.NewChunkFoldingLayout(schema, core.FoldingOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Provision the multi-tenant physical schema.
+	db := engine.Open(engine.Config{})
+	tenants := []*core.Tenant{
+		{ID: 17, Extensions: []string{"HealthcareAccount"}},
+		{ID: 35},
+		{ID: 42, Extensions: []string{"AutomotiveAccount"}},
+	}
+	if err := layout.Create(db, tenants); err != nil {
+		log.Fatal(err)
+	}
+	m := core.NewMapper(db, layout)
+
+	// 4. Each tenant writes through its own logical schema.
+	mustExec(m, 17, "INSERT INTO Account (Aid, Name, Hospital, Beds) VALUES (1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)")
+	mustExec(m, 35, "INSERT INTO Account (Aid, Name) VALUES (1, 'Ball')")
+	mustExec(m, 42, "INSERT INTO Account (Aid, Name, Dealers) VALUES (1, 'Big', 65)")
+
+	// 5. Query Q1 from the paper, transformed automatically.
+	q1 := "SELECT Beds FROM Account WHERE Hospital = 'State'"
+	fmt.Println("tenant 17:", q1)
+	phys, _ := m.RewriteSQL(17, q1)
+	fmt.Println("  physical:", phys[0])
+	rows, err := m.Query(17, q1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  ->", rows.Data[0][0]) // 1042
+
+	// 6. Tenants see only their own columns and rows.
+	for _, tenant := range []int64{17, 35, 42} {
+		rows, err := m.Query(tenant, "SELECT * FROM Account")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("tenant %d columns: %v, rows: %d\n", tenant, rows.Columns, len(rows.Data))
+	}
+
+	// 7. Updates and deletes run through the two-phase DML protocol.
+	mustExec(m, 17, "UPDATE Account SET Beds = Beds + 10 WHERE Name = 'Acme'")
+	res, err := m.Exec(17, "DELETE FROM Account WHERE Beds > 1000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tenant 17 deleted %d row(s)\n", res.RowsAffected)
+
+	fmt.Printf("physical tables used: %d (for any number of tenants)\n", db.Stats().Tables)
+}
+
+func mustExec(m *core.Mapper, tenant int64, q string) {
+	if _, err := m.Exec(tenant, q); err != nil {
+		log.Fatalf("tenant %d: %s: %v", tenant, q, err)
+	}
+}

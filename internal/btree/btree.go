@@ -1,0 +1,482 @@
+// Package btree implements a B+tree keyed by opaque byte strings whose
+// pages live in the shared buffer pool. Because index pages compete for
+// buffer-pool frames exactly like data pages, the paper's §5 effect —
+// index-root eviction once the table count exhausts the meta-data
+// budget — arises naturally.
+//
+// Keys must be unique at this layer. Non-unique SQL indexes append the
+// record's RID encoding to the key (a "partitioned B-tree" in Graefe's
+// sense: the leading columns are highly redundant and simply partition
+// the tree, as the paper notes for (Tenant, Table, Chunk, Row) indexes).
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// ErrDuplicateKey is returned when inserting a key that already exists.
+var ErrDuplicateKey = errors.New("btree: duplicate key")
+
+// ErrKeyNotFound is returned by Delete and Get for missing keys.
+var ErrKeyNotFound = errors.New("btree: key not found")
+
+// Node page layout:
+//
+//	[0]     isLeaf (1) / inner (0)
+//	[1:3)   entry count, uint16
+//	[3:11)  leaf: next-leaf PageID; inner: child[0] PageID
+//	[11:)   entries, serialized back to back:
+//	        leaf:  keyLen uvarint, key, page uint64, slot uint16
+//	        inner: keyLen uvarint, key, child uint64
+const nodeHeader = 11
+
+type leafNode struct {
+	next storage.PageID
+	keys [][]byte
+	rids []storage.RID
+}
+
+type innerNode struct {
+	children []storage.PageID // len = len(keys)+1
+	keys     [][]byte
+}
+
+// BTree is the tree handle. Mutations must be externally serialized
+// against each other (the engine's table write locks do this); readers
+// may run concurrently with each other but not with a writer.
+type BTree struct {
+	pool *storage.BufferPool
+	mu   sync.RWMutex
+	root storage.PageID
+	size int64
+}
+
+// New creates an empty tree with a single leaf root.
+func New(pool *storage.BufferPool) (*BTree, error) {
+	id, buf, err := pool.NewPage(storage.CatIndex)
+	if err != nil {
+		return nil, err
+	}
+	encodeLeaf(buf, &leafNode{})
+	pool.Unpin(id, true)
+	return &BTree{pool: pool, root: id}, nil
+}
+
+// Len returns the number of entries.
+func (t *BTree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// --- node (de)serialization -------------------------------------------------
+
+func isLeaf(buf []byte) bool { return buf[0] == 1 }
+
+func decodeLeaf(buf []byte) *leafNode {
+	n := int(binary.LittleEndian.Uint16(buf[1:3]))
+	ln := &leafNode{
+		next: storage.PageID(binary.LittleEndian.Uint64(buf[3:11])),
+		keys: make([][]byte, 0, n),
+		rids: make([]storage.RID, 0, n),
+	}
+	p := nodeHeader
+	for i := 0; i < n; i++ {
+		kl, sz := binary.Uvarint(buf[p:])
+		p += sz
+		key := append([]byte(nil), buf[p:p+int(kl)]...)
+		p += int(kl)
+		page := storage.PageID(binary.LittleEndian.Uint64(buf[p:]))
+		slot := binary.LittleEndian.Uint16(buf[p+8:])
+		p += 10
+		ln.keys = append(ln.keys, key)
+		ln.rids = append(ln.rids, storage.RID{Page: page, Slot: slot})
+	}
+	return ln
+}
+
+func leafSize(n *leafNode) int {
+	sz := nodeHeader
+	for _, k := range n.keys {
+		sz += uvarintLen(uint64(len(k))) + len(k) + 10
+	}
+	return sz
+}
+
+func encodeLeaf(buf []byte, n *leafNode) {
+	buf[0] = 1
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint64(buf[3:11], uint64(n.next))
+	p := nodeHeader
+	for i, k := range n.keys {
+		p += binary.PutUvarint(buf[p:], uint64(len(k)))
+		copy(buf[p:], k)
+		p += len(k)
+		binary.LittleEndian.PutUint64(buf[p:], uint64(n.rids[i].Page))
+		binary.LittleEndian.PutUint16(buf[p+8:], n.rids[i].Slot)
+		p += 10
+	}
+}
+
+func decodeInner(buf []byte) *innerNode {
+	n := int(binary.LittleEndian.Uint16(buf[1:3]))
+	in := &innerNode{
+		children: make([]storage.PageID, 1, n+1),
+		keys:     make([][]byte, 0, n),
+	}
+	in.children[0] = storage.PageID(binary.LittleEndian.Uint64(buf[3:11]))
+	p := nodeHeader
+	for i := 0; i < n; i++ {
+		kl, sz := binary.Uvarint(buf[p:])
+		p += sz
+		key := append([]byte(nil), buf[p:p+int(kl)]...)
+		p += int(kl)
+		child := storage.PageID(binary.LittleEndian.Uint64(buf[p:]))
+		p += 8
+		in.keys = append(in.keys, key)
+		in.children = append(in.children, child)
+	}
+	return in
+}
+
+func innerSize(n *innerNode) int {
+	sz := nodeHeader
+	for _, k := range n.keys {
+		sz += uvarintLen(uint64(len(k))) + len(k) + 8
+	}
+	return sz
+}
+
+func encodeInner(buf []byte, n *innerNode) {
+	buf[0] = 0
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	binary.LittleEndian.PutUint64(buf[3:11], uint64(n.children[0]))
+	p := nodeHeader
+	for i, k := range n.keys {
+		p += binary.PutUvarint(buf[p:], uint64(len(k)))
+		copy(buf[p:], k)
+		p += len(k)
+		binary.LittleEndian.PutUint64(buf[p:], uint64(n.children[i+1]))
+		p += 8
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// --- search helpers ----------------------------------------------------------
+
+// leafPos returns the insertion position for key: the first index whose
+// key is >= key, and whether it is an exact match.
+func leafPos(n *leafNode, key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+}
+
+// childFor picks the child subtree for key: the largest separator <= key
+// routes to its right child; otherwise child[0].
+func childFor(n *innerNode, key []byte) (int, storage.PageID) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, n.children[lo]
+}
+
+type pathEntry struct {
+	page     storage.PageID
+	childIdx int
+}
+
+// descend walks from the root to the leaf that would hold key,
+// returning the inner-node path.
+func (t *BTree) descend(key []byte) ([]pathEntry, storage.PageID, error) {
+	var path []pathEntry
+	cur := t.root
+	for {
+		buf, err := t.pool.Fetch(cur, storage.CatIndex)
+		if err != nil {
+			return nil, 0, err
+		}
+		if isLeaf(buf) {
+			t.pool.Unpin(cur, false)
+			return path, cur, nil
+		}
+		in := decodeInner(buf)
+		t.pool.Unpin(cur, false)
+		idx, child := childFor(in, key)
+		path = append(path, pathEntry{page: cur, childIdx: idx})
+		cur = child
+	}
+}
+
+// Get returns the RID stored under key.
+func (t *BTree) Get(key []byte) (storage.RID, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, leafID, err := t.descend(key)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	buf, err := t.pool.Fetch(leafID, storage.CatIndex)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	ln := decodeLeaf(buf)
+	t.pool.Unpin(leafID, false)
+	pos, ok := leafPos(ln, key)
+	if !ok {
+		return storage.RID{}, ErrKeyNotFound
+	}
+	return ln.rids[pos], nil
+}
+
+// Insert adds (key, rid). It fails with ErrDuplicateKey if key exists.
+func (t *BTree) Insert(key []byte, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	maxEntry := uvarintLen(uint64(len(key))) + len(key) + 10
+	if nodeHeader+2*maxEntry > t.pool.PageSize() {
+		return fmt.Errorf("btree: key of %d bytes too large for page", len(key))
+	}
+	path, leafID, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	buf, err := t.pool.Fetch(leafID, storage.CatIndex)
+	if err != nil {
+		return err
+	}
+	ln := decodeLeaf(buf)
+	pos, exists := leafPos(ln, key)
+	if exists {
+		t.pool.Unpin(leafID, false)
+		return ErrDuplicateKey
+	}
+	ln.keys = insertAt(ln.keys, pos, append([]byte(nil), key...))
+	ln.rids = insertRIDAt(ln.rids, pos, rid)
+
+	if leafSize(ln) <= t.pool.PageSize() {
+		encodeLeaf(buf, ln)
+		t.pool.Unpin(leafID, true)
+		t.size++
+		return nil
+	}
+
+	// Split the leaf.
+	mid := len(ln.keys) / 2
+	right := &leafNode{next: ln.next, keys: ln.keys[mid:], rids: ln.rids[mid:]}
+	rightID, rightBuf, err := t.pool.NewPage(storage.CatIndex)
+	if err != nil {
+		t.pool.Unpin(leafID, false)
+		return err
+	}
+	encodeLeaf(rightBuf, right)
+	t.pool.Unpin(rightID, true)
+
+	left := &leafNode{next: rightID, keys: ln.keys[:mid], rids: ln.rids[:mid]}
+	encodeLeaf(buf, left)
+	t.pool.Unpin(leafID, true)
+
+	if err := t.insertSeparator(path, append([]byte(nil), right.keys[0]...), rightID); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// insertSeparator pushes a (sep, rightChild) pair up the path,
+// splitting inner nodes as needed.
+func (t *BTree) insertSeparator(path []pathEntry, sep []byte, rightChild storage.PageID) error {
+	for level := len(path) - 1; level >= 0; level-- {
+		pe := path[level]
+		buf, err := t.pool.Fetch(pe.page, storage.CatIndex)
+		if err != nil {
+			return err
+		}
+		in := decodeInner(buf)
+		in.keys = insertAt(in.keys, pe.childIdx, sep)
+		in.children = insertPIDAt(in.children, pe.childIdx+1, rightChild)
+
+		if innerSize(in) <= t.pool.PageSize() {
+			encodeInner(buf, in)
+			t.pool.Unpin(pe.page, true)
+			return nil
+		}
+		// Split inner node: middle key moves up.
+		mid := len(in.keys) / 2
+		upKey := in.keys[mid]
+		right := &innerNode{keys: append([][]byte(nil), in.keys[mid+1:]...),
+			children: append([]storage.PageID(nil), in.children[mid+1:]...)}
+		left := &innerNode{keys: in.keys[:mid], children: in.children[:mid+1]}
+
+		rightID, rightBuf, err := t.pool.NewPage(storage.CatIndex)
+		if err != nil {
+			t.pool.Unpin(pe.page, false)
+			return err
+		}
+		encodeInner(rightBuf, right)
+		t.pool.Unpin(rightID, true)
+		encodeInner(buf, left)
+		t.pool.Unpin(pe.page, true)
+
+		sep, rightChild = upKey, rightID
+	}
+	// Root split.
+	oldRoot := t.root
+	newRootID, rootBuf, err := t.pool.NewPage(storage.CatIndex)
+	if err != nil {
+		return err
+	}
+	encodeInner(rootBuf, &innerNode{children: []storage.PageID{oldRoot, rightChild}, keys: [][]byte{sep}})
+	t.pool.Unpin(newRootID, true)
+	t.root = newRootID
+	return nil
+}
+
+// Delete removes key. Underflowed nodes are left in place (lazy
+// deletion); pages are only reclaimed by Drop.
+func (t *BTree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, leafID, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	buf, err := t.pool.Fetch(leafID, storage.CatIndex)
+	if err != nil {
+		return err
+	}
+	ln := decodeLeaf(buf)
+	pos, ok := leafPos(ln, key)
+	if !ok {
+		t.pool.Unpin(leafID, false)
+		return ErrKeyNotFound
+	}
+	ln.keys = append(ln.keys[:pos], ln.keys[pos+1:]...)
+	ln.rids = append(ln.rids[:pos], ln.rids[pos+1:]...)
+	encodeLeaf(buf, ln)
+	t.pool.Unpin(leafID, true)
+	t.size--
+	return nil
+}
+
+// Update changes the RID stored under an existing key.
+func (t *BTree) Update(key []byte, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, leafID, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	buf, err := t.pool.Fetch(leafID, storage.CatIndex)
+	if err != nil {
+		return err
+	}
+	ln := decodeLeaf(buf)
+	pos, ok := leafPos(ln, key)
+	if !ok {
+		t.pool.Unpin(leafID, false)
+		return ErrKeyNotFound
+	}
+	ln.rids[pos] = rid
+	encodeLeaf(buf, ln)
+	t.pool.Unpin(leafID, true)
+	return nil
+}
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *BTree) Height() (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := 1
+	cur := t.root
+	for {
+		buf, err := t.pool.Fetch(cur, storage.CatIndex)
+		if err != nil {
+			return 0, err
+		}
+		leaf := isLeaf(buf)
+		var next storage.PageID
+		if !leaf {
+			next = decodeInner(buf).children[0]
+		}
+		t.pool.Unpin(cur, false)
+		if leaf {
+			return h, nil
+		}
+		h++
+		cur = next
+	}
+}
+
+// Drop frees every page of the tree. The tree is unusable afterwards.
+func (t *BTree) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropRec(t.root)
+}
+
+func (t *BTree) dropRec(id storage.PageID) error {
+	buf, err := t.pool.Fetch(id, storage.CatIndex)
+	if err != nil {
+		return err
+	}
+	var children []storage.PageID
+	if !isLeaf(buf) {
+		children = decodeInner(buf).children
+	}
+	t.pool.Unpin(id, false)
+	for _, c := range children {
+		if err := t.dropRec(c); err != nil {
+			return err
+		}
+	}
+	return t.pool.FreePage(id)
+}
+
+func insertAt(s [][]byte, i int, v []byte) [][]byte {
+	s = append(s, nil)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertRIDAt(s []storage.RID, i int, v storage.RID) []storage.RID {
+	s = append(s, storage.RID{})
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertPIDAt(s []storage.PageID, i int, v storage.PageID) []storage.PageID {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

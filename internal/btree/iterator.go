@@ -1,0 +1,148 @@
+package btree
+
+import (
+	"bytes"
+
+	"repro/internal/storage"
+)
+
+// Iterator walks entries in key order. It buffers one leaf at a time so
+// no page stays pinned between Next calls; mutations during iteration
+// are not supported (the engine's table locks prevent them).
+type Iterator struct {
+	tree *BTree
+	keys [][]byte
+	rids []storage.RID
+	idx  int
+	next storage.PageID
+	hi   []byte // exclusive upper bound; nil = unbounded
+	err  error
+	done bool
+}
+
+// SeekRange returns an iterator positioned at the first key >= lo,
+// stopping before hi (exclusive). lo nil means the smallest key; hi nil
+// means unbounded.
+func (t *BTree) SeekRange(lo, hi []byte) (*Iterator, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	it := &Iterator{tree: t, hi: hi}
+	var leafID storage.PageID
+	if lo == nil {
+		// Walk to the leftmost leaf.
+		cur := t.root
+		for {
+			buf, err := t.pool.Fetch(cur, storage.CatIndex)
+			if err != nil {
+				return nil, err
+			}
+			if isLeaf(buf) {
+				t.pool.Unpin(cur, false)
+				leafID = cur
+				break
+			}
+			next := decodeInner(buf).children[0]
+			t.pool.Unpin(cur, false)
+			cur = next
+		}
+	} else {
+		var err error
+		_, leafID, err = t.descend(lo)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := it.loadLeaf(leafID); err != nil {
+		return nil, err
+	}
+	if lo != nil {
+		for !it.done && bytes.Compare(it.keys[it.idx], lo) < 0 {
+			it.advance()
+		}
+	}
+	it.checkBound()
+	return it, nil
+}
+
+// SeekPrefix returns an iterator over every key beginning with prefix.
+func (t *BTree) SeekPrefix(prefix []byte) (*Iterator, error) {
+	return t.SeekRange(prefix, PrefixSuccessor(prefix))
+}
+
+// Scan returns an iterator over the whole tree.
+func (t *BTree) Scan() (*Iterator, error) { return t.SeekRange(nil, nil) }
+
+// PrefixSuccessor returns the smallest byte string greater than every
+// string with the given prefix, or nil if no such bound exists (the
+// prefix is all 0xFF).
+func PrefixSuccessor(prefix []byte) []byte {
+	out := append([]byte(nil), prefix...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+func (it *Iterator) loadLeaf(id storage.PageID) error {
+	for {
+		buf, err := it.tree.pool.Fetch(id, storage.CatIndex)
+		if err != nil {
+			return err
+		}
+		ln := decodeLeaf(buf)
+		it.tree.pool.Unpin(id, false)
+		if len(ln.keys) > 0 {
+			it.keys, it.rids, it.idx, it.next = ln.keys, ln.rids, 0, ln.next
+			return nil
+		}
+		if ln.next == storage.InvalidPageID {
+			it.done = true
+			return nil
+		}
+		id = ln.next // skip empty leaves left by lazy deletion
+	}
+}
+
+func (it *Iterator) advance() {
+	it.idx++
+	if it.idx < len(it.keys) {
+		return
+	}
+	if it.next == storage.InvalidPageID {
+		it.done = true
+		return
+	}
+	if err := it.loadLeaf(it.next); err != nil {
+		it.err, it.done = err, true
+	}
+}
+
+func (it *Iterator) checkBound() {
+	if !it.done && it.hi != nil && bytes.Compare(it.keys[it.idx], it.hi) >= 0 {
+		it.done = true
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iterator) Valid() bool { return !it.done && it.err == nil }
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Key returns the current key. Valid only while Valid() is true.
+func (it *Iterator) Key() []byte { return it.keys[it.idx] }
+
+// RID returns the current record ID.
+func (it *Iterator) RID() storage.RID { return it.rids[it.idx] }
+
+// Next moves to the following entry.
+func (it *Iterator) Next() {
+	if it.done {
+		return
+	}
+	it.advance()
+	it.checkBound()
+}

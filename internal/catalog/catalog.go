@@ -1,0 +1,479 @@
+// Package catalog manages physical schema objects — tables, columns,
+// indexes — and implements the paper's "meta-data budget": every table
+// costs a fixed amount of memory (4 KB in DB2 V9.1, §1.1), charged
+// against the database's memory budget. The remainder funds the buffer
+// pool, so creating more tables shrinks the cache and reproduces the
+// §5 degradation as index root nodes start to thrash.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// DefaultMetaBytesPerTable matches the 4 KB per-table allocation the
+// paper cites for IBM DB2 V9.1.
+const DefaultMetaBytesPerTable = 4096
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Type    types.ColumnType
+	NotNull bool
+}
+
+// Index is a secondary or primary access path backed by a B+tree whose
+// pages live in the shared buffer pool.
+type Index struct {
+	Name   string
+	Table  string
+	Cols   []int // column ordinals within the table
+	Unique bool
+	Tree   *btree.BTree
+}
+
+// ColNames resolves the index's column ordinals to names.
+func (ix *Index) ColNames(t *Table) []string {
+	out := make([]string, len(ix.Cols))
+	for i, c := range ix.Cols {
+		out[i] = t.Columns[c].Name
+	}
+	return out
+}
+
+// KeyFor builds the B+tree key for a row. Non-unique indexes append the
+// RID so that every tree key is distinct (a partitioned B-tree).
+func (ix *Index) KeyFor(row []types.Value, rid storage.RID) []byte {
+	key := make([]byte, 0, 64)
+	for _, c := range ix.Cols {
+		key = types.EncodeKey(key, row[c])
+	}
+	if !ix.Unique {
+		key = appendRID(key, rid)
+	}
+	return key
+}
+
+// PrefixFor builds the search prefix for the first len(vals) index
+// columns.
+func (ix *Index) PrefixFor(vals []types.Value) []byte {
+	key := make([]byte, 0, 64)
+	for _, v := range vals {
+		key = types.EncodeKey(key, v)
+	}
+	return key
+}
+
+func appendRID(key []byte, rid storage.RID) []byte {
+	key = append(key,
+		byte(rid.Page>>56), byte(rid.Page>>48), byte(rid.Page>>40), byte(rid.Page>>32),
+		byte(rid.Page>>24), byte(rid.Page>>16), byte(rid.Page>>8), byte(rid.Page))
+	return append(key, byte(rid.Slot>>8), byte(rid.Slot))
+}
+
+// Table is a physical table: columns, heap file, and indexes. Its
+// embedded RWMutex is the engine's table-level lock: statement
+// execution takes RLock for reads and Lock for writes, which also
+// serializes index maintenance.
+type Table struct {
+	Name    string
+	Columns []Column
+	Heap    *storage.HeapFile
+	Indexes []*Index
+
+	Mu sync.RWMutex
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index returns the named index, or nil.
+func (t *Table) Index(name string) *Index {
+	for _, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, name) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// normalizeRow validates arity and types, padding short rows (from
+// before an ALTER TABLE ADD COLUMN) with NULLs and coercing INT
+// literals into FLOAT columns.
+func (t *Table) normalizeRow(row []types.Value) ([]types.Value, error) {
+	if len(row) > len(t.Columns) {
+		return nil, fmt.Errorf("catalog: %s: row has %d values for %d columns", t.Name, len(row), len(t.Columns))
+	}
+	out := make([]types.Value, len(t.Columns))
+	copy(out, row)
+	for i := range out {
+		c := t.Columns[i]
+		v := out[i]
+		if v.IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("catalog: %s.%s: NULL in NOT NULL column", t.Name, c.Name)
+			}
+			continue
+		}
+		if v.Kind != c.Type.Kind {
+			if c.Type.Kind == types.KindFloat && v.Kind == types.KindInt {
+				out[i] = types.NewFloat(float64(v.Int))
+				continue
+			}
+			cv, err := types.Cast(v, c.Type.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("catalog: %s.%s: %v", t.Name, c.Name, err)
+			}
+			out[i] = cv
+		}
+	}
+	return out, nil
+}
+
+// InsertRow validates, stores, and indexes a row, returning its RID.
+// The caller must hold the table write lock.
+func (t *Table) InsertRow(row []types.Value) (storage.RID, error) {
+	row, err := t.normalizeRow(row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	// Unique checks first, so a violation leaves no debris.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		if _, err := ix.Tree.Get(ix.KeyFor(row, storage.RID{})); err == nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, ix.Name)
+		} else if err != btree.ErrKeyNotFound {
+			return storage.RID{}, err
+		}
+	}
+	rid, err := t.Heap.Insert(types.EncodeRow(nil, row))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Insert(ix.KeyFor(row, rid), rid); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s: %v", t.Name, ix.Name, err)
+		}
+	}
+	return rid, nil
+}
+
+// GetRow fetches and decodes the row at rid, padding with NULLs if the
+// schema has grown since the row was written.
+func (t *Table) GetRow(rid storage.RID) ([]types.Value, error) {
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return nil, err
+	}
+	row, err := types.DecodeRow(rec)
+	if err != nil {
+		return nil, err
+	}
+	for len(row) < len(t.Columns) {
+		row = append(row, types.Null())
+	}
+	return row, nil
+}
+
+// DeleteRow removes the row (whose current contents must be supplied
+// for index maintenance). Caller holds the write lock.
+func (t *Table) DeleteRow(rid storage.RID, row []types.Value) error {
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Delete(ix.KeyFor(row, rid)); err != nil {
+			return fmt.Errorf("catalog: %s: index %s: %v", t.Name, ix.Name, err)
+		}
+	}
+	return t.Heap.Delete(rid)
+}
+
+// UpdateRow rewrites the row, maintaining indexes, and returns the
+// possibly-relocated RID. Caller holds the write lock.
+func (t *Table) UpdateRow(rid storage.RID, oldRow, newRow []types.Value) (storage.RID, error) {
+	newRow, err := t.normalizeRow(newRow)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	// Unique checks for changed keys.
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		oldKey, newKey := ix.KeyFor(oldRow, rid), ix.KeyFor(newRow, rid)
+		if string(oldKey) == string(newKey) {
+			continue
+		}
+		if _, err := ix.Tree.Get(newKey); err == nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, ix.Name)
+		} else if err != btree.ErrKeyNotFound {
+			return storage.RID{}, err
+		}
+	}
+	newRID, err := t.Heap.Update(rid, types.EncodeRow(nil, newRow))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		oldKey := ix.KeyFor(oldRow, rid)
+		newKey := ix.KeyFor(newRow, newRID)
+		if string(oldKey) == string(newKey) && rid == newRID {
+			continue
+		}
+		if err := ix.Tree.Delete(oldKey); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s delete: %v", t.Name, ix.Name, err)
+		}
+		if err := ix.Tree.Insert(newKey, newRID); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s insert: %v", t.Name, ix.Name, err)
+		}
+	}
+	return newRID, nil
+}
+
+// Config parameterizes a Catalog.
+type Config struct {
+	// MemoryBytes is the machine's database memory budget; the buffer
+	// pool gets what the table meta-data does not consume.
+	MemoryBytes int64
+	// MetaBytesPerTable is the per-table meta-data cost (default 4 KB).
+	MetaBytesPerTable int64
+	// InsertMode selects the heap placement policy for new tables.
+	InsertMode storage.InsertMode
+}
+
+// Catalog owns the table namespace and the meta-data budget.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	pool   *storage.BufferPool
+	cfg    Config
+
+	version atomic.Int64
+}
+
+// New creates a catalog over pool.
+func New(pool *storage.BufferPool, cfg Config) *Catalog {
+	if cfg.MetaBytesPerTable == 0 {
+		cfg.MetaBytesPerTable = DefaultMetaBytesPerTable
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 64 << 20
+	}
+	c := &Catalog{tables: make(map[string]*Table), pool: pool, cfg: cfg}
+	c.rebudget()
+	return c
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// rebudget recomputes the buffer pool capacity from the memory budget
+// minus the meta-data tax. Caller may hold c.mu.
+func (c *Catalog) rebudget() {
+	meta := int64(len(c.tables)) * c.cfg.MetaBytesPerTable
+	c.pool.SetCapacityBytes(c.cfg.MemoryBytes - meta)
+}
+
+// MetaBytes returns the current meta-data consumption.
+func (c *Catalog) MetaBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int64(len(c.tables)) * c.cfg.MetaBytesPerTable
+}
+
+// NumTables returns the table count.
+func (c *Catalog) NumTables() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}
+
+// CreateTable registers a new table.
+func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
+	c.version.Add(1)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: table %s needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, col := range cols {
+		k := strings.ToLower(col.Name)
+		if seen[k] {
+			return nil, fmt.Errorf("catalog: duplicate column %s in %s", col.Name, name)
+		}
+		seen[k] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[key(name)]; exists {
+		return nil, fmt.Errorf("catalog: table %s already exists", name)
+	}
+	t := &Table{
+		Name:    name,
+		Columns: append([]Column(nil), cols...),
+		Heap:    storage.NewHeapFile(c.pool, c.cfg.InsertMode),
+	}
+	c.tables[key(name)] = t
+	c.rebudget()
+	return t, nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no such table %s", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether a table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// TableNames returns all table names (unordered).
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// DropTable removes the table, its heap, and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	c.version.Add(1)
+	c.mu.Lock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("catalog: no such table %s", name)
+	}
+	delete(c.tables, key(name))
+	c.rebudget()
+	c.mu.Unlock()
+
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for _, ix := range t.Indexes {
+		if err := ix.Tree.Drop(); err != nil {
+			return err
+		}
+	}
+	t.Indexes = nil
+	return t.Heap.Drop()
+}
+
+// CreateIndex builds a new index over existing rows.
+func (c *Catalog) CreateIndex(tableName, indexName string, colNames []string, unique bool) (*Index, error) {
+	c.version.Add(1)
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	if t.Index(indexName) != nil {
+		return nil, fmt.Errorf("catalog: index %s already exists on %s", indexName, tableName)
+	}
+	cols := make([]int, len(colNames))
+	for i, n := range colNames {
+		ord := t.ColIndex(n)
+		if ord < 0 {
+			return nil, fmt.Errorf("catalog: no column %s in %s", n, tableName)
+		}
+		cols[i] = ord
+	}
+	tree, err := btree.New(c.pool)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Name: indexName, Table: t.Name, Cols: cols, Unique: unique, Tree: tree}
+	// Backfill from existing rows.
+	err = t.Heap.Scan(func(rid storage.RID, rec []byte) (bool, error) {
+		row, err := types.DecodeRow(rec)
+		if err != nil {
+			return false, err
+		}
+		for len(row) < len(t.Columns) {
+			row = append(row, types.Null())
+		}
+		if err := tree.Insert(ix.KeyFor(row, rid), rid); err != nil {
+			if err == btree.ErrDuplicateKey && unique {
+				return false, fmt.Errorf("catalog: existing rows violate unique index %s", indexName)
+			}
+			return false, err
+		}
+		return true, nil
+	})
+	if err != nil {
+		tree.Drop()
+		return nil, err
+	}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
+// DropIndex removes an index from a table.
+func (c *Catalog) DropIndex(tableName, indexName string) error {
+	c.version.Add(1)
+	t, err := c.Table(tableName)
+	if err != nil {
+		return err
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for i, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, indexName) {
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return ix.Tree.Drop()
+		}
+	}
+	return fmt.Errorf("catalog: no index %s on %s", indexName, tableName)
+}
+
+// AddColumn appends a nullable column to the table. Existing rows read
+// back with NULL in the new position — a pure meta-data change, which
+// is what lets generic layouts do on-line schema evolution.
+func (c *Catalog) AddColumn(tableName string, col Column) error {
+	c.version.Add(1)
+	if col.NotNull {
+		return fmt.Errorf("catalog: ADD COLUMN must be nullable")
+	}
+	t, err := c.Table(tableName)
+	if err != nil {
+		return err
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	if t.ColIndex(col.Name) >= 0 {
+		return fmt.Errorf("catalog: column %s already exists in %s", col.Name, tableName)
+	}
+	t.Columns = append(t.Columns, col)
+	return nil
+}
+
+// Version returns the schema version, bumped by every DDL operation.
+// Plan caches key on it to invalidate after on-line schema changes.
+func (c *Catalog) Version() int64 {
+	return c.version.Load()
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// rowCol is the synthesized output column carrying the logical row ID
+// through phase (a) of the two-phase DML protocol.
+const rowCol = "__row"
+
+// reconstructor is the hook each generic layout provides: build the
+// inner SELECT that reconstructs a tenant's logical table from the
+// physical structures, exposing the given logical columns (plus the
+// hidden row ID when withRow is set). This is steps 2–3 of the paper's
+// §6.1 compilation scheme; the shared code below does steps 1 and 4.
+type reconstructor interface {
+	Layout
+	state() *state
+	reconstruct(tn *Tenant, table *Table, used []Column, withRow bool) (*sql.SelectStmt, error)
+	// phaseBUpdate builds the physical writes for an UPDATE: rows holds
+	// [__row, set1, set2, ...] tuples from phase (a).
+	phaseBUpdate(tn *Tenant, table *Table, setCols []Column, rows [][]types.Value) []sql.Statement
+	// phaseBDelete builds the physical writes for a DELETE: rows holds
+	// [__row] tuples.
+	phaseBDelete(tn *Tenant, table *Table, rows [][]types.Value) []sql.Statement
+	// insertRows builds the physical inserts for logical rows given as
+	// (column list, value-expression lists).
+	insertRows(tn *Tenant, table *Table, cols []Column, rows [][]sql.Expr) ([]sql.Statement, error)
+}
+
+// genericRewrite dispatches a logical statement through a reconstructor.
+func genericRewrite(l reconstructor, tenantID int64, st sql.Statement) (*Rewritten, error) {
+	tn, err := l.state().tenant(tenantID)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *sql.SelectStmt:
+		sel, err := genericSelect(l, tn, st)
+		if err != nil {
+			return nil, err
+		}
+		return &Rewritten{Query: sel}, nil
+	case *sql.InsertStmt:
+		return genericInsert(l, tn, st)
+	case *sql.UpdateStmt:
+		return genericUpdate(l, tn, st)
+	case *sql.DeleteStmt:
+		return genericDelete(l, tn, st)
+	}
+	return nil, fmt.Errorf("core: %s layout cannot rewrite %T", l.Name(), st)
+}
+
+// genericSelect replaces every logical table reference with its
+// reconstruction derived table (step 4 of §6.1).
+func genericSelect(l reconstructor, tn *Tenant, sel *sql.SelectStmt) (*sql.SelectStmt, error) {
+	usages, err := analyzeSelect(l.state().schema, tn, sel)
+	if err != nil {
+		return nil, err
+	}
+	byRef := map[*sql.NamedTable]*tableUsage{}
+	for _, u := range usages {
+		byRef[u.ref] = u
+	}
+	var rewriteRef func(tr sql.TableRef) (sql.TableRef, error)
+	rewriteRef = func(tr sql.TableRef) (sql.TableRef, error) {
+		switch tr := tr.(type) {
+		case *sql.NamedTable:
+			u := byRef[tr]
+			if u == nil {
+				return nil, fmt.Errorf("core: unanalyzed table %s", tr.Name)
+			}
+			used, err := usedColumns(l.state().schema, tn, u)
+			if err != nil {
+				return nil, err
+			}
+			inner, err := l.reconstruct(tn, u.logical, used, false)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.SubqueryTable{Select: inner, Alias: u.alias}, nil
+		case *sql.SubqueryTable:
+			sub, err := genericSelect(l, tn, tr.Select)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.SubqueryTable{Select: sub, Alias: tr.Alias}, nil
+		case *sql.JoinTable:
+			left, err := rewriteRef(tr.Left)
+			if err != nil {
+				return nil, err
+			}
+			right, err := rewriteRef(tr.Right)
+			if err != nil {
+				return nil, err
+			}
+			return &sql.JoinTable{Left: left, Right: right, Type: tr.Type, On: tr.On}, nil
+		}
+		return nil, fmt.Errorf("core: unsupported FROM entry %T", tr)
+	}
+	out := *sel
+	out.From = make([]sql.TableRef, len(sel.From))
+	for i, tr := range sel.From {
+		out.From[i], err = rewriteRef(tr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.Where, err = rewriteInSubqueries(sel.Where, func(s *sql.SelectStmt) (*sql.SelectStmt, error) {
+		return genericSelect(l, tn, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// writeUsage computes the logical columns a write statement touches.
+func writeUsage(l reconstructor, tn *Tenant, table, alias string, exprs []sql.Expr) (*Table, []Column, error) {
+	lt := l.state().schema.Table(table)
+	if lt == nil {
+		return nil, nil, fmt.Errorf("core: no logical table %s", table)
+	}
+	if alias == "" {
+		alias = table
+	}
+	fake := &sql.SelectStmt{
+		From: []sql.TableRef{&sql.NamedTable{Name: lt.Name, Alias: alias}},
+	}
+	for _, e := range exprs {
+		if e != nil {
+			fake.Items = append(fake.Items, sql.SelectItem{Expr: e})
+		}
+	}
+	if len(fake.Items) == 0 {
+		fake.Items = append(fake.Items, sql.SelectItem{Expr: intLit(1)})
+	}
+	usages, err := analyzeSelect(l.state().schema, tn, fake)
+	if err != nil {
+		return nil, nil, err
+	}
+	used, err := usedColumns(l.state().schema, tn, usages[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	return lt, used, nil
+}
+
+// genericInsert allocates logical row IDs and delegates the physical
+// writes to the layout (§6.3: "the application logic has to look up all
+// related chunks, collect the meta-data, and assign each inserted new
+// row a unique row identifier").
+func genericInsert(l reconstructor, tn *Tenant, st *sql.InsertStmt) (*Rewritten, error) {
+	lt := l.state().schema.Table(st.Table)
+	if lt == nil {
+		return nil, fmt.Errorf("core: no logical table %s", st.Table)
+	}
+	all, err := l.state().schema.LogicalColumns(tn, lt.Name)
+	if err != nil {
+		return nil, err
+	}
+	var cols []Column
+	if len(st.Columns) == 0 {
+		cols = all
+	} else {
+		for _, name := range st.Columns {
+			found := false
+			for _, c := range all {
+				if strings.EqualFold(c.Name, name) {
+					cols = append(cols, c)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("core: no column %s in %s for tenant %d", name, lt.Name, tn.ID)
+			}
+		}
+	}
+	for _, row := range st.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("core: INSERT row has %d values for %d columns", len(row), len(cols))
+		}
+	}
+	stmts, err := l.insertRows(tn, lt, cols, st.Rows)
+	if err != nil {
+		return nil, err
+	}
+	return &Rewritten{Direct: stmts, Inserted: int64(len(st.Rows))}, nil
+}
+
+// genericUpdate implements the §6.3 two-phase protocol: phase (a)
+// collects (__row, new values...) through the reconstruction — the
+// engine evaluates SET expressions over the logical row — and phase (b)
+// applies per-structure physical writes.
+func genericUpdate(l reconstructor, tn *Tenant, st *sql.UpdateStmt) (*Rewritten, error) {
+	var exprs []sql.Expr
+	for _, a := range st.Set {
+		exprs = append(exprs, a.Value)
+	}
+	exprs = append(exprs, st.Where)
+	lt, used, err := writeUsage(l, tn, st.Table, st.Alias, exprs)
+	if err != nil {
+		return nil, err
+	}
+	all, err := l.state().schema.LogicalColumns(tn, lt.Name)
+	if err != nil {
+		return nil, err
+	}
+	var setCols []Column
+	for _, a := range st.Set {
+		found := false
+		for _, c := range all {
+			if strings.EqualFold(c.Name, a.Column) {
+				setCols = append(setCols, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: no column %s in %s for tenant %d", a.Column, lt.Name, tn.ID)
+		}
+	}
+
+	alias := st.Alias
+	if alias == "" {
+		alias = lt.Name
+	}
+	inner, err := l.reconstruct(tn, lt, used, true)
+	if err != nil {
+		return nil, err
+	}
+	where, err := rewriteInSubqueries(st.Where, func(s *sql.SelectStmt) (*sql.SelectStmt, error) {
+		return genericSelect(l, tn, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rowQuery := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Expr: colRef(alias, rowCol)}},
+		From:  []sql.TableRef{&sql.SubqueryTable{Select: inner, Alias: alias}},
+		Where: where,
+	}
+	for _, a := range st.Set {
+		rowQuery.Items = append(rowQuery.Items, sql.SelectItem{Expr: a.Value, Alias: "__set_" + a.Column})
+	}
+	return &Rewritten{
+		RowQuery: rowQuery,
+		PhaseB: func(rows [][]types.Value) []sql.Statement {
+			return l.phaseBUpdate(tn, lt, setCols, rows)
+		},
+	}, nil
+}
+
+// genericDelete is the delete side of the two-phase protocol.
+func genericDelete(l reconstructor, tn *Tenant, st *sql.DeleteStmt) (*Rewritten, error) {
+	lt, used, err := writeUsage(l, tn, st.Table, st.Alias, []sql.Expr{st.Where})
+	if err != nil {
+		return nil, err
+	}
+	alias := st.Alias
+	if alias == "" {
+		alias = lt.Name
+	}
+	inner, err := l.reconstruct(tn, lt, used, true)
+	if err != nil {
+		return nil, err
+	}
+	where, err := rewriteInSubqueries(st.Where, func(s *sql.SelectStmt) (*sql.SelectStmt, error) {
+		return genericSelect(l, tn, s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rowQuery := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Expr: colRef(alias, rowCol)}},
+		From:  []sql.TableRef{&sql.SubqueryTable{Select: inner, Alias: alias}},
+		Where: where,
+	}
+	return &Rewritten{
+		RowQuery: rowQuery,
+		PhaseB: func(rows [][]types.Value) []sql.Statement {
+			return l.phaseBDelete(tn, lt, rows)
+		},
+	}, nil
+}
+
+// firstColumn extracts column i from phase-(a) result rows.
+func column(rows [][]types.Value, i int) []types.Value {
+	out := make([]types.Value, len(rows))
+	for j, r := range rows {
+		out[j] = r[i]
+	}
+	return out
+}
+
+// constantSets reports whether every SET expression evaluated to the
+// same value across all affected rows, enabling batched phase-(b)
+// statements (one UPDATE ... WHERE Row IN (...) per structure).
+func constantSets(rows [][]types.Value, nSet int) bool {
+	for c := 1; c <= nSet; c++ {
+		for _, r := range rows[1:] {
+			if !sameValue(rows[0][c], r[c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sameValue(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return types.Equal(a, b)
+}

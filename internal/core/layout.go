@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Layout is a schema-mapping technique: it provisions the physical
+// multi-tenant schema and rewrites logical single-tenant statements
+// into physical statements (the paper's query-transformation layer).
+type Layout interface {
+	// Name identifies the technique ("chunk", "private", ...).
+	Name() string
+	// Schema returns the logical schema the layout was built for.
+	Schema() *Schema
+	// Create provisions the physical schema on db and registers the
+	// initial tenants.
+	Create(db *engine.DB, tenants []*Tenant) error
+	// AddTenant registers a tenant while the system is on-line. For
+	// generic layouts this is pure meta-data bookkeeping (no DDL); the
+	// Private layout issues CREATE TABLE statements.
+	AddTenant(db *engine.DB, t *Tenant) error
+	// Rewrite transforms one logical statement for a tenant.
+	Rewrite(tenantID int64, st sql.Statement) (*Rewritten, error)
+}
+
+// Rewritten is the physical form of a logical statement. Exactly one
+// of the shapes is populated:
+//
+//   - Query: a SELECT, rewritten in place.
+//   - Direct (+DirectIsCount / Inserted): statements that run as-is.
+//   - RowQuery + PhaseB: the paper's §6.3 two-phase DML — phase (a)
+//     collects the affected logical rows (and any computed SET values),
+//     phase (b) applies per-chunk physical writes built from them.
+type Rewritten struct {
+	Query *sql.SelectStmt
+
+	Direct []sql.Statement
+	// DirectIsCount: logical rows affected = first Direct statement's
+	// RowsAffected (single-statement layouts).
+	DirectIsCount bool
+	// Inserted: logical rows inserted (multi-statement inserts).
+	Inserted int64
+
+	RowQuery *sql.SelectStmt
+	PhaseB   func(rows [][]types.Value) []sql.Statement
+}
+
+// Mapper executes logical statements for tenants through a layout.
+type Mapper struct {
+	DB     *engine.DB
+	Layout Layout
+}
+
+// NewMapper pairs a database with a layout.
+func NewMapper(db *engine.DB, l Layout) *Mapper { return &Mapper{DB: db, Layout: l} }
+
+// Query runs a logical SELECT for a tenant.
+func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*engine.Rows, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("core: Query needs a SELECT, got %T", st)
+	}
+	rw, err := m.Layout.Rewrite(tenantID, sel)
+	if err != nil {
+		return nil, err
+	}
+	return m.DB.QueryStmt(rw.Query, params...)
+}
+
+// Exec runs a logical INSERT, UPDATE, DELETE, or supported DDL for a
+// tenant and returns the count of affected logical rows.
+func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engine.Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	rw, err := m.Layout.Rewrite(tenantID, st)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	if rw.Query != nil {
+		return engine.Result{}, fmt.Errorf("core: use Query for SELECT statements")
+	}
+	var affected int64
+	for i, ps := range rw.Direct {
+		res, err := m.DB.ExecStmt(ps, params...)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		if rw.DirectIsCount && i == 0 {
+			affected = res.RowsAffected
+		}
+	}
+	if rw.Inserted > 0 {
+		affected = rw.Inserted
+	}
+	if rw.RowQuery != nil {
+		rows, err := m.DB.QueryStmt(rw.RowQuery, params...)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		affected = int64(len(rows.Data))
+		if len(rows.Data) > 0 {
+			for _, ps := range rw.PhaseB(rows.Data) {
+				if _, err := m.DB.ExecStmt(ps); err != nil {
+					return engine.Result{}, err
+				}
+			}
+		}
+	}
+	return engine.Result{RowsAffected: affected}, nil
+}
+
+// RewriteSQL returns the physical SQL a logical statement maps to
+// (phase (a) for two-phase DML), primarily for inspection and tests.
+func (m *Mapper) RewriteSQL(tenantID int64, query string) ([]string, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := m.Layout.Rewrite(tenantID, st)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	if rw.Query != nil {
+		out = append(out, rw.Query.String())
+	}
+	for _, d := range rw.Direct {
+		out = append(out, d.String())
+	}
+	if rw.RowQuery != nil {
+		out = append(out, rw.RowQuery.String())
+	}
+	return out, nil
+}
+
+// Explain shows the physical plan of a rewritten logical SELECT.
+func (m *Mapper) Explain(tenantID int64, query string) (string, error) {
+	stmts, err := m.RewriteSQL(tenantID, query)
+	if err != nil {
+		return "", err
+	}
+	return m.DB.Explain(stmts[0])
+}
+
+// --- shared layout state -------------------------------------------------------
+
+// state holds the tenant registry, table-ID map, and per-(tenant,table)
+// logical row sequences shared by all layout implementations.
+type state struct {
+	mu       sync.RWMutex
+	schema   *Schema
+	tenants  map[int64]*Tenant
+	tableIDs map[string]int
+	rowSeq   map[string]int64
+}
+
+func newState(schema *Schema) *state {
+	return &state{
+		schema:   schema,
+		tenants:  make(map[int64]*Tenant),
+		tableIDs: schema.TableIDs(),
+		rowSeq:   make(map[string]int64),
+	}
+}
+
+func (st *state) tenant(id int64) (*Tenant, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	t, ok := st.tenants[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tenant %d", id)
+	}
+	return t, nil
+}
+
+func (st *state) addTenant(t *Tenant) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.tenants[t.ID]; dup {
+		return fmt.Errorf("core: tenant %d already registered", t.ID)
+	}
+	st.tenants[t.ID] = t
+	return nil
+}
+
+func (st *state) tenantList() []*Tenant {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Tenant, 0, len(st.tenants))
+	for _, t := range st.tenants {
+		out = append(out, t)
+	}
+	return out
+}
+
+// tableID returns the numeric ID of a logical base table.
+func (st *state) tableID(name string) (int, error) {
+	id, ok := st.tableIDs[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("core: no logical table %s", name)
+	}
+	return id, nil
+}
+
+// nextRows reserves n consecutive logical row IDs for (tenant, table).
+func (st *state) nextRows(tenantID int64, table string, n int64) int64 {
+	key := fmt.Sprintf("%d/%s", tenantID, strings.ToLower(table))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	first := st.rowSeq[key]
+	st.rowSeq[key] = first + n
+	return first
+}
+
+// --- logical statement analysis ------------------------------------------------
+
+// tableUsage records which logical columns a statement touches for one
+// FROM entry — step 1 of the paper's §6.1 compilation scheme.
+type tableUsage struct {
+	ref     *sql.NamedTable
+	logical *Table // base table in the schema
+	alias   string // effective alias in the query
+	cols    map[string]bool
+	star    bool
+}
+
+// use marks a column as referenced.
+func (u *tableUsage) use(col string) { u.cols[strings.ToLower(col)] = true }
+
+// analyzeSelect resolves the logical tables a SELECT references and
+// which of their (tenant-specific) columns it uses. Derived tables are
+// not descended into — the caller rewrites them recursively.
+func analyzeSelect(s *Schema, tn *Tenant, sel *sql.SelectStmt) ([]*tableUsage, error) {
+	var usages []*tableUsage
+	var gather func(tr sql.TableRef) error
+	gather = func(tr sql.TableRef) error {
+		switch tr := tr.(type) {
+		case *sql.NamedTable:
+			lt := s.Table(tr.Name)
+			if lt == nil {
+				return fmt.Errorf("core: no logical table %s", tr.Name)
+			}
+			alias := tr.Alias
+			if alias == "" {
+				alias = tr.Name
+			}
+			usages = append(usages, &tableUsage{
+				ref: tr, logical: lt, alias: alias, cols: map[string]bool{},
+			})
+		case *sql.JoinTable:
+			if err := gather(tr.Left); err != nil {
+				return err
+			}
+			return gather(tr.Right)
+		case *sql.SubqueryTable:
+			// handled by recursive rewrite; no usage entry
+		}
+		return nil
+	}
+	for _, tr := range sel.From {
+		if err := gather(tr); err != nil {
+			return nil, err
+		}
+	}
+
+	// Tenant-specific column lists for unqualified resolution.
+	logCols := map[*tableUsage][]Column{}
+	for _, u := range usages {
+		cols, err := s.LogicalColumns(tn, u.logical.Name)
+		if err != nil {
+			return nil, err
+		}
+		logCols[u] = cols
+	}
+	provides := func(u *tableUsage, name string) bool {
+		for _, c := range logCols[u] {
+			if strings.EqualFold(c.Name, name) {
+				return true
+			}
+		}
+		return false
+	}
+
+	markRef := func(cr *sql.ColumnRef) error {
+		if cr.Table != "" {
+			for _, u := range usages {
+				if strings.EqualFold(u.alias, cr.Table) {
+					if !provides(u, cr.Name) {
+						return fmt.Errorf("core: table %s has no column %s for tenant %d", u.logical.Name, cr.Name, tn.ID)
+					}
+					u.use(cr.Name)
+					return nil
+				}
+			}
+			return nil // a derived-table alias; not ours to track
+		}
+		var owner *tableUsage
+		for _, u := range usages {
+			if provides(u, cr.Name) {
+				if owner != nil {
+					return fmt.Errorf("core: ambiguous column %s", cr.Name)
+				}
+				owner = u
+			}
+		}
+		if owner != nil {
+			owner.use(cr.Name)
+		}
+		return nil
+	}
+
+	var walkExpr func(e sql.Expr) error
+	walkExpr = func(e sql.Expr) error {
+		switch e := e.(type) {
+		case nil:
+			return nil
+		case *sql.ColumnRef:
+			return markRef(e)
+		case *sql.BinaryExpr:
+			if err := walkExpr(e.L); err != nil {
+				return err
+			}
+			return walkExpr(e.R)
+		case *sql.UnaryExpr:
+			return walkExpr(e.X)
+		case *sql.IsNullExpr:
+			return walkExpr(e.X)
+		case *sql.LikeExpr:
+			if err := walkExpr(e.X); err != nil {
+				return err
+			}
+			return walkExpr(e.Pattern)
+		case *sql.CastExpr:
+			return walkExpr(e.X)
+		case *sql.FuncExpr:
+			for _, a := range e.Args {
+				if err := walkExpr(a); err != nil {
+					return err
+				}
+			}
+		case *sql.InExpr:
+			if err := walkExpr(e.X); err != nil {
+				return err
+			}
+			for _, i := range e.List {
+				if err := walkExpr(i); err != nil {
+					return err
+				}
+			}
+			// IN-subqueries are rewritten recursively by the caller.
+		}
+		return nil
+	}
+
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.StarQualifier == "":
+			for _, u := range usages {
+				u.star = true
+			}
+		case it.Star:
+			for _, u := range usages {
+				if strings.EqualFold(u.alias, it.StarQualifier) {
+					u.star = true
+				}
+			}
+		default:
+			if err := walkExpr(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := walkExpr(sel.Where); err != nil {
+		return nil, err
+	}
+	for _, g := range sel.GroupBy {
+		if err := walkExpr(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := walkExpr(sel.Having); err != nil {
+		return nil, err
+	}
+	for _, o := range sel.OrderBy {
+		if err := walkExpr(o.Expr); err != nil {
+			return nil, err
+		}
+	}
+	var walkJoins func(tr sql.TableRef) error
+	walkJoins = func(tr sql.TableRef) error {
+		if jt, ok := tr.(*sql.JoinTable); ok {
+			if err := walkExpr(jt.On); err != nil {
+				return err
+			}
+			if err := walkJoins(jt.Left); err != nil {
+				return err
+			}
+			return walkJoins(jt.Right)
+		}
+		return nil
+	}
+	for _, tr := range sel.From {
+		if err := walkJoins(tr); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, u := range usages {
+		if u.star {
+			for _, c := range logCols[u] {
+				u.use(c.Name)
+			}
+		}
+		// Always include the key column: generic layouts anchor row
+		// reconstruction on it.
+		u.use(u.logical.Key)
+	}
+	return usages, nil
+}
+
+// usedColumns returns the tenant's logical columns of u's table that
+// the statement references, in logical order.
+func usedColumns(s *Schema, tn *Tenant, u *tableUsage) ([]Column, error) {
+	all, err := s.LogicalColumns(tn, u.logical.Name)
+	if err != nil {
+		return nil, err
+	}
+	var out []Column
+	for _, c := range all {
+		if u.cols[strings.ToLower(c.Name)] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// --- small AST construction helpers ---------------------------------------------
+
+func lit(v types.Value) sql.Expr { return &sql.Literal{Val: v} }
+
+func intLit(n int64) sql.Expr { return lit(types.NewInt(n)) }
+
+func colRef(qual, name string) *sql.ColumnRef { return &sql.ColumnRef{Table: qual, Name: name} }
+
+func eq(l, r sql.Expr) sql.Expr { return &sql.BinaryExpr{Op: sql.OpEq, L: l, R: r} }
+
+func and(conjs ...sql.Expr) sql.Expr {
+	var out sql.Expr
+	for _, c := range conjs {
+		if c == nil {
+			continue
+		}
+		if out == nil {
+			out = c
+		} else {
+			out = &sql.BinaryExpr{Op: sql.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// inList builds `col IN (v1, v2, ...)`; a single value becomes `col = v1`.
+func inList(col *sql.ColumnRef, vals []types.Value) sql.Expr {
+	if len(vals) == 1 {
+		return eq(col, lit(vals[0]))
+	}
+	in := &sql.InExpr{X: col}
+	for _, v := range vals {
+		in.List = append(in.List, lit(v))
+	}
+	return in
+}
+
+// typeSQL renders a column type for generated DDL.
+func typeSQL(t types.ColumnType) string { return t.String() }
+
+// buildCreateTable generates CREATE TABLE DDL text.
+func buildCreateTable(name string, cols []Column) string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(name)
+	sb.WriteString(" (")
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name + " " + typeSQL(c.Type))
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// rewriteInSubqueries rewrites IN (SELECT ...) subqueries inside an
+// expression through the layout's SELECT rewriter.
+func rewriteInSubqueries(e sql.Expr, rw func(*sql.SelectStmt) (*sql.SelectStmt, error)) (sql.Expr, error) {
+	switch e := e.(type) {
+	case nil:
+		return nil, nil
+	case *sql.InExpr:
+		if e.Subquery == nil {
+			return e, nil
+		}
+		sub, err := rw(e.Subquery)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.InExpr{X: e.X, Subquery: sub, Not: e.Not}, nil
+	case *sql.BinaryExpr:
+		l, err := rewriteInSubqueries(e.L, rw)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteInSubqueries(e.R, rw)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.BinaryExpr{Op: e.Op, L: l, R: r}, nil
+	case *sql.UnaryExpr:
+		x, err := rewriteInSubqueries(e.X, rw)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.UnaryExpr{Op: e.Op, X: x}, nil
+	}
+	return e, nil
+}
+
+// TenantByID resolves a registered tenant in a state registry.
+func (st *state) TenantByID(id int64) (*Tenant, error) { return st.tenant(id) }
+
+// Tenants lists the registered tenants (unordered).
+func (st *state) Tenants() []*Tenant { return st.tenantList() }

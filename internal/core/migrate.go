@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// The paper's §7 lists migrating data "from one representation to
+// another on-the-fly" as the goal of its ongoing work: chunk-folding
+// decisions depend on tenant schemas, data distribution, and query
+// workload, all of which drift over time. Migrator implements that
+// operation at the logical level: it replays every logical row of a
+// tenant from a source layout into a destination layout, using only
+// each layout's public transformation surface — so any pair of the
+// eight layouts can migrate to each other, including across databases.
+//
+// Reads run under the engine's weak-isolation snapshot-free semantics
+// (the testbed's §4.2 posture); quiesce writers for the tenants being
+// moved, or migrate tenant by tenant and flip each tenant's routing to
+// the destination as it completes — the intended on-the-fly procedure.
+type Migrator struct {
+	Src, Dst *Mapper
+	// BatchRows is the INSERT batch size (default 64).
+	BatchRows int
+}
+
+// NewMigrator pairs a source and destination mapper.
+func NewMigrator(src, dst *Mapper) *Migrator { return &Migrator{Src: src, Dst: dst} }
+
+// MigrateTenant copies one tenant's data for every logical table. The
+// destination layout must already have the tenant registered (with the
+// same extension set).
+func (m *Migrator) MigrateTenant(tenantID int64) error {
+	srcTn, err := layoutTenant(m.Src.Layout, tenantID)
+	if err != nil {
+		return err
+	}
+	dstTn, err := layoutTenant(m.Dst.Layout, tenantID)
+	if err != nil {
+		return fmt.Errorf("core: destination has no tenant %d (register it first): %w", tenantID, err)
+	}
+	if !sameExtensions(srcTn, dstTn) {
+		return fmt.Errorf("core: tenant %d extension sets differ between layouts", tenantID)
+	}
+	schema := m.Src.Layout.Schema()
+	for _, table := range schema.Tables {
+		if err := m.migrateTable(srcTn, table); err != nil {
+			return fmt.Errorf("core: migrate tenant %d table %s: %w", tenantID, table.Name, err)
+		}
+	}
+	return nil
+}
+
+// MigrateAll copies every registered tenant.
+func (m *Migrator) MigrateAll() error {
+	tenants, err := layoutTenants(m.Src.Layout)
+	if err != nil {
+		return err
+	}
+	for _, tn := range tenants {
+		if err := m.MigrateTenant(tn.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Migrator) migrateTable(tn *Tenant, table *Table) error {
+	cols, err := m.Src.Layout.Schema().LogicalColumns(tn, table.Name)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	rows, err := m.Src.Query(tn.ID, fmt.Sprintf("SELECT %s FROM %s", strings.Join(names, ", "), table.Name))
+	if err != nil {
+		return err
+	}
+	batch := m.BatchRows
+	if batch <= 0 {
+		batch = 64
+	}
+	for start := 0; start < len(rows.Data); start += batch {
+		end := start + batch
+		if end > len(rows.Data) {
+			end = len(rows.Data)
+		}
+		ins := &sql.InsertStmt{Table: table.Name, Columns: names}
+		for _, r := range rows.Data[start:end] {
+			vals := make([]sql.Expr, len(r))
+			for i, v := range r {
+				vals[i] = &sql.Literal{Val: v}
+			}
+			ins.Rows = append(ins.Rows, vals)
+		}
+		rw, err := m.Dst.Layout.Rewrite(tn.ID, ins)
+		if err != nil {
+			return err
+		}
+		for _, st := range rw.Direct {
+			if _, err := m.Dst.DB.ExecStmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Verify compares every tenant's logical contents between the two
+// layouts (order-insensitive); use after a migration before flipping
+// tenant routing.
+func (m *Migrator) Verify() error {
+	tenants, err := layoutTenants(m.Src.Layout)
+	if err != nil {
+		return err
+	}
+	for _, tn := range tenants {
+		for _, table := range m.Src.Layout.Schema().Tables {
+			cols, err := m.Src.Layout.Schema().LogicalColumns(tn, table.Name)
+			if err != nil {
+				return err
+			}
+			names := make([]string, len(cols))
+			for i, c := range cols {
+				names[i] = c.Name
+			}
+			q := fmt.Sprintf("SELECT %s FROM %s", strings.Join(names, ", "), table.Name)
+			src, err := m.Src.Query(tn.ID, q)
+			if err != nil {
+				return err
+			}
+			dst, err := m.Dst.Query(tn.ID, q)
+			if err != nil {
+				return err
+			}
+			if err := sameRowMultiset(src.Data, dst.Data); err != nil {
+				return fmt.Errorf("core: tenant %d table %s diverges after migration: %w", tn.ID, table.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func sameRowMultiset(a, b [][]types.Value) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%d rows vs %d rows", len(a), len(b))
+	}
+	key := func(r []types.Value) string {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.Kind.String() + ":" + v.String()
+		}
+		return strings.Join(parts, "|")
+	}
+	counts := map[string]int{}
+	for _, r := range a {
+		counts[key(r)]++
+	}
+	for _, r := range b {
+		k := key(r)
+		counts[k]--
+		if counts[k] < 0 {
+			return fmt.Errorf("row %s only in destination", k)
+		}
+	}
+	for k, n := range counts {
+		if n != 0 {
+			return fmt.Errorf("row %s only in source", k)
+		}
+	}
+	return nil
+}
+
+// tenantLister is implemented by every layout (they share the common
+// state registry).
+type tenantLister interface {
+	TenantByID(id int64) (*Tenant, error)
+	Tenants() []*Tenant
+}
+
+func layoutTenant(l Layout, id int64) (*Tenant, error) {
+	tl, ok := l.(tenantLister)
+	if !ok {
+		return nil, fmt.Errorf("core: layout %s does not expose tenants", l.Name())
+	}
+	return tl.TenantByID(id)
+}
+
+func layoutTenants(l Layout) ([]*Tenant, error) {
+	tl, ok := l.(tenantLister)
+	if !ok {
+		return nil, fmt.Errorf("core: layout %s does not expose tenants", l.Name())
+	}
+	return tl.Tenants(), nil
+}
+
+func sameExtensions(a, b *Tenant) bool {
+	if len(a.Extensions) != len(b.Extensions) {
+		return false
+	}
+	for _, e := range a.Extensions {
+		if !b.HasExtension(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Migrate is the convenience one-shot: provision dst for the same
+// tenants, copy everything, and verify.
+func Migrate(srcDB *engine.DB, src Layout, dstDB *engine.DB, dst Layout) error {
+	tenants, err := layoutTenants(src)
+	if err != nil {
+		return err
+	}
+	if err := dst.Create(dstDB, cloneTenants(tenants)); err != nil {
+		return err
+	}
+	m := NewMigrator(NewMapper(srcDB, src), NewMapper(dstDB, dst))
+	if err := m.MigrateAll(); err != nil {
+		return err
+	}
+	return m.Verify()
+}
+
+func cloneTenants(in []*Tenant) []*Tenant {
+	out := make([]*Tenant, len(in))
+	for i, t := range in {
+		out[i] = &Tenant{ID: t.ID, Extensions: append([]string(nil), t.Extensions...)}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// TestMigrateAcrossLayouts copies the Figure 4 data between layout
+// pairs and verifies logical equivalence — the paper's §7 on-the-fly
+// representation change.
+func TestMigrateAcrossLayouts(t *testing.T) {
+	schema := paperSchema()
+	pairs := []struct {
+		name     string
+		from, to func() (Layout, error)
+	}{
+		{"private->chunk",
+			func() (Layout, error) { return NewPrivateLayout(schema) },
+			func() (Layout, error) { return NewChunkLayout(schema, ChunkOptions{}) }},
+		{"chunk->private",
+			func() (Layout, error) { return NewChunkLayout(schema, ChunkOptions{}) },
+			func() (Layout, error) { return NewPrivateLayout(schema) }},
+		{"pivot->chunkfold",
+			func() (Layout, error) { return NewPivotLayout(schema, true) },
+			func() (Layout, error) {
+				return NewChunkFoldingLayout(schema, FoldingOptions{ConventionalExtensions: []string{"HealthcareAccount"}})
+			}},
+		{"extension->universal",
+			func() (Layout, error) { return NewExtensionLayout(schema) },
+			func() (Layout, error) { return NewUniversalLayout(schema, 16) }},
+	}
+	for _, pair := range pairs {
+		t.Run(pair.name, func(t *testing.T) {
+			src, err := pair.from()
+			if err != nil {
+				t.Fatal(err)
+			}
+			srcDB := engine.Open(engine.Config{})
+			if err := src.Create(srcDB, paperTenants()); err != nil {
+				t.Fatal(err)
+			}
+			sm := NewMapper(srcDB, src)
+			loadPaperData(t, sm)
+			// Some NULL-bearing rows to stress pivot cells.
+			if _, err := sm.Exec(17, "INSERT INTO Account (Aid, Name, Hospital, Beds) VALUES (9, NULL, 'X', NULL)"); err != nil {
+				t.Fatal(err)
+			}
+
+			dst, err := pair.to()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dstDB := engine.Open(engine.Config{})
+			if err := Migrate(srcDB, src, dstDB, dst); err != nil {
+				t.Fatalf("migrate: %v", err)
+			}
+			// Destination answers the paper's Q1 identically.
+			dm := NewMapper(dstDB, dst)
+			rows, err := dm.Query(17, "SELECT Beds FROM Account WHERE Hospital = 'State'")
+			if err != nil || len(rows.Data) != 1 || rows.Data[0][0].Int != 1042 {
+				t.Fatalf("post-migration Q1: %v %+v", err, rows)
+			}
+			// And stays writable (row sequences must not collide).
+			if _, err := dm.Exec(17, "INSERT INTO Account (Aid, Name) VALUES (77, 'after')"); err != nil {
+				t.Fatalf("post-migration insert: %v", err)
+			}
+			rows, _ = dm.Query(17, "SELECT COUNT(*) FROM Account")
+			if rows.Data[0][0].Int != 4 {
+				t.Errorf("post-migration count: %v", rows.Data[0][0])
+			}
+		})
+	}
+}
+
+func TestMigrateVerifyCatchesDivergence(t *testing.T) {
+	schema := paperSchema()
+	src, _ := NewPrivateLayout(schema)
+	srcDB := engine.Open(engine.Config{})
+	if err := src.Create(srcDB, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	sm := NewMapper(srcDB, src)
+	loadPaperData(t, sm)
+
+	dst, _ := NewChunkLayout(schema, ChunkOptions{})
+	dstDB := engine.Open(engine.Config{})
+	if err := Migrate(srcDB, src, dstDB, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the destination, then Verify must fail.
+	dm := NewMapper(dstDB, dst)
+	if _, err := dm.Exec(17, "UPDATE Account SET Beds = 1 WHERE Aid = 2"); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMigrator(sm, dm)
+	if err := m.Verify(); err == nil {
+		t.Error("Verify should detect the diverged row")
+	} else if !strings.Contains(err.Error(), "Account") {
+		t.Errorf("error should name the table: %v", err)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	schema := paperSchema()
+	src, _ := NewPrivateLayout(schema)
+	srcDB := engine.Open(engine.Config{})
+	if err := src.Create(srcDB, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := NewChunkLayout(schema, ChunkOptions{})
+	dstDB := engine.Open(engine.Config{})
+	// Destination lacking the tenant.
+	if err := dst.Create(dstDB, []*Tenant{{ID: 17, Extensions: []string{"HealthcareAccount"}}}); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMigrator(NewMapper(srcDB, src), NewMapper(dstDB, dst))
+	if err := m.MigrateTenant(35); err == nil {
+		t.Error("missing destination tenant should fail")
+	}
+	// Extension mismatch.
+	if err := dst.AddTenant(dstDB, &Tenant{ID: 35, Extensions: []string{"AutomotiveAccount"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MigrateTenant(35); err == nil {
+		t.Error("extension mismatch should fail")
+	}
+}
+
+func TestMigratePreservesTypes(t *testing.T) {
+	schema := &Schema{
+		Tables: []*Table{{
+			Name: "Event", Key: "Id",
+			Columns: []Column{
+				{Name: "Id", Type: types.IntType, NotNull: true, Indexed: true},
+				{Name: "Day", Type: types.DateType},
+				{Name: "Score", Type: types.FloatType},
+				{Name: "Ok", Type: types.BoolType},
+			},
+		}},
+	}
+	src, _ := NewUniversalLayout(schema, 8) // everything stored as strings
+	srcDB := engine.Open(engine.Config{})
+	if err := src.Create(srcDB, []*Tenant{{ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	sm := NewMapper(srcDB, src)
+	if _, err := sm.Exec(1, "INSERT INTO Event VALUES (1, DATE '2008-06-09', 2.5, TRUE)"); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := NewPivotLayout(schema, true)
+	dstDB := engine.Open(engine.Config{})
+	if err := Migrate(srcDB, src, dstDB, dst); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := NewMapper(dstDB, dst).Query(1, "SELECT Day, Score, Ok FROM Event WHERE Id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Data[0]
+	if r[0].Kind != types.KindDate || r[1].Kind != types.KindFloat || r[2].Kind != types.KindBool {
+		t.Errorf("types after migration: %v %v %v", r[0].Kind, r[1].Kind, r[2].Kind)
+	}
+}

@@ -1,0 +1,379 @@
+// Package engine is the embedded relational database the testbed and
+// the schema-mapping layer run against: SQL in, rows out. It assembles
+// the substrates — disk, buffer pool, catalog with meta-data budget,
+// planner, executor — and provides statement-level concurrency control
+// with table-level locks and weak-isolation reads, matching the
+// transaction posture the paper's testbed adopts (§4.2: single-request
+// transactions, unrepeatable reads permitted).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Config parameterizes a database instance.
+type Config struct {
+	// MemoryBytes is the machine memory budget shared by table
+	// meta-data and the buffer pool. Default 64 MiB.
+	MemoryBytes int64
+	// PageSize in bytes. Default 8192, the paper's setting.
+	PageSize int
+	// MetaBytesPerTable is the per-table meta-data tax. Default 4096,
+	// the DB2 V9.1 figure quoted in §1.1.
+	MetaBytesPerTable int64
+	// ReadLatency is the simulated I/O cost of a buffer-pool miss.
+	ReadLatency time.Duration
+	// Optimizer selects the planner capability level (§6.2 Test 1).
+	Optimizer plan.Mode
+	// InsertMode selects the heap placement policy (§5 insert anomaly).
+	InsertMode storage.InsertMode
+}
+
+// Result reports the outcome of a non-query statement.
+type Result struct {
+	RowsAffected int64
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]types.Value
+}
+
+// DB is a database handle, safe for concurrent use.
+type DB struct {
+	disk    *storage.Disk
+	pool    *storage.BufferPool
+	cat     *catalog.Catalog
+	planner *plan.Planner
+
+	// ddlMu serializes DDL against all other statements; DML and
+	// queries hold it shared.
+	ddlMu sync.RWMutex
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 64 << 20
+	}
+	disk := storage.NewDisk(cfg.PageSize)
+	disk.ReadLatency = cfg.ReadLatency
+	pool := storage.NewBufferPool(disk, cfg.MemoryBytes)
+	cat := catalog.New(pool, catalog.Config{
+		MemoryBytes:       cfg.MemoryBytes,
+		MetaBytesPerTable: cfg.MetaBytesPerTable,
+		InsertMode:        cfg.InsertMode,
+	})
+	return &DB{
+		disk:    disk,
+		pool:    pool,
+		cat:     cat,
+		planner: plan.New(cat, cfg.Optimizer),
+	}
+}
+
+// Catalog exposes the catalog (examples and the mapping layer use it
+// for direct schema inspection).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Exec runs any statement and reports rows affected (0 for DDL and
+// queries; use Query for result sets).
+func (db *DB) Exec(query string, params ...types.Value) (Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.ExecStmt(st, params...)
+}
+
+// ExecStmt is Exec for a pre-parsed statement.
+func (db *DB) ExecStmt(st sql.Statement, params ...types.Value) (Result, error) {
+	switch st := st.(type) {
+	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
+		*sql.DropIndexStmt, *sql.AlterAddColumnStmt:
+		return Result{}, db.execDDL(st)
+	case *sql.SelectStmt:
+		_, err := db.QueryStmt(st, params...)
+		return Result{}, err
+	default:
+		return db.execDML(st, params)
+	}
+}
+
+// Query runs a SELECT and returns all rows.
+func (db *DB) Query(query string, params ...types.Value) (*Rows, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query needs a SELECT, got %T", st)
+	}
+	return db.QueryStmt(sel, params...)
+}
+
+// QueryStmt is Query for a pre-parsed SELECT.
+func (db *DB) QueryStmt(sel *sql.SelectStmt, params ...types.Value) (*Rows, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	reads := collectReadTables(sel, nil)
+	unlock, err := db.lockTables(reads, "")
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	p, err := db.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	data, err := exec.Collect(p, params)
+	if err != nil {
+		return nil, err
+	}
+	schema := p.Schema()
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	return &Rows{Columns: cols, Data: data}, nil
+}
+
+// Explain plans a statement and renders the operator tree.
+func (db *DB) Explain(query string, params ...types.Value) (string, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	p, err := db.planner.PlanStatement(st)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(p), nil
+}
+
+func (db *DB) execDML(st sql.Statement, params []types.Value) (Result, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	var write string
+	var reads []string
+	switch st := st.(type) {
+	case *sql.InsertStmt:
+		write = st.Table
+	case *sql.UpdateStmt:
+		write = st.Table
+		reads = collectExprTables(st.Where, nil)
+	case *sql.DeleteStmt:
+		write = st.Table
+		reads = collectExprTables(st.Where, nil)
+	default:
+		return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+	unlock, err := db.lockTables(reads, write)
+	if err != nil {
+		return Result{}, err
+	}
+	defer unlock()
+	p, err := db.planner.PlanStatement(st)
+	if err != nil {
+		return Result{}, err
+	}
+	n, err := exec.RunDML(p, params)
+	return Result{RowsAffected: n}, err
+}
+
+func (db *DB) execDDL(st sql.Statement) error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	switch st := st.(type) {
+	case *sql.CreateTableStmt:
+		if st.IfNotExists && db.cat.HasTable(st.Name) {
+			return nil
+		}
+		cols := make([]catalog.Column, len(st.Cols))
+		for i, c := range st.Cols {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
+		}
+		_, err := db.cat.CreateTable(st.Name, cols)
+		return err
+	case *sql.CreateIndexStmt:
+		_, err := db.cat.CreateIndex(st.Table, st.Name, st.Columns, st.Unique)
+		return err
+	case *sql.DropTableStmt:
+		if st.IfExists && !db.cat.HasTable(st.Name) {
+			return nil
+		}
+		return db.cat.DropTable(st.Name)
+	case *sql.DropIndexStmt:
+		return db.cat.DropIndex(st.Table, st.Name)
+	case *sql.AlterAddColumnStmt:
+		return db.cat.AddColumn(st.Table, catalog.Column{
+			Name: st.Col.Name, Type: st.Col.Type, NotNull: st.Col.NotNull,
+		})
+	}
+	return fmt.Errorf("engine: unsupported DDL %T", st)
+}
+
+// lockTables acquires read locks on reads and a write lock on write,
+// in a global order (by lowercased name) to avoid deadlocks. A table
+// appearing in both gets only the write lock.
+func (db *DB) lockTables(reads []string, write string) (func(), error) {
+	type lockReq struct {
+		name  string
+		write bool
+	}
+	seen := map[string]*lockReq{}
+	for _, r := range reads {
+		k := strings.ToLower(r)
+		if seen[k] == nil {
+			seen[k] = &lockReq{name: r}
+		}
+	}
+	if write != "" {
+		k := strings.ToLower(write)
+		if seen[k] == nil {
+			seen[k] = &lockReq{name: write}
+		}
+		seen[k].write = true
+	}
+	var order []string
+	for k := range seen {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	var locked []func()
+	for _, k := range order {
+		req := seen[k]
+		t, err := db.cat.Table(req.name)
+		if err != nil {
+			for i := len(locked) - 1; i >= 0; i-- {
+				locked[i]()
+			}
+			return nil, err
+		}
+		if req.write {
+			t.Mu.Lock()
+			locked = append(locked, t.Mu.Unlock)
+		} else {
+			t.Mu.RLock()
+			locked = append(locked, t.Mu.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			locked[i]()
+		}
+	}, nil
+}
+
+// collectReadTables lists the base tables a SELECT touches, including
+// derived tables and IN subqueries.
+func collectReadTables(s *sql.SelectStmt, acc []string) []string {
+	for _, tr := range s.From {
+		acc = collectRefTables(tr, acc)
+	}
+	acc = collectExprTables(s.Where, acc)
+	acc = collectExprTables(s.Having, acc)
+	return acc
+}
+
+func collectRefTables(tr sql.TableRef, acc []string) []string {
+	switch tr := tr.(type) {
+	case *sql.NamedTable:
+		acc = append(acc, tr.Name)
+	case *sql.SubqueryTable:
+		acc = collectReadTables(tr.Select, acc)
+	case *sql.JoinTable:
+		acc = collectRefTables(tr.Left, acc)
+		acc = collectRefTables(tr.Right, acc)
+		acc = collectExprTables(tr.On, acc)
+	}
+	return acc
+}
+
+func collectExprTables(e sql.Expr, acc []string) []string {
+	switch e := e.(type) {
+	case nil:
+		return acc
+	case *sql.BinaryExpr:
+		acc = collectExprTables(e.L, acc)
+		acc = collectExprTables(e.R, acc)
+	case *sql.UnaryExpr:
+		acc = collectExprTables(e.X, acc)
+	case *sql.IsNullExpr:
+		acc = collectExprTables(e.X, acc)
+	case *sql.LikeExpr:
+		acc = collectExprTables(e.X, acc)
+		acc = collectExprTables(e.Pattern, acc)
+	case *sql.CastExpr:
+		acc = collectExprTables(e.X, acc)
+	case *sql.FuncExpr:
+		for _, a := range e.Args {
+			acc = collectExprTables(a, acc)
+		}
+	case *sql.InExpr:
+		acc = collectExprTables(e.X, acc)
+		for _, i := range e.List {
+			acc = collectExprTables(i, acc)
+		}
+		if e.Subquery != nil {
+			acc = collectReadTables(e.Subquery, acc)
+		}
+	}
+	return acc
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Pool       storage.PoolStats
+	PhysReads  int64
+	PhysWrites int64
+	Tables     int
+	MetaBytes  int64
+}
+
+// Stats returns current counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Pool:       db.pool.Stats(),
+		PhysReads:  db.disk.PhysReads(),
+		PhysWrites: db.disk.PhysWrites(),
+		Tables:     db.cat.NumTables(),
+		MetaBytes:  db.cat.MetaBytes(),
+	}
+}
+
+// ResetStats zeroes the counters (used between benchmark phases).
+func (db *DB) ResetStats() {
+	db.pool.ResetStats()
+	db.disk.ResetCounters()
+}
+
+// DropCaches flushes and empties the buffer pool — the cold-cache
+// protocol of the paper's Test 5. It takes the DDL lock so no statement
+// is mid-flight.
+func (db *DB) DropCaches() error {
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	return db.pool.DropAll()
+}
+
+// BufferPool exposes the pool for experiment harnesses.
+func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
+
+// Disk exposes the disk for experiment harnesses.
+func (db *DB) Disk() *storage.Disk { return db.disk }

@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+func mustExec(t *testing.T, db *DB, q string, params ...types.Value) Result {
+	t.Helper()
+	res, err := db.Exec(q, params...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return res
+}
+
+func mustQuery(t *testing.T, db *DB, q string, params ...types.Value) *Rows {
+	t.Helper()
+	rows, err := db.Query(q, params...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return rows
+}
+
+// newAccountsDB builds the paper's running example (Figure 4): Account
+// tables for tenants 17, 35, 42 in the Private Table Layout.
+func newAccountsDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE Account17 (Aid INTEGER NOT NULL, Name VARCHAR(50), Hospital VARCHAR(50), Beds INTEGER)")
+	mustExec(t, db, "CREATE UNIQUE INDEX pk17 ON Account17 (Aid)")
+	mustExec(t, db, "INSERT INTO Account17 VALUES (1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)")
+	mustExec(t, db, "CREATE TABLE Account35 (Aid INTEGER NOT NULL, Name VARCHAR(50))")
+	mustExec(t, db, "INSERT INTO Account35 VALUES (1, 'Ball')")
+	mustExec(t, db, "CREATE TABLE Account42 (Aid INTEGER NOT NULL, Name VARCHAR(50), Dealers INTEGER)")
+	mustExec(t, db, "INSERT INTO Account42 VALUES (1, 'Big', 65)")
+	return db
+}
+
+func TestQ1PrivateLayout(t *testing.T) {
+	db := newAccountsDB(t)
+	// Query Q1 from the paper.
+	rows := mustQuery(t, db, "SELECT Beds FROM Account17 WHERE Hospital = 'State'")
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 1042 {
+		t.Errorf("Q1: %+v", rows.Data)
+	}
+	if rows.Columns[0] != "Beds" {
+		t.Errorf("columns: %v", rows.Columns)
+	}
+}
+
+func TestInsertSelectRoundTrip(t *testing.T) {
+	db := newAccountsDB(t)
+	res := mustExec(t, db, "INSERT INTO Account17 (Aid, Name) VALUES (3, 'New')")
+	if res.RowsAffected != 1 {
+		t.Errorf("RowsAffected = %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT Name, Hospital FROM Account17 WHERE Aid = 3")
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "New" || !rows.Data[0][1].IsNull() {
+		t.Errorf("got %+v", rows.Data)
+	}
+}
+
+func TestUniqueViolationThroughSQL(t *testing.T) {
+	db := newAccountsDB(t)
+	if _, err := db.Exec("INSERT INTO Account17 VALUES (1, 'Dup', NULL, NULL)"); err == nil {
+		t.Error("duplicate PK should fail")
+	}
+}
+
+func TestIndexScanUsedForPK(t *testing.T) {
+	db := newAccountsDB(t)
+	ex, err := db.Explain("SELECT Name FROM Account17 WHERE Aid = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "IXSCAN") {
+		t.Errorf("PK lookup should use the index:\n%s", ex)
+	}
+	rows := mustQuery(t, db, "SELECT Name FROM Account17 WHERE Aid = 2")
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "Gump" {
+		t.Errorf("%+v", rows.Data)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newAccountsDB(t)
+	res := mustExec(t, db, "UPDATE Account17 SET Beds = Beds + 1 WHERE Aid = 1")
+	if res.RowsAffected != 1 {
+		t.Errorf("update affected %d", res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT Beds FROM Account17 WHERE Aid = 1")
+	if rows.Data[0][0].Int != 136 {
+		t.Errorf("Beds = %v", rows.Data[0][0])
+	}
+	res = mustExec(t, db, "DELETE FROM Account17 WHERE Beds > 1000")
+	if res.RowsAffected != 1 {
+		t.Errorf("delete affected %d", res.RowsAffected)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM Account17")
+	if rows.Data[0][0].Int != 1 {
+		t.Errorf("count after delete: %v", rows.Data[0][0])
+	}
+}
+
+func TestParams(t *testing.T) {
+	db := newAccountsDB(t)
+	rows := mustQuery(t, db, "SELECT Name FROM Account17 WHERE Aid = ?", types.NewInt(2))
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "Gump" {
+		t.Errorf("%+v", rows.Data)
+	}
+	if _, err := db.Query("SELECT Name FROM Account17 WHERE Aid = ?"); err == nil {
+		t.Error("missing parameter should error")
+	}
+}
+
+func TestJoins(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE parent (id INTEGER NOT NULL, name VARCHAR(20))")
+	mustExec(t, db, "CREATE UNIQUE INDEX ppk ON parent (id)")
+	mustExec(t, db, "CREATE TABLE child (id INTEGER NOT NULL, parent INTEGER, val INTEGER)")
+	mustExec(t, db, "CREATE INDEX cfk ON child (parent)")
+	for i := 1; i <= 3; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO parent VALUES (%d, 'p%d')", i, i))
+	}
+	mustExec(t, db, "INSERT INTO child VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30)")
+
+	// Comma join.
+	rows := mustQuery(t, db, "SELECT p.name, c.val FROM parent p, child c WHERE p.id = c.parent AND p.id = 1 ORDER BY c.val")
+	if len(rows.Data) != 2 || rows.Data[0][1].Int != 10 || rows.Data[1][1].Int != 20 {
+		t.Errorf("comma join: %+v", rows.Data)
+	}
+	// Explicit JOIN.
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM parent p JOIN child c ON p.id = c.parent")
+	if rows.Data[0][0].Int != 3 {
+		t.Errorf("join count: %v", rows.Data[0][0])
+	}
+	// LEFT JOIN keeps parent 3 with NULL child.
+	rows = mustQuery(t, db, "SELECT p.id, c.id FROM parent p LEFT JOIN child c ON p.id = c.parent ORDER BY p.id, c.id")
+	if len(rows.Data) != 4 {
+		t.Fatalf("left join rows: %+v", rows.Data)
+	}
+	last := rows.Data[3]
+	if last[0].Int != 3 || !last[1].IsNull() {
+		t.Errorf("unmatched parent: %+v", last)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE sales (region VARCHAR(10), amount INTEGER)")
+	mustExec(t, db, "INSERT INTO sales VALUES ('east', 10), ('east', 20), ('west', 5), ('west', NULL)")
+	rows := mustQuery(t, db, "SELECT region, COUNT(*), COUNT(amount), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM sales GROUP BY region ORDER BY region")
+	if len(rows.Data) != 2 {
+		t.Fatalf("groups: %+v", rows.Data)
+	}
+	east := rows.Data[0]
+	if east[1].Int != 2 || east[2].Int != 2 || east[3].Int != 30 || east[4].Float != 15 || east[5].Int != 10 || east[6].Int != 20 {
+		t.Errorf("east: %+v", east)
+	}
+	west := rows.Data[1]
+	if west[1].Int != 2 || west[2].Int != 1 || west[3].Int != 5 {
+		t.Errorf("west: %+v", west)
+	}
+	// HAVING.
+	rows = mustQuery(t, db, "SELECT region FROM sales GROUP BY region HAVING SUM(amount) > 10")
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "east" {
+		t.Errorf("having: %+v", rows.Data)
+	}
+	// Global aggregate over empty set.
+	mustExec(t, db, "CREATE TABLE empty (x INTEGER)")
+	rows = mustQuery(t, db, "SELECT COUNT(*), SUM(x) FROM empty")
+	if rows.Data[0][0].Int != 0 || !rows.Data[0][1].IsNull() {
+		t.Errorf("empty agg: %+v", rows.Data)
+	}
+}
+
+func TestOrderLimitDistinct(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE t (a INTEGER, b VARCHAR(5))")
+	mustExec(t, db, "INSERT INTO t VALUES (3, 'x'), (1, 'y'), (2, 'x'), (1, 'x')")
+	rows := mustQuery(t, db, "SELECT a FROM t ORDER BY a DESC LIMIT 2")
+	if len(rows.Data) != 2 || rows.Data[0][0].Int != 3 || rows.Data[1][0].Int != 2 {
+		t.Errorf("order desc limit: %+v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT DISTINCT b FROM t ORDER BY b")
+	if len(rows.Data) != 2 || rows.Data[0][0].Str != "x" {
+		t.Errorf("distinct: %+v", rows.Data)
+	}
+	// ORDER BY a column not in the select list.
+	rows = mustQuery(t, db, "SELECT b FROM t WHERE a < 3 ORDER BY a, b")
+	if len(rows.Data) != 3 || rows.Data[0][0].Str != "x" || rows.Data[2][0].Str != "x" {
+		t.Errorf("hidden sort key: %+v", rows.Data)
+	}
+	if len(rows.Columns) != 1 {
+		t.Errorf("hidden key leaked into output: %v", rows.Columns)
+	}
+	// ORDER BY select alias.
+	rows = mustQuery(t, db, "SELECT a + 10 AS shifted FROM t ORDER BY shifted LIMIT 1")
+	if rows.Data[0][0].Int != 11 {
+		t.Errorf("alias sort: %+v", rows.Data)
+	}
+}
+
+// TestSubqueryFlattening is the paper's Test 1: the generic nested
+// transformation must produce an efficient plan under the sophisticated
+// optimizer, and a materialized TEMP under the naive one.
+func TestSubqueryFlattening(t *testing.T) {
+	q := "SELECT Beds FROM (SELECT Hospital, Beds FROM Account17 WHERE Aid > 0) AS A WHERE Hospital = 'State'"
+
+	for _, mode := range []plan.Mode{plan.Sophisticated, plan.Naive} {
+		db := Open(Config{Optimizer: mode})
+		mustExec(t, db, "CREATE TABLE Account17 (Aid INTEGER NOT NULL, Name VARCHAR(50), Hospital VARCHAR(50), Beds INTEGER)")
+		mustExec(t, db, "INSERT INTO Account17 VALUES (1, 'Acme', 'St. Mary', 135), (2, 'Gump', 'State', 1042)")
+		rows := mustQuery(t, db, q)
+		if len(rows.Data) != 1 || rows.Data[0][0].Int != 1042 {
+			t.Errorf("mode %v: wrong result %+v", mode, rows.Data)
+		}
+		ex, _ := db.Explain(q)
+		hasTemp := strings.Contains(ex, "TEMP")
+		if mode == plan.Sophisticated && hasTemp {
+			t.Errorf("sophisticated mode should flatten:\n%s", ex)
+		}
+		if mode == plan.Naive && !hasTemp {
+			t.Errorf("naive mode should materialize:\n%s", ex)
+		}
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	db := newAccountsDB(t)
+	mustExec(t, db, "CREATE TABLE picks (id INTEGER)")
+	mustExec(t, db, "INSERT INTO picks VALUES (2), (99)")
+	rows := mustQuery(t, db, "SELECT Name FROM Account17 WHERE Aid IN (SELECT id FROM picks)")
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "Gump" {
+		t.Errorf("in subquery: %+v", rows.Data)
+	}
+	// DML with IN subquery (the paper's §6.3 Phase (b) shape).
+	res := mustExec(t, db, "UPDATE Account17 SET Beds = 0 WHERE Aid IN (SELECT id FROM picks)")
+	if res.RowsAffected != 1 {
+		t.Errorf("update via IN: %d", res.RowsAffected)
+	}
+	res = mustExec(t, db, "DELETE FROM Account17 WHERE Aid IN (SELECT id FROM picks)")
+	if res.RowsAffected != 1 {
+		t.Errorf("delete via IN: %d", res.RowsAffected)
+	}
+}
+
+func TestCastAndExpressions(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE u (s VARCHAR(10), n INTEGER)")
+	mustExec(t, db, "INSERT INTO u VALUES ('135', 2)")
+	rows := mustQuery(t, db, "SELECT CAST(s AS INTEGER) + n, CAST(n AS VARCHAR(10)) FROM u")
+	if rows.Data[0][0].Int != 137 || rows.Data[0][1].Str != "2" {
+		t.Errorf("cast: %+v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT s FROM u WHERE s LIKE '1_5'")
+	if len(rows.Data) != 1 {
+		t.Errorf("like: %+v", rows.Data)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE n (a INTEGER, b INTEGER)")
+	mustExec(t, db, "INSERT INTO n VALUES (1, NULL), (2, 5), (NULL, NULL)")
+	// NULL comparisons drop rows.
+	rows := mustQuery(t, db, "SELECT a FROM n WHERE b = 5")
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 2 {
+		t.Errorf("null filter: %+v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM n WHERE b IS NULL")
+	if rows.Data[0][0].Int != 2 {
+		t.Errorf("is null: %+v", rows.Data)
+	}
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM n WHERE a IS NOT NULL")
+	if rows.Data[0][0].Int != 2 {
+		t.Errorf("is not null: %+v", rows.Data)
+	}
+	// NULL group key forms its own group.
+	rows = mustQuery(t, db, "SELECT b, COUNT(*) FROM n GROUP BY b")
+	if len(rows.Data) != 2 {
+		t.Errorf("null groups: %+v", rows.Data)
+	}
+}
+
+func TestDDLLifecycle(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, db, "CREATE TABLE IF NOT EXISTS t (a INTEGER)") // no-op
+	mustExec(t, db, "INSERT INTO t VALUES (1)")
+	mustExec(t, db, "ALTER TABLE t ADD COLUMN b VARCHAR(10)")
+	rows := mustQuery(t, db, "SELECT a, b FROM t")
+	if !rows.Data[0][1].IsNull() {
+		t.Errorf("added column should read NULL: %+v", rows.Data)
+	}
+	mustExec(t, db, "CREATE INDEX ix ON t (a)")
+	mustExec(t, db, "DROP INDEX ix ON t")
+	mustExec(t, db, "DROP TABLE t")
+	mustExec(t, db, "DROP TABLE IF EXISTS t") // no-op
+	if _, err := db.Query("SELECT a FROM t"); err == nil {
+		t.Error("query after drop should fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := Open(Config{})
+	cases := []string{
+		"SELECT x FROM nosuch",
+		"INSERT INTO nosuch VALUES (1)",
+		"CREATE INDEX i ON nosuch (a)",
+		"SELECT nosuchcol FROM t2",
+	}
+	mustExec(t, db, "CREATE TABLE t2 (a INTEGER)")
+	for _, q := range cases {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	db := Open(Config{MemoryBytes: 1 << 20})
+	mustExec(t, db, "CREATE TABLE t (a INTEGER)")
+	for i := 0; i < 200; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO t VALUES (%d)", i))
+	}
+	db.ResetStats()
+	mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	s := db.Stats()
+	if s.Pool.LogicalReads[0] == 0 {
+		t.Error("scan should register logical data reads")
+	}
+	if s.Tables != 1 || s.MetaBytes != 4096 {
+		t.Errorf("meta accounting: %+v", s)
+	}
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	db.ResetStats()
+	mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	s = db.Stats()
+	if s.Pool.PhysicalReads[0] == 0 {
+		t.Error("cold-cache scan should miss")
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE acct (id INTEGER NOT NULL, bal INTEGER)")
+	mustExec(t, db, "CREATE UNIQUE INDEX apk ON acct (id)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO acct VALUES (%d, 100)", i))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 200)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				id := (w*25 + i) % 50
+				if i%3 == 0 {
+					if _, err := db.Exec("UPDATE acct SET bal = bal + 1 WHERE id = ?", types.NewInt(int64(id))); err != nil {
+						errs <- err
+					}
+				} else {
+					if _, err := db.Query("SELECT bal FROM acct WHERE id = ?", types.NewInt(int64(id))); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rows := mustQuery(t, db, "SELECT SUM(bal) FROM acct")
+	want := int64(50*100 + 8*25/3) // 66 updates (i=0,3,..,24 -> 9 per worker)
+	_ = want
+	if rows.Data[0][0].Int <= 50*100 {
+		t.Errorf("updates lost: %v", rows.Data[0][0])
+	}
+}
+
+func TestExplainShapes(t *testing.T) {
+	db := newAccountsDB(t)
+	ex, err := db.Explain("SELECT a.Name FROM Account17 a, Account35 b WHERE a.Aid = b.Aid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "JOIN") {
+		t.Errorf("join plan:\n%s", ex)
+	}
+	ex, err = db.Explain("SELECT COUNT(*) FROM Account17 GROUP BY Hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex, "GRPBY") {
+		t.Errorf("group plan:\n%s", ex)
+	}
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Stmt is a prepared statement: parsed once, planned lazily, with the
+// plan cached until a DDL operation bumps the catalog version (on-line
+// schema changes invalidate cached plans, they do not break them).
+//
+// A Stmt is safe for concurrent use, but executions of the same Stmt
+// serialize on an internal mutex because the cached plan carries
+// per-execution state (e.g. materialized IN-subqueries). For parallel
+// sessions, prepare one Stmt per session — which is how connection
+// pools use prepared statements anyway.
+type Stmt struct {
+	db *DB
+	st sql.Statement
+
+	// precomputed lock sets
+	reads []string
+	write string
+
+	mu      sync.Mutex
+	plan    plan.Node
+	version int64
+}
+
+// Prepare parses a statement for repeated execution. DDL statements
+// cannot be prepared (they execute once by nature).
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{db: db, st: st, version: -1}
+	switch st := st.(type) {
+	case *sql.SelectStmt:
+		s.reads = collectReadTables(st, nil)
+	case *sql.InsertStmt:
+		s.write = st.Table
+	case *sql.UpdateStmt:
+		s.write = st.Table
+		s.reads = collectExprTables(st.Where, nil)
+	case *sql.DeleteStmt:
+		s.write = st.Table
+		s.reads = collectExprTables(st.Where, nil)
+	default:
+		return nil, fmt.Errorf("engine: cannot prepare %T (DDL executes directly)", st)
+	}
+	return s, nil
+}
+
+// nodeLocked returns the cached plan, replanning if the schema changed.
+// Caller holds s.mu.
+func (s *Stmt) nodeLocked() (plan.Node, error) {
+	v := s.db.cat.Version()
+	if s.plan != nil && s.version == v {
+		return s.plan, nil
+	}
+	n, err := s.db.planner.PlanStatement(s.st)
+	if err != nil {
+		return nil, err
+	}
+	s.plan, s.version = n, v
+	return n, nil
+}
+
+// Query executes a prepared SELECT.
+func (s *Stmt) Query(params ...types.Value) (*Rows, error) {
+	if _, ok := s.st.(*sql.SelectStmt); !ok {
+		return nil, fmt.Errorf("engine: prepared statement is not a SELECT")
+	}
+	s.db.ddlMu.RLock()
+	defer s.db.ddlMu.RUnlock()
+	unlock, err := s.db.lockTables(s.reads, "")
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.nodeLocked()
+	if err != nil {
+		return nil, err
+	}
+	data, err := exec.Collect(n, params)
+	if err != nil {
+		return nil, err
+	}
+	schema := n.Schema()
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	return &Rows{Columns: cols, Data: data}, nil
+}
+
+// Exec executes a prepared DML statement.
+func (s *Stmt) Exec(params ...types.Value) (Result, error) {
+	if _, isSel := s.st.(*sql.SelectStmt); isSel {
+		_, err := s.Query(params...)
+		return Result{}, err
+	}
+	s.db.ddlMu.RLock()
+	defer s.db.ddlMu.RUnlock()
+	unlock, err := s.db.lockTables(s.reads, s.write)
+	if err != nil {
+		return Result{}, err
+	}
+	defer unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.nodeLocked()
+	if err != nil {
+		return Result{}, err
+	}
+	count, err := exec.RunDML(n, params)
+	return Result{RowsAffected: count}, err
+}

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestPrepareQuery(t *testing.T) {
+	db := newAccountsDB(t)
+	stmt, err := db.Prepare("SELECT Name FROM Account17 WHERE Aid = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[int64]string{1: "Acme", 2: "Gump"} {
+		rows, err := stmt.Query(types.NewInt(i))
+		if err != nil || len(rows.Data) != 1 || rows.Data[0][0].Str != want {
+			t.Errorf("Query(%d): %+v %v", i, rows, err)
+		}
+	}
+}
+
+func TestPrepareExec(t *testing.T) {
+	db := newAccountsDB(t)
+	stmt, err := db.Prepare("UPDATE Account17 SET Beds = ? WHERE Aid = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := stmt.Exec(types.NewInt(7), types.NewInt(1))
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("Exec: %v %d", err, res.RowsAffected)
+	}
+	rows := mustQuery(t, db, "SELECT Beds FROM Account17 WHERE Aid = 1")
+	if rows.Data[0][0].Int != 7 {
+		t.Errorf("Beds = %v", rows.Data[0][0])
+	}
+	// Exec of a prepared SELECT is allowed (discarding rows).
+	sel, _ := db.Prepare("SELECT Aid FROM Account17")
+	if _, err := sel.Exec(); err != nil {
+		t.Errorf("Exec of SELECT: %v", err)
+	}
+	// Query of a prepared UPDATE is not.
+	if _, err := stmt.Query(types.NewInt(1), types.NewInt(1)); err == nil {
+		t.Error("Query of UPDATE should fail")
+	}
+}
+
+func TestPrepareInvalidatedByDDL(t *testing.T) {
+	db := newAccountsDB(t)
+	stmt, err := db.Prepare("SELECT Aid FROM Account17 WHERE Aid = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(); err != nil {
+		t.Fatal(err)
+	}
+	// On-line schema change: add a column and an index; the cached plan
+	// must be rebuilt, not crash or miss the new index.
+	mustExec(t, db, "ALTER TABLE Account17 ADD COLUMN extra INTEGER")
+	if _, err := stmt.Query(); err != nil {
+		t.Fatalf("after ALTER: %v", err)
+	}
+	stmt2, _ := db.Prepare("SELECT Aid FROM Account17 WHERE Name = 'Acme'")
+	if _, err := stmt2.Query(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE INDEX acc17_name ON Account17 (Name)")
+	rows, err := stmt2.Query()
+	if err != nil || len(rows.Data) != 1 {
+		t.Fatalf("after CREATE INDEX: %v %+v", err, rows)
+	}
+	// Dropping the table makes the statement fail cleanly.
+	mustExec(t, db, "DROP TABLE Account17")
+	if _, err := stmt.Query(); err == nil {
+		t.Error("prepared statement on dropped table should fail")
+	}
+}
+
+func TestPrepareDDLRejected(t *testing.T) {
+	db := Open(Config{})
+	if _, err := db.Prepare("CREATE TABLE t (a INTEGER)"); err == nil {
+		t.Error("preparing DDL should fail")
+	}
+	if _, err := db.Prepare("SELECT ??? FROM"); err == nil {
+		t.Error("preparing bad SQL should fail")
+	}
+}
+
+func TestPrepareConcurrent(t *testing.T) {
+	db := Open(Config{})
+	mustExec(t, db, "CREATE TABLE kv (k INTEGER NOT NULL, v INTEGER)")
+	mustExec(t, db, "CREATE UNIQUE INDEX kv_pk ON kv (k)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", i, i))
+	}
+	stmt, err := db.Prepare("SELECT v FROM kv WHERE k = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rows, err := stmt.Query(types.NewInt(int64((w + i) % 50)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rows.Data) != 1 {
+					errs <- fmt.Errorf("rows: %d", len(rows.Data))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

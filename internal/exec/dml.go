@@ -1,0 +1,158 @@
+package exec
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// RunDML executes an INSERT, UPDATE, or DELETE plan and returns the
+// number of rows affected. The caller must already hold the target
+// table's write lock.
+func RunDML(n plan.Node, params []types.Value) (int64, error) {
+	bindSubqueries(n)
+	ctx := &Context{Params: params}
+	switch n := n.(type) {
+	case *plan.InsertPlan:
+		return runInsert(n, ctx)
+	case *plan.UpdatePlan:
+		return runUpdate(n, ctx)
+	case *plan.DeletePlan:
+		return runDelete(n, ctx)
+	}
+	return 0, errNotDML(n)
+}
+
+type notDMLError struct{ n plan.Node }
+
+func (e notDMLError) Error() string { return "exec: not a DML plan: " + e.n.Label() }
+
+func errNotDML(n plan.Node) error { return notDMLError{n} }
+
+func runInsert(p *plan.InsertPlan, ctx *Context) (int64, error) {
+	var count int64
+	for _, exprs := range p.Rows {
+		row := make([]types.Value, len(p.Table.Columns))
+		for i, e := range exprs {
+			v, err := e.Eval(nil, ctx.Params)
+			if err != nil {
+				return count, err
+			}
+			row[p.ColMap[i]] = v
+		}
+		if _, err := p.Table.InsertRow(row); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+func runUpdate(p *plan.UpdatePlan, ctx *Context) (int64, error) {
+	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	for i, rid := range rids {
+		oldRow := rows[i]
+		newRow := append([]types.Value(nil), oldRow...)
+		for j, col := range p.SetCols {
+			v, err := p.SetExprs[j].Eval(oldRow, ctx.Params)
+			if err != nil {
+				return count, err
+			}
+			newRow[col] = v
+		}
+		if _, err := p.Table.UpdateRow(rid, oldRow, newRow); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+func runDelete(p *plan.DeletePlan, ctx *Context) (int64, error) {
+	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	for i, rid := range rids {
+		if err := p.Table.DeleteRow(rid, rows[i]); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// gatherMatches scans via the access path (or sequentially) and buffers
+// every (rid, row) whose filter evaluates to TRUE.
+func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, ctx *Context) ([]storage.RID, [][]types.Value, error) {
+	var rids []storage.RID
+	var rows [][]types.Value
+	keep := func(rid storage.RID, row []types.Value) (bool, error) {
+		if filter != nil {
+			v, err := filter.Eval(row, ctx.Params)
+			if err != nil {
+				return false, err
+			}
+			if !plan.IsTrue(v) {
+				return false, nil
+			}
+		}
+		rids = append(rids, rid)
+		rows = append(rows, row)
+		return true, nil
+	}
+	if path != nil {
+		lo, hi, ok, err := indexKeys(path, nil, ctx.Params)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return nil, nil, nil
+		}
+		it, err := path.Index.Tree.SeekRange(lo, hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		for ; it.Valid(); it.Next() {
+			rid := it.RID()
+			row, err := t.GetRow(rid)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := keep(rid, row); err != nil {
+				return nil, nil, err
+			}
+		}
+		if err := it.Err(); err != nil {
+			return nil, nil, err
+		}
+		return rids, rows, nil
+	}
+	scanner := t.Heap.Scanner()
+	want := len(t.Columns)
+	for {
+		rid, rec, ok, err := scanner.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return rids, rows, nil
+		}
+		row, err := types.DecodeRow(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		for len(row) < want {
+			row = append(row, types.Null())
+		}
+		if _, err := keep(rid, row); err != nil {
+			return nil, nil, err
+		}
+	}
+}

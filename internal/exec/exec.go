@@ -1,0 +1,254 @@
+// Package exec evaluates physical plans with Volcano-style iterators.
+// Concurrency control happens above this layer: the engine acquires the
+// table locks a statement needs before running its plan.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// Context carries per-execution state.
+type Context struct {
+	Params []types.Value
+}
+
+// Iterator is the operator interface: Open, then Next until (nil, nil),
+// then Close. Rows returned by Next are owned by the caller.
+type Iterator interface {
+	Open(ctx *Context) error
+	Next() ([]types.Value, error)
+	Close() error
+}
+
+// Build compiles a plan node into an iterator tree and binds IN-subquery
+// scalars to this executor.
+func Build(n plan.Node) (Iterator, error) {
+	it, err := build(n)
+	if err != nil {
+		return nil, err
+	}
+	bindSubqueries(n)
+	return it, nil
+}
+
+func build(n plan.Node) (Iterator, error) {
+	switch n := n.(type) {
+	case *plan.SeqScan:
+		return &seqScanIter{node: n}, nil
+	case *plan.IndexScan:
+		return &indexScanIter{node: n}, nil
+	case *plan.Values:
+		return &valuesIter{node: n}, nil
+	case *plan.Filter:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, cond: n.Cond}, nil
+	case *plan.Project:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{child: child, exprs: n.Exprs}, nil
+	case *plan.HashJoin:
+		l, err := build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{node: n, left: l, right: r,
+			rightWidth: len(n.Right.Schema())}, nil
+	case *plan.IndexNLJoin:
+		outer, err := build(n.Outer)
+		if err != nil {
+			return nil, err
+		}
+		return &indexNLJoinIter{node: n, outer: outer}, nil
+	case *plan.NLJoin:
+		l, err := build(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &nlJoinIter{node: n, left: l, right: r,
+			rightWidth: len(n.Right.Schema())}, nil
+	case *plan.HashAggregate:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &hashAggIter{node: n, child: child}, nil
+	case *plan.Sort:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{node: n, child: child}, nil
+	case *plan.Limit:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, n: n.N}, nil
+	case *plan.Distinct:
+		child, err := build(n.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{child: child}, nil
+	case *plan.Materialize:
+		child, err := build(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return &materializeIter{child: child}, nil
+	}
+	// renameNode and other pass-through wrappers.
+	if w, ok := n.(interface{ Child() plan.Node }); ok {
+		return build(w.Child())
+	}
+	return nil, fmt.Errorf("exec: no iterator for %T", n)
+}
+
+// Collect runs a plan to completion and returns all rows.
+func Collect(n plan.Node, params []types.Value) ([][]types.Value, error) {
+	it, err := Build(n)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Params: params}
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out [][]types.Value
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// bindSubqueries installs the Materialize callback on every InSubquery
+// scalar in the plan and resets cached sets from prior runs.
+func bindSubqueries(n plan.Node) {
+	for _, s := range nodeScalars(n) {
+		walkScalar(s, func(sc plan.Scalar) {
+			if in, ok := sc.(*plan.InSubquery); ok {
+				in.Reset()
+				in.Materialize = Collect
+				bindSubqueries(in.Plan)
+			}
+		})
+	}
+	for _, c := range n.Children() {
+		bindSubqueries(c)
+	}
+}
+
+// nodeScalars lists the scalar expressions a node evaluates.
+func nodeScalars(n plan.Node) []plan.Scalar {
+	var out []plan.Scalar
+	add := func(ss ...plan.Scalar) {
+		for _, s := range ss {
+			if s != nil {
+				out = append(out, s)
+			}
+		}
+	}
+	switch n := n.(type) {
+	case *plan.SeqScan:
+		add(n.Filter)
+	case *plan.IndexScan:
+		add(n.Residual)
+		add(n.Path.EqPrefix...)
+		add(n.Path.Lo, n.Path.Hi)
+	case *plan.Filter:
+		add(n.Cond)
+	case *plan.Project:
+		add(n.Exprs...)
+	case *plan.HashJoin:
+		add(n.LeftKeys...)
+		add(n.RightKeys...)
+		add(n.Residual)
+	case *plan.IndexNLJoin:
+		add(n.Residual)
+		add(n.Path.EqPrefix...)
+		add(n.Path.Lo, n.Path.Hi)
+	case *plan.NLJoin:
+		add(n.Cond)
+	case *plan.HashAggregate:
+		add(n.GroupBy...)
+		for _, a := range n.Aggs {
+			add(a.Arg)
+		}
+	case *plan.Values:
+		for _, row := range n.Rows {
+			add(row...)
+		}
+	case *plan.UpdatePlan:
+		add(n.Filter)
+		add(n.SetExprs...)
+		if n.Path != nil {
+			add(n.Path.EqPrefix...)
+			add(n.Path.Lo, n.Path.Hi)
+		}
+	case *plan.DeletePlan:
+		add(n.Filter)
+		if n.Path != nil {
+			add(n.Path.EqPrefix...)
+			add(n.Path.Lo, n.Path.Hi)
+		}
+	case *plan.InsertPlan:
+		for _, row := range n.Rows {
+			add(row...)
+		}
+	}
+	return out
+}
+
+// walkScalar visits s and its operands.
+func walkScalar(s plan.Scalar, fn func(plan.Scalar)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch s := s.(type) {
+	case *plan.Binary:
+		walkScalar(s.L, fn)
+		walkScalar(s.R, fn)
+	case *plan.Not:
+		walkScalar(s.X, fn)
+	case *plan.Neg:
+		walkScalar(s.X, fn)
+	case *plan.IsNull:
+		walkScalar(s.X, fn)
+	case *plan.InList:
+		walkScalar(s.X, fn)
+		for _, i := range s.List {
+			walkScalar(i, fn)
+		}
+	case *plan.InSubquery:
+		walkScalar(s.X, fn)
+	case *plan.Like:
+		walkScalar(s.X, fn)
+		walkScalar(s.Pattern, fn)
+	case *plan.Cast:
+		walkScalar(s.X, fn)
+	}
+}

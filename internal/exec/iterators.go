@@ -1,0 +1,865 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// --- scans -------------------------------------------------------------------
+
+type seqScanIter struct {
+	node *plan.SeqScan
+	ctx  *Context
+	scan *storage.HeapScanner
+	want int
+}
+
+func (it *seqScanIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.scan = it.node.Table.Heap.Scanner()
+	it.want = len(it.node.Table.Columns)
+	return nil
+}
+
+func (it *seqScanIter) Next() ([]types.Value, error) {
+	for {
+		_, rec, ok, err := it.scan.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		row, err := types.DecodeRow(rec)
+		if err != nil {
+			return nil, err
+		}
+		for len(row) < it.want {
+			row = append(row, types.Null())
+		}
+		if it.node.Filter != nil {
+			v, err := it.node.Filter.Eval(row, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !plan.IsTrue(v) {
+				continue
+			}
+		}
+		return row, nil
+	}
+}
+
+func (it *seqScanIter) Close() error { return nil }
+
+// indexKeys computes the [lo, hi) key range for an access path given
+// the row the path's scalars are evaluated against (nil for constants).
+// ok=false means the range is provably empty (an equality on NULL).
+func indexKeys(path *plan.AccessPath, row, params []types.Value) (lo, hi []byte, ok bool, err error) {
+	prefix := make([]byte, 0, 64)
+	for _, e := range path.EqPrefix {
+		v, err := e.Eval(row, params)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, false, nil // col = NULL matches nothing
+		}
+		prefix = types.EncodeKey(prefix, v)
+	}
+	lo = prefix
+	hi = btree.PrefixSuccessor(prefix)
+	if path.Lo != nil {
+		v, err := path.Lo.Eval(row, params)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, false, nil
+		}
+		bound := types.EncodeKey(append([]byte(nil), prefix...), v)
+		if path.LoInc {
+			lo = bound
+		} else {
+			lo = btree.PrefixSuccessor(bound)
+		}
+	}
+	if path.Hi != nil {
+		v, err := path.Hi.Eval(row, params)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, false, nil
+		}
+		bound := types.EncodeKey(append([]byte(nil), prefix...), v)
+		if path.HiInc {
+			hi = btree.PrefixSuccessor(bound)
+		} else {
+			hi = bound
+		}
+	}
+	if len(prefix) == 0 && path.Lo == nil && path.Hi == nil {
+		lo, hi = nil, nil
+	}
+	return lo, hi, true, nil
+}
+
+// fetchRow loads and pads the heap row behind an index entry (the FETCH
+// operator in the paper's Figure 8 plans).
+func fetchRow(t *catalog.Table, rid storage.RID) ([]types.Value, error) {
+	return t.GetRow(rid)
+}
+
+type indexScanIter struct {
+	node *plan.IndexScan
+	ctx  *Context
+	it   *btree.Iterator
+	done bool
+}
+
+func (it *indexScanIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.done = false
+	lo, hi, ok, err := indexKeys(&it.node.Path, nil, ctx.Params)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		it.done = true
+		return nil
+	}
+	it.it, err = it.node.Path.Index.Tree.SeekRange(lo, hi)
+	return err
+}
+
+func (it *indexScanIter) Next() ([]types.Value, error) {
+	if it.done {
+		return nil, nil
+	}
+	for it.it.Valid() {
+		rid := it.it.RID()
+		it.it.Next()
+		row, err := fetchRow(it.node.Table, rid)
+		if err != nil {
+			return nil, err
+		}
+		if it.node.Residual != nil {
+			v, err := it.node.Residual.Eval(row, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !plan.IsTrue(v) {
+				continue
+			}
+		}
+		return row, nil
+	}
+	if err := it.it.Err(); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (it *indexScanIter) Close() error { return nil }
+
+type valuesIter struct {
+	node *plan.Values
+	ctx  *Context
+	i    int
+}
+
+func (it *valuesIter) Open(ctx *Context) error { it.ctx = ctx; it.i = 0; return nil }
+
+func (it *valuesIter) Next() ([]types.Value, error) {
+	if it.i >= len(it.node.Rows) {
+		return nil, nil
+	}
+	exprs := it.node.Rows[it.i]
+	it.i++
+	row := make([]types.Value, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(nil, it.ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (it *valuesIter) Close() error { return nil }
+
+// --- filter / project ---------------------------------------------------------
+
+type filterIter struct {
+	child Iterator
+	cond  plan.Scalar
+	ctx   *Context
+}
+
+func (it *filterIter) Open(ctx *Context) error { it.ctx = ctx; return it.child.Open(ctx) }
+
+func (it *filterIter) Next() ([]types.Value, error) {
+	for {
+		row, err := it.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := it.cond.Eval(row, it.ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		if plan.IsTrue(v) {
+			return row, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error { return it.child.Close() }
+
+type projectIter struct {
+	child Iterator
+	exprs []plan.Scalar
+	ctx   *Context
+}
+
+func (it *projectIter) Open(ctx *Context) error { it.ctx = ctx; return it.child.Open(ctx) }
+
+func (it *projectIter) Next() ([]types.Value, error) {
+	row, err := it.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]types.Value, len(it.exprs))
+	for i, e := range it.exprs {
+		v, err := e.Eval(row, it.ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (it *projectIter) Close() error { return it.child.Close() }
+
+// --- joins ---------------------------------------------------------------------
+
+type hashJoinIter struct {
+	node       *plan.HashJoin
+	left       Iterator
+	right      Iterator
+	rightWidth int
+	ctx        *Context
+
+	table   map[uint64][][]types.Value
+	pending [][]types.Value // matches for the current left row
+	pi      int
+}
+
+func (it *hashJoinIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.table = make(map[uint64][][]types.Value)
+	it.pending, it.pi = nil, 0
+	if err := it.right.Open(ctx); err != nil {
+		return err
+	}
+	defer it.right.Close()
+	keys := make([]types.Value, len(it.node.RightKeys))
+	for {
+		row, err := it.right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		null := false
+		for i, k := range it.node.RightKeys {
+			v, err := k.Eval(row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keys[i] = v
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := types.HashRow(keys)
+		it.table[h] = append(it.table[h], row)
+	}
+	return it.left.Open(ctx)
+}
+
+func (it *hashJoinIter) Next() ([]types.Value, error) {
+	for {
+		if it.pi < len(it.pending) {
+			row := it.pending[it.pi]
+			it.pi++
+			return row, nil
+		}
+		lrow, err := it.left.Next()
+		if err != nil || lrow == nil {
+			return nil, err
+		}
+		it.pending, it.pi = it.pending[:0], 0
+		keys := make([]types.Value, len(it.node.LeftKeys))
+		null := false
+		for i, k := range it.node.LeftKeys {
+			v, err := k.Eval(lrow, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keys[i] = v
+		}
+		if !null {
+			for _, rrow := range it.table[types.HashRow(keys)] {
+				ok := true
+				for i, k := range it.node.RightKeys {
+					rv, err := k.Eval(rrow, it.ctx.Params)
+					if err != nil {
+						return nil, err
+					}
+					if !types.Equal(keys[i], rv) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				combined := combine(lrow, rrow)
+				if it.node.Residual != nil {
+					v, err := it.node.Residual.Eval(combined, it.ctx.Params)
+					if err != nil {
+						return nil, err
+					}
+					if !plan.IsTrue(v) {
+						continue
+					}
+				}
+				it.pending = append(it.pending, combined)
+			}
+		}
+		if len(it.pending) == 0 && it.node.Type == sql.LeftJoin {
+			it.pending = append(it.pending, padRight(lrow, it.rightWidth))
+		}
+	}
+}
+
+func (it *hashJoinIter) Close() error { return it.left.Close() }
+
+func combine(l, r []types.Value) []types.Value {
+	out := make([]types.Value, 0, len(l)+len(r))
+	return append(append(out, l...), r...)
+}
+
+func padRight(l []types.Value, width int) []types.Value {
+	out := make([]types.Value, len(l)+width)
+	copy(out, l)
+	return out
+}
+
+type indexNLJoinIter struct {
+	node  *plan.IndexNLJoin
+	outer Iterator
+	ctx   *Context
+
+	cur     []types.Value
+	inner   *btree.Iterator
+	matched bool
+	width   int
+}
+
+func (it *indexNLJoinIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.cur, it.inner = nil, nil
+	it.width = len(it.node.Inner.Columns)
+	return it.outer.Open(ctx)
+}
+
+func (it *indexNLJoinIter) Next() ([]types.Value, error) {
+	for {
+		if it.inner == nil {
+			orow, err := it.outer.Next()
+			if err != nil || orow == nil {
+				return nil, err
+			}
+			it.cur = orow
+			it.matched = false
+			lo, hi, ok, err := indexKeys(&it.node.Path, orow, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				if it.node.Type == sql.LeftJoin { // NULL key: no match possible
+					return padRight(orow, it.width), nil
+				}
+				continue
+			}
+			it.inner, err = it.node.Path.Index.Tree.SeekRange(lo, hi)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for it.inner.Valid() {
+			rid := it.inner.RID()
+			it.inner.Next()
+			irow, err := fetchRow(it.node.Inner, rid)
+			if err != nil {
+				return nil, err
+			}
+			combined := combine(it.cur, irow)
+			if it.node.Residual != nil {
+				v, err := it.node.Residual.Eval(combined, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					continue
+				}
+			}
+			it.matched = true
+			return combined, nil
+		}
+		if err := it.inner.Err(); err != nil {
+			return nil, err
+		}
+		it.inner = nil
+		if !it.matched && it.node.Type == sql.LeftJoin {
+			return padRight(it.cur, it.width), nil
+		}
+	}
+}
+
+func (it *indexNLJoinIter) Close() error { return it.outer.Close() }
+
+type nlJoinIter struct {
+	node       *plan.NLJoin
+	left       Iterator
+	right      Iterator
+	rightWidth int
+	ctx        *Context
+
+	rightRows [][]types.Value
+	cur       []types.Value
+	ri        int
+	matched   bool
+	done      bool
+}
+
+func (it *nlJoinIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.rightRows = nil
+	it.cur, it.ri, it.done = nil, 0, false
+	if err := it.right.Open(ctx); err != nil {
+		return err
+	}
+	defer it.right.Close()
+	for {
+		row, err := it.right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.rightRows = append(it.rightRows, row)
+	}
+	return it.left.Open(ctx)
+}
+
+func (it *nlJoinIter) Next() ([]types.Value, error) {
+	for {
+		if it.cur == nil {
+			lrow, err := it.left.Next()
+			if err != nil || lrow == nil {
+				return nil, err
+			}
+			it.cur, it.ri, it.matched = lrow, 0, false
+		}
+		for it.ri < len(it.rightRows) {
+			rrow := it.rightRows[it.ri]
+			it.ri++
+			combined := combine(it.cur, rrow)
+			if it.node.Cond != nil {
+				v, err := it.node.Cond.Eval(combined, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					continue
+				}
+			}
+			it.matched = true
+			return combined, nil
+		}
+		lrow := it.cur
+		it.cur = nil
+		if !it.matched && it.node.Type == sql.LeftJoin {
+			return padRight(lrow, it.rightWidth), nil
+		}
+	}
+}
+
+func (it *nlJoinIter) Close() error { return it.left.Close() }
+
+// --- aggregation ----------------------------------------------------------------
+
+type aggState struct {
+	group  []types.Value
+	counts []int64
+	sums   []types.Value // running SUM/MIN/MAX per agg
+}
+
+type hashAggIter struct {
+	node  *plan.HashAggregate
+	child Iterator
+	ctx   *Context
+
+	groups []*aggState
+	gi     int
+}
+
+func (it *hashAggIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.groups, it.gi = nil, 0
+	if err := it.child.Open(ctx); err != nil {
+		return err
+	}
+	defer it.child.Close()
+	byKey := map[uint64][]*aggState{}
+	for {
+		row, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		gvals := make([]types.Value, len(it.node.GroupBy))
+		for i, g := range it.node.GroupBy {
+			v, err := g.Eval(row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			gvals[i] = v
+		}
+		h := types.HashRow(gvals)
+		var st *aggState
+		for _, cand := range byKey[h] {
+			same := true
+			for i := range gvals {
+				if !sameGroupValue(cand.group[i], gvals[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = &aggState{
+				group:  gvals,
+				counts: make([]int64, len(it.node.Aggs)),
+				sums:   make([]types.Value, len(it.node.Aggs)),
+			}
+			for i := range st.sums {
+				st.sums[i] = types.Null()
+			}
+			byKey[h] = append(byKey[h], st)
+			it.groups = append(it.groups, st)
+		}
+		for i, spec := range it.node.Aggs {
+			if err := accumulate(st, i, spec, row, ctx.Params); err != nil {
+				return err
+			}
+		}
+	}
+	// Global aggregation over an empty input still emits one row.
+	if len(it.node.GroupBy) == 0 && len(it.groups) == 0 {
+		st := &aggState{
+			counts: make([]int64, len(it.node.Aggs)),
+			sums:   make([]types.Value, len(it.node.Aggs)),
+		}
+		for i := range st.sums {
+			st.sums[i] = types.Null()
+		}
+		it.groups = append(it.groups, st)
+	}
+	return nil
+}
+
+// sameGroupValue groups NULLs together (SQL GROUP BY semantics).
+func sameGroupValue(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return types.Equal(a, b)
+}
+
+func accumulate(st *aggState, i int, spec plan.AggSpec, row, params []types.Value) error {
+	if spec.Func == plan.AggCountStar {
+		st.counts[i]++
+		return nil
+	}
+	v, err := spec.Arg.Eval(row, params)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	st.counts[i]++
+	switch spec.Func {
+	case plan.AggCount:
+	case plan.AggSum, plan.AggAvg:
+		if st.sums[i].IsNull() {
+			st.sums[i] = v
+		} else {
+			sum, err := addValues(st.sums[i], v)
+			if err != nil {
+				return err
+			}
+			st.sums[i] = sum
+		}
+	case plan.AggMin:
+		if st.sums[i].IsNull() {
+			st.sums[i] = v
+		} else if c, err := types.Compare(v, st.sums[i]); err != nil {
+			return err
+		} else if c < 0 {
+			st.sums[i] = v
+		}
+	case plan.AggMax:
+		if st.sums[i].IsNull() {
+			st.sums[i] = v
+		} else if c, err := types.Compare(v, st.sums[i]); err != nil {
+			return err
+		} else if c > 0 {
+			st.sums[i] = v
+		}
+	}
+	return nil
+}
+
+func addValues(a, b types.Value) (types.Value, error) {
+	if a.Kind == types.KindInt && b.Kind == types.KindInt {
+		return types.NewInt(a.Int + b.Int), nil
+	}
+	af, err := types.Cast(a, types.KindFloat)
+	if err != nil {
+		return types.Null(), fmt.Errorf("exec: SUM over %s", a.Kind)
+	}
+	bf, err := types.Cast(b, types.KindFloat)
+	if err != nil {
+		return types.Null(), fmt.Errorf("exec: SUM over %s", b.Kind)
+	}
+	return types.NewFloat(af.Float + bf.Float), nil
+}
+
+func (it *hashAggIter) Next() ([]types.Value, error) {
+	if it.gi >= len(it.groups) {
+		return nil, nil
+	}
+	st := it.groups[it.gi]
+	it.gi++
+	out := make([]types.Value, 0, len(st.group)+len(it.node.Aggs))
+	out = append(out, st.group...)
+	for i, spec := range it.node.Aggs {
+		switch spec.Func {
+		case plan.AggCount, plan.AggCountStar:
+			out = append(out, types.NewInt(st.counts[i]))
+		case plan.AggSum, plan.AggMin, plan.AggMax:
+			out = append(out, st.sums[i])
+		case plan.AggAvg:
+			if st.counts[i] == 0 {
+				out = append(out, types.Null())
+			} else {
+				f, err := types.Cast(st.sums[i], types.KindFloat)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, types.NewFloat(f.Float/float64(st.counts[i])))
+			}
+		}
+	}
+	return out, nil
+}
+
+func (it *hashAggIter) Close() error { return nil }
+
+// --- sort / limit / distinct / materialize ----------------------------------------
+
+type sortIter struct {
+	node  *plan.Sort
+	child Iterator
+	rows  [][]types.Value
+	i     int
+}
+
+func (it *sortIter) Open(ctx *Context) error {
+	it.rows, it.i = nil, 0
+	if err := it.child.Open(ctx); err != nil {
+		return err
+	}
+	defer it.child.Close()
+	for {
+		row, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.rows = append(it.rows, row)
+	}
+	keys := it.node.Keys
+	var sortErr error
+	sort.SliceStable(it.rows, func(a, b int) bool {
+		for _, k := range keys {
+			c, err := types.Compare(it.rows[a][k.Col], it.rows[b][k.Col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+func (it *sortIter) Next() ([]types.Value, error) {
+	if it.i >= len(it.rows) {
+		return nil, nil
+	}
+	row := it.rows[it.i]
+	it.i++
+	return row, nil
+}
+
+func (it *sortIter) Close() error { return nil }
+
+type limitIter struct {
+	child Iterator
+	n     int64
+	seen  int64
+}
+
+func (it *limitIter) Open(ctx *Context) error { it.seen = 0; return it.child.Open(ctx) }
+
+func (it *limitIter) Next() ([]types.Value, error) {
+	if it.seen >= it.n {
+		return nil, nil
+	}
+	row, err := it.child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	it.seen++
+	return row, nil
+}
+
+func (it *limitIter) Close() error { return it.child.Close() }
+
+type distinctIter struct {
+	child Iterator
+	seen  map[uint64][][]types.Value
+}
+
+func (it *distinctIter) Open(ctx *Context) error {
+	it.seen = make(map[uint64][][]types.Value)
+	return it.child.Open(ctx)
+}
+
+func (it *distinctIter) Next() ([]types.Value, error) {
+	for {
+		row, err := it.child.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		h := types.HashRow(row)
+		dup := false
+		for _, prev := range it.seen[h] {
+			same := true
+			for i := range row {
+				if !sameGroupValue(prev[i], row[i]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		it.seen[h] = append(it.seen[h], row)
+		return row, nil
+	}
+}
+
+func (it *distinctIter) Close() error { return it.child.Close() }
+
+// materializeIter fully evaluates its child at Open — the naive
+// optimizer's derived-table behaviour (the paper's Test 1).
+type materializeIter struct {
+	child Iterator
+	rows  [][]types.Value
+	i     int
+}
+
+func (it *materializeIter) Open(ctx *Context) error {
+	it.rows, it.i = nil, 0
+	if err := it.child.Open(ctx); err != nil {
+		return err
+	}
+	defer it.child.Close()
+	for {
+		row, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		it.rows = append(it.rows, row)
+	}
+}
+
+func (it *materializeIter) Next() ([]types.Value, error) {
+	if it.i >= len(it.rows) {
+		return nil, nil
+	}
+	row := it.rows[it.i]
+	it.i++
+	return row, nil
+}
+
+func (it *materializeIter) Close() error { return nil }

@@ -1,0 +1,582 @@
+// Package sql contains the SQL dialect shared by the engine and the
+// schema-mapping layer: a lexer, a recursive-descent parser, the AST,
+// and an AST-to-SQL printer. The printer matters as much as the parser
+// here — the paper's query-transformation layer (§6.1) rewrites logical
+// SQL into physical SQL, and this package is the round-trip vehicle.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// Expr is any SQL expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// --- Statements -------------------------------------------------------------
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef // implicit cross join of these
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    *int64
+}
+
+// SelectItem is one projection: either a star (optionally qualified)
+// or an expression with an optional alias.
+type SelectItem struct {
+	Star          bool
+	StarQualifier string // "t" in t.*
+	Expr          Expr
+	Alias         string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is an entry in a FROM clause.
+type TableRef interface {
+	tableRef()
+	String() string
+}
+
+// NamedTable references a base table, optionally aliased.
+type NamedTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryTable is a derived table: (SELECT ...) AS alias.
+type SubqueryTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinType distinguishes inner and left outer joins.
+type JoinType uint8
+
+const (
+	// InnerJoin keeps only matching pairs.
+	InnerJoin JoinType = iota
+	// LeftJoin keeps unmatched left rows with NULL-extended right side.
+	LeftJoin
+)
+
+// JoinTable is an explicit JOIN ... ON tree node.
+type JoinTable struct {
+	Left, Right TableRef
+	Type        JoinType
+	On          Expr
+}
+
+// InsertStmt is INSERT INTO ... VALUES.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty = all columns in order
+	Rows    [][]Expr
+}
+
+// Assignment is one SET clause of an UPDATE.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... WHERE.
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM ... WHERE.
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+// ColumnDef is a column in CREATE TABLE / ALTER TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    types.ColumnType
+	NotNull bool
+}
+
+// CreateTableStmt is CREATE TABLE.
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Cols        []ColumnDef
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX.
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// DropTableStmt is DROP TABLE.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// DropIndexStmt is DROP INDEX name ON table.
+type DropIndexStmt struct {
+	Name  string
+	Table string
+}
+
+// AlterAddColumnStmt is ALTER TABLE ... ADD COLUMN.
+type AlterAddColumnStmt struct {
+	Table string
+	Col   ColumnDef
+}
+
+func (*SelectStmt) stmt()         {}
+func (*InsertStmt) stmt()         {}
+func (*UpdateStmt) stmt()         {}
+func (*DeleteStmt) stmt()         {}
+func (*CreateTableStmt) stmt()    {}
+func (*CreateIndexStmt) stmt()    {}
+func (*DropTableStmt) stmt()      {}
+func (*DropIndexStmt) stmt()      {}
+func (*AlterAddColumnStmt) stmt() {}
+
+func (*NamedTable) tableRef()    {}
+func (*SubqueryTable) tableRef() {}
+func (*JoinTable) tableRef()     {}
+
+// --- Expressions ------------------------------------------------------------
+
+// ColumnRef names a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val types.Value
+}
+
+// Param is a positional `?` placeholder (0-based Index in parse order).
+type Param struct {
+	Index int
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators in precedence groups.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+var binOpNames = map[BinOp]string{
+	OpOr: "OR", OpAnd: "AND", OpEq: "=", OpNe: "<>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+}
+
+// String returns the SQL spelling of the operator.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators.
+type UnOp uint8
+
+const (
+	// OpNot is logical negation.
+	OpNot UnOp = iota
+	// OpNeg is arithmetic negation.
+	OpNeg
+)
+
+// UnaryExpr applies a unary operator.
+type UnaryExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is `x [NOT] IN (list)` or `x [NOT] IN (subquery)`.
+type InExpr struct {
+	X        Expr
+	List     []Expr
+	Subquery *SelectStmt
+	Not      bool
+}
+
+// LikeExpr is `x [NOT] LIKE pattern` with % and _ wildcards.
+type LikeExpr struct {
+	X       Expr
+	Pattern Expr
+	Not     bool
+}
+
+// FuncExpr is a function call; aggregates (COUNT/SUM/AVG/MIN/MAX) are
+// recognized by name in the planner. Star marks COUNT(*).
+type FuncExpr struct {
+	Name string
+	Star bool
+	Args []Expr
+}
+
+// CastExpr is CAST(x AS type).
+type CastExpr struct {
+	X    Expr
+	Type types.ColumnType
+}
+
+func (*ColumnRef) expr()  {}
+func (*Literal) expr()    {}
+func (*Param) expr()      {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*IsNullExpr) expr() {}
+func (*InExpr) expr()     {}
+func (*LikeExpr) expr()   {}
+func (*FuncExpr) expr()   {}
+func (*CastExpr) expr()   {}
+
+// --- SQL printing ------------------------------------------------------------
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+func (l *Literal) String() string { return l.Val.SQLLiteral() }
+
+func (p *Param) String() string { return "?" }
+
+// needsParens reports whether sub must be parenthesized when printed as
+// an operand of parent.
+func needsParens(parent BinOp, sub Expr) bool {
+	b, ok := sub.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	return prec(b.Op) < prec(parent)
+}
+
+func prec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func (b *BinaryExpr) String() string {
+	l, r := b.L.String(), b.R.String()
+	if needsParens(b.Op, b.L) {
+		l = "(" + l + ")"
+	}
+	// Right side also parenthesized at equal precedence to preserve
+	// left associativity for - and /.
+	if rb, ok := b.R.(*BinaryExpr); ok && prec(rb.Op) <= prec(b.Op) {
+		r = "(" + r + ")"
+	}
+	return l + " " + b.Op.String() + " " + r
+}
+
+func (u *UnaryExpr) String() string {
+	if u.Op == OpNot {
+		return "NOT (" + u.X.String() + ")"
+	}
+	return "-(" + u.X.String() + ")"
+}
+
+func (e *IsNullExpr) String() string {
+	if e.Not {
+		return e.X.String() + " IS NOT NULL"
+	}
+	return e.X.String() + " IS NULL"
+}
+
+func (e *InExpr) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.X.String())
+	if e.Not {
+		sb.WriteString(" NOT")
+	}
+	sb.WriteString(" IN (")
+	if e.Subquery != nil {
+		sb.WriteString(e.Subquery.String())
+	} else {
+		for i, x := range e.List {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(x.String())
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (e *LikeExpr) String() string {
+	op := " LIKE "
+	if e.Not {
+		op = " NOT LIKE "
+	}
+	return e.X.String() + op + e.Pattern.String()
+}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return strings.ToUpper(f.Name) + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return strings.ToUpper(f.Name) + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (c *CastExpr) String() string {
+	return "CAST(" + c.X.String() + " AS " + c.Type.String() + ")"
+}
+
+func (t *NamedTable) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+func (t *SubqueryTable) String() string {
+	return "(" + t.Select.String() + ") AS " + t.Alias
+}
+
+func (t *JoinTable) String() string {
+	kw := " JOIN "
+	if t.Type == LeftJoin {
+		kw = " LEFT JOIN "
+	}
+	right := t.Right.String()
+	if _, nested := t.Right.(*JoinTable); nested {
+		right = "(" + right + ")"
+	}
+	return t.Left.String() + kw + right + " ON " + t.On.String()
+}
+
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.StarQualifier != "":
+			sb.WriteString(it.StarQualifier + ".*")
+		case it.Star:
+			sb.WriteString("*")
+		default:
+			sb.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				sb.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		sb.WriteString(" LIMIT " + strconv.FormatInt(*s.Limit, 10))
+	}
+	return sb.String()
+}
+
+func (s *InsertStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO " + s.Table)
+	if len(s.Columns) > 0 {
+		sb.WriteString(" (" + strings.Join(s.Columns, ", ") + ")")
+	}
+	sb.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, v := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+func (s *UpdateStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE " + s.Table)
+	if s.Alias != "" {
+		sb.WriteString(" " + s.Alias)
+	}
+	sb.WriteString(" SET ")
+	for i, a := range s.Set {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.Column + " = " + a.Value.String())
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	return sb.String()
+}
+
+func (s *DeleteStmt) String() string {
+	out := "DELETE FROM " + s.Table
+	if s.Alias != "" {
+		out += " " + s.Alias
+	}
+	if s.Where != nil {
+		out += " WHERE " + s.Where.String()
+	}
+	return out
+}
+
+func (s *CreateTableStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	if s.IfNotExists {
+		sb.WriteString("IF NOT EXISTS ")
+	}
+	sb.WriteString(s.Name + " (")
+	for i, c := range s.Cols {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name + " " + c.Type.String())
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+func (s *CreateIndexStmt) String() string {
+	u := ""
+	if s.Unique {
+		u = "UNIQUE "
+	}
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", u, s.Name, s.Table, strings.Join(s.Columns, ", "))
+}
+
+func (s *DropTableStmt) String() string {
+	if s.IfExists {
+		return "DROP TABLE IF EXISTS " + s.Name
+	}
+	return "DROP TABLE " + s.Name
+}
+
+func (s *DropIndexStmt) String() string {
+	return "DROP INDEX " + s.Name + " ON " + s.Table
+}
+
+func (s *AlterAddColumnStmt) String() string {
+	out := "ALTER TABLE " + s.Table + " ADD COLUMN " + s.Col.Name + " " + s.Col.Type.String()
+	if s.Col.NotNull {
+		out += " NOT NULL"
+	}
+	return out
+}

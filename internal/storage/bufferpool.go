@@ -1,0 +1,313 @@
+package storage
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PoolStats is a snapshot of buffer-pool counters, split by page
+// category the way the paper reports them (Table 2, Fig 7c).
+type PoolStats struct {
+	LogicalReads  [2]int64 // indexed by Category
+	PhysicalReads [2]int64
+	Evictions     int64
+	Capacity      int // frames
+	Resident      int // frames currently cached
+}
+
+// HitRatio returns the buffer hit ratio for a category in [0,1];
+// it returns 1 when there were no reads.
+func (s PoolStats) HitRatio(c Category) float64 {
+	lr := s.LogicalReads[c]
+	if lr == 0 {
+		return 1
+	}
+	return 1 - float64(s.PhysicalReads[c])/float64(lr)
+}
+
+// TotalLogicalReads sums logical reads across categories.
+func (s PoolStats) TotalLogicalReads() int64 {
+	return s.LogicalReads[CatData] + s.LogicalReads[CatIndex]
+}
+
+// TotalPhysicalReads sums physical reads across categories.
+func (s PoolStats) TotalPhysicalReads() int64 {
+	return s.PhysicalReads[CatData] + s.PhysicalReads[CatIndex]
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	cat   Category
+	elem  *list.Element // position in LRU list; nil while pinned
+
+	// ready is closed once the page content is loaded; concurrent
+	// fetchers of a page that is still being read from disk wait on it
+	// (the I/O latch). loadErr records a failed load.
+	ready   chan struct{}
+	loadErr error
+}
+
+// BufferPool caches disk pages with LRU replacement. Its capacity is
+// expressed in bytes so the engine can charge the per-table meta-data
+// tax (4 KB per table, per the paper's DB2 figure) against the same
+// memory budget: more tables -> smaller pool -> the §5 degradation.
+type BufferPool struct {
+	mu       sync.Mutex
+	disk     *Disk
+	frames   map[PageID]*frame
+	lru      *list.List // front = LRU victim candidate, back = most recent
+	capacity int        // max resident frames
+
+	stats PoolStats
+}
+
+// ErrPoolExhausted is returned when every frame is pinned and a new page
+// must be brought in.
+var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// closedChan is a pre-closed ready channel for frames born loaded.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// NewBufferPool creates a pool over disk holding at most capacityBytes
+// of pages (minimum 8 frames so tiny configurations still function).
+func NewBufferPool(disk *Disk, capacityBytes int64) *BufferPool {
+	p := &BufferPool{
+		disk:   disk,
+		frames: make(map[PageID]*frame),
+		lru:    list.New(),
+	}
+	p.setCapacityBytesLocked(capacityBytes)
+	return p
+}
+
+func (p *BufferPool) setCapacityBytesLocked(capacityBytes int64) {
+	frames := int(capacityBytes / int64(p.disk.PageSize()))
+	if frames < 8 {
+		frames = 8
+	}
+	p.capacity = frames
+}
+
+// SetCapacityBytes resizes the pool; shrinking evicts unpinned pages
+// immediately. The catalog calls this when tables are created or
+// dropped to keep the meta-data budget accounting current.
+func (p *BufferPool) SetCapacityBytes(capacityBytes int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.setCapacityBytesLocked(capacityBytes)
+	for len(p.frames) > p.capacity {
+		if err := p.evictOneLocked(); err != nil {
+			return nil // every remaining page pinned; shrink lazily later
+		}
+	}
+	return nil
+}
+
+// PageSize returns the page size of the underlying disk.
+func (p *BufferPool) PageSize() int { return p.disk.PageSize() }
+
+// Capacity returns the pool size in frames.
+func (p *BufferPool) Capacity() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capacity
+}
+
+// Fetch pins the page and returns its in-memory buffer. The caller must
+// Unpin it. cat tags the page for hit-ratio accounting on first load.
+func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
+	if id == InvalidPageID {
+		return nil, fmt.Errorf("storage: fetch of invalid page")
+	}
+	p.mu.Lock()
+	p.stats.LogicalReads[cat]++
+	if f, ok := p.frames[id]; ok {
+		f.pins++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		ready := f.ready
+		p.mu.Unlock()
+		// Wait for a concurrent loader to finish filling the frame.
+		<-ready
+		if err := f.loadErr; err != nil {
+			p.mu.Lock()
+			f.pins--
+			if f.pins == 0 {
+				delete(p.frames, id)
+			}
+			p.mu.Unlock()
+			return nil, err
+		}
+		return f.data, nil
+	}
+	p.stats.PhysicalReads[cat]++
+	if err := p.makeRoomLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, p.disk.PageSize()), pins: 1, cat: cat,
+		ready: make(chan struct{})}
+	p.frames[id] = f
+	p.mu.Unlock()
+	// Read outside the lock: the page is pinned and not in the LRU so it
+	// cannot be evicted concurrently; simulated latency must not stall
+	// other sessions (real databases overlap I/O the same way).
+	err := p.disk.Read(id, f.data)
+	p.mu.Lock()
+	f.loadErr = err
+	close(f.ready)
+	if err != nil {
+		f.pins--
+		if f.pins == 0 {
+			delete(p.frames, id)
+		}
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns its ID
+// and buffer.
+func (p *BufferPool) NewPage(cat Category) (PageID, []byte, error) {
+	id := p.disk.Alloc()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.makeRoomLocked(); err != nil {
+		return InvalidPageID, nil, err
+	}
+	f := &frame{id: id, data: make([]byte, p.disk.PageSize()), pins: 1, dirty: true, cat: cat,
+		ready: closedChan}
+	p.frames[id] = f
+	return id, f.data, nil
+}
+
+// Unpin releases one pin; dirty marks the page for write-back on
+// eviction or flush.
+func (p *BufferPool) Unpin(id PageID, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins <= 0 {
+		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+	if f.pins == 0 {
+		f.elem = p.lru.PushBack(f)
+	}
+}
+
+func (p *BufferPool) makeRoomLocked() error {
+	for len(p.frames) >= p.capacity {
+		if err := p.evictOneLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *BufferPool) evictOneLocked() error {
+	e := p.lru.Front()
+	if e == nil {
+		return ErrPoolExhausted
+	}
+	f := e.Value.(*frame)
+	p.lru.Remove(e)
+	if f.dirty {
+		if err := p.disk.Write(f.id, f.data); err != nil {
+			return err
+		}
+	}
+	delete(p.frames, f.id)
+	p.stats.Evictions++
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to disk without
+// evicting anything.
+func (p *BufferPool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.disk.Write(f.id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll flushes dirty pages and empties the cache — the "flush the
+// buffer pool and the disk cache between runs" step of the paper's
+// cold-cache Test 5. It fails if any page is pinned.
+func (p *BufferPool) DropAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			return fmt.Errorf("storage: DropAll with pinned page %d", f.id)
+		}
+		if f.dirty {
+			if err := p.disk.Write(f.id, f.data); err != nil {
+				return err
+			}
+		}
+	}
+	p.frames = make(map[PageID]*frame)
+	p.lru.Init()
+	return nil
+}
+
+// FreePage removes a page from the cache (if resident) and releases it
+// on disk. The page must not be pinned.
+func (p *BufferPool) FreePage(id PageID) error {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		if f.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("storage: FreePage of pinned page %d", id)
+		}
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+		}
+		delete(p.frames, id)
+	}
+	p.mu.Unlock()
+	p.disk.Free(id)
+	return nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Capacity = p.capacity
+	s.Resident = len(p.frames)
+	return s
+}
+
+// ResetStats zeroes the counters (capacity/resident are recomputed).
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = PoolStats{}
+}

@@ -1,0 +1,314 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RID addresses a record: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// InsertMode selects the heap's placement policy. The paper attributes
+// the Table 2 insert anomaly at schema variability 1.0 to DB2 switching
+// between exactly these two methods.
+type InsertMode uint8
+
+const (
+	// InsertBestFit finds the first page with enough free space,
+	// producing a compactly stored relation.
+	InsertBestFit InsertMode = iota
+	// InsertAppend always appends to the last page, producing a
+	// sparsely stored relation but touching fewer pages on insert.
+	InsertAppend
+)
+
+// HeapFile stores a table's rows across slotted pages fetched through
+// the buffer pool.
+type HeapFile struct {
+	mu    sync.Mutex
+	pool  *BufferPool
+	pages []PageID
+	mode  InsertMode
+	// freeBytes caches per-page free space for best-fit placement so
+	// insert doesn't have to touch every page.
+	freeBytes []int
+	rows      int64
+}
+
+// NewHeapFile creates an empty heap file.
+func NewHeapFile(pool *BufferPool, mode InsertMode) *HeapFile {
+	return &HeapFile{pool: pool, mode: mode}
+}
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
+// NumRows returns the live record count.
+func (h *HeapFile) NumRows() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.rows
+}
+
+// Insert stores rec and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	need := len(rec) + slotSize
+	if need > h.pool.disk.PageSize()-pageHeader {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds page capacity", len(rec))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	try := func(i int) (RID, bool, error) {
+		id := h.pages[i]
+		buf, err := h.pool.Fetch(id, CatData)
+		if err != nil {
+			return RID{}, false, err
+		}
+		sp := Slotted(buf)
+		slot, err := sp.Insert(rec)
+		if err == ErrPageFull {
+			h.freeBytes[i] = sp.ReclaimableSpace()
+			h.pool.Unpin(id, false)
+			return RID{}, false, nil
+		}
+		if err != nil {
+			h.pool.Unpin(id, false)
+			return RID{}, false, err
+		}
+		h.freeBytes[i] = sp.ReclaimableSpace()
+		h.pool.Unpin(id, true)
+		h.rows++
+		return RID{Page: id, Slot: slot}, true, nil
+	}
+
+	switch h.mode {
+	case InsertBestFit:
+		for i := range h.pages {
+			if h.freeBytes[i] < need {
+				continue
+			}
+			rid, ok, err := try(i)
+			if err != nil {
+				return RID{}, err
+			}
+			if ok {
+				return rid, nil
+			}
+		}
+	case InsertAppend:
+		if n := len(h.pages); n > 0 && h.freeBytes[n-1] >= need {
+			rid, ok, err := try(n - 1)
+			if err != nil {
+				return RID{}, err
+			}
+			if ok {
+				return rid, nil
+			}
+		}
+	}
+
+	// Grow the file.
+	id, buf, err := h.pool.NewPage(CatData)
+	if err != nil {
+		return RID{}, err
+	}
+	sp := InitSlotted(buf)
+	slot, err := sp.Insert(rec)
+	if err != nil {
+		h.pool.Unpin(id, true)
+		return RID{}, err
+	}
+	h.pages = append(h.pages, id)
+	h.freeBytes = append(h.freeBytes, sp.ReclaimableSpace())
+	h.pool.Unpin(id, true)
+	h.rows++
+	return RID{Page: id, Slot: slot}, nil
+}
+
+// Get copies the record at rid into a fresh slice.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := Slotted(buf).Get(rid.Slot)
+	var out []byte
+	if err == nil {
+		out = append(out, rec...)
+	}
+	h.pool.Unpin(rid.Page, false)
+	return out, err
+}
+
+// Update replaces the record at rid. If it no longer fits on its page
+// the record is deleted and re-inserted; the (possibly new) RID is
+// returned and the caller must fix any index entries.
+func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return RID{}, err
+	}
+	sp := Slotted(buf)
+	uerr := sp.Update(rid.Slot, rec)
+	if uerr == nil {
+		h.noteFree(rid.Page, sp.ReclaimableSpace())
+		h.pool.Unpin(rid.Page, true)
+		return rid, nil
+	}
+	if uerr != ErrPageFull {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, uerr
+	}
+	// Relocate: delete here, insert elsewhere.
+	if err := sp.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	h.noteFree(rid.Page, sp.ReclaimableSpace())
+	h.pool.Unpin(rid.Page, true)
+	h.mu.Lock()
+	h.rows-- // Insert will re-increment
+	h.mu.Unlock()
+	return h.Insert(rec)
+}
+
+// Delete removes the record at rid.
+func (h *HeapFile) Delete(rid RID) error {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return err
+	}
+	sp := Slotted(buf)
+	if err := sp.Delete(rid.Slot); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return err
+	}
+	h.noteFree(rid.Page, sp.ReclaimableSpace())
+	h.pool.Unpin(rid.Page, true)
+	h.mu.Lock()
+	h.rows--
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *HeapFile) noteFree(id PageID, free int) {
+	h.mu.Lock()
+	for i, p := range h.pages {
+		if p == id {
+			h.freeBytes[i] = free
+			break
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Scan calls fn for every live record in file order. Returning false
+// stops the scan. The rec slice is only valid during the callback.
+func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		buf, err := h.pool.Fetch(id, CatData)
+		if err != nil {
+			return err
+		}
+		var cbErr error
+		stop := false
+		Slotted(buf).LiveRecords(func(slot uint16, rec []byte) bool {
+			cont, err := fn(RID{Page: id, Slot: slot}, rec)
+			if err != nil {
+				cbErr = err
+				return false
+			}
+			if !cont {
+				stop = true
+				return false
+			}
+			return true
+		})
+		h.pool.Unpin(id, false)
+		if cbErr != nil {
+			return cbErr
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Scanner returns a pull-based iterator over the file's live records.
+// It snapshots the page list at creation; records are copied out one
+// page at a time so no page stays pinned between Next calls.
+func (h *HeapFile) Scanner() *HeapScanner {
+	h.mu.Lock()
+	pages := append([]PageID(nil), h.pages...)
+	h.mu.Unlock()
+	return &HeapScanner{h: h, pages: pages}
+}
+
+// HeapScanner iterates a heap file's records in file order.
+type HeapScanner struct {
+	h     *HeapFile
+	pages []PageID
+	pi    int
+	rids  []RID
+	recs  [][]byte
+	i     int
+}
+
+// Next returns the next record, or ok=false at the end. The returned
+// slice is a private copy.
+func (s *HeapScanner) Next() (RID, []byte, bool, error) {
+	for s.i >= len(s.recs) {
+		if s.pi >= len(s.pages) {
+			return RID{}, nil, false, nil
+		}
+		id := s.pages[s.pi]
+		s.pi++
+		buf, err := s.h.pool.Fetch(id, CatData)
+		if err != nil {
+			return RID{}, nil, false, err
+		}
+		s.rids = s.rids[:0]
+		s.recs = s.recs[:0]
+		Slotted(buf).LiveRecords(func(slot uint16, rec []byte) bool {
+			s.rids = append(s.rids, RID{Page: id, Slot: slot})
+			s.recs = append(s.recs, append([]byte(nil), rec...))
+			return true
+		})
+		s.h.pool.Unpin(id, false)
+		s.i = 0
+	}
+	rid, rec := s.rids[s.i], s.recs[s.i]
+	s.i++
+	return rid, rec, true, nil
+}
+
+// Drop releases every page in the file.
+func (h *HeapFile) Drop() error {
+	h.mu.Lock()
+	pages := h.pages
+	h.pages = nil
+	h.freeBytes = nil
+	h.rows = 0
+	h.mu.Unlock()
+	for _, id := range pages {
+		if err := h.pool.FreePage(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

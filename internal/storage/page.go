@@ -1,0 +1,259 @@
+// Package storage implements the paper's physical substrate: fixed-size
+// slotted pages, a page store ("disk") with simulated read latency, an
+// LRU buffer pool whose capacity is charged against the database's
+// memory budget, and heap files with the two insert policies (best-fit
+// and append) that DB2 switches between in the paper's §5 experiment.
+//
+// Index pages are fetched through the same buffer pool as data pages and
+// are tagged with a category so the pool can report the separate data
+// and index hit ratios shown in Table 2 / Figure 7(c) of the paper.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DefaultPageSize matches the 8 KB page size used for all user data and
+// indexes in the paper's experiments.
+const DefaultPageSize = 8192
+
+// PageID identifies a page on the Disk. Zero is never a valid page.
+type PageID uint64
+
+// InvalidPageID is the zero PageID.
+const InvalidPageID PageID = 0
+
+// Category classifies a page for buffer-pool statistics.
+type Category uint8
+
+const (
+	// CatData marks heap-file pages holding table rows.
+	CatData Category = iota
+	// CatIndex marks B+tree pages.
+	CatIndex
+)
+
+func (c Category) String() string {
+	if c == CatIndex {
+		return "index"
+	}
+	return "data"
+}
+
+// Slotted page layout:
+//
+//	[0:2)  numSlots  uint16
+//	[2:4)  freeLow   uint16  end of slot array / start of free space
+//	[4:6)  freeHigh  uint16  start of record area (records grow downward)
+//	then numSlots slot entries of 4 bytes each: offset uint16, length uint16.
+//	A slot with offset 0 is a tombstone (page offsets are always >= header).
+const (
+	slotSize   = 4
+	pageHeader = 6
+)
+
+// SlottedPage provides record-level access to a page buffer. It does not
+// own the buffer; callers keep the page pinned while using it.
+type SlottedPage struct {
+	buf []byte
+}
+
+// Slotted wraps an existing page buffer.
+func Slotted(buf []byte) SlottedPage { return SlottedPage{buf: buf} }
+
+// InitSlotted formats buf as an empty slotted page.
+func InitSlotted(buf []byte) SlottedPage {
+	p := SlottedPage{buf: buf}
+	p.setNumSlots(0)
+	p.setFreeLow(pageHeader)
+	p.setFreeHigh(uint16(len(buf)))
+	return p
+}
+
+func (p SlottedPage) numSlots() uint16     { return binary.LittleEndian.Uint16(p.buf[0:2]) }
+func (p SlottedPage) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.buf[0:2], n) }
+func (p SlottedPage) freeLow() uint16      { return binary.LittleEndian.Uint16(p.buf[2:4]) }
+func (p SlottedPage) setFreeLow(v uint16)  { binary.LittleEndian.PutUint16(p.buf[2:4], v) }
+func (p SlottedPage) freeHigh() uint16     { return binary.LittleEndian.Uint16(p.buf[4:6]) }
+func (p SlottedPage) setFreeHigh(v uint16) { binary.LittleEndian.PutUint16(p.buf[4:6], v) }
+
+func (p SlottedPage) slotAt(i uint16) (off, length uint16) {
+	base := pageHeader + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p.buf[base : base+2]),
+		binary.LittleEndian.Uint16(p.buf[base+2 : base+4])
+}
+
+func (p SlottedPage) setSlot(i, off, length uint16) {
+	base := pageHeader + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], off)
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], length)
+}
+
+// NumSlots returns the number of slots ever allocated on the page,
+// including tombstones.
+func (p SlottedPage) NumSlots() int { return int(p.numSlots()) }
+
+// FreeSpace returns the bytes available for a new record including its
+// slot entry.
+func (p SlottedPage) FreeSpace() int {
+	free := int(p.freeHigh()) - int(p.freeLow())
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// ReclaimableSpace returns FreeSpace plus the dead bytes that a Compact
+// would recover from tombstoned records.
+func (p SlottedPage) ReclaimableSpace() int {
+	live := 0
+	n := p.numSlots()
+	for i := uint16(0); i < n; i++ {
+		if off, length := p.slotAt(i); off != 0 {
+			live += int(length)
+		}
+	}
+	return len(p.buf) - pageHeader - int(n)*slotSize - live
+}
+
+// ErrPageFull is returned when a record does not fit on the page.
+var ErrPageFull = errors.New("storage: page full")
+
+// Insert places rec on the page and returns its slot number.
+func (p SlottedPage) Insert(rec []byte) (uint16, error) {
+	need := len(rec) + slotSize
+	// Reuse a tombstone slot if one exists (no new slot entry needed).
+	n := p.numSlots()
+	var reuse = n
+	for i := uint16(0); i < n; i++ {
+		if off, _ := p.slotAt(i); off == 0 {
+			reuse = i
+			need = len(rec)
+			break
+		}
+	}
+	if p.FreeSpace() < need {
+		if p.ReclaimableSpace() < need {
+			return 0, ErrPageFull
+		}
+		p.Compact()
+	}
+	newHigh := p.freeHigh() - uint16(len(rec))
+	copy(p.buf[newHigh:], rec)
+	p.setFreeHigh(newHigh)
+	if reuse == n {
+		p.setNumSlots(n + 1)
+		p.setFreeLow(p.freeLow() + slotSize)
+	}
+	p.setSlot(reuse, newHigh, uint16(len(rec)))
+	return reuse, nil
+}
+
+// Get returns the record stored in slot i. The returned slice aliases
+// the page buffer; callers must copy it if they retain it past unpin.
+func (p SlottedPage) Get(i uint16) ([]byte, error) {
+	if i >= p.numSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range", i)
+	}
+	off, length := p.slotAt(i)
+	if off == 0 {
+		return nil, fmt.Errorf("storage: slot %d deleted", i)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete tombstones slot i. The record bytes become dead space reclaimed
+// by Compact.
+func (p SlottedPage) Delete(i uint16) error {
+	if i >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range", i)
+	}
+	off, _ := p.slotAt(i)
+	if off == 0 {
+		return fmt.Errorf("storage: slot %d already deleted", i)
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// Update replaces the record in slot i. If the new record does not fit
+// in place and the page has no room, ErrPageFull is returned and the
+// caller relocates the record.
+func (p SlottedPage) Update(i uint16, rec []byte) error {
+	if i >= p.numSlots() {
+		return fmt.Errorf("storage: slot %d out of range", i)
+	}
+	off, length := p.slotAt(i)
+	if off == 0 {
+		return fmt.Errorf("storage: slot %d deleted", i)
+	}
+	if len(rec) <= int(length) {
+		copy(p.buf[off:], rec)
+		p.setSlot(i, off, uint16(len(rec)))
+		return nil
+	}
+	if p.FreeSpace() >= len(rec) {
+		newHigh := p.freeHigh() - uint16(len(rec))
+		copy(p.buf[newHigh:], rec)
+		p.setFreeHigh(newHigh)
+		p.setSlot(i, newHigh, uint16(len(rec)))
+		return nil
+	}
+	// Try compaction: dead space from deletes/updates may make it fit.
+	p.Compact()
+	if p.FreeSpace() >= len(rec) {
+		p.setSlot(i, 0, 0)
+		p.Compact()
+		newHigh := p.freeHigh() - uint16(len(rec))
+		copy(p.buf[newHigh:], rec)
+		p.setFreeHigh(newHigh)
+		p.setSlot(i, newHigh, uint16(len(rec)))
+		return nil
+	}
+	return ErrPageFull
+}
+
+// Compact rewrites live records contiguously at the end of the page,
+// reclaiming dead space left by deletes and relocating updates.
+func (p SlottedPage) Compact() {
+	n := p.numSlots()
+	type live struct {
+		slot, off, length uint16
+	}
+	var lives []live
+	for i := uint16(0); i < n; i++ {
+		if off, length := p.slotAt(i); off != 0 {
+			lives = append(lives, live{i, off, length})
+		}
+	}
+	tmp := make([]byte, 0, len(p.buf))
+	high := uint16(len(p.buf))
+	// Copy records out first (they may overlap destinations).
+	recs := make([][]byte, len(lives))
+	for i, l := range lives {
+		recs[i] = append(tmp[len(tmp):], p.buf[l.off:l.off+l.length]...)
+		tmp = tmp[:len(tmp)+int(l.length)]
+	}
+	for i, l := range lives {
+		high -= l.length
+		copy(p.buf[high:], recs[i])
+		p.setSlot(l.slot, high, l.length)
+	}
+	p.setFreeHigh(high)
+}
+
+// LiveRecords calls fn for every non-deleted slot in slot order.
+func (p SlottedPage) LiveRecords(fn func(slot uint16, rec []byte) bool) {
+	n := p.numSlots()
+	for i := uint16(0); i < n; i++ {
+		off, length := p.slotAt(i)
+		if off == 0 {
+			continue
+		}
+		if !fn(i, p.buf[off:off+length]) {
+			return
+		}
+	}
+}

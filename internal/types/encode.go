@@ -1,0 +1,202 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// --- Order-preserving key encoding -----------------------------------------
+//
+// B+tree keys are byte strings compared with bytes.Compare, so every value
+// is encoded such that the byte order matches Compare's value order. Each
+// encoded value starts with a kind tag whose numeric order matches the
+// NULL-lowest ordering used by Compare. INT and FLOAT share one numeric
+// tag so that cross-type numeric comparisons order correctly in indexes.
+
+const (
+	tagNull   byte = 0x01
+	tagBool   byte = 0x02
+	tagNumber byte = 0x03 // INT and FLOAT, encoded as ordered float bits
+	tagString byte = 0x04
+	tagDate   byte = 0x05
+)
+
+// EncodeKey appends an order-preserving encoding of v to dst.
+func EncodeKey(dst []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindBool:
+		return append(dst, tagBool, byte(v.Int))
+	case KindInt:
+		return appendOrderedFloat(append(dst, tagNumber), float64(v.Int))
+	case KindFloat:
+		return appendOrderedFloat(append(dst, tagNumber), v.Float)
+	case KindString:
+		dst = append(dst, tagString)
+		// Escape 0x00 as 0x00 0xFF so a 0x00 0x00 terminator preserves
+		// prefix ordering for strings containing NUL bytes.
+		for i := 0; i < len(v.Str); i++ {
+			b := v.Str[i]
+			if b == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, b)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	case KindDate:
+		dst = append(dst, tagDate)
+		return appendOrderedInt(dst, v.Int)
+	}
+	panic(fmt.Sprintf("types: EncodeKey of bad kind %d", v.Kind))
+}
+
+// EncodeKeyTuple encodes a composite key from vals.
+func EncodeKeyTuple(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		dst = EncodeKey(dst, v)
+	}
+	return dst
+}
+
+func appendOrderedInt(dst []byte, v int64) []byte {
+	u := uint64(v) ^ (1 << 63) // flip sign bit: negative < positive
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], u)
+	return append(dst, buf[:]...)
+}
+
+func appendOrderedFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits // negative floats: flip all bits
+	} else {
+		bits |= 1 << 63 // positive floats: flip sign bit
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], bits)
+	return append(dst, buf[:]...)
+}
+
+// --- Row serialization ------------------------------------------------------
+//
+// Rows are serialized into slotted pages. The format is a kind byte per
+// value followed by a payload; strings carry a uvarint length prefix.
+// This keeps narrow rows genuinely narrow on the page, which is what
+// makes the paper's cache-locality effects (Fig 11) reproducible.
+
+// EncodeRow appends the serialization of row to dst.
+func EncodeRow(dst []byte, row []Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindNull:
+		case KindBool:
+			dst = append(dst, byte(v.Int))
+		case KindInt, KindDate:
+			dst = binary.AppendVarint(dst, v.Int)
+		case KindFloat:
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(v.Float))
+			dst = append(dst, buf[:]...)
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.Str)))
+			dst = append(dst, v.Str...)
+		default:
+			panic(fmt.Sprintf("types: EncodeRow of bad kind %d", v.Kind))
+		}
+	}
+	return dst
+}
+
+// DecodeRow parses a row serialized by EncodeRow.
+func DecodeRow(data []byte) ([]Value, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, fmt.Errorf("types: corrupt row header")
+	}
+	data = data[sz:]
+	row := make([]Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("types: truncated row at value %d", i)
+		}
+		kind := Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case KindNull:
+			row = append(row, Null())
+		case KindBool:
+			if len(data) < 1 {
+				return nil, fmt.Errorf("types: truncated bool")
+			}
+			row = append(row, NewBool(data[0] != 0))
+			data = data[1:]
+		case KindInt, KindDate:
+			v, sz := binary.Varint(data)
+			if sz <= 0 {
+				return nil, fmt.Errorf("types: corrupt varint")
+			}
+			data = data[sz:]
+			row = append(row, Value{Kind: kind, Int: v})
+		case KindFloat:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("types: truncated float")
+			}
+			row = append(row, NewFloat(math.Float64frombits(binary.BigEndian.Uint64(data))))
+			data = data[8:]
+		case KindString:
+			l, sz := binary.Uvarint(data)
+			if sz <= 0 || uint64(len(data)-sz) < l {
+				return nil, fmt.Errorf("types: corrupt string")
+			}
+			data = data[sz:]
+			row = append(row, NewString(string(data[:l])))
+			data = data[l:]
+		default:
+			return nil, fmt.Errorf("types: bad kind byte %d", kind)
+		}
+	}
+	return row, nil
+}
+
+// Hash returns a hash of v consistent with Equal: values that compare
+// equal (including INT 2 vs FLOAT 2.0) hash identically. Used by hash
+// joins and hash aggregation.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	switch v.Kind {
+	case KindNull:
+		h.Write([]byte{tagNull})
+	case KindBool:
+		h.Write([]byte{tagBool, byte(v.Int)})
+	case KindInt, KindFloat:
+		var buf [9]byte
+		buf[0] = tagNumber
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(v.asFloat()))
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte{tagString})
+		h.Write([]byte(v.Str))
+	case KindDate:
+		var buf [9]byte
+		buf[0] = tagDate
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.Int))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// HashRow combines the hashes of a tuple of values.
+func HashRow(vals []Value) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, v := range vals {
+		h ^= Hash(v)
+		h *= 1099511628211
+	}
+	return h
+}
