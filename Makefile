@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race race-bench bench-scaling check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Race detector over the multi-session benchmark path: one iteration of
+# every session count of the scaling sweep with -race enabled.
+race-bench:
+	$(GO) test -race -run NONE -bench BenchmarkMultiSessionScaling -benchtime 1x .
+
+# Regenerate BENCH_1.json (the machine-readable multi-session sweep).
+bench-scaling:
+	$(GO) run ./cmd/mtdbench -scaling -tenants 120 -rows 12 -actions 800 \
+		-mem-mb 2 -latency 500us -json-out BENCH_1.json
+
+check: build vet test race race-bench

@@ -79,6 +79,55 @@ func BenchmarkTable2Fig7SchemaVariability(b *testing.B) {
 	}
 }
 
+// --- Multi-session scaling ----------------------------------------------------
+
+// BenchmarkMultiSessionScaling sweeps the session count over the §4
+// CRM workload at a fixed action budget and reports statements/sec
+// plus scaling efficiency relative to one session (1.0 = perfect
+// linear scaling). The memory budget is deliberately tight and misses
+// carry simulated I/O latency, so the run is latency-bound the way the
+// paper's disk-backed testbed was: sessions overlap their misses via
+// the per-frame I/O latch while the sharded pool keeps the metadata
+// path off a global mutex. cmd/mtdbench -scaling prints the same sweep
+// as a table and emits BENCH_1.json.
+func BenchmarkMultiSessionScaling(b *testing.B) {
+	base := 0.0
+	for _, sessions := range []int{1, 2, 4, 8, 16} {
+		sessions := sessions
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				bed, err := testbed.Setup(testbed.Config{
+					Tenants:      120,
+					Instances:    1,
+					RowsPerTable: 12,
+					Sessions:     sessions,
+					Actions:      400,
+					Seed:         2008,
+					MemoryBytes:  2 << 20,
+					ReadLatency:  500 * time.Microsecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := bed.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res.StatementsPerSec()
+			}
+			b.ReportMetric(last, "stmts/sec")
+			if sessions == 1 {
+				base = last
+			}
+			if base > 0 {
+				b.ReportMetric(last/base, "speedup")
+				b.ReportMetric(last/(base*float64(sessions)), "efficiency")
+			}
+		})
+	}
+}
+
 // BenchmarkInsertModeAblation isolates the §5 insert anomaly: DB2's
 // two insert methods. Best-fit refills holes left by deletes and keeps
 // the relation compact but touches more pages per insert; append is

@@ -5,9 +5,15 @@
 // prints the Table 2 metric block (baseline compliance, throughput,
 // 95 % response times per action class, buffer-pool hit ratios), which
 // also yields the Figure 7 series.
+//
+// With -scaling it instead sweeps the concurrent session count at
+// schema variability 0 and reports statements/sec and scaling
+// efficiency per session count, optionally writing the sweep as JSON
+// (-json-out BENCH_1.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,8 +40,16 @@ func main() {
 		confOnly  = flag.Bool("print-config", false, "print Table 1 and exit")
 		layoutFl  = flag.String("layout", "basic", "schema-mapping layout: basic, extension, chunk, chunkfold, universal")
 		withExts  = flag.Bool("extensions", false, "enable tenant extensions in schema and workload (§7's complete setting; needs a non-basic layout)")
+		scaling   = flag.Bool("scaling", false, "run the multi-session scaling sweep instead of the variability sweep")
+		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
+		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
 	flag.Parse()
+
+	if *scaling {
+		runScaling(*sessList, *tenants, *rows, *actions, *memMB, *latency, *seed, *jsonOut)
+		return
+	}
 
 	var variabilities []float64
 	for _, s := range strings.Split(*varList, ",") {
@@ -156,6 +170,69 @@ func main() {
 	})
 	fmt.Println()
 	fmt.Println("Figure 7 series: (a) compliance, (b) throughput, (c) hit ratios — columns above.")
+}
+
+// runScaling sweeps the concurrent session count over the §4 CRM
+// workload at schema variability 0 (one shared schema instance) and
+// prints statements/sec, speedup, and efficiency per point. The same
+// numbers land in -json-out for machine consumption (BENCH_1.json).
+func runScaling(sessList string, tenants, rows, actions int, memMB int64, latency time.Duration, seed int64, jsonOut string) {
+	var sessions []int
+	for _, s := range strings.Split(sessList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad session count %q\n", s)
+			os.Exit(1)
+		}
+		sessions = append(sessions, n)
+	}
+	pts, err := testbed.RunScaling(testbed.Config{
+		Tenants: tenants, Instances: 1, RowsPerTable: rows,
+		Actions: actions, Seed: seed,
+		MemoryBytes: memMB << 20, ReadLatency: latency,
+	}, sessions)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scaling: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Multi-Session Scaling (schema variability 0)")
+	fmt.Printf("%-10s %-12s %-12s %-12s %-10s %s\n",
+		"Sessions", "Stmts", "Stmts/sec", "Actions/min", "Speedup", "Efficiency")
+	for _, p := range pts {
+		fmt.Printf("%-10d %-12d %-12.1f %-12.1f %-10.2f %.2f\n",
+			p.Sessions, p.Statements, p.StatementsPerSec, p.ActionsPerMin, p.Speedup, p.Efficiency)
+	}
+
+	if jsonOut != "" {
+		out := struct {
+			Benchmark string                 `json:"benchmark"`
+			Config    map[string]interface{} `json:"config"`
+			Points    []testbed.ScalingPoint `json:"points"`
+		}{
+			Benchmark: "multi_session_scaling",
+			Config: map[string]interface{}{
+				"tenants":        tenants,
+				"rows_per_table": rows,
+				"actions":        actions,
+				"memory_mb":      memMB,
+				"read_latency":   latency.String(),
+				"seed":           seed,
+			},
+			Points: pts,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
 }
 
 func pad(cells []string) []string {

@@ -38,6 +38,10 @@ type Config struct {
 	Optimizer plan.Mode
 	// InsertMode selects the heap placement policy (§5 insert anomaly).
 	InsertMode storage.InsertMode
+	// PlanCacheSize bounds the engine plan cache in statements; ad-hoc
+	// Exec/Query reuse compiled plans keyed by (statement text, catalog
+	// version). 0 means the default (512); negative disables caching.
+	PlanCacheSize int
 }
 
 // Result reports the outcome of a non-query statement.
@@ -57,10 +61,14 @@ type DB struct {
 	pool    *storage.BufferPool
 	cat     *catalog.Catalog
 	planner *plan.Planner
+	plans   *planCache // nil when caching is disabled
 
 	// ddlMu serializes DDL against all other statements; DML and
 	// queries hold it shared.
 	ddlMu sync.RWMutex
+	// planMu serializes planning when the plan cache is disabled (the
+	// cache's in-flight table provides this per key otherwise).
+	planMu sync.Mutex
 }
 
 // Open creates an empty database.
@@ -76,11 +84,19 @@ func Open(cfg Config) *DB {
 		MetaBytesPerTable: cfg.MetaBytesPerTable,
 		InsertMode:        cfg.InsertMode,
 	})
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = 512
+	}
+	var plans *planCache
+	if cfg.PlanCacheSize > 0 {
+		plans = newPlanCache(cfg.PlanCacheSize)
+	}
 	return &DB{
 		disk:    disk,
 		pool:    pool,
 		cat:     cat,
 		planner: plan.New(cat, cfg.Optimizer),
+		plans:   plans,
 	}
 }
 
@@ -89,26 +105,33 @@ func Open(cfg Config) *DB {
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // Exec runs any statement and reports rows affected (0 for DDL and
-// queries; use Query for result sets).
+// queries; use Query for result sets). The raw statement text keys the
+// plan cache, so repeated ad-hoc statements skip replanning.
 func (db *DB) Exec(query string, params ...types.Value) (Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return Result{}, err
 	}
-	return db.ExecStmt(st, params...)
+	return db.execStmtKeyed(st, query, params)
 }
 
 // ExecStmt is Exec for a pre-parsed statement.
 func (db *DB) ExecStmt(st sql.Statement, params ...types.Value) (Result, error) {
+	return db.execStmtKeyed(st, "", params)
+}
+
+// execStmtKeyed dispatches a statement; key is the plan-cache key, or
+// "" to derive it from the statement's printed form (callers that hold
+// the original text pass it to skip re-rendering).
+func (db *DB) execStmtKeyed(st sql.Statement, key string, params []types.Value) (Result, error) {
 	switch st := st.(type) {
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
 		*sql.DropIndexStmt, *sql.AlterAddColumnStmt:
 		return Result{}, db.execDDL(st)
 	case *sql.SelectStmt:
-		_, err := db.QueryStmt(st, params...)
-		return Result{}, err
+		return db.execSelect(st, key, params)
 	default:
-		return db.execDML(st, params)
+		return db.execDML(st, key, params)
 	}
 }
 
@@ -122,11 +145,15 @@ func (db *DB) Query(query string, params ...types.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Query needs a SELECT, got %T", st)
 	}
-	return db.QueryStmt(sel, params...)
+	return db.queryStmtKeyed(sel, query, params)
 }
 
 // QueryStmt is Query for a pre-parsed SELECT.
 func (db *DB) QueryStmt(sel *sql.SelectStmt, params ...types.Value) (*Rows, error) {
+	return db.queryStmtKeyed(sel, "", params)
+}
+
+func (db *DB) queryStmtKeyed(sel *sql.SelectStmt, key string, params []types.Value) (*Rows, error) {
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
 	reads := collectReadTables(sel, nil)
@@ -135,7 +162,7 @@ func (db *DB) QueryStmt(sel *sql.SelectStmt, params ...types.Value) (*Rows, erro
 		return nil, err
 	}
 	defer unlock()
-	p, err := db.planner.PlanSelect(sel)
+	p, err := db.planFor(key, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +176,49 @@ func (db *DB) QueryStmt(sel *sql.SelectStmt, params ...types.Value) (*Rows, erro
 		cols[i] = c.Name
 	}
 	return &Rows{Columns: cols, Data: data}, nil
+}
+
+// execSelect runs a SELECT whose result nobody reads (Exec on a
+// SELECT): rows are streamed and discarded, never materialized.
+func (db *DB) execSelect(sel *sql.SelectStmt, key string, params []types.Value) (Result, error) {
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	reads := collectReadTables(sel, nil)
+	unlock, err := db.lockTables(reads, "")
+	if err != nil {
+		return Result{}, err
+	}
+	defer unlock()
+	p, err := db.planFor(key, sel)
+	if err != nil {
+		return Result{}, err
+	}
+	_, err = exec.Drain(p, params)
+	return Result{}, err
+}
+
+// planFor returns the plan for st, reusing the plan cache when it is
+// enabled. key is the statement's SQL text ("" means render it from
+// the AST); the catalog version completes the cache key, so on-line
+// schema changes invalidate stale plans. Callers hold ddlMu shared,
+// which keeps the version stable across lookup and build — and means
+// at most one build runs per AST object (the in-flight table), which
+// matters because the optimizer rewrites the AST in place.
+func (db *DB) planFor(key string, st sql.Statement) (plan.Node, error) {
+	if db.plans == nil {
+		// No cache: serialize planning. Two goroutines must not plan the
+		// same AST object concurrently (prepared statements reuse theirs,
+		// and the optimizer rewrites ASTs in place).
+		db.planMu.Lock()
+		defer db.planMu.Unlock()
+		return db.planner.PlanStatement(st)
+	}
+	if key == "" {
+		key = st.String()
+	}
+	return db.plans.get(planKey{text: key, version: db.cat.Version()}, func() (plan.Node, error) {
+		return db.planner.PlanStatement(st)
+	})
 }
 
 // Explain plans a statement and renders the operator tree.
@@ -166,7 +236,7 @@ func (db *DB) Explain(query string, params ...types.Value) (string, error) {
 	return plan.Explain(p), nil
 }
 
-func (db *DB) execDML(st sql.Statement, params []types.Value) (Result, error) {
+func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Result, error) {
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
 	var write string
@@ -188,7 +258,7 @@ func (db *DB) execDML(st sql.Statement, params []types.Value) (Result, error) {
 		return Result{}, err
 	}
 	defer unlock()
-	p, err := db.planner.PlanStatement(st)
+	p, err := db.planFor(key, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -199,6 +269,11 @@ func (db *DB) execDML(st sql.Statement, params []types.Value) (Result, error) {
 func (db *DB) execDDL(st sql.Statement) error {
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
+	if db.plans != nil {
+		// The catalog version bump already invalidates lookups; purging
+		// releases the stale plans' memory promptly.
+		defer db.plans.purge()
+	}
 	switch st := st.(type) {
 	case *sql.CreateTableStmt:
 		if st.IfNotExists && db.cat.HasTable(st.Name) {

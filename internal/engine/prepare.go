@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -10,26 +9,24 @@ import (
 	"repro/internal/types"
 )
 
-// Stmt is a prepared statement: parsed once, planned lazily, with the
-// plan cached until a DDL operation bumps the catalog version (on-line
-// schema changes invalidate cached plans, they do not break them).
+// Stmt is a prepared statement: parsed once, planned through the
+// engine's shared plan cache (the same cache ad-hoc Exec/Query use),
+// with plans invalidated when a DDL operation bumps the catalog
+// version (on-line schema changes invalidate cached plans, they do not
+// break them).
 //
-// A Stmt is safe for concurrent use, but executions of the same Stmt
-// serialize on an internal mutex because the cached plan carries
-// per-execution state (e.g. materialized IN-subqueries). For parallel
-// sessions, prepare one Stmt per session — which is how connection
-// pools use prepared statements anyway.
+// A Stmt is safe for concurrent use and executions do not serialize:
+// plans that carry per-execution state (e.g. materialized
+// IN-subqueries) are cloned per execution, everything else is shared
+// read-only.
 type Stmt struct {
-	db *DB
-	st sql.Statement
+	db  *DB
+	st  sql.Statement
+	key string // plan-cache key: the statement's printed form
 
 	// precomputed lock sets
 	reads []string
 	write string
-
-	mu      sync.Mutex
-	plan    plan.Node
-	version int64
 }
 
 // Prepare parses a statement for repeated execution. DDL statements
@@ -39,7 +36,7 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Stmt{db: db, st: st, version: -1}
+	s := &Stmt{db: db, st: st, key: query}
 	switch st := st.(type) {
 	case *sql.SelectStmt:
 		s.reads = collectReadTables(st, nil)
@@ -57,19 +54,11 @@ func (db *DB) Prepare(query string) (*Stmt, error) {
 	return s, nil
 }
 
-// nodeLocked returns the cached plan, replanning if the schema changed.
-// Caller holds s.mu.
-func (s *Stmt) nodeLocked() (plan.Node, error) {
-	v := s.db.cat.Version()
-	if s.plan != nil && s.version == v {
-		return s.plan, nil
-	}
-	n, err := s.db.planner.PlanStatement(s.st)
-	if err != nil {
-		return nil, err
-	}
-	s.plan, s.version = n, v
-	return n, nil
+// node returns the execution plan: cache-served at the current catalog
+// version, replanned automatically after schema changes. The caller
+// must hold ddlMu shared.
+func (s *Stmt) node() (plan.Node, error) {
+	return s.db.planFor(s.key, s.st)
 }
 
 // Query executes a prepared SELECT.
@@ -84,9 +73,7 @@ func (s *Stmt) Query(params ...types.Value) (*Rows, error) {
 		return nil, err
 	}
 	defer unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.nodeLocked()
+	n, err := s.node()
 	if err != nil {
 		return nil, err
 	}
@@ -115,9 +102,7 @@ func (s *Stmt) Exec(params ...types.Value) (Result, error) {
 		return Result{}, err
 	}
 	defer unlock()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := s.nodeLocked()
+	n, err := s.node()
 	if err != nil {
 		return Result{}, err
 	}

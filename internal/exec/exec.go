@@ -144,6 +144,32 @@ func Collect(n plan.Node, params []types.Value) ([][]types.Value, error) {
 	}
 }
 
+// Drain runs a plan to completion, discarding rows, and returns the
+// row count. DB.Exec on a SELECT uses it so a result set nobody reads
+// is streamed and counted instead of materialized.
+func Drain(n plan.Node, params []types.Value) (int64, error) {
+	it, err := Build(n)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &Context{Params: params}
+	if err := it.Open(ctx); err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	var count int64
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return count, err
+		}
+		if row == nil {
+			return count, nil
+		}
+		count++
+	}
+}
+
 // bindSubqueries installs the Materialize callback on every InSubquery
 // scalar in the plan and resets cached sets from prior runs.
 func bindSubqueries(n plan.Node) {

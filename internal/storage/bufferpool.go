@@ -4,11 +4,15 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 )
 
 // PoolStats is a snapshot of buffer-pool counters, split by page
-// category the way the paper reports them (Table 2, Fig 7c).
+// category the way the paper reports them (Table 2, Fig 7c). For a
+// sharded pool the snapshot is the sum over all shards, so the totals
+// are identical to what a single-mutex pool would have counted: every
+// page access increments exactly one shard's counters.
 type PoolStats struct {
 	LogicalReads  [2]int64 // indexed by Category
 	PhysicalReads [2]int64
@@ -52,18 +56,31 @@ type frame struct {
 	loadErr error
 }
 
-// BufferPool caches disk pages with LRU replacement. Its capacity is
-// expressed in bytes so the engine can charge the per-table meta-data
-// tax (4 KB per table, per the paper's DB2 figure) against the same
-// memory budget: more tables -> smaller pool -> the §5 degradation.
-type BufferPool struct {
+// poolShard is one independently locked slice of the pool: its own
+// frame map, LRU list, byte budget, and counters.
+type poolShard struct {
 	mu       sync.Mutex
 	disk     *Disk
 	frames   map[PageID]*frame
 	lru      *list.List // front = LRU victim candidate, back = most recent
-	capacity int        // max resident frames
+	capacity int        // max resident frames in this shard
 
 	stats PoolStats
+}
+
+// BufferPool caches disk pages with LRU replacement. Its capacity is
+// expressed in bytes so the engine can charge the per-table meta-data
+// tax (4 KB per table, per the paper's DB2 figure) against the same
+// memory budget: more tables -> smaller pool -> the §5 degradation.
+//
+// The pool is split into power-of-two shards selected by PageID hash
+// so concurrent sessions do not serialize on a single mutex; tiny
+// configurations collapse to one shard so frame-exhaustion behaviour
+// matches an unsharded pool.
+type BufferPool struct {
+	disk   *Disk
+	shards []*poolShard
+	mask   uint64
 }
 
 // ErrPoolExhausted is returned when every frame is pinned and a new page
@@ -77,36 +94,115 @@ var closedChan = func() chan struct{} {
 	return ch
 }()
 
-// NewBufferPool creates a pool over disk holding at most capacityBytes
-// of pages (minimum 8 frames so tiny configurations still function).
-func NewBufferPool(disk *Disk, capacityBytes int64) *BufferPool {
-	p := &BufferPool{
-		disk:   disk,
-		frames: make(map[PageID]*frame),
-		lru:    list.New(),
+// minShardFrames is the smallest initial per-shard frame budget; pools
+// too small to give every shard this many frames use fewer shards.
+const minShardFrames = 8
+
+// shardCount picks the number of shards: a power of two, at most
+// min(16, GOMAXPROCS*2), reduced until every shard starts with at
+// least minShardFrames frames (a 8-frame pool gets exactly one shard,
+// preserving single-pool pin/exhaustion semantics).
+func shardCount(totalFrames int) int {
+	limit := runtime.GOMAXPROCS(0) * 2
+	if limit > 16 {
+		limit = 16
 	}
-	p.setCapacityBytesLocked(capacityBytes)
-	return p
+	n := 1
+	for n*2 <= limit {
+		n *= 2
+	}
+	for n > 1 && totalFrames/n < minShardFrames {
+		n /= 2
+	}
+	return n
 }
 
-func (p *BufferPool) setCapacityBytesLocked(capacityBytes int64) {
+// totalFramesFor converts a byte budget into a frame count (minimum 8
+// frames so tiny configurations still function).
+func (p *BufferPool) totalFramesFor(capacityBytes int64) int {
 	frames := int(capacityBytes / int64(p.disk.PageSize()))
 	if frames < 8 {
 		frames = 8
 	}
-	p.capacity = frames
+	return frames
 }
 
-// SetCapacityBytes resizes the pool; shrinking evicts unpinned pages
-// immediately. The catalog calls this when tables are created or
-// dropped to keep the meta-data budget accounting current.
+// NewBufferPool creates a pool over disk holding at most capacityBytes
+// of pages (minimum 8 frames so tiny configurations still function).
+func NewBufferPool(disk *Disk, capacityBytes int64) *BufferPool {
+	p := &BufferPool{disk: disk}
+	total := p.totalFramesFor(capacityBytes)
+	n := shardCount(total)
+	p.mask = uint64(n - 1)
+	p.shards = make([]*poolShard, n)
+	for i := range p.shards {
+		p.shards[i] = &poolShard{disk: disk, frames: make(map[PageID]*frame), lru: list.New()}
+	}
+	for i, c := range splitCapacity(total, n) {
+		p.shards[i].capacity = c
+	}
+	return p
+}
+
+// splitCapacity distributes totalFrames over n shards: base share plus
+// one extra for the first remainder shards, with a minimum of one frame
+// per shard (rounding up so tiny budgets never starve a shard).
+func splitCapacity(totalFrames, n int) []int {
+	out := make([]int, n)
+	base, rem := totalFrames/n, totalFrames%n
+	for i := range out {
+		c := base
+		if i < rem {
+			c++
+		}
+		if c < 1 {
+			c = 1
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// shard selects the home shard of a page. The Fibonacci multiplier
+// spreads sequential PageIDs (heap pages are allocated in runs) evenly
+// across shards.
+func (p *BufferPool) shard(id PageID) *poolShard {
+	return p.shards[(uint64(id)*0x9E3779B97F4A7C15>>32)&p.mask]
+}
+
+// NumShards reports the shard count (for tests and diagnostics).
+func (p *BufferPool) NumShards() int { return len(p.shards) }
+
+// SetCapacityBytes resizes the pool, redistributing the byte budget
+// across shards; shrinking evicts unpinned pages immediately. If every
+// page of a shard is pinned the shrink is deferred: the shard stays
+// over budget and the next Unpin that releases a page retries the
+// eviction. The catalog calls this when tables are created or dropped
+// to keep the meta-data budget accounting current.
 func (p *BufferPool) SetCapacityBytes(capacityBytes int64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.setCapacityBytesLocked(capacityBytes)
-	for len(p.frames) > p.capacity {
-		if err := p.evictOneLocked(); err != nil {
-			return nil // every remaining page pinned; shrink lazily later
+	caps := splitCapacity(p.totalFramesFor(capacityBytes), len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		s.capacity = caps[i]
+		err := s.shrinkLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shrinkLocked evicts until the shard is within budget. A fully pinned
+// shard is not an error: the shrink is deferred to the next Unpin.
+// I/O failures writing back dirty victims are reported.
+func (s *poolShard) shrinkLocked() error {
+	for len(s.frames) > s.capacity {
+		if err := s.evictOneLocked(); err != nil {
+			if err == ErrPoolExhausted {
+				return nil // every remaining page pinned; Unpin retries
+			}
+			return err
 		}
 	}
 	return nil
@@ -115,11 +211,15 @@ func (p *BufferPool) SetCapacityBytes(capacityBytes int64) error {
 // PageSize returns the page size of the underlying disk.
 func (p *BufferPool) PageSize() int { return p.disk.PageSize() }
 
-// Capacity returns the pool size in frames.
+// Capacity returns the pool size in frames (summed over shards).
 func (p *BufferPool) Capacity() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.capacity
+	total := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total += s.capacity
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Fetch pins the page and returns its in-memory buffer. The caller must
@@ -128,52 +228,53 @@ func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("storage: fetch of invalid page")
 	}
-	p.mu.Lock()
-	p.stats.LogicalReads[cat]++
-	if f, ok := p.frames[id]; ok {
+	s := p.shard(id)
+	s.mu.Lock()
+	s.stats.LogicalReads[cat]++
+	if f, ok := s.frames[id]; ok {
 		f.pins++
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			s.lru.Remove(f.elem)
 			f.elem = nil
 		}
 		ready := f.ready
-		p.mu.Unlock()
+		s.mu.Unlock()
 		// Wait for a concurrent loader to finish filling the frame.
 		<-ready
 		if err := f.loadErr; err != nil {
-			p.mu.Lock()
+			s.mu.Lock()
 			f.pins--
 			if f.pins == 0 {
-				delete(p.frames, id)
+				delete(s.frames, id)
 			}
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return nil, err
 		}
 		return f.data, nil
 	}
-	p.stats.PhysicalReads[cat]++
-	if err := p.makeRoomLocked(); err != nil {
-		p.mu.Unlock()
+	s.stats.PhysicalReads[cat]++
+	if err := s.makeRoomLocked(); err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	f := &frame{id: id, data: make([]byte, p.disk.PageSize()), pins: 1, cat: cat,
 		ready: make(chan struct{})}
-	p.frames[id] = f
-	p.mu.Unlock()
+	s.frames[id] = f
+	s.mu.Unlock()
 	// Read outside the lock: the page is pinned and not in the LRU so it
 	// cannot be evicted concurrently; simulated latency must not stall
 	// other sessions (real databases overlap I/O the same way).
 	err := p.disk.Read(id, f.data)
-	p.mu.Lock()
+	s.mu.Lock()
 	f.loadErr = err
 	close(f.ready)
 	if err != nil {
 		f.pins--
 		if f.pins == 0 {
-			delete(p.frames, id)
+			delete(s.frames, id)
 		}
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -184,23 +285,26 @@ func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
 // and buffer.
 func (p *BufferPool) NewPage(cat Category) (PageID, []byte, error) {
 	id := p.disk.Alloc()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.makeRoomLocked(); err != nil {
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.makeRoomLocked(); err != nil {
 		return InvalidPageID, nil, err
 	}
 	f := &frame{id: id, data: make([]byte, p.disk.PageSize()), pins: 1, dirty: true, cat: cat,
 		ready: closedChan}
-	p.frames[id] = f
+	s.frames[id] = f
 	return id, f.data, nil
 }
 
 // Unpin releases one pin; dirty marks the page for write-back on
-// eviction or flush.
+// eviction or flush. Releasing the last pin also retries any shrink
+// that was deferred because every page was pinned.
 func (p *BufferPool) Unpin(id PageID, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok || f.pins <= 0 {
 		panic(fmt.Sprintf("storage: unpin of unpinned page %d", id))
 	}
@@ -209,105 +313,140 @@ func (p *BufferPool) Unpin(id PageID, dirty bool) {
 		f.dirty = true
 	}
 	if f.pins == 0 {
-		f.elem = p.lru.PushBack(f)
+		f.elem = s.lru.PushBack(f)
+		if len(s.frames) > s.capacity {
+			// Deferred shrink: the pool was resized below its resident
+			// count while everything was pinned. Best effort — an I/O
+			// error here just leaves the page for the next retry.
+			_ = s.shrinkLocked()
+		}
 	}
 }
 
-func (p *BufferPool) makeRoomLocked() error {
-	for len(p.frames) >= p.capacity {
-		if err := p.evictOneLocked(); err != nil {
+func (s *poolShard) makeRoomLocked() error {
+	for len(s.frames) >= s.capacity {
+		if err := s.evictOneLocked(); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (p *BufferPool) evictOneLocked() error {
-	e := p.lru.Front()
+func (s *poolShard) evictOneLocked() error {
+	e := s.lru.Front()
 	if e == nil {
 		return ErrPoolExhausted
 	}
 	f := e.Value.(*frame)
-	p.lru.Remove(e)
+	s.lru.Remove(e)
 	if f.dirty {
-		if err := p.disk.Write(f.id, f.data); err != nil {
+		if err := s.disk.Write(f.id, f.data); err != nil {
+			// Re-list the victim; it is still resident.
+			f.elem = s.lru.PushFront(f)
 			return err
 		}
 	}
-	delete(p.frames, f.id)
-	p.stats.Evictions++
+	delete(s.frames, f.id)
+	s.stats.Evictions++
 	return nil
 }
 
 // FlushAll writes every dirty resident page back to disk without
 // evicting anything.
 func (p *BufferPool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.disk.Write(f.id, f.data); err != nil {
-				return err
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.disk.Write(f.id, f.data); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+				f.dirty = false
 			}
-			f.dirty = false
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // DropAll flushes dirty pages and empties the cache — the "flush the
 // buffer pool and the disk cache between runs" step of the paper's
-// cold-cache Test 5. It fails if any page is pinned.
+// cold-cache Test 5. It fails if any page is pinned. All shards are
+// locked together so the drop is atomic with respect to fetchers.
 func (p *BufferPool) DropAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			return fmt.Errorf("storage: DropAll with pinned page %d", f.id)
+	for _, s := range p.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range p.shards {
+			s.mu.Unlock()
 		}
-		if f.dirty {
-			if err := p.disk.Write(f.id, f.data); err != nil {
-				return err
+	}()
+	for _, s := range p.shards {
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				return fmt.Errorf("storage: DropAll with pinned page %d", f.id)
 			}
 		}
 	}
-	p.frames = make(map[PageID]*frame)
-	p.lru.Init()
+	for _, s := range p.shards {
+		for _, f := range s.frames {
+			if f.dirty {
+				if err := s.disk.Write(f.id, f.data); err != nil {
+					return err
+				}
+			}
+		}
+		s.frames = make(map[PageID]*frame)
+		s.lru.Init()
+	}
 	return nil
 }
 
 // FreePage removes a page from the cache (if resident) and releases it
 // on disk. The page must not be pinned.
 func (p *BufferPool) FreePage(id PageID) error {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
+	s := p.shard(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
 		if f.pins > 0 {
-			p.mu.Unlock()
+			s.mu.Unlock()
 			return fmt.Errorf("storage: FreePage of pinned page %d", id)
 		}
 		if f.elem != nil {
-			p.lru.Remove(f.elem)
+			s.lru.Remove(f.elem)
 		}
-		delete(p.frames, id)
+		delete(s.frames, id)
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 	p.disk.Free(id)
 	return nil
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters, aggregated over
+// shards so the totals match the pre-shard single-pool accounting.
 func (p *BufferPool) Stats() PoolStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	s := p.stats
-	s.Capacity = p.capacity
-	s.Resident = len(p.frames)
-	return s
+	var out PoolStats
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for c := 0; c < 2; c++ {
+			out.LogicalReads[c] += s.stats.LogicalReads[c]
+			out.PhysicalReads[c] += s.stats.PhysicalReads[c]
+		}
+		out.Evictions += s.stats.Evictions
+		out.Capacity += s.capacity
+		out.Resident += len(s.frames)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes the counters (capacity/resident are recomputed).
 func (p *BufferPool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = PoolStats{}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.stats = PoolStats{}
+		s.mu.Unlock()
+	}
 }

@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBufferPoolConcurrentStress hammers Fetch/Unpin, capacity churn
+// (SetCapacityBytes), and DropAll from many goroutines across shards,
+// then checks the invariants the sharded pool must preserve:
+//
+//   - aggregated LogicalReads equals the number of Fetch calls issued
+//     (every access lands on exactly one shard's counters);
+//   - PhysicalReads never exceeds LogicalReads per category (logical =
+//     physical + hits);
+//   - after quiescing, no page is pinned (DropAll succeeds) and the
+//     resident count respects the final capacity;
+//   - page contents survive eviction, write-back, and DropAll churn.
+func TestBufferPoolConcurrentStress(t *testing.T) {
+	const (
+		pageSize = 128
+		frames   = 64
+		pages    = 256
+		workers  = 8
+		iters    = 400
+	)
+	d := NewDisk(pageSize)
+	pool := NewBufferPool(d, pageSize*frames)
+
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, buf, err := pool.NewPage(CatData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		pool.Unpin(id, true)
+		ids[i] = id
+	}
+	pool.ResetStats()
+
+	var fetches [2]int64 // Fetch calls issued, by category
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cat := CatData
+			if w%2 == 1 {
+				cat = CatIndex
+			}
+			for i := 0; i < iters; i++ {
+				id := ids[(w*31+i*7)%pages]
+				atomic.AddInt64(&fetches[cat], 1)
+				buf, err := pool.Fetch(id, cat)
+				if err != nil {
+					if err == ErrPoolExhausted {
+						continue
+					}
+					t.Errorf("fetch: %v", err)
+					return
+				}
+				if want := byte((w*31 + i*7) % pages); buf[0] != want {
+					t.Errorf("page %d corrupted: got %d want %d", id, buf[0], want)
+					pool.Unpin(id, false)
+					return
+				}
+				pool.Unpin(id, false)
+			}
+		}()
+	}
+	// Capacity churn: shrink and grow while fetchers run, exercising the
+	// deferred-shrink path when shards are momentarily fully pinned.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int64{pageSize * 16, pageSize * frames, pageSize * 8, pageSize * frames}
+		for i := 0; i < 50; i++ {
+			if err := pool.SetCapacityBytes(sizes[i%len(sizes)]); err != nil {
+				t.Errorf("SetCapacityBytes: %v", err)
+				return
+			}
+		}
+	}()
+	// Cache drops racing the fetchers; "pinned page" refusals are the
+	// expected outcome while fetchers hold pins.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := pool.DropAll(); err != nil && !strings.Contains(err.Error(), "pinned") {
+				t.Errorf("DropAll: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if err := pool.SetCapacityBytes(pageSize * frames); err != nil {
+		t.Fatal(err)
+	}
+	s := pool.Stats()
+	for _, cat := range []Category{CatData, CatIndex} {
+		if got, want := s.LogicalReads[cat], atomic.LoadInt64(&fetches[cat]); got != want {
+			t.Errorf("cat %d: logical reads %d, want %d (one per Fetch call)", cat, got, want)
+		}
+		if s.PhysicalReads[cat] > s.LogicalReads[cat] {
+			t.Errorf("cat %d: physical %d > logical %d", cat, s.PhysicalReads[cat], s.LogicalReads[cat])
+		}
+	}
+	if s.Capacity != frames {
+		t.Errorf("capacity %d, want %d", s.Capacity, frames)
+	}
+	if s.Resident > s.Capacity {
+		t.Errorf("resident %d exceeds capacity %d after quiesce", s.Resident, s.Capacity)
+	}
+	// Quiesced: every pin was released, so DropAll must succeed...
+	if err := pool.DropAll(); err != nil {
+		t.Fatalf("DropAll after quiesce: %v", err)
+	}
+	// ...and every page must have survived the churn via write-back.
+	for i, id := range ids {
+		buf, err := pool.Fetch(id, CatData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Errorf("page %d lost its data: got %d want %d", id, buf[0], byte(i))
+		}
+		pool.Unpin(id, false)
+	}
+}
+
+// TestBufferPoolDeferredShrink pins every page, shrinks the pool (which
+// must not fail even though nothing is evictable), and verifies the
+// shrink is applied as pins are released — the SetCapacityBytes bug
+// this replaces silently carried the excess residents forever.
+func TestBufferPoolDeferredShrink(t *testing.T) {
+	const pageSize = 128
+	d := NewDisk(pageSize)
+	pool := NewBufferPool(d, pageSize*64)
+	var ids []PageID
+	for i := 0; i < 64; i++ {
+		id, buf, err := pool.NewPage(CatData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		ids = append(ids, id)
+	}
+	// Everything pinned: the shrink must be recorded, not applied (and
+	// must not error).
+	if err := pool.SetCapacityBytes(pageSize * 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Capacity(); got != 8 {
+		t.Fatalf("capacity %d after shrink, want 8", got)
+	}
+	if got := pool.Stats().Resident; got != 64 {
+		t.Fatalf("resident %d before unpin, want 64 (nothing evictable)", got)
+	}
+	for _, id := range ids {
+		pool.Unpin(id, true)
+	}
+	// Releasing the pins must have retried the deferred shrink.
+	if got := pool.Stats().Resident; got > 8 {
+		t.Errorf("resident %d after unpinning, want <= 8 (deferred shrink not retried)", got)
+	}
+	// The evicted pages' data must have been written back.
+	for i, id := range ids {
+		buf, err := pool.Fetch(id, CatData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) {
+			t.Errorf("page %d lost its data on deferred eviction", id)
+		}
+		pool.Unpin(id, false)
+	}
+}

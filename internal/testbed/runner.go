@@ -158,10 +158,11 @@ func Setup(cfg Config) (*Bed, error) {
 
 // Result aggregates one run's measurements.
 type Result struct {
-	Durations [numClasses][]time.Duration
-	Errors    int64
-	Elapsed   time.Duration
-	Stats     engine.Stats // post-run counters (reset at run start)
+	Durations  [numClasses][]time.Duration
+	Errors     int64
+	Elapsed    time.Duration
+	Statements int64        // SQL statements completed (queries + DML per action)
+	Stats      engine.Stats // post-run counters (reset at run start)
 }
 
 // Quantile returns the q-quantile (0 < q <= 1) response time of a
@@ -197,6 +198,16 @@ func (r *Result) Throughput() float64 {
 		return 0
 	}
 	return float64(r.TotalActions()) / r.Elapsed.Minutes()
+}
+
+// StatementsPerSec returns completed SQL statements per second (the
+// multi-session scaling metric: actions bundle a variable number of
+// statements, so statements are the fairer unit of work).
+func (r *Result) StatementsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Statements) / r.Elapsed.Seconds()
 }
 
 // Baseline is the per-class 95 %-quantile response times of the
@@ -274,9 +285,10 @@ func (b *Bed) Run() (*Result, error) {
 			defer wg.Done()
 			for a := range cards {
 				t0 := time.Now()
-				err := b.runAction(a)
+				stmts, err := b.runAction(a)
 				d := time.Since(t0)
 				mu.Lock()
+				res.Statements += stmts
 				if err != nil {
 					if firstErr == nil {
 						firstErr = err
@@ -301,19 +313,28 @@ func (b *Bed) Run() (*Result, error) {
 	return res, nil
 }
 
-func (b *Bed) runAction(a Action) error {
+// runAction executes one card and reports how many SQL statements
+// completed (the Admin card counts as one: tenant provisioning is a
+// single logical operation however many physical statements it emits).
+func (b *Bed) runAction(a Action) (int64, error) {
 	if a.AddTenant != nil {
-		return b.Layout.AddTenant(b.DB, a.AddTenant)
+		if err := b.Layout.AddTenant(b.DB, a.AddTenant); err != nil {
+			return 0, err
+		}
+		return 1, nil
 	}
+	var stmts int64
 	for _, q := range a.Queries {
 		if _, err := b.Mapper.Query(a.Tenant, q); err != nil {
-			return fmt.Errorf("%s: %q: %w", a.Class, q, err)
+			return stmts, fmt.Errorf("%s: %q: %w", a.Class, q, err)
 		}
+		stmts++
 	}
 	for _, e := range a.Execs {
 		if _, err := b.Mapper.Exec(a.Tenant, e); err != nil {
-			return fmt.Errorf("%s: %q: %w", a.Class, e, err)
+			return stmts, fmt.Errorf("%s: %q: %w", a.Class, e, err)
 		}
+		stmts++
 	}
-	return nil
+	return stmts, nil
 }

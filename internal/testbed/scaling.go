@@ -1,0 +1,54 @@
+package testbed
+
+import "time"
+
+// ScalingPoint is one session count's measurement in a multi-session
+// throughput sweep over the §4 CRM workload.
+type ScalingPoint struct {
+	Sessions         int           `json:"sessions"`
+	Elapsed          time.Duration `json:"-"`
+	ElapsedSec       float64       `json:"elapsed_sec"`
+	Statements       int64         `json:"statements"`
+	StatementsPerSec float64       `json:"statements_per_sec"`
+	ActionsPerMin    float64       `json:"actions_per_min"`
+	// Speedup is throughput relative to the sweep's first (lowest)
+	// session count; Efficiency normalizes it by the session ratio
+	// (1.0 = perfect linear scaling).
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// RunScaling runs the workload once per session count, rebuilding the
+// testbed each time so every point starts from identical data, and
+// derives speedup/efficiency against the first point.
+func RunScaling(cfg Config, sessions []int) ([]ScalingPoint, error) {
+	pts := make([]ScalingPoint, 0, len(sessions))
+	for _, n := range sessions {
+		c := cfg
+		c.Sessions = n
+		bed, err := Setup(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bed.Run()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, ScalingPoint{
+			Sessions:         n,
+			Elapsed:          res.Elapsed,
+			ElapsedSec:       res.Elapsed.Seconds(),
+			Statements:       res.Statements,
+			StatementsPerSec: res.StatementsPerSec(),
+			ActionsPerMin:    res.Throughput(),
+		})
+	}
+	if len(pts) > 0 && pts[0].StatementsPerSec > 0 {
+		base := pts[0]
+		for i := range pts {
+			pts[i].Speedup = pts[i].StatementsPerSec / base.StatementsPerSec
+			pts[i].Efficiency = pts[i].Speedup * float64(base.Sessions) / float64(pts[i].Sessions)
+		}
+	}
+	return pts, nil
+}
