@@ -208,29 +208,21 @@ func childFor(n *innerNode, key []byte) (int, storage.PageID) {
 	return lo, n.children[lo]
 }
 
-type pathEntry struct {
-	page     storage.PageID
-	childIdx int
-}
-
-// descend walks from the root to the leaf that would hold key,
-// returning the inner-node path.
-func (t *BTree) descend(key []byte) ([]pathEntry, storage.PageID, error) {
-	var path []pathEntry
+// descend walks from the root to the leaf that would hold key.
+func (t *BTree) descend(key []byte) (storage.PageID, error) {
 	cur := t.root
 	for {
 		buf, err := t.pool.Fetch(cur, storage.CatIndex)
 		if err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 		if isLeaf(buf) {
 			t.pool.Unpin(cur, false)
-			return path, cur, nil
+			return cur, nil
 		}
 		in := decodeInner(buf)
 		t.pool.Unpin(cur, false)
-		idx, child := childFor(in, key)
-		path = append(path, pathEntry{page: cur, childIdx: idx})
+		_, child := childFor(in, key)
 		cur = child
 	}
 }
@@ -239,7 +231,7 @@ func (t *BTree) descend(key []byte) ([]pathEntry, storage.PageID, error) {
 func (t *BTree) Get(key []byte) (storage.RID, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	_, leafID, err := t.descend(key)
+	leafID, err := t.descend(key)
 	if err != nil {
 		return storage.RID{}, err
 	}
@@ -257,6 +249,13 @@ func (t *BTree) Get(key []byte) (storage.RID, error) {
 }
 
 // Insert adds (key, rid). It fails with ErrDuplicateKey if key exists.
+//
+// Insert is atomic: it descends with every node on the path pinned,
+// pre-allocates all pages the split chain needs, and only then applies
+// the change with in-memory encodes that cannot fail. An I/O error at
+// any point (page load, allocation, eviction write-back) leaves the
+// tree exactly as it was, which is what lets the catalog undo-log a
+// successful Insert with a plain Delete.
 func (t *BTree) Insert(key []byte, rid storage.RID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -264,98 +263,157 @@ func (t *BTree) Insert(key []byte, rid storage.RID) error {
 	if nodeHeader+2*maxEntry > t.pool.PageSize() {
 		return fmt.Errorf("btree: key of %d bytes too large for page", len(key))
 	}
-	path, leafID, err := t.descend(key)
-	if err != nil {
-		return err
+
+	// Phase 1: descend to the target leaf keeping the whole path pinned.
+	type pinnedInner struct {
+		id       storage.PageID
+		buf      []byte
+		node     *innerNode
+		childIdx int
+		dirty    bool
 	}
-	buf, err := t.pool.Fetch(leafID, storage.CatIndex)
-	if err != nil {
-		return err
+	var path []pinnedInner
+	unpinPath := func() {
+		for _, pn := range path {
+			t.pool.Unpin(pn.id, pn.dirty)
+		}
 	}
-	ln := decodeLeaf(buf)
+	cur := t.root
+	var leafID storage.PageID
+	var leafBuf []byte
+	for {
+		buf, err := t.pool.Fetch(cur, storage.CatIndex)
+		if err != nil {
+			unpinPath()
+			return err
+		}
+		if isLeaf(buf) {
+			leafID, leafBuf = cur, buf
+			break
+		}
+		in := decodeInner(buf)
+		idx, child := childFor(in, key)
+		path = append(path, pinnedInner{id: cur, buf: buf, node: in, childIdx: idx})
+		cur = child
+	}
+	ln := decodeLeaf(leafBuf)
 	pos, exists := leafPos(ln, key)
 	if exists {
 		t.pool.Unpin(leafID, false)
+		unpinPath()
 		return ErrDuplicateKey
 	}
 	ln.keys = insertAt(ln.keys, pos, append([]byte(nil), key...))
 	ln.rids = insertRIDAt(ln.rids, pos, rid)
 
 	if leafSize(ln) <= t.pool.PageSize() {
-		encodeLeaf(buf, ln)
+		encodeLeaf(leafBuf, ln)
 		t.pool.Unpin(leafID, true)
+		unpinPath()
 		t.size++
 		return nil
 	}
 
-	// Split the leaf.
-	mid := len(ln.keys) / 2
-	right := &leafNode{next: ln.next, keys: ln.keys[mid:], rids: ln.rids[mid:]}
-	rightID, rightBuf, err := t.pool.NewPage(storage.CatIndex)
-	if err != nil {
+	// Phase 2: the leaf splits. Materialize the split chain bottom-up on
+	// the decoded copies, allocating every new page before touching any
+	// existing one; failures free the fresh pages and leave no trace.
+	var allocated []storage.PageID
+	fail := func(err error) error {
+		for _, id := range allocated {
+			t.pool.Unpin(id, false)
+			_ = t.pool.FreePage(id)
+		}
 		t.pool.Unpin(leafID, false)
+		unpinPath()
 		return err
 	}
-	encodeLeaf(rightBuf, right)
-	t.pool.Unpin(rightID, true)
 
-	left := &leafNode{next: rightID, keys: ln.keys[:mid], rids: ln.rids[:mid]}
-	encodeLeaf(buf, left)
-	t.pool.Unpin(leafID, true)
-
-	if err := t.insertSeparator(path, append([]byte(nil), right.keys[0]...), rightID); err != nil {
-		return err
+	mid := len(ln.keys) / 2
+	rightLeaf := &leafNode{next: ln.next, keys: ln.keys[mid:], rids: ln.rids[mid:]}
+	leftLeaf := &leafNode{keys: ln.keys[:mid], rids: ln.rids[:mid]}
+	rightLeafID, rightLeafBuf, err := t.pool.NewPage(storage.CatIndex)
+	if err != nil {
+		return fail(err)
 	}
-	t.size++
-	return nil
-}
+	allocated = append(allocated, rightLeafID)
+	leftLeaf.next = rightLeafID
 
-// insertSeparator pushes a (sep, rightChild) pair up the path,
-// splitting inner nodes as needed.
-func (t *BTree) insertSeparator(path []pathEntry, sep []byte, rightChild storage.PageID) error {
-	for level := len(path) - 1; level >= 0; level-- {
-		pe := path[level]
-		buf, err := t.pool.Fetch(pe.page, storage.CatIndex)
-		if err != nil {
-			return err
-		}
-		in := decodeInner(buf)
-		in.keys = insertAt(in.keys, pe.childIdx, sep)
-		in.children = insertPIDAt(in.children, pe.childIdx+1, rightChild)
+	// carry is the (separator, right sibling) pair the level below pushes
+	// up; absorbed reports whether some inner node had room for it.
+	sep := append([]byte(nil), rightLeaf.keys[0]...)
+	carryID := rightLeafID
+	absorbed := false
 
+	type innerSplit struct {
+		level    int
+		left     *innerNode
+		right    *innerNode
+		rightID  storage.PageID
+		rightBuf []byte
+	}
+	var splits []innerSplit
+	level := len(path) - 1
+	for ; level >= 0; level-- {
+		in := path[level].node
+		idx := path[level].childIdx
+		in.keys = insertAt(in.keys, idx, sep)
+		in.children = insertPIDAt(in.children, idx+1, carryID)
+		path[level].dirty = true
 		if innerSize(in) <= t.pool.PageSize() {
-			encodeInner(buf, in)
-			t.pool.Unpin(pe.page, true)
-			return nil
+			absorbed = true
+			break
 		}
-		// Split inner node: middle key moves up.
-		mid := len(in.keys) / 2
-		upKey := in.keys[mid]
-		right := &innerNode{keys: append([][]byte(nil), in.keys[mid+1:]...),
-			children: append([]storage.PageID(nil), in.children[mid+1:]...)}
-		left := &innerNode{keys: in.keys[:mid], children: in.children[:mid+1]}
-
+		m := len(in.keys) / 2
+		upKey := in.keys[m]
+		right := &innerNode{keys: append([][]byte(nil), in.keys[m+1:]...),
+			children: append([]storage.PageID(nil), in.children[m+1:]...)}
+		left := &innerNode{keys: in.keys[:m], children: in.children[:m+1]}
 		rightID, rightBuf, err := t.pool.NewPage(storage.CatIndex)
 		if err != nil {
-			t.pool.Unpin(pe.page, false)
-			return err
+			return fail(err)
 		}
-		encodeInner(rightBuf, right)
-		t.pool.Unpin(rightID, true)
-		encodeInner(buf, left)
-		t.pool.Unpin(pe.page, true)
+		allocated = append(allocated, rightID)
+		splits = append(splits, innerSplit{level: level, left: left, right: right,
+			rightID: rightID, rightBuf: rightBuf})
+		sep, carryID = upKey, rightID
+	}
+	var newRootID storage.PageID
+	var newRootBuf []byte
+	if !absorbed {
+		newRootID, newRootBuf, err = t.pool.NewPage(storage.CatIndex)
+		if err != nil {
+			return fail(err)
+		}
+		allocated = append(allocated, newRootID)
+	}
 
-		sep, rightChild = upKey, rightID
+	// Phase 3: apply. Every page involved is pinned in memory, so the
+	// encodes below cannot fail.
+	encodeLeaf(rightLeafBuf, rightLeaf)
+	t.pool.Unpin(rightLeafID, true)
+	encodeLeaf(leafBuf, leftLeaf)
+	t.pool.Unpin(leafID, true)
+	for _, s := range splits {
+		encodeInner(s.rightBuf, s.right)
+		t.pool.Unpin(s.rightID, true)
+		path[s.level].node = s.left
 	}
-	// Root split.
-	oldRoot := t.root
-	newRootID, rootBuf, err := t.pool.NewPage(storage.CatIndex)
-	if err != nil {
-		return err
+	if absorbed {
+		// Levels above the absorbing node are untouched; the absorbing
+		// node and every split level below re-encode.
+		for l := level; l < len(path); l++ {
+			encodeInner(path[l].buf, path[l].node)
+		}
+	} else {
+		for l := 0; l < len(path); l++ {
+			encodeInner(path[l].buf, path[l].node)
+		}
+		encodeInner(newRootBuf, &innerNode{children: []storage.PageID{t.root, carryID}, keys: [][]byte{sep}})
+		t.pool.Unpin(newRootID, true)
+		t.root = newRootID
 	}
-	encodeInner(rootBuf, &innerNode{children: []storage.PageID{oldRoot, rightChild}, keys: [][]byte{sep}})
-	t.pool.Unpin(newRootID, true)
-	t.root = newRootID
+	unpinPath()
+	t.size++
 	return nil
 }
 
@@ -364,7 +422,7 @@ func (t *BTree) insertSeparator(path []pathEntry, sep []byte, rightChild storage
 func (t *BTree) Delete(key []byte) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, leafID, err := t.descend(key)
+	leafID, err := t.descend(key)
 	if err != nil {
 		return err
 	}
@@ -390,7 +448,7 @@ func (t *BTree) Delete(key []byte) error {
 func (t *BTree) Update(key []byte, rid storage.RID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	_, leafID, err := t.descend(key)
+	leafID, err := t.descend(key)
 	if err != nil {
 		return err
 	}

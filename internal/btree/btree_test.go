@@ -2,6 +2,7 @@ package btree
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -40,7 +41,7 @@ func TestInsertGet(t *testing.T) {
 			t.Errorf("get %d = %v", i, rid)
 		}
 	}
-	if _, err := tr.Get([]byte("missing")); err != ErrKeyNotFound {
+	if _, err := tr.Get([]byte("missing")); !errors.Is(err, ErrKeyNotFound) {
 		t.Errorf("missing key: %v", err)
 	}
 	h, err := tr.Height()
@@ -54,7 +55,7 @@ func TestDuplicateKey(t *testing.T) {
 	if err := tr.Insert([]byte("k"), storage.RID{Page: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Insert([]byte("k"), storage.RID{Page: 2}); err != ErrDuplicateKey {
+	if err := tr.Insert([]byte("k"), storage.RID{Page: 2}); !errors.Is(err, ErrDuplicateKey) {
 		t.Errorf("want ErrDuplicateKey, got %v", err)
 	}
 }
@@ -71,14 +72,14 @@ func TestDelete(t *testing.T) {
 	}
 	for i := 0; i < 500; i++ {
 		_, err := tr.Get(key(i))
-		if i%2 == 0 && err != ErrKeyNotFound {
+		if i%2 == 0 && !errors.Is(err, ErrKeyNotFound) {
 			t.Errorf("deleted key %d still present (%v)", i, err)
 		}
 		if i%2 == 1 && err != nil {
 			t.Errorf("surviving key %d: %v", i, err)
 		}
 	}
-	if err := tr.Delete([]byte("missing")); err != ErrKeyNotFound {
+	if err := tr.Delete([]byte("missing")); !errors.Is(err, ErrKeyNotFound) {
 		t.Errorf("delete missing: %v", err)
 	}
 	if tr.Len() != 250 {
@@ -96,7 +97,7 @@ func TestUpdate(t *testing.T) {
 	if rid.Page != 99 || rid.Slot != 3 {
 		t.Errorf("update lost: %v", rid)
 	}
-	if err := tr.Update([]byte("zz"), storage.RID{}); err != ErrKeyNotFound {
+	if err := tr.Update([]byte("zz"), storage.RID{}); !errors.Is(err, ErrKeyNotFound) {
 		t.Errorf("update missing: %v", err)
 	}
 }
@@ -249,7 +250,7 @@ func TestRandomOpsProperty(t *testing.T) {
 				rid := storage.RID{Page: storage.PageID(r.Intn(1 << 20))}
 				err := tr.Insert(k, rid)
 				if _, exists := model[string(k)]; exists {
-					if err != ErrDuplicateKey {
+					if !errors.Is(err, ErrDuplicateKey) {
 						t.Logf("expected duplicate error for %q, got %v", k, err)
 						return false
 					}
@@ -265,7 +266,7 @@ func TestRandomOpsProperty(t *testing.T) {
 						return false
 					}
 					delete(model, string(k))
-				} else if err != ErrKeyNotFound {
+				} else if !errors.Is(err, ErrKeyNotFound) {
 					return false
 				}
 			case 2:
@@ -274,7 +275,7 @@ func TestRandomOpsProperty(t *testing.T) {
 				if exists && (err != nil || rid != want) {
 					return false
 				}
-				if !exists && err != ErrKeyNotFound {
+				if !exists && !errors.Is(err, ErrKeyNotFound) {
 					return false
 				}
 			}

@@ -47,7 +47,7 @@ func (t *BTree) SeekRange(lo, hi []byte) (*Iterator, error) {
 		}
 	} else {
 		var err error
-		_, leafID, err = t.descend(lo)
+		leafID, err = t.descend(lo)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -135,7 +136,7 @@ func (t *Table) normalizeRow(row []types.Value) ([]types.Value, error) {
 			}
 			cv, err := types.Cast(v, c.Type.Kind)
 			if err != nil {
-				return nil, fmt.Errorf("catalog: %s.%s: %v", t.Name, c.Name, err)
+				return nil, fmt.Errorf("catalog: %s.%s: %w", t.Name, c.Name, err)
 			}
 			out[i] = cv
 		}
@@ -144,8 +145,22 @@ func (t *Table) normalizeRow(row []types.Value) ([]types.Value, error) {
 }
 
 // InsertRow validates, stores, and indexes a row, returning its RID.
-// The caller must hold the table write lock.
+// The caller must hold the table write lock. The row is inserted
+// all-or-nothing: a failure partway (index error, I/O fault) rolls the
+// already-applied sub-steps back.
 func (t *Table) InsertRow(row []types.Value) (storage.RID, error) {
+	u := &UndoLog{}
+	rid, err := t.InsertRowUndo(row, u)
+	if err != nil {
+		return storage.RID{}, errors.Join(err, u.Rollback())
+	}
+	return rid, nil
+}
+
+// InsertRowUndo is InsertRow logging each applied sub-step into u; on
+// error the caller owns rolling u back (statement-level atomicity
+// composes multiple rows into one undo scope).
+func (t *Table) InsertRowUndo(row []types.Value, u *UndoLog) (storage.RID, error) {
 	row, err := t.normalizeRow(row)
 	if err != nil {
 		return storage.RID{}, err
@@ -157,7 +172,7 @@ func (t *Table) InsertRow(row []types.Value) (storage.RID, error) {
 		}
 		if _, err := ix.Tree.Get(ix.KeyFor(row, storage.RID{})); err == nil {
 			return storage.RID{}, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, ix.Name)
-		} else if err != btree.ErrKeyNotFound {
+		} else if !errors.Is(err, btree.ErrKeyNotFound) {
 			return storage.RID{}, err
 		}
 	}
@@ -165,10 +180,14 @@ func (t *Table) InsertRow(row []types.Value) (storage.RID, error) {
 	if err != nil {
 		return storage.RID{}, err
 	}
+	u.push(func() error { return t.Heap.Delete(rid) })
 	for _, ix := range t.Indexes {
-		if err := ix.Tree.Insert(ix.KeyFor(row, rid), rid); err != nil {
-			return storage.RID{}, fmt.Errorf("catalog: %s: index %s: %v", t.Name, ix.Name, err)
+		key := ix.KeyFor(row, rid)
+		if err := ix.Tree.Insert(key, rid); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s: %w", t.Name, ix.Name, err)
 		}
+		tree := ix.Tree
+		u.push(func() error { return tree.Delete(key) })
 	}
 	return rid, nil
 }
@@ -191,19 +210,58 @@ func (t *Table) GetRow(rid storage.RID) ([]types.Value, error) {
 }
 
 // DeleteRow removes the row (whose current contents must be supplied
-// for index maintenance). Caller holds the write lock.
+// for index maintenance). Caller holds the write lock. The delete is
+// all-or-nothing: a failure partway restores the removed index entries
+// and row bytes.
 func (t *Table) DeleteRow(rid storage.RID, row []types.Value) error {
-	for _, ix := range t.Indexes {
-		if err := ix.Tree.Delete(ix.KeyFor(row, rid)); err != nil {
-			return fmt.Errorf("catalog: %s: index %s: %v", t.Name, ix.Name, err)
-		}
+	u := &UndoLog{}
+	if err := t.DeleteRowUndo(rid, row, u); err != nil {
+		return errors.Join(err, u.Rollback())
 	}
-	return t.Heap.Delete(rid)
+	return nil
+}
+
+// DeleteRowUndo is DeleteRow logging each applied sub-step into u; on
+// error the caller owns rolling u back.
+func (t *Table) DeleteRowUndo(rid storage.RID, row []types.Value, u *UndoLog) error {
+	// Snapshot the stored bytes first: undo restores the record exactly
+	// as it was, not a re-encoding of the (possibly NULL-padded) row.
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		key := ix.KeyFor(row, rid)
+		if err := ix.Tree.Delete(key); err != nil {
+			return fmt.Errorf("catalog: %s: index %s: %w", t.Name, ix.Name, err)
+		}
+		tree := ix.Tree
+		u.push(func() error { return tree.Insert(key, rid) })
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	u.push(func() error { return t.Heap.Reinsert(rid, rec) })
+	return nil
 }
 
 // UpdateRow rewrites the row, maintaining indexes, and returns the
-// possibly-relocated RID. Caller holds the write lock.
+// possibly-relocated RID. Caller holds the write lock. The update is
+// all-or-nothing: a failure partway restores the heap bytes and every
+// index entry.
 func (t *Table) UpdateRow(rid storage.RID, oldRow, newRow []types.Value) (storage.RID, error) {
+	u := &UndoLog{}
+	newRID, err := t.UpdateRowUndo(rid, oldRow, newRow, u)
+	if err != nil {
+		return storage.RID{}, errors.Join(err, u.Rollback())
+	}
+	return newRID, nil
+}
+
+// UpdateRowUndo is UpdateRow logging each applied sub-step into u; on
+// error the caller owns rolling u back. Unique checks are immediate
+// (single-row semantics); multi-row statements use UpdateRowsDeferred.
+func (t *Table) UpdateRowUndo(rid storage.RID, oldRow, newRow []types.Value, u *UndoLog) (storage.RID, error) {
 	newRow, err := t.normalizeRow(newRow)
 	if err != nil {
 		return storage.RID{}, err
@@ -219,11 +277,11 @@ func (t *Table) UpdateRow(rid storage.RID, oldRow, newRow []types.Value) (storag
 		}
 		if _, err := ix.Tree.Get(newKey); err == nil {
 			return storage.RID{}, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, ix.Name)
-		} else if err != btree.ErrKeyNotFound {
+		} else if !errors.Is(err, btree.ErrKeyNotFound) {
 			return storage.RID{}, err
 		}
 	}
-	newRID, err := t.Heap.Update(rid, types.EncodeRow(nil, newRow))
+	newRID, err := t.updateHeapUndo(rid, newRow, u)
 	if err != nil {
 		return storage.RID{}, err
 	}
@@ -233,14 +291,104 @@ func (t *Table) UpdateRow(rid storage.RID, oldRow, newRow []types.Value) (storag
 		if string(oldKey) == string(newKey) && rid == newRID {
 			continue
 		}
-		if err := ix.Tree.Delete(oldKey); err != nil {
-			return storage.RID{}, fmt.Errorf("catalog: %s: index %s delete: %v", t.Name, ix.Name, err)
+		tree := ix.Tree
+		if err := tree.Delete(oldKey); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s delete: %w", t.Name, ix.Name, err)
 		}
-		if err := ix.Tree.Insert(newKey, newRID); err != nil {
-			return storage.RID{}, fmt.Errorf("catalog: %s: index %s insert: %v", t.Name, ix.Name, err)
+		u.push(func() error { return tree.Insert(oldKey, rid) })
+		if err := tree.Insert(newKey, newRID); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s insert: %w", t.Name, ix.Name, err)
 		}
+		u.push(func() error { return tree.Delete(newKey) })
 	}
 	return newRID, nil
+}
+
+// updateHeapUndo rewrites the stored bytes of one row, returning the
+// possibly-relocated RID, and logs the exact reverse: an in-place
+// restore of the original bytes, or re-insertion at the original RID
+// plus deletion of the relocated copy.
+func (t *Table) updateHeapUndo(rid storage.RID, newRow []types.Value, u *UndoLog) (storage.RID, error) {
+	oldRec, err := t.Heap.Get(rid)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	newRID, err := t.Heap.Update(rid, types.EncodeRow(nil, newRow))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	u.push(func() error {
+		if newRID == rid {
+			// The page held oldRec before this statement, so the in-place
+			// restore is guaranteed to fit after compaction.
+			back, err := t.Heap.Update(rid, oldRec)
+			if err != nil {
+				return err
+			}
+			if back != rid {
+				return fmt.Errorf("catalog: %s: undo relocated row %v to %v", t.Name, rid, back)
+			}
+			return nil
+		}
+		if err := t.Heap.Reinsert(rid, oldRec); err != nil {
+			return err
+		}
+		return t.Heap.Delete(newRID)
+	})
+	return newRID, nil
+}
+
+// UpdateRowsDeferred applies one UPDATE statement's whole row set with
+// unique checks deferred to a final index-insert pass: every changed
+// index entry is removed (and every heap row rewritten) before any new
+// entry is inserted, so a statement like UPDATE t SET k = k+1 over a
+// dense unique key succeeds regardless of the order rows were scanned
+// in. A duplicate in the deferred pass is a genuine violation — either
+// with an untouched row or between two updated rows. All sub-steps are
+// logged into u; on error the caller owns rolling u back.
+func (t *Table) UpdateRowsDeferred(rids []storage.RID, oldRows, newRows [][]types.Value, u *UndoLog) ([]storage.RID, error) {
+	type pendingInsert struct {
+		ix  *Index
+		key []byte
+		rid storage.RID
+	}
+	var inserts []pendingInsert
+	newRIDs := make([]storage.RID, len(rids))
+	for i, rid := range rids {
+		nr, err := t.normalizeRow(newRows[i])
+		if err != nil {
+			return nil, err
+		}
+		newRID, err := t.updateHeapUndo(rid, nr, u)
+		if err != nil {
+			return nil, err
+		}
+		newRIDs[i] = newRID
+		for _, ix := range t.Indexes {
+			oldKey := ix.KeyFor(oldRows[i], rid)
+			newKey := ix.KeyFor(nr, newRID)
+			if string(oldKey) == string(newKey) && rid == newRID {
+				continue
+			}
+			tree := ix.Tree
+			if err := tree.Delete(oldKey); err != nil {
+				return nil, fmt.Errorf("catalog: %s: index %s delete: %w", t.Name, ix.Name, err)
+			}
+			u.push(func() error { return tree.Insert(oldKey, rid) })
+			inserts = append(inserts, pendingInsert{ix: ix, key: newKey, rid: newRID})
+		}
+	}
+	for _, p := range inserts {
+		if err := p.ix.Tree.Insert(p.key, p.rid); err != nil {
+			if errors.Is(err, btree.ErrDuplicateKey) && p.ix.Unique {
+				return nil, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, p.ix.Name)
+			}
+			return nil, fmt.Errorf("catalog: %s: index %s insert: %w", t.Name, p.ix.Name, err)
+		}
+		tree, key := p.ix.Tree, p.key
+		u.push(func() error { return tree.Delete(key) })
+	}
+	return newRIDs, nil
 }
 
 // Config parameterizes a Catalog.
@@ -418,7 +566,7 @@ func (c *Catalog) CreateIndex(tableName, indexName string, colNames []string, un
 			row = append(row, types.Null())
 		}
 		if err := tree.Insert(ix.KeyFor(row, rid), rid); err != nil {
-			if err == btree.ErrDuplicateKey && unique {
+			if errors.Is(err, btree.ErrDuplicateKey) && unique {
 				return false, fmt.Errorf("catalog: existing rows violate unique index %s", indexName)
 			}
 			return false, err

@@ -1,0 +1,66 @@
+// Statement-level undo. Every table mutator logs, immediately after
+// each physical sub-step succeeds, a logical action that exactly
+// reverses it (un-insert this RID, restore these row bytes, revert this
+// index entry). When a statement fails partway, the executor replays
+// the log in reverse — still holding the table write lock — so
+// INSERT/UPDATE/DELETE are all-or-nothing even though the heap and the
+// B+tree indexes are mutated in separate steps.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UndoLog accumulates the logical undo actions of one DML statement.
+// The zero value is ready to use. A nil *UndoLog is valid and records
+// nothing (for callers that do their own cleanup).
+type UndoLog struct {
+	actions []func() error
+}
+
+// push appends an undo action. Safe on a nil log.
+func (u *UndoLog) push(fn func() error) {
+	if u != nil {
+		u.actions = append(u.actions, fn)
+	}
+}
+
+// Len returns the number of recorded actions.
+func (u *UndoLog) Len() int {
+	if u == nil {
+		return 0
+	}
+	return len(u.actions)
+}
+
+// Rollback replays the recorded actions in reverse (LIFO) order and
+// clears the log. LIFO matters: it guarantees, for example, that a
+// page slot is free again before the record it held is restored. All
+// actions are attempted even if one fails; failures are joined into
+// the returned error, and a non-nil return means the table may be
+// inconsistent (CheckInvariants reports how).
+func (u *UndoLog) Rollback() error {
+	if u == nil {
+		return nil
+	}
+	var errs []error
+	for i := len(u.actions) - 1; i >= 0; i-- {
+		if err := u.actions[i](); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	u.actions = u.actions[:0]
+	if len(errs) > 0 {
+		return fmt.Errorf("catalog: rollback failed: %w", errors.Join(errs...))
+	}
+	return nil
+}
+
+// Discard drops the recorded actions without running them (the
+// statement committed).
+func (u *UndoLog) Discard() {
+	if u != nil {
+		u.actions = u.actions[:0]
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -62,6 +63,10 @@ type DB struct {
 	cat     *catalog.Catalog
 	planner *plan.Planner
 	plans   *planCache // nil when caching is disabled
+
+	// stmtRollbacks counts DML statements that failed and had their
+	// partial effects rolled back (statement-level atomicity).
+	stmtRollbacks atomic.Int64
 
 	// ddlMu serializes DDL against all other statements; DML and
 	// queries hold it shared.
@@ -263,6 +268,11 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		return Result{}, err
 	}
 	n, err := exec.RunDML(p, params)
+	if err != nil {
+		// RunDML rolled the statement's partial effects back before
+		// returning (statement-level atomicity).
+		db.stmtRollbacks.Add(1)
+	}
 	return Result{RowsAffected: n}, err
 }
 
@@ -419,16 +429,20 @@ type Stats struct {
 	PhysWrites int64
 	Tables     int
 	MetaBytes  int64
+	// StmtRollbacks counts DML statements that failed and were rolled
+	// back to their pre-statement state.
+	StmtRollbacks int64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	return Stats{
-		Pool:       db.pool.Stats(),
-		PhysReads:  db.disk.PhysReads(),
-		PhysWrites: db.disk.PhysWrites(),
-		Tables:     db.cat.NumTables(),
-		MetaBytes:  db.cat.MetaBytes(),
+		Pool:          db.pool.Stats(),
+		PhysReads:     db.disk.PhysReads(),
+		PhysWrites:    db.disk.PhysWrites(),
+		Tables:        db.cat.NumTables(),
+		MetaBytes:     db.cat.MetaBytes(),
+		StmtRollbacks: db.stmtRollbacks.Load(),
 	}
 }
 

@@ -107,5 +107,8 @@ func (s *Stmt) Exec(params ...types.Value) (Result, error) {
 		return Result{}, err
 	}
 	count, err := exec.RunDML(n, params)
+	if err != nil {
+		s.db.stmtRollbacks.Add(1)
+	}
 	return Result{RowsAffected: count}, err
 }

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"repro/internal/catalog"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -10,18 +12,41 @@ import (
 // RunDML executes an INSERT, UPDATE, or DELETE plan and returns the
 // number of rows affected. The caller must already hold the target
 // table's write lock.
+//
+// Statements are atomic: every physical sub-step (heap write, index
+// entry) is undo-logged as it applies, and any error replays the log
+// in reverse before the write lock is released, so a failed statement
+// affects zero rows and leaves the table in its pre-statement state.
 func RunDML(n plan.Node, params []types.Value) (int64, error) {
 	bindSubqueries(n)
 	ctx := &Context{Params: params}
+	undo := &catalog.UndoLog{}
+	var (
+		count int64
+		err   error
+		table *catalog.Table
+	)
 	switch n := n.(type) {
 	case *plan.InsertPlan:
-		return runInsert(n, ctx)
+		table = n.Table
+		count, err = runInsert(n, ctx, undo)
 	case *plan.UpdatePlan:
-		return runUpdate(n, ctx)
+		table = n.Table
+		count, err = runUpdate(n, ctx, undo)
 	case *plan.DeletePlan:
-		return runDelete(n, ctx)
+		table = n.Table
+		count, err = runDelete(n, ctx, undo)
+	default:
+		return 0, errNotDML(n)
 	}
-	return 0, errNotDML(n)
+	if err == nil {
+		undo.Discard()
+		return count, nil
+	}
+	if rbErr := undo.Rollback(); rbErr != nil {
+		return 0, fmt.Errorf("%w (%v; table %s may be inconsistent)", err, rbErr, table.Name)
+	}
+	return 0, err
 }
 
 type notDMLError struct{ n plan.Node }
@@ -30,7 +55,7 @@ func (e notDMLError) Error() string { return "exec: not a DML plan: " + e.n.Labe
 
 func errNotDML(n plan.Node) error { return notDMLError{n} }
 
-func runInsert(p *plan.InsertPlan, ctx *Context) (int64, error) {
+func runInsert(p *plan.InsertPlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
 	var count int64
 	for _, exprs := range p.Rows {
 		row := make([]types.Value, len(p.Table.Columns))
@@ -41,7 +66,7 @@ func runInsert(p *plan.InsertPlan, ctx *Context) (int64, error) {
 			}
 			row[p.ColMap[i]] = v
 		}
-		if _, err := p.Table.InsertRow(row); err != nil {
+		if _, err := p.Table.InsertRowUndo(row, undo); err != nil {
 			return count, err
 		}
 		count++
@@ -49,38 +74,41 @@ func runInsert(p *plan.InsertPlan, ctx *Context) (int64, error) {
 	return count, nil
 }
 
-func runUpdate(p *plan.UpdatePlan, ctx *Context) (int64, error) {
+func runUpdate(p *plan.UpdatePlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
 	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
 	if err != nil {
 		return 0, err
 	}
-	var count int64
-	for i, rid := range rids {
+	// Evaluate every SET expression against the pre-statement rows
+	// before mutating anything, then apply the batch with unique checks
+	// deferred: UPDATE t SET k = k+1 must not depend on scan order.
+	newRows := make([][]types.Value, len(rids))
+	for i := range rids {
 		oldRow := rows[i]
 		newRow := append([]types.Value(nil), oldRow...)
 		for j, col := range p.SetCols {
 			v, err := p.SetExprs[j].Eval(oldRow, ctx.Params)
 			if err != nil {
-				return count, err
+				return 0, err
 			}
 			newRow[col] = v
 		}
-		if _, err := p.Table.UpdateRow(rid, oldRow, newRow); err != nil {
-			return count, err
-		}
-		count++
+		newRows[i] = newRow
 	}
-	return count, nil
+	if _, err := p.Table.UpdateRowsDeferred(rids, rows, newRows, undo); err != nil {
+		return 0, err
+	}
+	return int64(len(rids)), nil
 }
 
-func runDelete(p *plan.DeletePlan, ctx *Context) (int64, error) {
+func runDelete(p *plan.DeletePlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
 	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
 	if err != nil {
 		return 0, err
 	}
 	var count int64
 	for i, rid := range rids {
-		if err := p.Table.DeleteRow(rid, rows[i]); err != nil {
+		if err := p.Table.DeleteRowUndo(rid, rows[i], undo); err != nil {
 			return count, err
 		}
 		count++

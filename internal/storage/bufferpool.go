@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // PoolStats is a snapshot of buffer-pool counters, split by page
@@ -81,6 +82,29 @@ type BufferPool struct {
 	disk   *Disk
 	shards []*poolShard
 	mask   uint64
+
+	// fetchFault, when set, is consulted at the top of every Fetch and
+	// NewPage; a non-nil return fails the access before any state
+	// changes. Unlike Disk.SetFault it fires on cache hits too, which
+	// makes it the deterministic hook for fault-injection tests.
+	fetchFault atomic.Pointer[FetchFaultFn]
+}
+
+// SetFetchFault installs (or, with nil, removes) a logical-access
+// fault hook. See BufferPool.fetchFault.
+func (p *BufferPool) SetFetchFault(fn FetchFaultFn) {
+	if fn == nil {
+		p.fetchFault.Store(nil)
+		return
+	}
+	p.fetchFault.Store(&fn)
+}
+
+func (p *BufferPool) checkFetchFault(id PageID, cat Category) error {
+	if fp := p.fetchFault.Load(); fp != nil {
+		return (*fp)(id, cat)
+	}
+	return nil
 }
 
 // ErrPoolExhausted is returned when every frame is pinned and a new page
@@ -199,7 +223,7 @@ func (p *BufferPool) SetCapacityBytes(capacityBytes int64) error {
 func (s *poolShard) shrinkLocked() error {
 	for len(s.frames) > s.capacity {
 		if err := s.evictOneLocked(); err != nil {
-			if err == ErrPoolExhausted {
+			if errors.Is(err, ErrPoolExhausted) {
 				return nil // every remaining page pinned; Unpin retries
 			}
 			return err
@@ -227,6 +251,9 @@ func (p *BufferPool) Capacity() int {
 func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
 	if id == InvalidPageID {
 		return nil, fmt.Errorf("storage: fetch of invalid page")
+	}
+	if err := p.checkFetchFault(id, cat); err != nil {
+		return nil, err
 	}
 	s := p.shard(id)
 	s.mu.Lock()
@@ -284,7 +311,10 @@ func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
 // NewPage allocates a fresh page on disk, pins it, and returns its ID
 // and buffer.
 func (p *BufferPool) NewPage(cat Category) (PageID, []byte, error) {
-	id := p.disk.Alloc()
+	if err := p.checkFetchFault(InvalidPageID, cat); err != nil {
+		return InvalidPageID, nil, err
+	}
+	id := p.disk.AllocCat(cat)
 	s := p.shard(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,7 +58,7 @@ func TestBufferPoolConcurrentStress(t *testing.T) {
 				atomic.AddInt64(&fetches[cat], 1)
 				buf, err := pool.Fetch(id, cat)
 				if err != nil {
-					if err == ErrPoolExhausted {
+					if errors.Is(err, ErrPoolExhausted) {
 						continue
 					}
 					t.Errorf("fetch: %v", err)

@@ -14,6 +14,7 @@ import (
 type Disk struct {
 	mu       sync.Mutex
 	pages    map[PageID][]byte
+	cats     map[PageID]Category
 	next     uint64
 	pageSize int
 
@@ -21,6 +22,12 @@ type Disk struct {
 	// default) makes unit tests fast; the experiment harnesses set it
 	// to tens of microseconds.
 	ReadLatency time.Duration
+
+	// fault, when set, is consulted before every physical read and
+	// write; a non-nil return fails the operation before any state
+	// changes. faultSeq numbers the operations seen by the hook.
+	fault    FaultFn
+	faultSeq atomic.Int64
 
 	physReads  atomic.Int64
 	physWrites atomic.Int64
@@ -32,24 +39,68 @@ func NewDisk(pageSize int) *Disk {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Disk{pages: make(map[PageID][]byte), pageSize: pageSize}
+	return &Disk{
+		pages:    make(map[PageID][]byte),
+		cats:     make(map[PageID]Category),
+		pageSize: pageSize,
+	}
 }
 
 // PageSize returns the size in bytes of every page on this disk.
 func (d *Disk) PageSize() int { return d.pageSize }
 
-// Alloc reserves a new zeroed page and returns its ID.
-func (d *Disk) Alloc() PageID {
+// SetFault installs (or, with nil, removes) a fault-injection hook
+// consulted before every physical read and write. The operation
+// sequence counter restarts at 1 on every install.
+func (d *Disk) SetFault(fn FaultFn) {
+	d.mu.Lock()
+	d.fault = fn
+	d.faultSeq.Store(0)
+	d.mu.Unlock()
+}
+
+// checkFault runs the installed hook, if any, for an imminent
+// operation. It returns the hook's verdict.
+func (d *Disk) checkFault(op FaultOp, id PageID) error {
+	d.mu.Lock()
+	fn := d.fault
+	cat := d.cats[id]
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(FaultInfo{Op: op, ID: id, Cat: cat, Seq: d.faultSeq.Add(1)})
+}
+
+// Alloc reserves a new zeroed page and returns its ID. The page is
+// tagged CatData; use AllocCat to tag index pages.
+func (d *Disk) Alloc() PageID { return d.AllocCat(CatData) }
+
+// AllocCat reserves a new zeroed page tagged with cat, so fault
+// injection and diagnostics can target pages by category.
+func (d *Disk) AllocCat(cat Category) PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.next++
 	id := PageID(d.next)
 	d.pages[id] = make([]byte, d.pageSize)
+	d.cats[id] = cat
 	return id
 }
 
 // Read copies the page contents into dst, simulating I/O latency.
+// Reads of unallocated pages fail immediately, before any simulated
+// latency is paid: no I/O happened, so no I/O cost applies.
 func (d *Disk) Read(id PageID, dst []byte) error {
+	d.mu.Lock()
+	_, ok := d.pages[id]
+	d.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	if err := d.checkFault(FaultRead, id); err != nil {
+		return err
+	}
 	if d.ReadLatency > 0 {
 		time.Sleep(d.ReadLatency)
 	}
@@ -68,6 +119,9 @@ func (d *Disk) Read(id PageID, dst []byte) error {
 
 // Write copies src to the page.
 func (d *Disk) Write(id PageID, src []byte) error {
+	if err := d.checkFault(FaultWrite, id); err != nil {
+		return err
+	}
 	d.mu.Lock()
 	dst, ok := d.pages[id]
 	if ok {
@@ -85,6 +139,7 @@ func (d *Disk) Write(id PageID, src []byte) error {
 func (d *Disk) Free(id PageID) {
 	d.mu.Lock()
 	delete(d.pages, id)
+	delete(d.cats, id)
 	d.mu.Unlock()
 }
 

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -77,7 +78,7 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		}
 		sp := Slotted(buf)
 		slot, err := sp.Insert(rec)
-		if err == ErrPageFull {
+		if errors.Is(err, ErrPageFull) {
 			h.freeBytes[i] = sp.ReclaimableSpace()
 			h.pool.Unpin(id, false)
 			return RID{}, false, nil
@@ -166,21 +167,55 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 		h.pool.Unpin(rid.Page, true)
 		return rid, nil
 	}
-	if uerr != ErrPageFull {
+	if !errors.Is(uerr, ErrPageFull) {
 		h.pool.Unpin(rid.Page, false)
 		return RID{}, uerr
 	}
-	// Relocate: delete here, insert elsewhere.
-	if err := sp.Delete(rid.Slot); err != nil {
+	// Relocate: insert the copy elsewhere first, then delete here on the
+	// still-pinned page, so a failed insert leaves the record untouched
+	// and the whole update is all-or-nothing. Insert cannot pick this
+	// page: Update already proved the replacement does not fit even
+	// after reclaiming the old record's bytes.
+	newRID, err := h.Insert(rec)
+	if err != nil {
 		h.pool.Unpin(rid.Page, false)
+		return RID{}, err
+	}
+	if err := sp.Delete(rid.Slot); err != nil {
+		// Unreachable for a live slot; undo the insert to stay atomic.
+		h.pool.Unpin(rid.Page, false)
+		if derr := h.Delete(newRID); derr != nil {
+			err = errors.Join(err, derr)
+		}
 		return RID{}, err
 	}
 	h.noteFree(rid.Page, sp.ReclaimableSpace())
 	h.pool.Unpin(rid.Page, true)
 	h.mu.Lock()
-	h.rows-- // Insert will re-increment
+	h.rows-- // the relocating Insert incremented; net row count is unchanged
 	h.mu.Unlock()
-	return h.Insert(rec)
+	return newRID, nil
+}
+
+// Reinsert restores rec at exactly rid, undoing a Delete. Statement
+// rollback replays undo actions in LIFO order, so the slot is free and
+// the page has the space the record occupied before.
+func (h *HeapFile) Reinsert(rid RID, rec []byte) error {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return err
+	}
+	sp := Slotted(buf)
+	if err := sp.InsertAt(rid.Slot, rec); err != nil {
+		h.pool.Unpin(rid.Page, false)
+		return err
+	}
+	h.noteFree(rid.Page, sp.ReclaimableSpace())
+	h.pool.Unpin(rid.Page, true)
+	h.mu.Lock()
+	h.rows++
+	h.mu.Unlock()
+	return nil
 }
 
 // Delete removes the record at rid.

@@ -151,6 +151,29 @@ func (p SlottedPage) Insert(rec []byte) (uint16, error) {
 	return reuse, nil
 }
 
+// InsertAt places rec into the specific tombstoned slot i, restoring a
+// previously deleted record at its original RID (the undo path for
+// deletes and relocations). The slot must exist and be dead.
+func (p SlottedPage) InsertAt(i uint16, rec []byte) error {
+	if i >= p.numSlots() {
+		return fmt.Errorf("storage: restore into slot %d out of range", i)
+	}
+	if off, _ := p.slotAt(i); off != 0 {
+		return fmt.Errorf("storage: restore into live slot %d", i)
+	}
+	if p.FreeSpace() < len(rec) {
+		if p.ReclaimableSpace() < len(rec) {
+			return ErrPageFull
+		}
+		p.Compact()
+	}
+	newHigh := p.freeHigh() - uint16(len(rec))
+	copy(p.buf[newHigh:], rec)
+	p.setFreeHigh(newHigh)
+	p.setSlot(i, newHigh, uint16(len(rec)))
+	return nil
+}
+
 // Get returns the record stored in slot i. The returned slice aliases
 // the page buffer; callers must copy it if they retain it past unpin.
 func (p SlottedPage) Get(i uint16) ([]byte, error) {
@@ -201,9 +224,11 @@ func (p SlottedPage) Update(i uint16, rec []byte) error {
 		p.setSlot(i, newHigh, uint16(len(rec)))
 		return nil
 	}
-	// Try compaction: dead space from deletes/updates may make it fit.
-	p.Compact()
-	if p.FreeSpace() >= len(rec) {
+	// Compaction reclaims dead space from deletes and updates plus this
+	// record's own bytes, so the page is full only if the record's
+	// replacement genuinely does not fit — which also guarantees that
+	// restoring a record the page previously held always succeeds.
+	if p.ReclaimableSpace()+int(length) >= len(rec) {
 		p.setSlot(i, 0, 0)
 		p.Compact()
 		newHigh := p.freeHigh() - uint16(len(rec))

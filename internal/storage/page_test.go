@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -37,13 +38,13 @@ func TestSlottedFull(t *testing.T) {
 	buf := make([]byte, 64)
 	p := InitSlotted(buf)
 	big := make([]byte, 100)
-	if _, err := p.Insert(big); err != ErrPageFull {
+	if _, err := p.Insert(big); !errors.Is(err, ErrPageFull) {
 		t.Errorf("want ErrPageFull, got %v", err)
 	}
 	small := make([]byte, 10)
 	for {
 		if _, err := p.Insert(small); err != nil {
-			if err != ErrPageFull {
+			if !errors.Is(err, ErrPageFull) {
 				t.Fatalf("unexpected error: %v", err)
 			}
 			break
@@ -132,7 +133,7 @@ func TestSlottedRandomOpsProperty(t *testing.T) {
 				rec := make([]byte, 1+r.Intn(40))
 				r.Read(rec)
 				s, err := p.Insert(rec)
-				if err == ErrPageFull {
+				if errors.Is(err, ErrPageFull) {
 					continue
 				}
 				if err != nil {
@@ -152,7 +153,7 @@ func TestSlottedRandomOpsProperty(t *testing.T) {
 					rec := make([]byte, 1+r.Intn(40))
 					r.Read(rec)
 					err := p.Update(s, rec)
-					if err == ErrPageFull {
+					if errors.Is(err, ErrPageFull) {
 						break
 					}
 					if err != nil {
@@ -288,7 +289,7 @@ func TestBufferPoolExhaustion(t *testing.T) {
 		}
 		pinned = append(pinned, id)
 	}
-	if _, _, err := pool.NewPage(CatData); err != ErrPoolExhausted {
+	if _, _, err := pool.NewPage(CatData); !errors.Is(err, ErrPoolExhausted) {
 		t.Errorf("want ErrPoolExhausted, got %v", err)
 	}
 	for _, id := range pinned {
