@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-bench bench-scaling check
+.PHONY: all build vet test race race-bench bench-smoke bench-scaling bench-wide check
 
 all: check
 
@@ -21,9 +21,19 @@ race:
 race-bench:
 	$(GO) test -race -run NONE -bench BenchmarkMultiSessionScaling -benchtime 1x .
 
+# One iteration of every benchmark: keeps benchmark code compiling and
+# running without paying for full measurement (CI runs this).
+bench-smoke:
+	$(GO) test -run=XXX -bench=. -benchtime=1x .
+
 # Regenerate BENCH_1.json (the machine-readable multi-session sweep).
 bench-scaling:
 	$(GO) run ./cmd/mtdbench -scaling -tenants 120 -rows 12 -actions 800 \
 		-mem-mb 2 -latency 500us -json-out BENCH_1.json
 
-check: build vet test race race-bench
+# Regenerate BENCH_3.json (batch execution + column pruning vs the
+# row-at-a-time baseline, plus the §6.2 chunk-width result-equality sweep).
+bench-wide:
+	$(GO) run ./cmd/mtdbench -widebench -json-out BENCH_3.json
+
+check: build vet test race race-bench bench-smoke

@@ -6,9 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/chunkexp"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/testbed"
 	"repro/internal/types"
@@ -216,6 +220,7 @@ func BenchmarkFig9WarmCache(b *testing.B) {
 				if _, err := in.Query(q, types.NewInt(2)); err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := in.Query(q, types.NewInt(2)); err != nil {
@@ -340,6 +345,7 @@ func BenchmarkTest1NestedVsFlattened(b *testing.B) {
 			if _, err := in.Query(q, types.NewInt(2)); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := in.Query(q, types.NewInt(2)); err != nil {
@@ -363,6 +369,7 @@ func BenchmarkGroupingOverChunks(b *testing.B) {
 			if _, err := in.Query(q, types.NewInt(2)); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := in.Query(q, types.NewInt(2)); err != nil {
@@ -428,6 +435,7 @@ func BenchmarkLayoutPointQuery(b *testing.B) {
 			if _, err := m.Query(1, q, types.NewInt(7)); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Query(1, q, types.NewInt(int64(1+i%100))); err != nil {
@@ -436,6 +444,129 @@ func BenchmarkLayoutPointQuery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Batch execution + column pruning ------------------------------------------------
+
+// wideTableFixture builds a 20-column table — 16 VARCHAR attributes
+// around 4 INTEGER columns — the universal-table shape whose wide rows
+// make narrow projections expensive without column pruning.
+func wideTableFixture(b *testing.B, rows int) *catalog.Catalog {
+	b.Helper()
+	pool := storage.NewBufferPool(storage.NewDisk(0), 64<<20)
+	cat := catalog.New(pool, catalog.Config{MemoryBytes: 64 << 20})
+	cols := []catalog.Column{
+		{Name: "k0", Type: types.IntType, NotNull: true},
+		{Name: "k1", Type: types.IntType},
+	}
+	for i := 0; i < 16; i++ {
+		cols = append(cols, catalog.Column{Name: fmt.Sprintf("attr%02d", i), Type: types.StringType})
+	}
+	cols = append(cols,
+		catalog.Column{Name: "k2", Type: types.IntType},
+		catalog.Column{Name: "k3", Type: types.IntType},
+	)
+	tab, err := cat.CreateTable("wide", cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRand(2008)
+	row := make([]types.Value, len(cols))
+	for i := 1; i <= rows; i++ {
+		row[0] = types.NewInt(int64(i))
+		row[1] = types.NewInt(int64(r.Intn(1000)))
+		for j := 0; j < 16; j++ {
+			row[2+j] = types.NewString(fmt.Sprintf("attribute-%02d-value-%06d", j, r.Intn(1_000_000)))
+		}
+		row[18] = types.NewInt(int64(r.Intn(1000)))
+		row[19] = types.NewInt(int64(r.Intn(1000)))
+		if _, err := tab.InsertRow(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cat
+}
+
+func planBench(b *testing.B, cat *catalog.Catalog, query string) plan.Node {
+	b.Helper()
+	st, err := sql.Parse(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := plan.New(cat, plan.Sophisticated).PlanStatement(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkWideTableNarrowProjection is the headline measurement of the
+// batching + pruning work: a 4-of-20-column projection with a filter
+// over a wide heap, run through the batch path with column pruning
+// ("batch") and through the row-at-a-time path with pruning disabled
+// ("row-baseline", the pre-batching executor's behaviour). BENCH_3.json
+// (cmd/mtdbench -widebench) records the same comparison.
+func BenchmarkWideTableNarrowProjection(b *testing.B) {
+	cat := wideTableFixture(b, 2000)
+	const query = "SELECT k0, k1, k2, k3 FROM wide WHERE k1 > 100"
+	b.Run("batch", func(b *testing.B) {
+		n := planBench(b, cat, query)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := exec.Collect(n, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	b.Run("row-baseline", func(b *testing.B) {
+		n := planBench(b, cat, query)
+		plan.DisablePruning(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows, err := exec.CollectRowAtATime(n, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+}
+
+// BenchmarkWideTableAggregate measures a grouping roll-up over the same
+// wide heap: aggregation consumes batches without retaining rows, so
+// the batch path's advantage compounds.
+func BenchmarkWideTableAggregate(b *testing.B) {
+	cat := wideTableFixture(b, 2000)
+	const query = "SELECT k1, COUNT(*), SUM(k2) FROM wide GROUP BY k1"
+	b.Run("batch", func(b *testing.B) {
+		n := planBench(b, cat, query)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Collect(n, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("row-baseline", func(b *testing.B) {
+		n := planBench(b, cat, query)
+		plan.DisablePruning(n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.CollectRowAtATime(n, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchRand builds a deterministic rand source for benchmark data.

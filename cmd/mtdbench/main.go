@@ -41,6 +41,7 @@ func main() {
 		layoutFl  = flag.String("layout", "basic", "schema-mapping layout: basic, extension, chunk, chunkfold, universal")
 		withExts  = flag.Bool("extensions", false, "enable tenant extensions in schema and workload (§7's complete setting; needs a non-basic layout)")
 		scaling   = flag.Bool("scaling", false, "run the multi-session scaling sweep instead of the variability sweep")
+		widebench = flag.Bool("widebench", false, "run the batch-execution/column-pruning benchmark and §6.2 Q2 sweep")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
@@ -48,6 +49,14 @@ func main() {
 
 	if *scaling {
 		runScaling(*sessList, *tenants, *rows, *actions, *memMB, *latency, *seed, *jsonOut)
+		return
+	}
+	if *widebench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_3.json"
+		}
+		runWideBench(out)
 		return
 	}
 

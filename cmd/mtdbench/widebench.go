@@ -1,0 +1,297 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/chunkexp"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// runWideBench is the -widebench mode: it measures the batch-at-a-time
+// executor with column pruning against the row-at-a-time unpruned
+// baseline on a wide-table/narrow-projection microbenchmark, re-runs
+// the §6.2 chunk-width sweep through both paths to show the results are
+// unchanged, and writes everything to jsonOut (BENCH_3.json).
+func runWideBench(jsonOut string) {
+	type pathResult struct {
+		NsPerOp     int64 `json:"ns_per_op"`
+		AllocsPerOp int64 `json:"allocs_per_op"`
+		BytesPerOp  int64 `json:"bytes_per_op"`
+		Rows        int   `json:"rows"`
+	}
+	type sweepPoint struct {
+		Instance     string  `json:"instance"`
+		ChunkWidth   int     `json:"chunk_width"`
+		Scale        int     `json:"scale"`
+		BatchNsPerOp int64   `json:"batch_ns_per_op"`
+		RowNsPerOp   int64   `json:"row_ns_per_op"`
+		Rows         int     `json:"rows"`
+		ResultsEqual bool    `json:"results_equal"`
+		Speedup      float64 `json:"speedup"`
+	}
+
+	// --- Wide table, narrow projection ---------------------------------
+	const wideRows = 2000
+	cat := wideCatalog(wideRows)
+	const query = "SELECT k0, k1, k2, k3 FROM wide WHERE k1 > 100"
+
+	batchPlan := mustPlan(cat, query)
+	rowPlan := mustPlan(cat, query)
+	plan.DisablePruning(rowPlan)
+
+	measure := func(run func() (int, error)) pathResult {
+		var rows int
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n, err := run()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "widebench: %v\n", err)
+					os.Exit(1)
+				}
+				rows = n
+			}
+		})
+		return pathResult{
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Rows:        rows,
+		}
+	}
+	batch := measure(func() (int, error) {
+		rows, err := exec.Collect(batchPlan, nil)
+		return len(rows), err
+	})
+	row := measure(func() (int, error) {
+		rows, err := exec.CollectRowAtATime(rowPlan, nil)
+		return len(rows), err
+	})
+
+	// Decode savings of the pruned batch path, from the exec counters.
+	var st exec.Stats
+	if _, err := exec.CollectStats(batchPlan, nil, &st); err != nil {
+		fmt.Fprintf(os.Stderr, "widebench stats: %v\n", err)
+		os.Exit(1)
+	}
+	counters := st.Snapshot()
+
+	fmt.Println("Wide table (20 columns, 16 VARCHAR), 4-column projection, 2000 rows")
+	fmt.Printf("%-14s %-14s %-14s %-14s %s\n", "Path", "ns/op", "allocs/op", "B/op", "rows")
+	fmt.Printf("%-14s %-14d %-14d %-14d %d\n", "batch", batch.NsPerOp, batch.AllocsPerOp, batch.BytesPerOp, batch.Rows)
+	fmt.Printf("%-14s %-14d %-14d %-14d %d\n", "row-baseline", row.NsPerOp, row.AllocsPerOp, row.BytesPerOp, row.Rows)
+	speedup := float64(row.NsPerOp) / float64(batch.NsPerOp)
+	allocRatio := float64(row.AllocsPerOp) / float64(batch.AllocsPerOp)
+	fmt.Printf("speedup %.2fx, %.1fx fewer allocations; decode: %d values materialized, %d skipped\n\n",
+		speedup, allocRatio, counters.ValuesDecoded, counters.ValuesSkipped)
+
+	// --- §6.2 chunk-width sweep through both paths ---------------------
+	cfg := chunkexp.Config{Parents: 80, ChildrenPerParent: 8, MemoryBytes: 16 << 20}
+	const scale = 30
+	var sweep []sweepPoint
+	fmt.Println("§6.2 Q2 sweep (scale 30), batch vs row path, result equality")
+	fmt.Printf("%-16s %-14s %-14s %-10s %-8s %s\n", "Instance", "batch-ns/op", "row-ns/op", "speedup", "rows", "equal")
+	for _, mk := range []func() (*chunkexp.Instance, error){
+		func() (*chunkexp.Instance, error) { return chunkexp.NewConventional(cfg) },
+		func() (*chunkexp.Instance, error) { return chunkexp.NewChunk(cfg, 3, false) },
+		func() (*chunkexp.Instance, error) { return chunkexp.NewChunk(cfg, 15, false) },
+		func() (*chunkexp.Instance, error) { return chunkexp.NewChunk(cfg, 90, false) },
+	} {
+		in, err := mk()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "widebench sweep: %v\n", err)
+			os.Exit(1)
+		}
+		if err := in.Load(); err != nil {
+			fmt.Fprintf(os.Stderr, "widebench load: %v\n", err)
+			os.Exit(1)
+		}
+		logical := chunkexp.Q2(scale)
+		physical, err := in.RewriteSQL(logical)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "widebench rewrite: %v\n", err)
+			os.Exit(1)
+		}
+		if strings.Contains(physical, ";") {
+			fmt.Fprintf(os.Stderr, "widebench: multi-statement rewrite unsupported\n")
+			os.Exit(1)
+		}
+		pcat := in.DB.Catalog()
+		bPlan := mustPlan(pcat, physical)
+		rPlan := mustPlan(pcat, physical)
+		plan.DisablePruning(rPlan)
+		params := []types.Value{types.NewInt(2)}
+
+		bRows, err := exec.Collect(bPlan, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "widebench batch: %v\n", err)
+			os.Exit(1)
+		}
+		rRows, err := exec.CollectRowAtATime(rPlan, params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "widebench row: %v\n", err)
+			os.Exit(1)
+		}
+		equal := sameResultSet(bRows, rRows)
+
+		bRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Collect(bPlan, params); err != nil {
+					fmt.Fprintf(os.Stderr, "widebench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		})
+		rRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.CollectRowAtATime(rPlan, params); err != nil {
+					fmt.Fprintf(os.Stderr, "widebench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		})
+		p := sweepPoint{
+			Instance:     in.Name,
+			ChunkWidth:   in.Width,
+			Scale:        scale,
+			BatchNsPerOp: bRes.NsPerOp(),
+			RowNsPerOp:   rRes.NsPerOp(),
+			Rows:         len(bRows),
+			ResultsEqual: equal,
+			Speedup:      float64(rRes.NsPerOp()) / float64(bRes.NsPerOp()),
+		}
+		sweep = append(sweep, p)
+		fmt.Printf("%-16s %-14d %-14d %-10.2f %-8d %v\n",
+			p.Instance, p.BatchNsPerOp, p.RowNsPerOp, p.Speedup, p.Rows, p.ResultsEqual)
+	}
+	fmt.Println()
+
+	out := struct {
+		Benchmark string                 `json:"benchmark"`
+		Config    map[string]interface{} `json:"config"`
+		WideTable map[string]interface{} `json:"wide_table"`
+		ChunkQ2   []sweepPoint           `json:"chunk_q2_sweep"`
+	}{
+		Benchmark: "batch_execution_column_pruning",
+		Config: map[string]interface{}{
+			"wide_rows":         wideRows,
+			"wide_columns":      20,
+			"projected_columns": 4,
+			"query":             query,
+			"chunk_parents":     cfg.Parents,
+			"chunk_children":    cfg.ChildrenPerParent,
+			"q2_scale":          scale,
+		},
+		WideTable: map[string]interface{}{
+			"batch":           batch,
+			"row_baseline":    row,
+			"speedup":         speedup,
+			"alloc_reduction": allocRatio,
+			"values_decoded":  counters.ValuesDecoded,
+			"values_skipped":  counters.ValuesSkipped,
+		},
+		ChunkQ2: sweep,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write %s: %v\n", jsonOut, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", jsonOut)
+}
+
+// wideCatalog builds the 20-column wide table (16 VARCHAR attributes,
+// 4 INTEGER keys) used by the microbenchmark.
+func wideCatalog(rows int) *catalog.Catalog {
+	pool := storage.NewBufferPool(storage.NewDisk(0), 64<<20)
+	cat := catalog.New(pool, catalog.Config{MemoryBytes: 64 << 20})
+	cols := []catalog.Column{
+		{Name: "k0", Type: types.IntType, NotNull: true},
+		{Name: "k1", Type: types.IntType},
+	}
+	for i := 0; i < 16; i++ {
+		cols = append(cols, catalog.Column{Name: fmt.Sprintf("attr%02d", i), Type: types.StringType})
+	}
+	cols = append(cols,
+		catalog.Column{Name: "k2", Type: types.IntType},
+		catalog.Column{Name: "k3", Type: types.IntType},
+	)
+	tab, err := cat.CreateTable("wide", cols)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "widebench setup: %v\n", err)
+		os.Exit(1)
+	}
+	r := rand.New(rand.NewSource(2008))
+	row := make([]types.Value, len(cols))
+	for i := 1; i <= rows; i++ {
+		row[0] = types.NewInt(int64(i))
+		row[1] = types.NewInt(int64(r.Intn(1000)))
+		for j := 0; j < 16; j++ {
+			row[2+j] = types.NewString(fmt.Sprintf("attribute-%02d-value-%06d", j, r.Intn(1_000_000)))
+		}
+		row[18] = types.NewInt(int64(r.Intn(1000)))
+		row[19] = types.NewInt(int64(r.Intn(1000)))
+		if _, err := tab.InsertRow(row); err != nil {
+			fmt.Fprintf(os.Stderr, "widebench insert: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return cat
+}
+
+func mustPlan(cat *catalog.Catalog, query string) plan.Node {
+	st, err := sql.Parse(query)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "widebench parse: %v\n", err)
+		os.Exit(1)
+	}
+	n, err := plan.New(cat, plan.Sophisticated).PlanStatement(st)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "widebench plan: %v\n", err)
+		os.Exit(1)
+	}
+	return n
+}
+
+// sameResultSet compares two result sets order-insensitively.
+func sameResultSet(a, b [][]types.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	render := func(rows [][]types.Value) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			var sb strings.Builder
+			for _, v := range r {
+				sb.WriteString(v.SQLLiteral())
+				sb.WriteByte('|')
+			}
+			out[i] = sb.String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	ra, rb := render(a), render(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}

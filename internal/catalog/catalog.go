@@ -209,6 +209,24 @@ func (t *Table) GetRow(rid storage.RID) ([]types.Value, error) {
 	return row, nil
 }
 
+// GetRowInto is GetRow decoding into dst (whose backing storage is
+// reused) and materializing only the columns marked in need (nil = all;
+// the rest come back as NULL). It skips both the record copy and the
+// per-value allocations of GetRow: the record is decoded while its page
+// stays pinned. Returns the row plus the decoded/skipped value counts
+// for the engine's decode-savings counters.
+func (t *Table) GetRowInto(dst []types.Value, rid storage.RID, need []bool) (row []types.Value, decoded, skipped int, err error) {
+	verr := t.Heap.View(rid, func(rec []byte) error {
+		var derr error
+		row, decoded, skipped, derr = types.DecodeRowPartial(dst, rec, need, len(t.Columns))
+		return derr
+	})
+	if verr != nil {
+		return nil, 0, 0, verr
+	}
+	return row, decoded, skipped, nil
+}
+
 // DeleteRow removes the row (whose current contents must be supplied
 // for index maintenance). Caller holds the write lock. The delete is
 // all-or-nothing: a failure partway restores the removed index entries

@@ -68,6 +68,10 @@ type DB struct {
 	// partial effects rolled back (statement-level atomicity).
 	stmtRollbacks atomic.Int64
 
+	// execStats aggregates executor counters (rows/batches scanned,
+	// column values decoded vs skipped by pruning) across statements.
+	execStats exec.Stats
+
 	// ddlMu serializes DDL against all other statements; DML and
 	// queries hold it shared.
 	ddlMu sync.RWMutex
@@ -171,7 +175,7 @@ func (db *DB) queryStmtKeyed(sel *sql.SelectStmt, key string, params []types.Val
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.Collect(p, params)
+	data, err := exec.CollectStats(p, params, &db.execStats)
 	if err != nil {
 		return nil, err
 	}
@@ -198,7 +202,7 @@ func (db *DB) execSelect(sel *sql.SelectStmt, key string, params []types.Value) 
 	if err != nil {
 		return Result{}, err
 	}
-	_, err = exec.Drain(p, params)
+	_, err = exec.DrainStats(p, params, &db.execStats)
 	return Result{}, err
 }
 
@@ -267,7 +271,7 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 	if err != nil {
 		return Result{}, err
 	}
-	n, err := exec.RunDML(p, params)
+	n, err := exec.RunDMLStats(p, params, &db.execStats)
 	if err != nil {
 		// RunDML rolled the statement's partial effects back before
 		// returning (statement-level atomicity).
@@ -432,6 +436,10 @@ type Stats struct {
 	// StmtRollbacks counts DML statements that failed and were rolled
 	// back to their pre-statement state.
 	StmtRollbacks int64
+	// Exec carries executor counters: rows and batches produced by
+	// base-table scans, and column values decoded vs skipped by column
+	// pruning (the decode savings of narrow queries over wide tables).
+	Exec exec.Counters
 }
 
 // Stats returns current counters.
@@ -443,6 +451,7 @@ func (db *DB) Stats() Stats {
 		Tables:        db.cat.NumTables(),
 		MetaBytes:     db.cat.MetaBytes(),
 		StmtRollbacks: db.stmtRollbacks.Load(),
+		Exec:          db.execStats.Snapshot(),
 	}
 }
 
@@ -450,6 +459,7 @@ func (db *DB) Stats() Stats {
 func (db *DB) ResetStats() {
 	db.pool.ResetStats()
 	db.disk.ResetCounters()
+	db.execStats.Reset()
 }
 
 // DropCaches flushes and empties the buffer pool — the cold-cache

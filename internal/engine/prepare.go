@@ -77,7 +77,7 @@ func (s *Stmt) Query(params ...types.Value) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.Collect(n, params)
+	data, err := exec.CollectStats(n, params, &s.db.execStats)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +106,7 @@ func (s *Stmt) Exec(params ...types.Value) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	count, err := exec.RunDML(n, params)
+	count, err := exec.RunDMLStats(n, params, &s.db.execStats)
 	if err != nil {
 		s.db.stmtRollbacks.Add(1)
 	}

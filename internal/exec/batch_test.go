@@ -1,0 +1,292 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// propFixture builds a CRM-shaped catalog (Account ⟵ Opportunity, the
+// testbed's parent-child core) with randomized data, returning the pool
+// so tests can inject fetch faults mid-scan.
+func propFixture(t testing.TB, seed int64) (*storage.BufferPool, *catalog.Catalog) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	pool := storage.NewBufferPool(storage.NewDisk(0), 4<<20)
+	cat := catalog.New(pool, catalog.Config{MemoryBytes: 4 << 20})
+	account, err := cat.CreateTable("account", []catalog.Column{
+		{Name: "id", Type: types.IntType, NotNull: true},
+		{Name: "name", Type: types.StringType},
+		{Name: "industry", Type: types.StringType},
+		{Name: "attr01", Type: types.IntType},
+		{Name: "attr03", Type: types.FloatType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("account", "account_pk", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	opp, err := cat.CreateTable("opportunity", []catalog.Column{
+		{Name: "id", Type: types.IntType, NotNull: true},
+		{Name: "account_id", Type: types.IntType},
+		{Name: "stage", Type: types.StringType},
+		{Name: "quantity", Type: types.IntType},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("opportunity", "opportunity_pk", []string{"id"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateIndex("opportunity", "opportunity_acct", []string{"account_id"}, false); err != nil {
+		t.Fatal(err)
+	}
+	industries := []string{"health", "auto", "retail", "finance"}
+	stages := []string{"prospect", "qualify", "close", "won"}
+	nAcct := 80 + r.Intn(120)
+	for i := 1; i <= nAcct; i++ {
+		ind := types.NewString(industries[r.Intn(len(industries))])
+		if r.Intn(12) == 0 {
+			ind = types.Null() // NULL group keys exercised too
+		}
+		if _, err := account.InsertRow([]types.Value{
+			types.NewInt(int64(i)),
+			types.NewString(fmt.Sprintf("account-%d", i)),
+			ind,
+			types.NewInt(int64(r.Intn(1000))),
+			types.NewFloat(r.Float64() * 1000),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3*nAcct; i++ {
+		fk := types.NewInt(int64(1 + r.Intn(nAcct+5))) // some dangling FKs
+		if r.Intn(15) == 0 {
+			fk = types.Null() // NULL join keys never match
+		}
+		if _, err := opp.InsertRow([]types.Value{
+			types.NewInt(int64(i)),
+			fk,
+			types.NewString(stages[r.Intn(len(stages))]),
+			types.NewInt(int64(r.Intn(500))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return pool, cat
+}
+
+// propQueries mirrors the testbed's query classes: entity detail pages
+// (point lookup), the five business-activity-monitoring aggregates,
+// plus DISTINCT, IN-subquery, LEFT JOIN, and ORDER BY shapes.
+func propQueries(r *rand.Rand) []struct {
+	q      string
+	params []types.Value
+} {
+	return []struct {
+		q      string
+		params []types.Value
+	}{
+		{"SELECT * FROM account WHERE id = ?", []types.Value{types.NewInt(int64(1 + r.Intn(150)))}},
+		{"SELECT industry, COUNT(*) FROM account GROUP BY industry", nil},
+		{"SELECT a.industry, COUNT(*) FROM account a, opportunity o WHERE o.account_id = a.id GROUP BY a.industry", nil},
+		{"SELECT COUNT(*), SUM(quantity) FROM opportunity WHERE quantity > ?", []types.Value{types.NewInt(int64(r.Intn(500)))}},
+		{"SELECT stage, COUNT(*), SUM(quantity) FROM opportunity GROUP BY stage ORDER BY stage", nil},
+		{"SELECT DISTINCT industry FROM account", nil},
+		{"SELECT COUNT(*) FROM opportunity WHERE account_id IN (SELECT id FROM account WHERE industry = ?)", []types.Value{types.NewString("health")}},
+		{"SELECT a.id, o.id FROM account a LEFT JOIN opportunity o ON o.account_id = a.id", nil},
+		{"SELECT industry, id FROM account ORDER BY industry, id DESC", nil},
+		{"SELECT name FROM account WHERE id >= ? AND id < ?", []types.Value{types.NewInt(int64(r.Intn(80))), types.NewInt(int64(80 + r.Intn(80)))}},
+		{"SELECT name, attr03 FROM account WHERE attr01 > ? ORDER BY name LIMIT 10", []types.Value{types.NewInt(int64(r.Intn(900)))}},
+	}
+}
+
+func planQuery(t testing.TB, cat *catalog.Catalog, q string) plan.Node {
+	t.Helper()
+	st, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	n, err := plan.New(cat, plan.Sophisticated).PlanStatement(st)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return n
+}
+
+func renderRows(rows [][]types.Value) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for _, v := range r {
+			s += v.SQLLiteral() + "|"
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func sameResults(a, b [][]types.Value) bool {
+	ra, rb := renderRows(a), renderRows(b)
+	sort.Strings(ra)
+	sort.Strings(rb)
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchRowEquivalenceProperty runs every query class through the
+// batch path (Collect), the row path (CollectRowAtATime), and the row
+// path with column pruning disabled, asserting identical result sets
+// for randomized data and parameters.
+func TestBatchRowEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		_, cat := propFixture(t, seed)
+		r := rand.New(rand.NewSource(seed * 977))
+		for trial := 0; trial < 3; trial++ {
+			for _, c := range propQueries(r) {
+				n := planQuery(t, cat, c.q)
+				batch, err := Collect(n, c.params)
+				if err != nil {
+					t.Fatalf("seed %d batch %q: %v", seed, c.q, err)
+				}
+				row, err := CollectRowAtATime(n, c.params)
+				if err != nil {
+					t.Fatalf("seed %d row %q: %v", seed, c.q, err)
+				}
+				if !sameResults(batch, row) {
+					t.Errorf("seed %d %q: batch path %d rows != row path %d rows",
+						seed, c.q, len(batch), len(row))
+				}
+				unpruned := planQuery(t, cat, c.q)
+				plan.DisablePruning(unpruned)
+				full, err := CollectRowAtATime(unpruned, c.params)
+				if err != nil {
+					t.Fatalf("seed %d unpruned %q: %v", seed, c.q, err)
+				}
+				if !sameResults(batch, full) {
+					t.Errorf("seed %d %q: pruned results differ from unpruned", seed, c.q)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRowFaultEquivalence injects a fetch fault at the kth logical
+// page access mid-scan and asserts the batch and row paths fail (or
+// succeed past the fault) identically — batching must not change which
+// statements an I/O error aborts.
+func TestBatchRowFaultEquivalence(t *testing.T) {
+	pool, cat := propFixture(t, 42)
+	r := rand.New(rand.NewSource(4242))
+	for _, c := range propQueries(r) {
+		for _, cat2 := range []storage.Category{storage.CatData, storage.CatIndex} {
+			for _, k := range []int64{1, 2, 5, 12, 40} {
+				runPath := func(collect func(plan.Node, []types.Value) ([][]types.Value, error)) ([][]types.Value, error) {
+					pool.SetFetchFault(storage.FailNthFetch(k, cat2))
+					defer pool.SetFetchFault(nil)
+					return collect(planQuery(t, cat, c.q), c.params)
+				}
+				batch, berr := runPath(func(n plan.Node, p []types.Value) ([][]types.Value, error) {
+					return Collect(n, p)
+				})
+				row, rerr := runPath(CollectRowAtATime)
+				if (berr != nil) != (rerr != nil) {
+					t.Fatalf("%q cat=%v k=%d: batch err %v, row err %v", c.q, cat2, k, berr, rerr)
+				}
+				if berr != nil {
+					if !errors.Is(berr, storage.ErrInjectedFault) || !errors.Is(rerr, storage.ErrInjectedFault) {
+						t.Fatalf("%q cat=%v k=%d: unexpected errors %v / %v", c.q, cat2, k, berr, rerr)
+					}
+					continue
+				}
+				if !sameResults(batch, row) {
+					t.Errorf("%q cat=%v k=%d: results diverge", c.q, cat2, k)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedFilterAndJoinColumnsStillApply executes queries whose
+// filter / join columns never appear in the SELECT list: pruning must
+// decode them for predicate evaluation anyway, so the predicates keep
+// filtering correctly.
+func TestPrunedFilterAndJoinColumnsStillApply(t *testing.T) {
+	_, cat := propFixture(t, 11)
+	// Filter column (industry) not selected: result must match the count
+	// computed by an unpruned plan.
+	q := "SELECT id FROM account WHERE industry = 'health'"
+	n := planQuery(t, cat, q)
+	pruned, err := Collect(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned := planQuery(t, cat, q)
+	plan.DisablePruning(unpruned)
+	full, err := Collect(unpruned, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned) == 0 || !sameResults(pruned, full) {
+		t.Errorf("filter on pruned column: %d pruned vs %d unpruned rows", len(pruned), len(full))
+	}
+	// Join key (o.account_id) not selected on either side.
+	q = "SELECT a.name, o.stage FROM account a, opportunity o WHERE o.account_id = a.id"
+	n = planQuery(t, cat, q)
+	joined, err := Collect(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpruned = planQuery(t, cat, q)
+	plan.DisablePruning(unpruned)
+	fullJoin, err := Collect(unpruned, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) == 0 || !sameResults(joined, fullJoin) {
+		t.Errorf("join on pruned key: %d pruned vs %d unpruned rows", len(joined), len(fullJoin))
+	}
+}
+
+// TestCollectStatsCounters sanity-checks the executor counters: a
+// pruned scan must report decode savings, and counters must accumulate
+// rows and batches.
+func TestCollectStatsCounters(t *testing.T) {
+	_, cat := propFixture(t, 7)
+	var st Stats
+	n := planQuery(t, cat, "SELECT id FROM account")
+	rows, err := CollectStats(n, nil, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := st.Snapshot()
+	if c.RowsScanned != int64(len(rows)) {
+		t.Errorf("RowsScanned = %d, want %d", c.RowsScanned, len(rows))
+	}
+	if c.ScanBatches == 0 {
+		t.Error("ScanBatches = 0, want > 0")
+	}
+	// account has 5 columns, the query needs 1: most values skip decode.
+	if c.ValuesSkipped <= c.ValuesDecoded {
+		t.Errorf("ValuesSkipped = %d not > ValuesDecoded = %d", c.ValuesSkipped, c.ValuesDecoded)
+	}
+	if c.ValuesDecoded != int64(len(rows)) {
+		t.Errorf("ValuesDecoded = %d, want %d (one column per row)", c.ValuesDecoded, len(rows))
+	}
+}

@@ -18,8 +18,13 @@ import (
 // in reverse before the write lock is released, so a failed statement
 // affects zero rows and leaves the table in its pre-statement state.
 func RunDML(n plan.Node, params []types.Value) (int64, error) {
+	return RunDMLStats(n, params, nil)
+}
+
+// RunDMLStats is RunDML feeding executor counters into st (nil ok).
+func RunDMLStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
 	bindSubqueries(n)
-	ctx := &Context{Params: params}
+	ctx := &Context{Params: params, Stats: st}
 	undo := &catalog.UndoLog{}
 	var (
 		count int64
@@ -117,23 +122,27 @@ func runDelete(p *plan.DeletePlan, ctx *Context, undo *catalog.UndoLog) (int64, 
 }
 
 // gatherMatches scans via the access path (or sequentially) and buffers
-// every (rid, row) whose filter evaluates to TRUE.
+// every (rid, row) whose filter evaluates to TRUE. Rows are decoded in
+// full (no column pruning: SET expressions, index maintenance, and undo
+// all need complete rows) into a reused scratch buffer; only matching
+// rows are copied out, so rows the filter rejects cost no allocation.
 func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, ctx *Context) ([]storage.RID, [][]types.Value, error) {
 	var rids []storage.RID
 	var rows [][]types.Value
-	keep := func(rid storage.RID, row []types.Value) (bool, error) {
+	var scratch []types.Value
+	keep := func(rid storage.RID, row []types.Value) error {
 		if filter != nil {
 			v, err := filter.Eval(row, ctx.Params)
 			if err != nil {
-				return false, err
+				return err
 			}
 			if !plan.IsTrue(v) {
-				return false, nil
+				return nil
 			}
 		}
 		rids = append(rids, rid)
-		rows = append(rows, row)
-		return true, nil
+		rows = append(rows, copyRow(row))
+		return nil
 	}
 	if path != nil {
 		lo, hi, ok, err := indexKeys(path, nil, ctx.Params)
@@ -149,11 +158,12 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		}
 		for ; it.Valid(); it.Next() {
 			rid := it.RID()
-			row, err := t.GetRow(rid)
+			row, _, _, err := t.GetRowInto(scratch, rid, nil)
 			if err != nil {
 				return nil, nil, err
 			}
-			if _, err := keep(rid, row); err != nil {
+			scratch = row
+			if err := keep(rid, row); err != nil {
 				return nil, nil, err
 			}
 		}
@@ -172,14 +182,12 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		if !ok {
 			return rids, rows, nil
 		}
-		row, err := types.DecodeRow(rec)
+		row, err := types.DecodeRowInto(scratch, rec, want)
 		if err != nil {
 			return nil, nil, err
 		}
-		for len(row) < want {
-			row = append(row, types.Null())
-		}
-		if _, err := keep(rid, row); err != nil {
+		scratch = row
+		if err := keep(rid, row); err != nil {
 			return nil, nil, err
 		}
 	}

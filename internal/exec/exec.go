@@ -13,10 +13,17 @@ import (
 // Context carries per-execution state.
 type Context struct {
 	Params []types.Value
+	// Stats receives executor counters (rows scanned, batches, decode
+	// savings); may be nil. Iterators flush into it on Close.
+	Stats *Stats
 }
 
 // Iterator is the operator interface: Open, then Next until (nil, nil),
 // then Close. Rows returned by Next are owned by the caller.
+//
+// Batch-native operators additionally implement BatchIterator (see
+// batch.go); asBatch adapts the rest, so a parent can drive either
+// interface — but must pick one per execution.
 type Iterator interface {
 	Open(ctx *Context) error
 	Next() ([]types.Value, error)
@@ -64,6 +71,7 @@ func build(n plan.Node) (Iterator, error) {
 			return nil, err
 		}
 		return &hashJoinIter{node: n, left: l, right: r,
+			leftWidth:  len(n.Left.Schema()),
 			rightWidth: len(n.Right.Schema())}, nil
 	case *plan.IndexNLJoin:
 		outer, err := build(n.Outer)
@@ -122,6 +130,47 @@ func build(n plan.Node) (Iterator, error) {
 
 // Collect runs a plan to completion and returns all rows.
 func Collect(n plan.Node, params []types.Value) ([][]types.Value, error) {
+	return CollectStats(n, params, nil)
+}
+
+// CollectStats is Collect feeding executor counters into st (nil ok).
+// It drives the plan batch-at-a-time; rows are copied out of volatile
+// batch storage into the returned (caller-owned) slice.
+func CollectStats(n plan.Node, params []types.Value, st *Stats) ([][]types.Value, error) {
+	it, err := Build(n)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Context{Params: params, Stats: st}
+	bit := asBatch(it)
+	if err := bit.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer bit.Close()
+	retain := volatileRows(bit)
+	var out [][]types.Value
+	for {
+		b, err := bit.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for _, row := range b.Rows {
+			if retain {
+				row = copyRow(row)
+			}
+			out = append(out, row)
+		}
+	}
+}
+
+// CollectRowAtATime runs a plan to completion through the row-at-a-time
+// Next interface only. It is the equivalence oracle for the batch path
+// (batch-vs-row property tests) and the baseline for the batching
+// benchmarks; production callers use Collect.
+func CollectRowAtATime(n plan.Node, params []types.Value) ([][]types.Value, error) {
 	it, err := Build(n)
 	if err != nil {
 		return nil, err
@@ -148,25 +197,32 @@ func Collect(n plan.Node, params []types.Value) ([][]types.Value, error) {
 // row count. DB.Exec on a SELECT uses it so a result set nobody reads
 // is streamed and counted instead of materialized.
 func Drain(n plan.Node, params []types.Value) (int64, error) {
+	return DrainStats(n, params, nil)
+}
+
+// DrainStats is Drain feeding executor counters into st (nil ok).
+// Batches are counted and dropped without any copying.
+func DrainStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
 	it, err := Build(n)
 	if err != nil {
 		return 0, err
 	}
-	ctx := &Context{Params: params}
-	if err := it.Open(ctx); err != nil {
+	ctx := &Context{Params: params, Stats: st}
+	bit := asBatch(it)
+	if err := bit.Open(ctx); err != nil {
 		return 0, err
 	}
-	defer it.Close()
+	defer bit.Close()
 	var count int64
 	for {
-		row, err := it.Next()
+		b, err := bit.NextBatch()
 		if err != nil {
 			return count, err
 		}
-		if row == nil {
+		if b == nil {
 			return count, nil
 		}
-		count++
+		count += int64(len(b.Rows))
 	}
 }
 

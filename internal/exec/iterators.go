@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/btree"
-	"repro/internal/catalog"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -14,50 +13,75 @@ import (
 
 // --- scans -------------------------------------------------------------------
 
+// seqScanIter is batch-native: each NextBatch decodes every live record
+// of one heap page — fetched in a single buffer-pool visit — straight
+// into the batch's value arena, materializing only the columns the plan
+// needs and evaluating the pushed-down filter in place. The row
+// interface drains those batches through a cursor.
 type seqScanIter struct {
 	node *plan.SeqScan
 	ctx  *Context
 	scan *storage.HeapScanner
 	want int
+	need []bool
+	b    Batch
+	cur  batchCursor
+	cnt  scanCounters
 }
 
 func (it *seqScanIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.scan = it.node.Table.Heap.Scanner()
 	it.want = len(it.node.Table.Columns)
+	it.need = needMask(it.node.Needed, it.want)
+	it.cur.reset()
 	return nil
 }
 
-func (it *seqScanIter) Next() ([]types.Value, error) {
+func (it *seqScanIter) NextBatch() (*Batch, error) {
 	for {
-		_, rec, ok, err := it.scan.Next()
+		_, recs, ok, err := it.scan.NextPage()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			return nil, nil
 		}
-		row, err := types.DecodeRow(rec)
-		if err != nil {
-			return nil, err
-		}
-		for len(row) < it.want {
-			row = append(row, types.Null())
-		}
-		if it.node.Filter != nil {
-			v, err := it.node.Filter.Eval(row, it.ctx.Params)
+		it.cnt.batches++
+		it.b.reset()
+		for _, rec := range recs {
+			row := it.b.alloc(it.want)
+			row, dec, skip, err := types.DecodeRowPartial(row, rec, it.need, it.want)
 			if err != nil {
 				return nil, err
 			}
-			if !plan.IsTrue(v) {
-				continue
+			it.cnt.decoded += int64(dec)
+			it.cnt.skipped += int64(skip)
+			if it.node.Filter != nil {
+				v, err := it.node.Filter.Eval(row, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					it.b.freeLast(it.want)
+					continue
+				}
 			}
+			it.b.Rows = append(it.b.Rows, row)
 		}
-		return row, nil
+		if len(it.b.Rows) > 0 {
+			it.cnt.rows += int64(len(it.b.Rows))
+			return &it.b, nil
+		}
 	}
 }
 
-func (it *seqScanIter) Close() error { return nil }
+func (it *seqScanIter) Next() ([]types.Value, error) { return it.cur.next(it.NextBatch) }
+
+func (it *seqScanIter) Close() error {
+	it.cnt.flush(it.ctx)
+	return nil
+}
 
 // indexKeys computes the [lo, hi) key range for an access path given
 // the row the path's scalars are evaluated against (nil for constants).
@@ -112,22 +136,29 @@ func indexKeys(path *plan.AccessPath, row, params []types.Value) (lo, hi []byte,
 	return lo, hi, true, nil
 }
 
-// fetchRow loads and pads the heap row behind an index entry (the FETCH
-// operator in the paper's Figure 8 plans).
-func fetchRow(t *catalog.Table, rid storage.RID) ([]types.Value, error) {
-	return t.GetRow(rid)
-}
-
+// indexScanIter is batch-native: NextBatch gathers up to BatchSize RIDs
+// from the B+tree, then FETCHes each heap row with a partial decode
+// (only the plan's needed columns) into the batch arena while the row's
+// page is pinned — no intermediate record copy.
 type indexScanIter struct {
 	node *plan.IndexScan
 	ctx  *Context
 	it   *btree.Iterator
 	done bool
+	want int
+	need []bool
+	rids []storage.RID
+	b    Batch
+	cur  batchCursor
+	cnt  scanCounters
 }
 
 func (it *indexScanIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.done = false
+	it.want = len(it.node.Table.Columns)
+	it.need = needMask(it.node.Needed, it.want)
+	it.cur.reset()
 	lo, hi, ok, err := indexKeys(&it.node.Path, nil, ctx.Params)
 	if err != nil {
 		return err
@@ -140,35 +171,58 @@ func (it *indexScanIter) Open(ctx *Context) error {
 	return err
 }
 
-func (it *indexScanIter) Next() ([]types.Value, error) {
+func (it *indexScanIter) NextBatch() (*Batch, error) {
 	if it.done {
 		return nil, nil
 	}
-	for it.it.Valid() {
-		rid := it.it.RID()
-		it.it.Next()
-		row, err := fetchRow(it.node.Table, rid)
-		if err != nil {
-			return nil, err
+	for {
+		it.rids = it.rids[:0]
+		for len(it.rids) < BatchSize && it.it.Valid() {
+			it.rids = append(it.rids, it.it.RID())
+			it.it.Next()
 		}
-		if it.node.Residual != nil {
-			v, err := it.node.Residual.Eval(row, it.ctx.Params)
+		if len(it.rids) == 0 {
+			it.done = true
+			if err := it.it.Err(); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		it.cnt.batches++
+		it.b.reset()
+		for _, rid := range it.rids {
+			row := it.b.alloc(it.want)
+			row, dec, skip, err := it.node.Table.GetRowInto(row, rid, it.need)
 			if err != nil {
 				return nil, err
 			}
-			if !plan.IsTrue(v) {
-				continue
+			it.cnt.decoded += int64(dec)
+			it.cnt.skipped += int64(skip)
+			if it.node.Residual != nil {
+				v, err := it.node.Residual.Eval(row, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					it.b.freeLast(it.want)
+					continue
+				}
 			}
+			it.b.Rows = append(it.b.Rows, row)
 		}
-		return row, nil
+		if len(it.b.Rows) > 0 {
+			it.cnt.rows += int64(len(it.b.Rows))
+			return &it.b, nil
+		}
 	}
-	if err := it.it.Err(); err != nil {
-		return nil, err
-	}
-	return nil, nil
 }
 
-func (it *indexScanIter) Close() error { return nil }
+func (it *indexScanIter) Next() ([]types.Value, error) { return it.cur.next(it.NextBatch) }
+
+func (it *indexScanIter) Close() error {
+	it.cnt.flush(it.ctx)
+	return nil
+}
 
 type valuesIter struct {
 	node *plan.Values
@@ -199,13 +253,23 @@ func (it *valuesIter) Close() error { return nil }
 
 // --- filter / project ---------------------------------------------------------
 
+// filterIter is batch-native: NextBatch compacts the child's batch in
+// place (the rows survive untouched; only the Rows index shrinks, and
+// the child rebuilds it on its next fill anyway). The row interface
+// keeps the original pass-through semantics so row-path parents still
+// receive rows with the child's ownership.
 type filterIter struct {
-	child Iterator
-	cond  plan.Scalar
-	ctx   *Context
+	child  Iterator
+	bchild BatchIterator
+	cond   plan.Scalar
+	ctx    *Context
 }
 
-func (it *filterIter) Open(ctx *Context) error { it.ctx = ctx; return it.child.Open(ctx) }
+func (it *filterIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.bchild = nil
+	return it.child.Open(ctx)
+}
 
 func (it *filterIter) Next() ([]types.Value, error) {
 	for {
@@ -223,15 +287,53 @@ func (it *filterIter) Next() ([]types.Value, error) {
 	}
 }
 
-func (it *filterIter) Close() error { return it.child.Close() }
-
-type projectIter struct {
-	child Iterator
-	exprs []plan.Scalar
-	ctx   *Context
+func (it *filterIter) NextBatch() (*Batch, error) {
+	if it.bchild == nil {
+		it.bchild = asBatch(it.child)
+	}
+	for {
+		b, err := it.bchild.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		keep := b.Rows[:0]
+		for _, row := range b.Rows {
+			v, err := it.cond.Eval(row, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			if plan.IsTrue(v) {
+				keep = append(keep, row)
+			}
+		}
+		b.Rows = keep
+		if len(b.Rows) > 0 {
+			return b, nil
+		}
+	}
 }
 
-func (it *projectIter) Open(ctx *Context) error { it.ctx = ctx; return it.child.Open(ctx) }
+func (it *filterIter) Close() error { return it.child.Close() }
+
+// projectIter is batch-native: NextBatch evaluates the output
+// expressions of a whole child batch into its own arena, so projection
+// allocates nothing per row.
+type projectIter struct {
+	child  Iterator
+	bchild BatchIterator
+	exprs  []plan.Scalar
+	ctx    *Context
+	b      Batch
+}
+
+func (it *projectIter) Open(ctx *Context) error {
+	it.ctx = ctx
+	it.bchild = nil
+	return it.child.Open(ctx)
+}
 
 func (it *projectIter) Next() ([]types.Value, error) {
 	row, err := it.child.Next()
@@ -249,18 +351,50 @@ func (it *projectIter) Next() ([]types.Value, error) {
 	return out, nil
 }
 
+func (it *projectIter) NextBatch() (*Batch, error) {
+	if it.bchild == nil {
+		it.bchild = asBatch(it.child)
+	}
+	b, err := it.bchild.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	it.b.reset()
+	for _, row := range b.Rows {
+		out := it.b.alloc(len(it.exprs))
+		for i, e := range it.exprs {
+			v, err := e.Eval(row, it.ctx.Params)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		it.b.Rows = append(it.b.Rows, out)
+	}
+	return &it.b, nil
+}
+
 func (it *projectIter) Close() error { return it.child.Close() }
 
 // --- joins ---------------------------------------------------------------------
 
+// hashJoinIter builds and probes in batches: the build side is consumed
+// via NextBatch (rows copied out of volatile batch storage only when
+// needed), and the batch-path probe emits combined rows into its own
+// arena, so a probe match allocates nothing. The row interface keeps
+// the original per-left-row pending list.
 type hashJoinIter struct {
 	node       *plan.HashJoin
 	left       Iterator
+	bleft      BatchIterator
 	right      Iterator
+	leftWidth  int
 	rightWidth int
 	ctx        *Context
 
 	table   map[uint64][][]types.Value
+	keys    []types.Value
+	out     Batch
 	pending [][]types.Value // matches for the current left row
 	pi      int
 }
@@ -269,38 +403,135 @@ func (it *hashJoinIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.table = make(map[uint64][][]types.Value)
 	it.pending, it.pi = nil, 0
-	if err := it.right.Open(ctx); err != nil {
+	it.bleft = nil
+	it.keys = make([]types.Value, len(it.node.RightKeys))
+	bright := asBatch(it.right)
+	if err := bright.Open(ctx); err != nil {
 		return err
 	}
-	defer it.right.Close()
-	keys := make([]types.Value, len(it.node.RightKeys))
+	defer bright.Close()
+	// Build rows are retained for the whole probe phase; batch rows
+	// from native producers are reused and must be copied out.
+	retain := volatileRows(bright)
 	for {
-		row, err := it.right.Next()
+		b, err := bright.NextBatch()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		null := false
-		for i, k := range it.node.RightKeys {
-			v, err := k.Eval(row, ctx.Params)
-			if err != nil {
-				return err
+		for _, row := range b.Rows {
+			null := false
+			for i, k := range it.node.RightKeys {
+				v, err := k.Eval(row, ctx.Params)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				it.keys[i] = v
 			}
-			if v.IsNull() {
-				null = true
-				break
+			if null {
+				continue // NULL keys never join
 			}
-			keys[i] = v
+			h := types.HashRow(it.keys)
+			if retain {
+				row = copyRow(row)
+			}
+			it.table[h] = append(it.table[h], row)
 		}
-		if null {
-			continue // NULL keys never join
-		}
-		h := types.HashRow(keys)
-		it.table[h] = append(it.table[h], row)
 	}
 	return it.left.Open(ctx)
+}
+
+// probe appends the surviving joined rows for lrow into it.out (one
+// arena carve per row, cleared residual rejections reclaimed).
+func (it *hashJoinIter) probe(lrow []types.Value) error {
+	null := false
+	for i, k := range it.node.LeftKeys {
+		v, err := k.Eval(lrow, it.ctx.Params)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			null = true
+			break
+		}
+		it.keys[i] = v
+	}
+	width := it.leftWidth + it.rightWidth
+	if !null {
+		for _, rrow := range it.table[types.HashRow(it.keys)] {
+			ok := true
+			for i, k := range it.node.RightKeys {
+				rv, err := k.Eval(rrow, it.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !types.Equal(it.keys[i], rv) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			crow := it.out.alloc(width)
+			copy(crow, lrow)
+			copy(crow[it.leftWidth:], rrow)
+			if it.node.Residual != nil {
+				v, err := it.node.Residual.Eval(crow, it.ctx.Params)
+				if err != nil {
+					return err
+				}
+				if !plan.IsTrue(v) {
+					it.out.freeLast(width)
+					continue
+				}
+			}
+			it.out.Rows = append(it.out.Rows, crow)
+		}
+	}
+	return nil
+}
+
+func (it *hashJoinIter) NextBatch() (*Batch, error) {
+	if it.bleft == nil {
+		it.bleft = asBatch(it.left)
+	}
+	width := it.leftWidth + it.rightWidth
+	for {
+		lb, err := it.bleft.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if lb == nil {
+			return nil, nil
+		}
+		it.out.reset()
+		for _, lrow := range lb.Rows {
+			before := len(it.out.Rows)
+			if err := it.probe(lrow); err != nil {
+				return nil, err
+			}
+			// Pad exactly when the row path's pending list would be empty:
+			// no match survived the residual.
+			if len(it.out.Rows) == before && it.node.Type == sql.LeftJoin {
+				crow := it.out.alloc(width)
+				copy(crow, lrow)
+				for i := it.leftWidth; i < width; i++ {
+					crow[i] = types.Value{} // NULL-extend the right half
+				}
+				it.out.Rows = append(it.out.Rows, crow)
+			}
+		}
+		if len(it.out.Rows) > 0 {
+			return &it.out, nil
+		}
+	}
 }
 
 func (it *hashJoinIter) Next() ([]types.Value, error) {
@@ -385,12 +616,16 @@ type indexNLJoinIter struct {
 	inner   *btree.Iterator
 	matched bool
 	width   int
+	need    []bool
+	rowbuf  []types.Value // reused inner-fetch decode buffer
+	cnt     scanCounters
 }
 
 func (it *indexNLJoinIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.cur, it.inner = nil, nil
 	it.width = len(it.node.Inner.Columns)
+	it.need = needMask(it.node.NeededInner, it.width)
 	return it.outer.Open(ctx)
 }
 
@@ -421,10 +656,16 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 		for it.inner.Valid() {
 			rid := it.inner.RID()
 			it.inner.Next()
-			irow, err := fetchRow(it.node.Inner, rid)
+			// FETCH with partial decode into a reused buffer; combine()
+			// copies the values out, so the buffer is free to be reused.
+			irow, dec, skip, err := it.node.Inner.GetRowInto(it.rowbuf, rid, it.need)
 			if err != nil {
 				return nil, err
 			}
+			it.rowbuf = irow
+			it.cnt.rows++
+			it.cnt.decoded += int64(dec)
+			it.cnt.skipped += int64(skip)
 			combined := combine(it.cur, irow)
 			if it.node.Residual != nil {
 				v, err := it.node.Residual.Eval(combined, it.ctx.Params)
@@ -448,7 +689,10 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 	}
 }
 
-func (it *indexNLJoinIter) Close() error { return it.outer.Close() }
+func (it *indexNLJoinIter) Close() error {
+	it.cnt.flush(it.ctx)
+	return it.outer.Close()
+}
 
 type nlJoinIter struct {
 	node       *plan.NLJoin
@@ -540,57 +784,64 @@ type hashAggIter struct {
 func (it *hashAggIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.groups, it.gi = nil, 0
-	if err := it.child.Open(ctx); err != nil {
+	// Consume the child in batches: accumulation reads each row once and
+	// retains only evaluated group/aggregate values, so volatile batch
+	// rows need no copying and a scan→aggregate pipeline runs without
+	// per-row allocation.
+	bchild := asBatch(it.child)
+	if err := bchild.Open(ctx); err != nil {
 		return err
 	}
-	defer it.child.Close()
+	defer bchild.Close()
 	byKey := map[uint64][]*aggState{}
+	gvals := make([]types.Value, len(it.node.GroupBy))
 	for {
-		row, err := it.child.Next()
+		b, err := bchild.NextBatch()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		gvals := make([]types.Value, len(it.node.GroupBy))
-		for i, g := range it.node.GroupBy {
-			v, err := g.Eval(row, ctx.Params)
-			if err != nil {
-				return err
+		for _, row := range b.Rows {
+			for i, g := range it.node.GroupBy {
+				v, err := g.Eval(row, ctx.Params)
+				if err != nil {
+					return err
+				}
+				gvals[i] = v
 			}
-			gvals[i] = v
-		}
-		h := types.HashRow(gvals)
-		var st *aggState
-		for _, cand := range byKey[h] {
-			same := true
-			for i := range gvals {
-				if !sameGroupValue(cand.group[i], gvals[i]) {
-					same = false
+			h := types.HashRow(gvals)
+			var st *aggState
+			for _, cand := range byKey[h] {
+				same := true
+				for i := range gvals {
+					if !sameGroupValue(cand.group[i], gvals[i]) {
+						same = false
+						break
+					}
+				}
+				if same {
+					st = cand
 					break
 				}
 			}
-			if same {
-				st = cand
-				break
+			if st == nil {
+				st = &aggState{
+					group:  copyRow(gvals),
+					counts: make([]int64, len(it.node.Aggs)),
+					sums:   make([]types.Value, len(it.node.Aggs)),
+				}
+				for i := range st.sums {
+					st.sums[i] = types.Null()
+				}
+				byKey[h] = append(byKey[h], st)
+				it.groups = append(it.groups, st)
 			}
-		}
-		if st == nil {
-			st = &aggState{
-				group:  gvals,
-				counts: make([]int64, len(it.node.Aggs)),
-				sums:   make([]types.Value, len(it.node.Aggs)),
-			}
-			for i := range st.sums {
-				st.sums[i] = types.Null()
-			}
-			byKey[h] = append(byKey[h], st)
-			it.groups = append(it.groups, st)
-		}
-		for i, spec := range it.node.Aggs {
-			if err := accumulate(st, i, spec, row, ctx.Params); err != nil {
-				return err
+			for i, spec := range it.node.Aggs {
+				if err := accumulate(st, i, spec, row, ctx.Params); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -85,6 +85,10 @@ type SeqScan struct {
 	Table  *catalog.Table
 	Alias  string
 	Filter Scalar // may be nil
+	// Needed lists the table column ordinals the query actually reads
+	// (projections, filters, join keys), sorted ascending; nil means all.
+	// Set by PruneColumns and immutable afterwards — plan clones share it.
+	Needed []int
 }
 
 // Schema implements Node.
@@ -102,7 +106,21 @@ func (s *SeqScan) Detail() string {
 	if s.Filter != nil {
 		d += " filter=" + s.Filter.String()
 	}
+	d += neededDetail(s.Table, s.Needed)
 	return d
+}
+
+// neededDetail renders a pruned column set for EXPLAIN, e.g.
+// " cols=[Id,Beds]"; empty when the scan decodes every column.
+func neededDetail(t *catalog.Table, needed []int) string {
+	if needed == nil {
+		return ""
+	}
+	names := make([]string, len(needed))
+	for i, ord := range needed {
+		names[i] = t.Columns[ord].Name
+	}
+	return " cols=[" + strings.Join(names, ",") + "]"
 }
 
 // IndexScan reads rows via an index access path, fetching heap rows and
@@ -112,6 +130,9 @@ type IndexScan struct {
 	Alias    string
 	Path     AccessPath
 	Residual Scalar // may be nil
+	// Needed lists the table column ordinals the query actually reads;
+	// nil means all. Set by PruneColumns, immutable afterwards.
+	Needed []int
 }
 
 // Schema implements Node.
@@ -129,6 +150,7 @@ func (s *IndexScan) Detail() string {
 	if s.Residual != nil {
 		d += " residual=" + s.Residual.String()
 	}
+	d += neededDetail(s.Table, s.Needed)
 	return d
 }
 
@@ -224,6 +246,9 @@ type IndexNLJoin struct {
 	Path     AccessPath // scalars see the outer row
 	Residual Scalar     // sees the combined row
 	Type     sql.JoinType
+	// NeededInner lists the inner-table column ordinals the query reads
+	// from fetched rows; nil means all. Set by PruneColumns.
+	NeededInner []int
 }
 
 // Schema implements Node.
@@ -246,6 +271,7 @@ func (j *IndexNLJoin) Detail() string {
 	if j.Residual != nil {
 		d += " residual=" + j.Residual.String()
 	}
+	d += neededDetail(j.Inner, j.NeededInner)
 	return d
 }
 

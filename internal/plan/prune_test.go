@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// TestExplainShowsPrunedColumns is the golden test for the planner's
+// needed-column analysis: EXPLAIN must print the physical column set a
+// scan will decode.
+func TestExplainShowsPrunedColumns(t *testing.T) {
+	cat := testCatalog(t)
+	cases := []struct {
+		query string
+		want  []string // substrings that must appear
+		not   []string // substrings that must not appear
+	}{
+		{
+			// Projection needs id only, filter adds name.
+			"SELECT id FROM parent WHERE name = 'x'",
+			[]string{"cols=[id,name]"},
+			nil,
+		},
+		{
+			// Narrow projection, no filter: a single decoded column.
+			"SELECT name FROM parent",
+			[]string{"cols=[name]"},
+			[]string{"col1"},
+		},
+		{
+			// SELECT * needs everything: no cols= annotation at all.
+			"SELECT * FROM parent",
+			nil,
+			[]string{"cols="},
+		},
+		{
+			// Index range scan: key columns come from the B+tree, but the
+			// heap fetch decodes only the projected column.
+			"SELECT name FROM parent WHERE id > 5 AND id <= 10",
+			[]string{"IXSCAN", "cols=[name]"},
+			nil,
+		},
+		{
+			// Join keys are needed on both sides even though only p.name is
+			// selected; col1 is referenced by neither and is pruned away.
+			"SELECT p.name FROM parent p, child c WHERE p.name = c.id",
+			[]string{"cols=[name]", "cols=[id]"},
+			[]string{"col1"},
+		},
+		{
+			// Aggregation: group key + aggregate argument, nothing else.
+			"SELECT name, SUM(col1) FROM parent GROUP BY name",
+			[]string{"cols=[name,col1]"},
+			nil,
+		},
+		{
+			// ORDER BY a non-projected position is planned over the
+			// projected schema, so the scan set is projection ∪ filter.
+			"SELECT id FROM parent WHERE col1 > 3 ORDER BY id",
+			[]string{"cols=[id,col1]"},
+			nil,
+		},
+	}
+	for _, c := range cases {
+		ex := explainFor(t, cat, Sophisticated, c.query)
+		for _, w := range c.want {
+			if !strings.Contains(ex, w) {
+				t.Errorf("Explain(%q) missing %q:\n%s", c.query, w, ex)
+			}
+		}
+		for _, nw := range c.not {
+			if strings.Contains(ex, nw) {
+				t.Errorf("Explain(%q) should not contain %q:\n%s", c.query, nw, ex)
+			}
+		}
+	}
+}
+
+// TestPruneKeepsFilterAndJoinColumns checks at the plan level that a
+// column referenced only by a filter or join predicate — never by the
+// SELECT list — is still in the scan's decode set.
+func TestPruneKeepsFilterAndJoinColumns(t *testing.T) {
+	cat := testCatalog(t)
+	find := func(n Node) *SeqScan {
+		var scan *SeqScan
+		var walk func(Node)
+		walk = func(n Node) {
+			if s, ok := n.(*SeqScan); ok && scan == nil {
+				scan = s
+			}
+			for _, c := range n.Children() {
+				walk(c)
+			}
+		}
+		walk(n)
+		return scan
+	}
+	st, err := sql.Parse("SELECT id FROM parent WHERE col1 > 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(cat, Sophisticated).PlanStatement(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := find(n)
+	if scan == nil {
+		t.Fatal("no SeqScan in plan")
+	}
+	// parent is (id, name, col1): the filter's col1 (ordinal 2) must be
+	// decoded alongside the projected id (ordinal 0); name must not.
+	if len(scan.Needed) != 2 || scan.Needed[0] != 0 || scan.Needed[1] != 2 {
+		t.Errorf("Needed = %v, want [0 2]", scan.Needed)
+	}
+}
+
+// TestDisablePruning clears every decode set so benchmarks can compare
+// against the unpruned baseline.
+func TestDisablePruning(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := sql.Parse("SELECT id FROM parent WHERE name = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(cat, Sophisticated).PlanStatement(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(n), "cols=") {
+		t.Fatalf("expected pruned plan:\n%s", Explain(n))
+	}
+	DisablePruning(n)
+	if strings.Contains(Explain(n), "cols=") {
+		t.Errorf("DisablePruning left a cols= annotation:\n%s", Explain(n))
+	}
+	// PruneColumns is idempotent and re-derivable after disabling.
+	PruneColumns(n)
+	if !strings.Contains(Explain(n), "cols=[id,name]") {
+		t.Errorf("re-pruning failed:\n%s", Explain(n))
+	}
+}

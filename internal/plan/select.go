@@ -143,6 +143,7 @@ func (p *Planner) PlanSelect(s *sql.SelectStmt) (Node, error) {
 	if s.Limit != nil {
 		node = &Limit{Child: node, N: *s.Limit}
 	}
+	PruneColumns(node)
 	return node, nil
 }
 

@@ -284,9 +284,27 @@ func (h *HeapFile) Scan(fn func(rid RID, rec []byte) (bool, error)) error {
 	return nil
 }
 
+// View calls fn with the record bytes at rid while the page stays
+// pinned, avoiding Get's copy. The slice is only valid during the
+// callback and must not be written to or retained.
+func (h *HeapFile) View(rid RID, fn func(rec []byte) error) error {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return err
+	}
+	rec, err := Slotted(buf).Get(rid.Slot)
+	if err == nil {
+		err = fn(rec)
+	}
+	h.pool.Unpin(rid.Page, false)
+	return err
+}
+
 // Scanner returns a pull-based iterator over the file's live records.
-// It snapshots the page list at creation; records are copied out one
-// page at a time so no page stays pinned between Next calls.
+// It snapshots the page list at creation; each page is visited exactly
+// once through the buffer pool and its live records are copied into a
+// single reused arena, so no page stays pinned between calls and no
+// per-record allocation happens after the first page.
 func (h *HeapFile) Scanner() *HeapScanner {
 	h.mu.Lock()
 	pages := append([]PageID(nil), h.pages...)
@@ -295,36 +313,68 @@ func (h *HeapFile) Scanner() *HeapScanner {
 }
 
 // HeapScanner iterates a heap file's records in file order.
+//
+// Aliasing contract: the record slices returned by Next and NextPage
+// point into one arena that holds the current page's records and is
+// overwritten when the scanner advances to the next page. Callers must
+// finish with (or copy) every record of a page before pulling the next
+// one; the executor decodes records immediately, so it never copies.
+// Use either Next or NextPage on a given scanner, not both.
 type HeapScanner struct {
 	h     *HeapFile
 	pages []PageID
 	pi    int
 	rids  []RID
 	recs  [][]byte
+	arena []byte
 	i     int
 }
 
-// Next returns the next record, or ok=false at the end. The returned
-// slice is a private copy.
-func (s *HeapScanner) Next() (RID, []byte, bool, error) {
-	for s.i >= len(s.recs) {
-		if s.pi >= len(s.pages) {
-			return RID{}, nil, false, nil
-		}
+// NextPage loads every live record of the next non-empty page in one
+// buffer-pool visit. The returned slices are reused by the following
+// NextPage call (see the aliasing contract above). ok=false at the end
+// of the file.
+func (s *HeapScanner) NextPage() ([]RID, [][]byte, bool, error) {
+	for s.pi < len(s.pages) {
 		id := s.pages[s.pi]
 		s.pi++
 		buf, err := s.h.pool.Fetch(id, CatData)
 		if err != nil {
-			return RID{}, nil, false, err
+			return nil, nil, false, err
 		}
+		// A page's live records never exceed the page size, so after this
+		// reserve the appends below cannot reallocate the arena and every
+		// handed-out sub-slice stays valid for the whole page.
+		if cap(s.arena) < len(buf) {
+			s.arena = make([]byte, 0, len(buf))
+		}
+		s.arena = s.arena[:0]
 		s.rids = s.rids[:0]
 		s.recs = s.recs[:0]
 		Slotted(buf).LiveRecords(func(slot uint16, rec []byte) bool {
+			off := len(s.arena)
+			s.arena = append(s.arena, rec...)
 			s.rids = append(s.rids, RID{Page: id, Slot: slot})
-			s.recs = append(s.recs, append([]byte(nil), rec...))
+			s.recs = append(s.recs, s.arena[off:len(s.arena):len(s.arena)])
 			return true
 		})
 		s.h.pool.Unpin(id, false)
+		if len(s.recs) > 0 {
+			return s.rids, s.recs, true, nil
+		}
+	}
+	return nil, nil, false, nil
+}
+
+// Next returns the next record, or ok=false at the end. The returned
+// slice aliases the scanner's page arena and is valid until the scan
+// advances past the current page (see the aliasing contract above).
+func (s *HeapScanner) Next() (RID, []byte, bool, error) {
+	for s.i >= len(s.recs) {
+		_, _, ok, err := s.NextPage()
+		if err != nil || !ok {
+			return RID{}, nil, false, err
+		}
 		s.i = 0
 	}
 	rid, rec := s.rids[s.i], s.recs[s.i]

@@ -115,53 +115,128 @@ func EncodeRow(dst []byte, row []Value) []byte {
 
 // DecodeRow parses a row serialized by EncodeRow.
 func DecodeRow(data []byte) ([]Value, error) {
+	row, _, _, err := decodeRow(nil, data, nil, 0)
+	return row, err
+}
+
+// DecodeRowInto parses a row serialized by EncodeRow into dst, reusing
+// dst's backing storage, and pads the result with NULLs up to width
+// (rows written before the schema grew are shorter on disk). Hot paths
+// pass the same buffer every call so decoding a row allocates nothing
+// beyond its string payloads.
+func DecodeRowInto(dst []Value, data []byte, width int) ([]Value, error) {
+	row, _, _, err := decodeRow(dst, data, nil, width)
+	return row, err
+}
+
+// DecodeRowPartial is DecodeRowInto restricted to the columns marked in
+// need: a value whose ordinal i has need[i] == false (or i >= len(need))
+// is returned as NULL without materializing its payload — string bytes
+// are skipped, not copied, so the per-value allocation disappears
+// entirely. A nil need decodes every column. It additionally returns
+// how many stored values were decoded and how many were skipped, for
+// the engine's decode-savings counters.
+func DecodeRowPartial(dst []Value, data []byte, need []bool, width int) (row []Value, decoded, skipped int, err error) {
+	return decodeRow(dst, data, need, width)
+}
+
+func decodeRow(dst []Value, data []byte, need []bool, width int) ([]Value, int, int, error) {
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
-		return nil, fmt.Errorf("types: corrupt row header")
+		return nil, 0, 0, fmt.Errorf("types: corrupt row header")
 	}
 	data = data[sz:]
-	row := make([]Value, 0, n)
+	if dst == nil {
+		c := int(n)
+		if width > c {
+			c = width
+		}
+		dst = make([]Value, 0, c)
+	} else {
+		dst = dst[:0]
+	}
+	// Stop walking the record once every needed ordinal is behind us;
+	// the tail becomes NULL padding below.
+	last := int(n)
+	if need != nil {
+		last = 0
+		for i, w := range need {
+			if w {
+				last = i + 1
+			}
+		}
+	}
+	decoded, skipped := 0, 0
 	for i := uint64(0); i < n; i++ {
+		if int(i) >= last {
+			skipped += int(n) - int(i)
+			break
+		}
 		if len(data) == 0 {
-			return nil, fmt.Errorf("types: truncated row at value %d", i)
+			return nil, decoded, skipped, fmt.Errorf("types: truncated row at value %d", i)
 		}
 		kind := Kind(data[0])
 		data = data[1:]
+		want := need == nil || (int(i) < len(need) && need[i])
+		if want {
+			decoded++
+		} else {
+			skipped++
+		}
 		switch kind {
 		case KindNull:
-			row = append(row, Null())
+			dst = append(dst, Null())
 		case KindBool:
 			if len(data) < 1 {
-				return nil, fmt.Errorf("types: truncated bool")
+				return nil, decoded, skipped, fmt.Errorf("types: truncated bool")
 			}
-			row = append(row, NewBool(data[0] != 0))
+			if want {
+				dst = append(dst, NewBool(data[0] != 0))
+			} else {
+				dst = append(dst, Null())
+			}
 			data = data[1:]
 		case KindInt, KindDate:
 			v, sz := binary.Varint(data)
 			if sz <= 0 {
-				return nil, fmt.Errorf("types: corrupt varint")
+				return nil, decoded, skipped, fmt.Errorf("types: corrupt varint")
 			}
 			data = data[sz:]
-			row = append(row, Value{Kind: kind, Int: v})
+			if want {
+				dst = append(dst, Value{Kind: kind, Int: v})
+			} else {
+				dst = append(dst, Null())
+			}
 		case KindFloat:
 			if len(data) < 8 {
-				return nil, fmt.Errorf("types: truncated float")
+				return nil, decoded, skipped, fmt.Errorf("types: truncated float")
 			}
-			row = append(row, NewFloat(math.Float64frombits(binary.BigEndian.Uint64(data))))
+			if want {
+				dst = append(dst, NewFloat(math.Float64frombits(binary.BigEndian.Uint64(data))))
+			} else {
+				dst = append(dst, Null())
+			}
 			data = data[8:]
 		case KindString:
 			l, sz := binary.Uvarint(data)
 			if sz <= 0 || uint64(len(data)-sz) < l {
-				return nil, fmt.Errorf("types: corrupt string")
+				return nil, decoded, skipped, fmt.Errorf("types: corrupt string")
 			}
 			data = data[sz:]
-			row = append(row, NewString(string(data[:l])))
+			if want {
+				dst = append(dst, NewString(string(data[:l])))
+			} else {
+				dst = append(dst, Null())
+			}
 			data = data[l:]
 		default:
-			return nil, fmt.Errorf("types: bad kind byte %d", kind)
+			return nil, decoded, skipped, fmt.Errorf("types: bad kind byte %d", kind)
 		}
 	}
-	return row, nil
+	for len(dst) < width {
+		dst = append(dst, Null())
+	}
+	return dst, decoded, skipped, nil
 }
 
 // Hash returns a hash of v consistent with Equal: values that compare

@@ -1,0 +1,173 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRowIntoReusesBuffer(t *testing.T) {
+	rowA := []Value{NewInt(1), NewString("alpha"), NewFloat(2.5)}
+	rowB := []Value{NewInt(2), NewString("beta"), NewFloat(3.5)}
+	encA := EncodeRow(nil, rowA)
+	encB := EncodeRow(nil, rowB)
+
+	buf, err := DecodeRowInto(nil, encA, len(rowA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rowA {
+		if !Equal(buf[i], rowA[i]) {
+			t.Fatalf("col %d: got %v want %v", i, buf[i], rowA[i])
+		}
+	}
+	first := &buf[0]
+	buf, err = DecodeRowInto(buf, encB, len(rowB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[0] != first {
+		t.Error("second decode did not reuse the buffer's backing array")
+	}
+	for i := range rowB {
+		if !Equal(buf[i], rowB[i]) {
+			t.Fatalf("col %d after reuse: got %v want %v", i, buf[i], rowB[i])
+		}
+	}
+}
+
+func TestDecodeRowIntoPadsToWidth(t *testing.T) {
+	// Rows written before ALTER TABLE ADD COLUMN are shorter on disk.
+	enc := EncodeRow(nil, []Value{NewInt(7)})
+	row, err := DecodeRowInto(nil, enc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 4 {
+		t.Fatalf("width = %d, want 4", len(row))
+	}
+	for i := 1; i < 4; i++ {
+		if !row[i].IsNull() {
+			t.Errorf("pad col %d = %v, want NULL", i, row[i])
+		}
+	}
+}
+
+func TestDecodeRowPartial(t *testing.T) {
+	row := []Value{NewInt(10), NewString("skip-me"), NewBool(true), NewFloat(1.5), NewDate(100)}
+	enc := EncodeRow(nil, row)
+
+	need := []bool{true, false, false, true, false}
+	got, decoded, skipped, err := DecodeRowPartial(nil, enc, need, len(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded != 2 {
+		t.Errorf("decoded = %d, want 2", decoded)
+	}
+	if skipped != 3 {
+		t.Errorf("skipped = %d, want 3", skipped)
+	}
+	if len(got) != len(row) {
+		t.Fatalf("width = %d, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if need[i] {
+			if !Equal(got[i], row[i]) {
+				t.Errorf("needed col %d = %v, want %v", i, got[i], row[i])
+			}
+		} else if !got[i].IsNull() {
+			t.Errorf("pruned col %d = %v, want NULL", i, got[i])
+		}
+	}
+}
+
+func TestDecodeRowPartialNilNeedDecodesAll(t *testing.T) {
+	row := []Value{NewInt(1), NewString("x")}
+	enc := EncodeRow(nil, row)
+	got, decoded, skipped, err := DecodeRowPartial(nil, enc, nil, len(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded != 2 || skipped != 0 {
+		t.Errorf("decoded/skipped = %d/%d, want 2/0", decoded, skipped)
+	}
+	for i := range row {
+		if !Equal(got[i], row[i]) {
+			t.Errorf("col %d = %v, want %v", i, got[i], row[i])
+		}
+	}
+}
+
+func TestDecodeRowPartialEarlyExit(t *testing.T) {
+	// Only column 0 needed: the decoder must stop walking the record and
+	// report every later stored value as skipped.
+	row := []Value{NewInt(1), NewString("a"), NewString("b"), NewString("c")}
+	enc := EncodeRow(nil, row)
+	got, decoded, skipped, err := DecodeRowPartial(nil, enc, []bool{true}, len(row))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded != 1 || skipped != 3 {
+		t.Errorf("decoded/skipped = %d/%d, want 1/3", decoded, skipped)
+	}
+	if !Equal(got[0], row[0]) {
+		t.Errorf("col 0 = %v, want %v", got[0], row[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if !got[i].IsNull() {
+			t.Errorf("col %d = %v, want NULL", i, got[i])
+		}
+	}
+}
+
+func TestDecodeRowPartialSkipCorrupt(t *testing.T) {
+	// Truncation inside a needed column must still error even when
+	// earlier columns were skipped rather than decoded.
+	row := []Value{NewString("hello"), NewInt(42)}
+	enc := EncodeRow(nil, row)
+	need := []bool{false, true}
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, _, err := DecodeRowPartial(nil, enc[:cut], need, len(row)); err == nil {
+			t.Errorf("truncation at %d silently accepted", cut)
+		}
+	}
+}
+
+// TestDecodeRowPartialProperty checks that a partial decode agrees with
+// a full decode on every needed column and returns NULL elsewhere, for
+// random rows and random need masks.
+func TestDecodeRowPartialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(25)
+		row := make([]Value, n)
+		need := make([]bool, n)
+		for i := range row {
+			row[i] = randomValue(r)
+			need[i] = r.Intn(2) == 0
+		}
+		enc := EncodeRow(nil, row)
+		full, err := DecodeRow(enc)
+		if err != nil {
+			return false
+		}
+		part, decoded, skipped, err := DecodeRowPartial(nil, enc, need, n)
+		if err != nil || len(part) != n || decoded+skipped != n {
+			return false
+		}
+		for i := range row {
+			if need[i] {
+				if part[i].Kind != full[i].Kind || !Equal(part[i], full[i]) {
+					return false
+				}
+			} else if !part[i].IsNull() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
