@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-bench bench-smoke bench-scaling bench-wide check
+.PHONY: all build vet test race race-bench bench-smoke bench-scaling bench-wide bench-recovery check
 
 all: check
 
@@ -35,5 +35,10 @@ bench-scaling:
 # row-at-a-time baseline, plus the §6.2 chunk-width result-equality sweep).
 bench-wide:
 	$(GO) run ./cmd/mtdbench -widebench -json-out BENCH_3.json
+
+# Regenerate BENCH_4.json (commit latency with/without group commit and
+# recovery time vs checkpoint interval).
+bench-recovery:
+	$(GO) run ./cmd/mtdbench -recovery -json-out BENCH_4.json
 
 check: build vet test race race-bench bench-smoke

@@ -42,6 +42,7 @@ func main() {
 		withExts  = flag.Bool("extensions", false, "enable tenant extensions in schema and workload (§7's complete setting; needs a non-basic layout)")
 		scaling   = flag.Bool("scaling", false, "run the multi-session scaling sweep instead of the variability sweep")
 		widebench = flag.Bool("widebench", false, "run the batch-execution/column-pruning benchmark and §6.2 Q2 sweep")
+		recovery  = flag.Bool("recovery", false, "run the WAL/recovery benchmark (commit latency with and without group commit, recovery time vs checkpoint interval)")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
@@ -57,6 +58,14 @@ func main() {
 			out = "BENCH_3.json"
 		}
 		runWideBench(out)
+		return
+	}
+	if *recovery {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_4.json"
+		}
+		runRecoveryBench(out)
 		return
 	}
 

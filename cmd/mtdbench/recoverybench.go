@@ -1,0 +1,212 @@
+// The -recovery benchmark measures the durability subsystem from both
+// ends: what WAL syncing costs the commit path (with and without group
+// commit) and what the log costs at restart (recovery time as a
+// function of the checkpoint interval). Results land in BENCH_4.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+type commitPoint struct {
+	Mode           string  `json:"mode"`
+	Sessions       int     `json:"sessions"`
+	Commits        int64   `json:"commits"`
+	Syncs          int64   `json:"syncs"`
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+	BatchSizes     []int64 `json:"group_commit_batch_histogram"`
+	MeanLatencyUs  float64 `json:"mean_commit_latency_us"`
+	P95LatencyUs   float64 `json:"p95_commit_latency_us"`
+	StmtsPerSec    float64 `json:"stmts_per_sec"`
+}
+
+type recoveryPoint struct {
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+	Checkpoints     int64   `json:"checkpoints"`
+	WALBytes        int64   `json:"wal_bytes_written"`
+	DurableRecords  int     `json:"durable_records_at_crash"`
+	Replayed        int     `json:"records_replayed"`
+	RecoveryMs      float64 `json:"recovery_ms"`
+}
+
+// runCommitBench drives per-tenant insert streams through one database
+// and reports commit-path durability costs. Each session owns a table,
+// as tenants do, so commits from different sessions overlap and group
+// commit has batches to form.
+func runCommitBench(sessions, stmtsPerSession int, syncLatency time.Duration, noGroup bool) commitPoint {
+	db := engine.Open(engine.Config{
+		MemoryBytes:     32 << 20,
+		SyncLatency:     syncLatency,
+		NoGroupCommit:   noGroup,
+		CheckpointBytes: -1,
+	})
+	for s := 0; s < sessions; s++ {
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE tenant%d (id INT NOT NULL, val TEXT)", s)); err != nil {
+			fatal(err)
+		}
+	}
+	db.ResetStats()
+
+	lat := make([][]time.Duration, sessions)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			q := fmt.Sprintf("INSERT INTO tenant%d VALUES (?, 'payload-payload-payload')", s)
+			lat[s] = make([]time.Duration, 0, stmtsPerSession)
+			for i := 0; i < stmtsPerSession; i++ {
+				t0 := time.Now()
+				if _, err := db.Exec(q, types.NewInt(int64(i))); err != nil {
+					fatal(err)
+				}
+				lat[s] = append(lat[s], time.Since(t0))
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	st := db.Stats().WAL
+	mode := "group_commit"
+	if noGroup {
+		mode = "sync_per_commit"
+	}
+	return commitPoint{
+		Mode:           mode,
+		Sessions:       sessions,
+		Commits:        st.Commits,
+		Syncs:          st.Syncs,
+		SyncsPerCommit: float64(st.Syncs) / float64(st.Commits),
+		BatchSizes:     st.BatchSizes[:],
+		MeanLatencyUs:  float64(sum.Microseconds()) / float64(len(all)),
+		P95LatencyUs:   float64(all[len(all)*95/100].Microseconds()),
+		StmtsPerSec:    float64(len(all)) / elapsed.Seconds(),
+	}
+}
+
+// runRecoveryPoint loads a fixed workload under one checkpoint interval,
+// crashes, and times the rebuild.
+func runRecoveryPoint(ckptBytes int64, stmts int) recoveryPoint {
+	db := engine.Open(engine.Config{
+		MemoryBytes:     8 << 20,
+		PageSize:        2048,
+		CheckpointBytes: ckptBytes,
+	})
+	const tables = 8
+	for s := 0; s < tables; s++ {
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE tenant%d (id INT NOT NULL, val TEXT)", s)); err != nil {
+			fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf("CREATE UNIQUE INDEX tenant%d_pk ON tenant%d (id)", s, s)); err != nil {
+			fatal(err)
+		}
+	}
+	for i := 0; i < stmts; i++ {
+		q := fmt.Sprintf("INSERT INTO tenant%d VALUES (?, 'wwwwwwwwwwwwwwwwwwwwwwww')", i%tables)
+		if _, err := db.Exec(q, types.NewInt(int64(i/tables))); err != nil {
+			fatal(err)
+		}
+	}
+	st := db.Stats().WAL
+
+	t0 := time.Now()
+	_, rep, err := engine.Recover(db.Crash())
+	if err != nil {
+		fatal(err)
+	}
+	return recoveryPoint{
+		CheckpointBytes: ckptBytes,
+		Checkpoints:     st.Checkpoints,
+		WALBytes:        st.BytesAppended,
+		DurableRecords:  rep.DurableRecords,
+		Replayed:        rep.Replayed,
+		RecoveryMs:      float64(time.Since(t0).Microseconds()) / 1000,
+	}
+}
+
+func runRecoveryBench(jsonOut string) {
+	const sessions, perSession = 8, 150
+	// A sync latency in the disk-flush range makes the trade visible:
+	// batching amortizes the wait, sync-per-commit pays it every time.
+	const syncLatency = 200 * time.Microsecond
+
+	fmt.Println("Commit path: group commit vs sync-per-commit")
+	fmt.Printf("%-18s %-10s %-9s %-8s %-16s %-14s %-14s %s\n",
+		"Mode", "Sessions", "Commits", "Syncs", "Syncs/commit", "Mean lat [us]", "p95 lat [us]", "Stmts/sec")
+	var commits []commitPoint
+	for _, noGroup := range []bool{true, false} {
+		p := runCommitBench(sessions, perSession, syncLatency, noGroup)
+		commits = append(commits, p)
+		fmt.Printf("%-18s %-10d %-9d %-8d %-16.2f %-14.1f %-14.1f %.0f\n",
+			p.Mode, p.Sessions, p.Commits, p.Syncs, p.SyncsPerCommit,
+			p.MeanLatencyUs, p.P95LatencyUs, p.StmtsPerSec)
+	}
+
+	fmt.Println()
+	fmt.Println("Recovery time vs checkpoint interval (fixed workload, crash, rebuild)")
+	fmt.Printf("%-18s %-13s %-12s %-18s %-10s %s\n",
+		"Ckpt bytes", "Checkpoints", "WAL bytes", "Durable records", "Replayed", "Recovery [ms]")
+	const stmts = 4000
+	var recoveries []recoveryPoint
+	for _, ckpt := range []int64{-1, 1 << 20, 256 << 10, 64 << 10} {
+		p := runRecoveryPoint(ckpt, stmts)
+		recoveries = append(recoveries, p)
+		label := fmt.Sprintf("%d", p.CheckpointBytes)
+		if p.CheckpointBytes < 0 {
+			label = "disabled"
+		}
+		fmt.Printf("%-18s %-13d %-12d %-18d %-10d %.2f\n",
+			label, p.Checkpoints, p.WALBytes, p.DurableRecords, p.Replayed, p.RecoveryMs)
+	}
+
+	out := struct {
+		Benchmark string                 `json:"benchmark"`
+		Config    map[string]interface{} `json:"config"`
+		Commit    []commitPoint          `json:"commit_path"`
+		Recovery  []recoveryPoint        `json:"recovery"`
+	}{
+		Benchmark: "wal_recovery",
+		Config: map[string]interface{}{
+			"sessions":           sessions,
+			"stmts_per_session":  perSession,
+			"sync_latency":       syncLatency.String(),
+			"recovery_stmts":     stmts,
+			"recovery_page_size": 2048,
+		},
+		Commit:   commits,
+		Recovery: recoveries,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

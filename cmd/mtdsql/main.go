@@ -111,8 +111,49 @@ func main() {
 			}
 		}
 	}
+	var img *engine.CrashImage
 	for _, stmt := range stmts {
 		fmt.Printf("tenant %d> %s\n", *tenant, stmt)
+		// Meta-commands for the durability subsystem: `.crash` kills the
+		// volatile state (buffer pool and WAL tail), `.recover` rebuilds
+		// the database from the durable log + disk image.
+		if strings.HasPrefix(stmt, ".") {
+			switch stmt {
+			case ".crash":
+				if img != nil {
+					fmt.Println("error: already crashed (use .recover)")
+					continue
+				}
+				img = db.Crash()
+				fmt.Println("  crashed: buffer pool and WAL tail dropped")
+			case ".recover":
+				if img == nil {
+					img = db.Crash()
+				}
+				db2, rep, err := engine.Recover(img)
+				if err != nil {
+					fatalIf(fmt.Errorf("recover: %w", err))
+				}
+				db, img = db2, nil
+				m = core.NewMapper(db, layout)
+				fmt.Printf("  recovered: %d durable records, %d statements committed, %d replayed, %d skipped\n",
+					rep.DurableRecords, rep.Committed, rep.Replayed, rep.Skipped)
+			case ".checkpoint":
+				if img != nil {
+					fmt.Println("error: crashed (use .recover)")
+					continue
+				}
+				fatalIf(db.Checkpoint())
+				fmt.Println("  checkpoint written, log truncated")
+			default:
+				fmt.Printf("error: unknown meta-command %q (.crash, .recover, .checkpoint)\n", stmt)
+			}
+			continue
+		}
+		if img != nil {
+			fmt.Println("error: database is crashed (use .recover)")
+			continue
+		}
 		phys, err := m.RewriteSQL(*tenant, stmt)
 		if err != nil {
 			fmt.Println("error:", err)

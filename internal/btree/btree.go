@@ -47,25 +47,86 @@ type innerNode struct {
 	keys     [][]byte
 }
 
+// Logger receives redo records for tree page mutations. wal.Scope's
+// TreeLogger implements it structurally; btree does not import wal.
+// Every method is called BEFORE the corresponding bytes change, so a
+// failed append leaves the tree untouched and in agreement with the
+// log.
+type Logger interface {
+	// BTreePageAlloc records a fresh index-page allocation.
+	BTreePageAlloc(page storage.PageID) error
+	// BTreeInit records the formatting of page as an empty leaf.
+	BTreeInit(page storage.PageID) error
+	// BTreeInsert records adding key→rid on the leaf at page.
+	BTreeInsert(page storage.PageID, key []byte, rid storage.RID) error
+	// BTreeDelete records removing key from the leaf at page.
+	BTreeDelete(page storage.PageID, key []byte) error
+	// BTreeUpdate records repointing key to rid on the leaf at page.
+	BTreeUpdate(page storage.PageID, key []byte, rid storage.RID) error
+	// BTreePageImage records the full post-image of a restructured page.
+	BTreePageImage(page storage.PageID, img []byte) error
+	// BTreeRoot records a root change.
+	BTreeRoot(old, new storage.PageID) error
+}
+
 // BTree is the tree handle. Mutations must be externally serialized
 // against each other (the engine's table write locks do this); readers
 // may run concurrently with each other but not with a writer.
 type BTree struct {
-	pool *storage.BufferPool
-	mu   sync.RWMutex
-	root storage.PageID
-	size int64
+	pool   *storage.BufferPool
+	mu     sync.RWMutex
+	root   storage.PageID
+	size   int64
+	logger Logger
 }
 
 // New creates an empty tree with a single leaf root.
 func New(pool *storage.BufferPool) (*BTree, error) {
+	return NewLogged(pool, nil)
+}
+
+// NewLogged creates an empty tree, logging the root allocation and
+// initialization through lg (which stays installed).
+func NewLogged(pool *storage.BufferPool, lg Logger) (*BTree, error) {
 	id, buf, err := pool.NewPage(storage.CatIndex)
 	if err != nil {
 		return nil, err
 	}
+	if lg != nil {
+		if err := lg.BTreePageAlloc(id); err == nil {
+			err = lg.BTreeInit(id)
+		}
+		if err != nil {
+			pool.Unpin(id, false)
+			_ = pool.FreePage(id)
+			return nil, err
+		}
+	}
 	encodeLeaf(buf, &leafNode{})
 	pool.Unpin(id, true)
-	return &BTree{pool: pool, root: id}, nil
+	return &BTree{pool: pool, root: id, logger: lg}, nil
+}
+
+// Restore rebuilds a tree handle over an existing root page (the
+// recovery path). Call RecountSize afterwards to rebuild the entry
+// count.
+func Restore(pool *storage.BufferPool, root storage.PageID) *BTree {
+	return &BTree{pool: pool, root: root}
+}
+
+// SetLogger installs (or, with nil, removes) the WAL logger. The
+// engine swaps it per statement under the table's write lock.
+func (t *BTree) SetLogger(lg Logger) {
+	t.mu.Lock()
+	t.logger = lg
+	t.mu.Unlock()
+}
+
+// Root returns the current root page ID.
+func (t *BTree) Root() storage.PageID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.root
 }
 
 // Len returns the number of entries.
@@ -307,6 +368,15 @@ func (t *BTree) Insert(key []byte, rid storage.RID) error {
 	ln.rids = insertRIDAt(ln.rids, pos, rid)
 
 	if leafSize(ln) <= t.pool.PageSize() {
+		if t.logger != nil {
+			// Log before touching the page: a failed append leaves the
+			// leaf exactly as it was.
+			if err := t.logger.BTreeInsert(leafID, key, rid); err != nil {
+				t.pool.Unpin(leafID, false)
+				unpinPath()
+				return err
+			}
+		}
 		encodeLeaf(leafBuf, ln)
 		t.pool.Unpin(leafID, true)
 		unpinPath()
@@ -387,28 +457,72 @@ func (t *BTree) Insert(key []byte, rid storage.RID) error {
 		allocated = append(allocated, newRootID)
 	}
 
-	// Phase 3: apply. Every page involved is pinned in memory, so the
-	// encodes below cannot fail.
-	encodeLeaf(rightLeafBuf, rightLeaf)
-	t.pool.Unpin(rightLeafID, true)
-	encodeLeaf(leafBuf, leftLeaf)
-	t.pool.Unpin(leafID, true)
+	// Phase 2.5: render every touched page into a scratch image. Splits
+	// are logged as full post-images — replaying the split algorithm
+	// byte-for-byte is exactly the fragility physiological logging avoids
+	// at this one structural point — and the images must exist before any
+	// pinned byte changes, so that a failed log append aborts cleanly.
+	ps := t.pool.PageSize()
+	type pageWrite struct {
+		id  storage.PageID
+		dst []byte // pinned frame
+		img []byte // scratch post-image
+	}
+	var writes []pageWrite
+	render := func(id storage.PageID, dst []byte, enc func([]byte)) {
+		img := make([]byte, ps)
+		enc(img)
+		writes = append(writes, pageWrite{id: id, dst: dst, img: img})
+	}
+	render(rightLeafID, rightLeafBuf, func(b []byte) { encodeLeaf(b, rightLeaf) })
+	render(leafID, leafBuf, func(b []byte) { encodeLeaf(b, leftLeaf) })
 	for _, s := range splits {
-		encodeInner(s.rightBuf, s.right)
-		t.pool.Unpin(s.rightID, true)
+		s := s
+		render(s.rightID, s.rightBuf, func(b []byte) { encodeInner(b, s.right) })
 		path[s.level].node = s.left
 	}
-	if absorbed {
-		// Levels above the absorbing node are untouched; the absorbing
-		// node and every split level below re-encode.
-		for l := level; l < len(path); l++ {
-			encodeInner(path[l].buf, path[l].node)
+	lowest := level // absorbed: untouched levels above the absorbing node
+	if lowest < 0 {
+		lowest = 0 // full-height split: every path level re-encodes
+	}
+	for l := lowest; l < len(path); l++ {
+		n := path[l].node
+		render(path[l].id, path[l].buf, func(b []byte) { encodeInner(b, n) })
+	}
+	if !absorbed {
+		render(newRootID, newRootBuf, func(b []byte) {
+			encodeInner(b, &innerNode{children: []storage.PageID{t.root, carryID}, keys: [][]byte{sep}})
+		})
+	}
+
+	if t.logger != nil {
+		for _, id := range allocated {
+			if err := t.logger.BTreePageAlloc(id); err != nil {
+				return fail(err)
+			}
 		}
-	} else {
-		for l := 0; l < len(path); l++ {
-			encodeInner(path[l].buf, path[l].node)
+		for _, w := range writes {
+			if err := t.logger.BTreePageImage(w.id, w.img); err != nil {
+				return fail(err)
+			}
 		}
-		encodeInner(newRootBuf, &innerNode{children: []storage.PageID{t.root, carryID}, keys: [][]byte{sep}})
+		if !absorbed {
+			if err := t.logger.BTreeRoot(t.root, newRootID); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	// Phase 3: apply. Plain copies into pinned frames cannot fail.
+	for _, w := range writes {
+		copy(w.dst, w.img)
+	}
+	t.pool.Unpin(rightLeafID, true)
+	t.pool.Unpin(leafID, true)
+	for _, s := range splits {
+		t.pool.Unpin(s.rightID, true)
+	}
+	if !absorbed {
 		t.pool.Unpin(newRootID, true)
 		t.root = newRootID
 	}
@@ -436,6 +550,12 @@ func (t *BTree) Delete(key []byte) error {
 		t.pool.Unpin(leafID, false)
 		return ErrKeyNotFound
 	}
+	if t.logger != nil {
+		if err := t.logger.BTreeDelete(leafID, key); err != nil {
+			t.pool.Unpin(leafID, false)
+			return err
+		}
+	}
 	ln.keys = append(ln.keys[:pos], ln.keys[pos+1:]...)
 	ln.rids = append(ln.rids[:pos], ln.rids[pos+1:]...)
 	encodeLeaf(buf, ln)
@@ -461,6 +581,12 @@ func (t *BTree) Update(key []byte, rid storage.RID) error {
 	if !ok {
 		t.pool.Unpin(leafID, false)
 		return ErrKeyNotFound
+	}
+	if t.logger != nil {
+		if err := t.logger.BTreeUpdate(leafID, key, rid); err != nil {
+			t.pool.Unpin(leafID, false)
+			return err
+		}
 	}
 	ln.rids[pos] = rid
 	encodeLeaf(buf, ln)

@@ -91,6 +91,17 @@ type Table struct {
 	Mu sync.RWMutex
 }
 
+// SetWAL installs (or, with nils, removes) the statement's WAL loggers
+// on the table's heap file and every index tree. The engine calls it
+// under the table write lock at statement start and clears it at
+// statement end, so redo records carry the owning statement's ID.
+func (t *Table) SetWAL(h storage.HeapLogger, tl btree.Logger) {
+	t.Heap.SetLogger(h)
+	for _, ix := range t.Indexes {
+		ix.Tree.SetLogger(tl)
+	}
+}
+
 // ColIndex returns the ordinal of the named column, or -1.
 func (t *Table) ColIndex(name string) int {
 	for i, c := range t.Columns {
@@ -525,7 +536,8 @@ func (c *Catalog) TableNames() []string {
 	return out
 }
 
-// DropTable removes the table, its heap, and its indexes.
+// DropTable removes the table, its heap, and its indexes, freeing the
+// pages immediately (the non-WAL path).
 func (c *Catalog) DropTable(name string) error {
 	c.version.Add(1)
 	c.mu.Lock()
@@ -549,8 +561,45 @@ func (c *Catalog) DropTable(name string) error {
 	return t.Heap.Drop()
 }
 
+// DropTableDeferred removes the table from the namespace but frees no
+// pages: it returns the heap and index page lists so the caller can log
+// the frees and perform them only after its commit record is durable —
+// redo-only recovery cannot resurrect pages an uncommitted drop already
+// destroyed.
+func (c *Catalog) DropTableDeferred(name string) (dataPages, indexPages []storage.PageID, err error) {
+	c.version.Add(1)
+	c.mu.Lock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		c.mu.Unlock()
+		return nil, nil, fmt.Errorf("catalog: no such table %s", name)
+	}
+	delete(c.tables, key(name))
+	c.rebudget()
+	c.mu.Unlock()
+
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for _, ix := range t.Indexes {
+		pages, perr := ix.Tree.Pages()
+		if perr != nil {
+			return nil, nil, perr
+		}
+		indexPages = append(indexPages, pages...)
+	}
+	t.Indexes = nil
+	return t.Heap.Release(), indexPages, nil
+}
+
 // CreateIndex builds a new index over existing rows.
 func (c *Catalog) CreateIndex(tableName, indexName string, colNames []string, unique bool) (*Index, error) {
+	return c.CreateIndexLogged(tableName, indexName, colNames, unique, nil)
+}
+
+// CreateIndexLogged is CreateIndex with a WAL logger installed on the
+// tree from birth, so the root allocation and every backfill insert
+// (including splits) land in the log under the creating statement.
+func (c *Catalog) CreateIndexLogged(tableName, indexName string, colNames []string, unique bool, lg btree.Logger) (*Index, error) {
 	c.version.Add(1)
 	t, err := c.Table(tableName)
 	if err != nil {
@@ -569,7 +618,7 @@ func (c *Catalog) CreateIndex(tableName, indexName string, colNames []string, un
 		}
 		cols[i] = ord
 	}
-	tree, err := btree.New(c.pool)
+	tree, err := btree.NewLogged(c.pool, lg)
 	if err != nil {
 		return nil, err
 	}
@@ -599,7 +648,8 @@ func (c *Catalog) CreateIndex(tableName, indexName string, colNames []string, un
 	return ix, nil
 }
 
-// DropIndex removes an index from a table.
+// DropIndex removes an index from a table, freeing its pages
+// immediately (the non-WAL path).
 func (c *Catalog) DropIndex(tableName, indexName string) error {
 	c.version.Add(1)
 	t, err := c.Table(tableName)
@@ -615,6 +665,30 @@ func (c *Catalog) DropIndex(tableName, indexName string) error {
 		}
 	}
 	return fmt.Errorf("catalog: no index %s on %s", indexName, tableName)
+}
+
+// DropIndexDeferred removes the index from the table but frees no
+// pages, returning them for commit-deferred freeing (see
+// DropTableDeferred).
+func (c *Catalog) DropIndexDeferred(tableName, indexName string) ([]storage.PageID, error) {
+	c.version.Add(1)
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	for i, ix := range t.Indexes {
+		if strings.EqualFold(ix.Name, indexName) {
+			pages, perr := ix.Tree.Pages()
+			if perr != nil {
+				return nil, perr
+			}
+			t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+			return pages, nil
+		}
+	}
+	return nil, fmt.Errorf("catalog: no index %s on %s", indexName, tableName)
 }
 
 // AddColumn appends a nullable column to the table. Existing rows read

@@ -1,0 +1,282 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/storage"
+)
+
+// This file is the catalog's durability boundary. The schema itself
+// lives only in Go memory, so a checkpoint serializes it as a Snapshot
+// (JSON inside the KCheckpoint record) and every DDL statement logs a
+// DDLChange (JSON inside a KCatalog record). Recovery replays changes
+// onto the snapshot to get a metadata model of the crashed system, then
+// Restore turns the model back into live catalog structures.
+
+// IndexSnap is the durable description of one index: definition plus
+// the root page, which together with the pages reachable from it is all
+// the state a B+tree needs.
+type IndexSnap struct {
+	Name   string         `json:"name"`
+	Cols   []int          `json:"cols"`
+	Unique bool           `json:"unique"`
+	Root   storage.PageID `json:"root"`
+}
+
+// TableSnap is the durable description of one table: columns, the heap
+// file's page list in file order, and its indexes.
+type TableSnap struct {
+	Name    string           `json:"name"`
+	Cols    []Column         `json:"cols"`
+	Pages   []storage.PageID `json:"pages,omitempty"`
+	Indexes []IndexSnap      `json:"indexes,omitempty"`
+}
+
+// Snapshot is the whole catalog at a point in time.
+type Snapshot struct {
+	Tables  []TableSnap `json:"tables"`
+	Version int64       `json:"version"`
+}
+
+// Snapshot captures the current catalog. Tables are sorted by name so
+// the encoding is deterministic. The caller must ensure no DDL or DML
+// is in flight (the engine holds its DDL lock exclusively).
+func (c *Catalog) Snapshot() *Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := &Snapshot{Version: c.version.Load()}
+	for _, t := range c.tables {
+		t.Mu.RLock()
+		ts := TableSnap{
+			Name:  t.Name,
+			Cols:  append([]Column(nil), t.Columns...),
+			Pages: t.Heap.Pages(),
+		}
+		for _, ix := range t.Indexes {
+			ts.Indexes = append(ts.Indexes, IndexSnap{
+				Name: ix.Name, Cols: append([]int(nil), ix.Cols...),
+				Unique: ix.Unique, Root: ix.Tree.Root(),
+			})
+		}
+		t.Mu.RUnlock()
+		snap.Tables = append(snap.Tables, ts)
+	}
+	sort.Slice(snap.Tables, func(i, j int) bool { return snap.Tables[i].Name < snap.Tables[j].Name })
+	return snap
+}
+
+// Encode serializes the snapshot for a checkpoint record.
+func (s *Snapshot) Encode() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("catalog: snapshot encode: %v", err)) // no unmarshalable types
+	}
+	return b
+}
+
+// DecodeSnapshot parses a checkpoint record's catalog payload.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	s := &Snapshot{}
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("catalog: snapshot decode: %w", err)
+	}
+	return s, nil
+}
+
+// DDL operation names carried in DDLChange.Op.
+const (
+	OpCreateTable = "create_table"
+	OpDropTable   = "drop_table"
+	OpCreateIndex = "create_index"
+	OpDropIndex   = "drop_index"
+	OpAddColumn   = "add_column"
+)
+
+// DDLChange is the durable form of one DDL statement (a KCatalog
+// record). For create_index, Root is the tree's root as of the record's
+// append — later splits that move the root log KBTreeRoot records.
+type DDLChange struct {
+	Op        string         `json:"op"`
+	Table     string         `json:"table"`
+	Cols      []Column       `json:"cols,omitempty"`
+	Index     string         `json:"index,omitempty"`
+	IndexCols []int          `json:"index_cols,omitempty"`
+	Unique    bool           `json:"unique,omitempty"`
+	Root      storage.PageID `json:"root,omitempty"`
+}
+
+// Encode serializes the change for a KCatalog record.
+func (ch *DDLChange) Encode() []byte {
+	b, err := json.Marshal(ch)
+	if err != nil {
+		panic(fmt.Sprintf("catalog: ddl change encode: %v", err))
+	}
+	return b
+}
+
+// DecodeDDLChange parses a KCatalog record payload.
+func DecodeDDLChange(b []byte) (*DDLChange, error) {
+	ch := &DDLChange{}
+	if err := json.Unmarshal(b, ch); err != nil {
+		return nil, fmt.Errorf("catalog: ddl change decode: %w", err)
+	}
+	return ch, nil
+}
+
+// table finds a table in the snapshot by name (case-insensitive).
+func (s *Snapshot) table(name string) *TableSnap {
+	for i := range s.Tables {
+		if strings.EqualFold(s.Tables[i].Name, name) {
+			return &s.Tables[i]
+		}
+	}
+	return nil
+}
+
+// Apply replays one committed DDL change onto the metadata model.
+func (s *Snapshot) Apply(ch *DDLChange) error {
+	switch ch.Op {
+	case OpCreateTable:
+		if s.table(ch.Table) != nil {
+			return fmt.Errorf("catalog: replay create of existing table %s", ch.Table)
+		}
+		s.Tables = append(s.Tables, TableSnap{Name: ch.Table, Cols: ch.Cols})
+	case OpDropTable:
+		for i := range s.Tables {
+			if strings.EqualFold(s.Tables[i].Name, ch.Table) {
+				s.Tables = append(s.Tables[:i], s.Tables[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("catalog: replay drop of missing table %s", ch.Table)
+	case OpCreateIndex:
+		t := s.table(ch.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: replay create index on missing table %s", ch.Table)
+		}
+		t.Indexes = append(t.Indexes, IndexSnap{
+			Name: ch.Index, Cols: ch.IndexCols, Unique: ch.Unique, Root: ch.Root,
+		})
+	case OpDropIndex:
+		t := s.table(ch.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: replay drop index on missing table %s", ch.Table)
+		}
+		for i := range t.Indexes {
+			if strings.EqualFold(t.Indexes[i].Name, ch.Index) {
+				t.Indexes = append(t.Indexes[:i], t.Indexes[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("catalog: replay drop of missing index %s on %s", ch.Index, ch.Table)
+	case OpAddColumn:
+		t := s.table(ch.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: replay add column on missing table %s", ch.Table)
+		}
+		t.Cols = append(t.Cols, ch.Cols...)
+	default:
+		return fmt.Errorf("catalog: replay of unknown DDL op %q", ch.Op)
+	}
+	return nil
+}
+
+// AddHeapPage appends a page to a table's heap page list (replay of
+// KHeapNewPage). Idempotent: a page already listed is left in place.
+func (s *Snapshot) AddHeapPage(table string, page storage.PageID) error {
+	t := s.table(table)
+	if t == nil {
+		return fmt.Errorf("catalog: replay heap growth on missing table %s", table)
+	}
+	for _, p := range t.Pages {
+		if p == page {
+			return nil
+		}
+	}
+	t.Pages = append(t.Pages, page)
+	return nil
+}
+
+// SetRoot repoints whichever index currently has root old to new
+// (replay of KBTreeRoot). Reports whether an index matched; records
+// from a statement that predates the index's KCatalog record match
+// nothing, which is correct — the create's payload already carries the
+// later root.
+func (s *Snapshot) SetRoot(old, new storage.PageID) bool {
+	for i := range s.Tables {
+		for j := range s.Tables[i].Indexes {
+			if s.Tables[i].Indexes[j].Root == old {
+				s.Tables[i].Indexes[j].Root = new
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pages returns every page the snapshot's tables claim directly (heap
+// pages and index roots; interior index pages are reachable from the
+// roots on disk).
+func (s *Snapshot) HeapPages() map[storage.PageID]string {
+	out := make(map[storage.PageID]string)
+	for i := range s.Tables {
+		for _, p := range s.Tables[i].Pages {
+			out[p] = s.Tables[i].Name
+		}
+	}
+	return out
+}
+
+// Restore rebuilds a live catalog from a replayed metadata model. The
+// caller (engine recovery) must afterwards call RecomputeAll to rebuild
+// derived state — row counts, free-space caches, tree sizes — from the
+// recovered pages.
+func Restore(pool *storage.BufferPool, cfg Config, snap *Snapshot) *Catalog {
+	if cfg.MetaBytesPerTable == 0 {
+		cfg.MetaBytesPerTable = DefaultMetaBytesPerTable
+	}
+	if cfg.MemoryBytes == 0 {
+		cfg.MemoryBytes = 64 << 20
+	}
+	c := &Catalog{tables: make(map[string]*Table), pool: pool, cfg: cfg}
+	for _, ts := range snap.Tables {
+		t := &Table{
+			Name:    ts.Name,
+			Columns: append([]Column(nil), ts.Cols...),
+			Heap:    storage.RestoreHeapFile(pool, cfg.InsertMode, ts.Pages),
+		}
+		for _, is := range ts.Indexes {
+			t.Indexes = append(t.Indexes, &Index{
+				Name: is.Name, Table: ts.Name, Cols: append([]int(nil), is.Cols...),
+				Unique: is.Unique, Tree: btree.Restore(pool, is.Root),
+			})
+		}
+		c.tables[key(ts.Name)] = t
+	}
+	c.version.Store(snap.Version)
+	c.rebudget()
+	return c
+}
+
+// RecomputeAll rebuilds every table's derived state (heap row counts
+// and free-space cache, index entry counts) by scanning the recovered
+// pages.
+func (c *Catalog) RecomputeAll() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, t := range c.tables {
+		if err := t.Heap.RecomputeMeta(); err != nil {
+			return err
+		}
+		for _, ix := range t.Indexes {
+			if err := ix.Tree.RecountSize(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

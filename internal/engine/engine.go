@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,12 +16,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a database instance.
@@ -43,11 +46,26 @@ type Config struct {
 	// Exec/Query reuse compiled plans keyed by (statement text, catalog
 	// version). 0 means the default (512); negative disables caching.
 	PlanCacheSize int
+	// DisableWAL turns off write-ahead logging; statements then have no
+	// durability and Crash/Recover are unavailable.
+	DisableWAL bool
+	// NoGroupCommit makes every commit issue its own log sync instead of
+	// piggybacking on a concurrent leader's (the durability baseline).
+	NoGroupCommit bool
+	// SyncLatency is the simulated cost of one log sync.
+	SyncLatency time.Duration
+	// CheckpointBytes triggers an automatic fuzzy checkpoint once that
+	// much log has accumulated since the last one. 0 means the default
+	// (4 MiB); negative disables automatic checkpoints.
+	CheckpointBytes int64
 }
 
 // Result reports the outcome of a non-query statement.
 type Result struct {
 	RowsAffected int64
+	// StmtID is the statement's WAL identity (0 when WAL is disabled or
+	// the statement was a query).
+	StmtID uint64
 }
 
 // Rows is a fully materialized query result.
@@ -58,11 +76,19 @@ type Rows struct {
 
 // DB is a database handle, safe for concurrent use.
 type DB struct {
+	cfg     Config
 	disk    *storage.Disk
 	pool    *storage.BufferPool
 	cat     *catalog.Catalog
 	planner *plan.Planner
 	plans   *planCache // nil when caching is disabled
+	log     *wal.Log   // nil when WAL is disabled
+
+	// recoveries and replayedRecs carry recovery lineage: how many times
+	// this database has been rebuilt from its log, and how many redo
+	// records those recoveries applied in total.
+	recoveries   int64
+	replayedRecs int64
 
 	// stmtRollbacks counts DML statements that failed and had their
 	// partial effects rolled back (statement-level atomicity).
@@ -85,6 +111,9 @@ func Open(cfg Config) *DB {
 	if cfg.MemoryBytes == 0 {
 		cfg.MemoryBytes = 64 << 20
 	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = 4 << 20
+	}
 	disk := storage.NewDisk(cfg.PageSize)
 	disk.ReadLatency = cfg.ReadLatency
 	pool := storage.NewBufferPool(disk, cfg.MemoryBytes)
@@ -100,12 +129,23 @@ func Open(cfg Config) *DB {
 	if cfg.PlanCacheSize > 0 {
 		plans = newPlanCache(cfg.PlanCacheSize)
 	}
+	var log *wal.Log
+	if !cfg.DisableWAL {
+		log = wal.New(wal.Config{
+			SyncLatency:   cfg.SyncLatency,
+			NoGroupCommit: cfg.NoGroupCommit,
+		})
+		log.AttachPool(pool)
+		pool.SetWALGate(log)
+	}
 	return &DB{
+		cfg:     cfg,
 		disk:    disk,
 		pool:    pool,
 		cat:     cat,
 		planner: plan.New(cat, cfg.Optimizer),
 		plans:   plans,
+		log:     log,
 	}
 }
 
@@ -136,11 +176,19 @@ func (db *DB) execStmtKeyed(st sql.Statement, key string, params []types.Value) 
 	switch st := st.(type) {
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
 		*sql.DropIndexStmt, *sql.AlterAddColumnStmt:
-		return Result{}, db.execDDL(st)
+		err := db.execDDL(st)
+		if err == nil {
+			db.maybeCheckpoint()
+		}
+		return Result{}, err
 	case *sql.SelectStmt:
 		return db.execSelect(st, key, params)
 	default:
-		return db.execDML(st, key, params)
+		res, err := db.execDML(st, key, params)
+		if err == nil {
+			db.maybeCheckpoint()
+		}
+		return res, err
 	}
 }
 
@@ -271,13 +319,41 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 	if err != nil {
 		return Result{}, err
 	}
+	var scope *wal.Scope
+	if db.log != nil {
+		scope, err = db.log.Begin()
+		if err != nil {
+			return Result{}, err
+		}
+		t, terr := db.cat.Table(write)
+		if terr != nil {
+			scope.Abort()
+			return Result{}, terr
+		}
+		// Install the statement's loggers on the target table (we hold
+		// its write lock) so every page mutation — including undo
+		// compensations on failure — emits a redo record under this
+		// statement's ID. Cleared before the lock is released.
+		t.SetWAL(scope.HeapLogger(t.Name), scope.TreeLogger())
+		defer t.SetWAL(nil, nil)
+	}
 	n, err := exec.RunDMLStats(p, params, &db.execStats)
 	if err != nil {
 		// RunDML rolled the statement's partial effects back before
 		// returning (statement-level atomicity).
 		db.stmtRollbacks.Add(1)
+		if scope != nil {
+			scope.Abort()
+		}
+		return Result{RowsAffected: n}, err
 	}
-	return Result{RowsAffected: n}, err
+	if scope != nil {
+		if cerr := scope.Commit(); cerr != nil {
+			return Result{StmtID: scope.ID()}, cerr
+		}
+		return Result{RowsAffected: n, StmtID: scope.ID()}, nil
+	}
+	return Result{RowsAffected: n}, nil
 }
 
 func (db *DB) execDDL(st sql.Statement) error {
@@ -288,33 +364,101 @@ func (db *DB) execDDL(st sql.Statement) error {
 		// releases the stale plans' memory promptly.
 		defer db.plans.purge()
 	}
+	var scope *wal.Scope
+	if db.log != nil {
+		var err error
+		scope, err = db.log.Begin()
+		if err != nil {
+			return err
+		}
+	}
+	ch, err := db.applyDDL(st, scope)
+	if scope == nil {
+		return err
+	}
+	if err != nil || ch == nil {
+		// Failed, or an IF [NOT] EXISTS no-op: nothing durable happened.
+		scope.Abort()
+		return err
+	}
+	if err := scope.CatalogChange(ch.Encode()); err != nil {
+		return err
+	}
+	return scope.Commit()
+}
+
+// applyDDL mutates the catalog and returns the schema change to log, or
+// (nil, nil) when the statement was a no-op. With a scope, destructive
+// statements defer their page frees to the scope's commit point —
+// redo-only recovery cannot resurrect pages an uncommitted drop already
+// destroyed.
+func (db *DB) applyDDL(st sql.Statement, scope *wal.Scope) (*catalog.DDLChange, error) {
 	switch st := st.(type) {
 	case *sql.CreateTableStmt:
 		if st.IfNotExists && db.cat.HasTable(st.Name) {
-			return nil
+			return nil, nil
 		}
 		cols := make([]catalog.Column, len(st.Cols))
 		for i, c := range st.Cols {
 			cols[i] = catalog.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull}
 		}
-		_, err := db.cat.CreateTable(st.Name, cols)
-		return err
+		if _, err := db.cat.CreateTable(st.Name, cols); err != nil {
+			return nil, err
+		}
+		return &catalog.DDLChange{Op: catalog.OpCreateTable, Table: st.Name, Cols: cols}, nil
 	case *sql.CreateIndexStmt:
-		_, err := db.cat.CreateIndex(st.Table, st.Name, st.Columns, st.Unique)
-		return err
+		var lg btree.Logger
+		if scope != nil {
+			lg = scope.TreeLogger()
+		}
+		ix, err := db.cat.CreateIndexLogged(st.Table, st.Name, st.Columns, st.Unique, lg)
+		if err != nil {
+			return nil, err
+		}
+		// The statement is over; later statements install their own
+		// loggers via SetWAL.
+		ix.Tree.SetLogger(nil)
+		// The payload carries the root as of backfill completion, so
+		// recovery re-registers the index at its final root; mid-backfill
+		// KBTreeRoot records then match nothing, which is fine.
+		return &catalog.DDLChange{
+			Op: catalog.OpCreateIndex, Table: st.Table, Index: st.Name,
+			IndexCols: ix.Cols, Unique: st.Unique, Root: ix.Tree.Root(),
+		}, nil
 	case *sql.DropTableStmt:
 		if st.IfExists && !db.cat.HasTable(st.Name) {
-			return nil
+			return nil, nil
 		}
-		return db.cat.DropTable(st.Name)
+		if scope == nil {
+			return nil, db.cat.DropTable(st.Name)
+		}
+		data, index, err := db.cat.DropTableDeferred(st.Name)
+		if err != nil {
+			return nil, err
+		}
+		scope.DeferFree(storage.CatData, data...)
+		scope.DeferFree(storage.CatIndex, index...)
+		return &catalog.DDLChange{Op: catalog.OpDropTable, Table: st.Name}, nil
 	case *sql.DropIndexStmt:
-		return db.cat.DropIndex(st.Table, st.Name)
+		if scope == nil {
+			return nil, db.cat.DropIndex(st.Table, st.Name)
+		}
+		pages, err := db.cat.DropIndexDeferred(st.Table, st.Name)
+		if err != nil {
+			return nil, err
+		}
+		scope.DeferFree(storage.CatIndex, pages...)
+		return &catalog.DDLChange{Op: catalog.OpDropIndex, Table: st.Table, Index: st.Name}, nil
 	case *sql.AlterAddColumnStmt:
-		return db.cat.AddColumn(st.Table, catalog.Column{
-			Name: st.Col.Name, Type: st.Col.Type, NotNull: st.Col.NotNull,
-		})
+		col := catalog.Column{Name: st.Col.Name, Type: st.Col.Type, NotNull: st.Col.NotNull}
+		if err := db.cat.AddColumn(st.Table, col); err != nil {
+			return nil, err
+		}
+		return &catalog.DDLChange{
+			Op: catalog.OpAddColumn, Table: st.Table, Cols: []catalog.Column{col},
+		}, nil
 	}
-	return fmt.Errorf("engine: unsupported DDL %T", st)
+	return nil, fmt.Errorf("engine: unsupported DDL %T", st)
 }
 
 // lockTables acquires read locks on reads and a write lock on write,
@@ -440,19 +584,34 @@ type Stats struct {
 	// base-table scans, and column values decoded vs skipped by column
 	// pruning (the decode savings of narrow queries over wide tables).
 	Exec exec.Counters
+	// WAL carries durability counters: bytes and records appended, sync
+	// calls, commits, the group-commit batch-size histogram, checkpoints
+	// taken, and log bytes truncated. Zero when WAL is disabled.
+	WAL wal.Stats
+	// Recoveries counts how many times this database instance has been
+	// rebuilt from its log; RecoveryReplayed is the total number of redo
+	// records those recoveries applied.
+	Recoveries       int64
+	RecoveryReplayed int64
 }
 
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
-	return Stats{
-		Pool:          db.pool.Stats(),
-		PhysReads:     db.disk.PhysReads(),
-		PhysWrites:    db.disk.PhysWrites(),
-		Tables:        db.cat.NumTables(),
-		MetaBytes:     db.cat.MetaBytes(),
-		StmtRollbacks: db.stmtRollbacks.Load(),
-		Exec:          db.execStats.Snapshot(),
+	s := Stats{
+		Pool:             db.pool.Stats(),
+		PhysReads:        db.disk.PhysReads(),
+		PhysWrites:       db.disk.PhysWrites(),
+		Tables:           db.cat.NumTables(),
+		MetaBytes:        db.cat.MetaBytes(),
+		StmtRollbacks:    db.stmtRollbacks.Load(),
+		Exec:             db.execStats.Snapshot(),
+		Recoveries:       db.recoveries,
+		RecoveryReplayed: db.replayedRecs,
 	}
+	if db.log != nil {
+		s.WAL = db.log.Stats()
+	}
+	return s
 }
 
 // ResetStats zeroes the counters (used between benchmark phases).
@@ -460,6 +619,9 @@ func (db *DB) ResetStats() {
 	db.pool.ResetStats()
 	db.disk.ResetCounters()
 	db.execStats.Reset()
+	if db.log != nil {
+		db.log.ResetStats()
+	}
 }
 
 // DropCaches flushes and empties the buffer pool — the cold-cache
@@ -476,3 +638,95 @@ func (db *DB) BufferPool() *storage.BufferPool { return db.pool }
 
 // Disk exposes the disk for experiment harnesses.
 func (db *DB) Disk() *storage.Disk { return db.disk }
+
+// WAL exposes the log for experiment harnesses (nil when disabled).
+func (db *DB) WAL() *wal.Log { return db.log }
+
+// ckptPayload is the JSON body of a KCheckpoint record: the catalog at
+// checkpoint time plus the dirty-page table (each dirty page's recLSN —
+// the oldest log record that may not yet be on disk for it).
+type ckptPayload struct {
+	Catalog *catalog.Snapshot          `json:"catalog"`
+	DPT     map[storage.PageID]wal.LSN `json:"dpt,omitempty"`
+}
+
+// Checkpoint takes a fuzzy checkpoint: sync the log, append a snapshot
+// of the catalog and the dirty-page table, sync again, then truncate the
+// log to the oldest byte still needed — the minimum of the checkpoint's
+// own frame and the oldest recLSN of any still-dirty page.
+func (db *DB) Checkpoint() error {
+	if db.log == nil {
+		return nil
+	}
+	db.ddlMu.Lock()
+	defer db.ddlMu.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if err := db.log.Sync(); err != nil {
+		return err
+	}
+	payload := ckptPayload{Catalog: db.cat.Snapshot(), DPT: db.pool.DirtyPageTable()}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint encode: %w", err)
+	}
+	start, _, err := db.log.AppendCheckpoint(b)
+	if err != nil {
+		return err
+	}
+	if err := db.log.Sync(); err != nil {
+		return err
+	}
+	bound := start
+	if o := db.pool.OldestRecLSN(); o < bound {
+		bound = o
+	}
+	db.log.TruncateTo(bound)
+	return nil
+}
+
+// maybeCheckpoint runs a checkpoint when enough log has accumulated.
+// Called without ddlMu held, after a statement completes. Errors are
+// dropped: a failed checkpoint only delays truncation, and if the log
+// crashed the next statement reports it.
+func (db *DB) maybeCheckpoint() {
+	if db.log == nil || db.cfg.CheckpointBytes <= 0 {
+		return
+	}
+	if db.log.BytesSinceCheckpoint() >= db.cfg.CheckpointBytes {
+		_ = db.Checkpoint()
+	}
+}
+
+// CrashImage is what survives a crash: the disk (its durable pages) and
+// the log (its durable prefix). Everything else — buffer pool, catalog,
+// plans — is volatile and lost. Recover rebuilds a DB from it.
+type CrashImage struct {
+	Disk *storage.Disk
+	Log  *wal.Log
+	Cfg  Config
+
+	recoveries   int64
+	replayedRecs int64
+}
+
+// Crash kills the database: the buffer pool drops every frame without
+// writing anything back, the log discards its volatile tail and refuses
+// further appends, and the disk rejects all traffic until Recover. The
+// returned image is the starting point for Recover.
+func (db *DB) Crash() *CrashImage {
+	if db.log != nil {
+		db.log.Crash()
+	}
+	db.pool.Crash()
+	db.disk.SetCrashed(true)
+	return &CrashImage{
+		Disk:         db.disk,
+		Log:          db.log,
+		Cfg:          db.cfg,
+		recoveries:   db.recoveries,
+		replayedRecs: db.replayedRecs,
+	}
+}

@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Crash recovery: rebuild a consistent database from the durable halves
+// (disk pages + log prefix) alone.
+//
+// The log is redo-only, so recovery replays forward and never undoes
+// page bytes. That works because of two run-time rules. First, the
+// no-steal gate: a page carrying an in-flight statement's mutation is
+// never written back, so the disk holds no bytes from statements that
+// were still open at the crash ("losers"). Second, aborted statements
+// append their logical compensations (through the same loggers) before
+// their KAbort, so replaying an aborted statement start to finish lands
+// on its compensated — invisible — state. Recovery therefore replays
+// every record whose statement has a durable terminator (KCommit or
+// KAbort) and skips loser records entirely; per-page idempotence comes
+// from the pageLSN skip (apply a record iff it is newer than the page).
+//
+// Aborted statements must replay because their structural side effects
+// survive an abort: a B+tree split or a heap page added while backfilling
+// stays in place even though the rows were compensated away, and later
+// committed records depend on that structure. Losers cannot be depended
+// on the same way — a loser held its table's write lock until the crash,
+// so no terminated statement follows it on the same pages.
+
+// RecoverReport summarizes what recovery found and did.
+type RecoverReport struct {
+	// DurableRecords is the log size in records after the torn tail was
+	// trimmed; CheckpointLSN is the last durable checkpoint (0 if none).
+	DurableRecords int
+	CheckpointLSN  wal.LSN
+	// Committed / Aborted / Losers partition the statements seen.
+	Committed int
+	Aborted   int
+	Losers    int
+	// Replayed page mutations vs Skipped (already on disk per pageLSN)
+	// vs Unallocated (page since freed; nothing to redo).
+	Replayed    int
+	Skipped     int
+	Unallocated int
+	// FreedPages executed committed deferred frees; OrphanPages reclaimed
+	// allocations no durable structure references (loser page allocs and
+	// abandoned backfills).
+	FreedPages  int
+	OrphanPages int
+}
+
+// Recover rebuilds a database from a crash image: reopen the log
+// (trimming any torn tail), replay the durable history onto the disk
+// image, rebuild the catalog from the last checkpoint plus replayed
+// schema changes, reclaim unreferenced pages, and verify invariants.
+// The rebuilt state is left dirty in the buffer pool — recovery itself
+// writes no checkpoint, so running it twice from the same image is
+// byte-identical (idempotence).
+func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
+	if img.Log == nil {
+		return nil, nil, fmt.Errorf("engine: cannot recover without a WAL")
+	}
+	img.Log.Reopen()
+	img.Disk.SetCrashed(false)
+	img.Disk.SetFault(nil) // recovery is a fresh boot: planted faults die with the old process
+
+	cfg := img.Cfg
+	pool := storage.NewBufferPool(img.Disk, cfg.MemoryBytes)
+	img.Log.AttachPool(pool)
+	pool.SetWALGate(img.Log)
+
+	recs := img.Log.DurableRecords()
+	rep := &RecoverReport{DurableRecords: len(recs)}
+
+	// Pass 1: find the last checkpoint and classify statements.
+	snap := &catalog.Snapshot{}
+	committed := map[uint64]bool{}
+	terminated := map[uint64]bool{}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Kind {
+		case wal.KCheckpoint:
+			var p ckptPayload
+			if err := json.Unmarshal(r.Data, &p); err != nil {
+				return nil, rep, fmt.Errorf("engine: checkpoint decode at LSN %d: %w", r.LSN, err)
+			}
+			snap = p.Catalog
+			rep.CheckpointLSN = r.LSN
+		case wal.KCommit:
+			committed[r.Stmt] = true
+			terminated[r.Stmt] = true
+		case wal.KAbort:
+			terminated[r.Stmt] = true
+		}
+		if r.Stmt != 0 {
+			seen[r.Stmt] = true
+		}
+	}
+	for id := range seen {
+		switch {
+		case committed[id]:
+			rep.Committed++
+		case terminated[id]:
+			rep.Aborted++
+		default:
+			rep.Losers++
+		}
+	}
+
+	// Pass 2: replay terminated statements in log order. pageLSN tracks
+	// each touched page's progress (seeded from the disk's durable
+	// stamp); deferred frees from committed statements run after the
+	// loop so earlier records can still redo onto those pages.
+	pageLSN := map[storage.PageID]wal.LSN{}
+	cur := func(id storage.PageID) wal.LSN {
+		if lsn, ok := pageLSN[id]; ok {
+			return lsn
+		}
+		lsn := img.Disk.PageLSN(id)
+		pageLSN[id] = lsn
+		return lsn
+	}
+	type freeReq struct {
+		page storage.PageID
+	}
+	var frees []freeReq
+	ckpt := rep.CheckpointLSN
+	frameStart := img.Log.Base()
+	for _, r := range recs {
+		start := frameStart
+		frameStart = r.LSN
+		if r.Stmt != 0 && !terminated[r.Stmt] {
+			continue // loser: its pages never reached disk
+		}
+		// Metadata replay: schema-shaped records older than the
+		// checkpoint are already reflected in its snapshot.
+		switch r.Kind {
+		case wal.KCatalog:
+			if r.LSN > ckpt {
+				ch, err := catalog.DecodeDDLChange(r.Data)
+				if err != nil {
+					return nil, rep, err
+				}
+				if err := snap.Apply(ch); err != nil {
+					return nil, rep, err
+				}
+			}
+			continue
+		case wal.KHeapNewPage:
+			if r.LSN > ckpt {
+				if err := snap.AddHeapPage(r.Table, r.Page); err != nil {
+					return nil, rep, err
+				}
+			}
+			// Fall through below to the physical redo (page format).
+		case wal.KBTreeRoot:
+			if r.LSN > ckpt {
+				snap.SetRoot(r.Page, r.Page2)
+			}
+			continue
+		case wal.KPageFree:
+			if committed[r.Stmt] {
+				frees = append(frees, freeReq{page: r.Page})
+			}
+			continue
+		case wal.KBegin, wal.KCommit, wal.KAbort, wal.KCheckpoint, wal.KPageAlloc:
+			continue
+		}
+		// Physical redo of page-addressed records.
+		if !img.Disk.Allocated(r.Page) {
+			rep.Unallocated++
+			continue
+		}
+		if r.LSN <= cur(r.Page) {
+			rep.Skipped++
+			continue
+		}
+		if err := redoPage(pool, r); err != nil {
+			return nil, rep, fmt.Errorf("engine: redo %s at LSN %d: %w", r.Kind, r.LSN, err)
+		}
+		pageLSN[r.Page] = r.LSN
+		pool.StampLSN(r.Page, r.LSN, start)
+		rep.Replayed++
+	}
+
+	for _, f := range frees {
+		if img.Disk.Allocated(f.page) {
+			if err := pool.FreePage(f.page); err != nil {
+				return nil, rep, err
+			}
+			rep.FreedPages++
+		}
+	}
+
+	// Rebuild the live catalog from the replayed model and recompute the
+	// derived state the log deliberately does not carry.
+	cat := catalog.Restore(pool, catalog.Config{
+		MemoryBytes:       cfg.MemoryBytes,
+		MetaBytesPerTable: cfg.MetaBytesPerTable,
+		InsertMode:        cfg.InsertMode,
+	}, snap)
+	if err := cat.RecomputeAll(); err != nil {
+		return nil, rep, err
+	}
+
+	// Orphan sweep: free any disk page no durable structure references —
+	// loser allocations and abandoned index backfills. Tree walks happen
+	// after replay, so the reachable sets are final.
+	referenced := map[storage.PageID]bool{}
+	for _, name := range cat.TableNames() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, rep, err
+		}
+		for _, p := range t.Heap.Pages() {
+			referenced[p] = true
+		}
+		for _, ix := range t.Indexes {
+			pages, err := ix.Tree.Pages()
+			if err != nil {
+				return nil, rep, err
+			}
+			for _, p := range pages {
+				referenced[p] = true
+			}
+		}
+	}
+	for _, id := range img.Disk.PageIDs() {
+		if !referenced[id] {
+			if err := pool.FreePage(id); err != nil {
+				return nil, rep, err
+			}
+			rep.OrphanPages++
+		}
+	}
+
+	// The recovered database must satisfy every structural invariant.
+	for _, name := range cat.TableNames() {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := t.CheckInvariants(); err != nil {
+			return nil, rep, fmt.Errorf("engine: post-recovery invariant violation on %s: %w", name, err)
+		}
+	}
+
+	var plans *planCache
+	if cfg.PlanCacheSize > 0 {
+		plans = newPlanCache(cfg.PlanCacheSize)
+	}
+	db := &DB{
+		cfg:          cfg,
+		disk:         img.Disk,
+		pool:         pool,
+		cat:          cat,
+		planner:      plan.New(cat, cfg.Optimizer),
+		plans:        plans,
+		log:          img.Log,
+		recoveries:   img.recoveries + 1,
+		replayedRecs: img.replayedRecs + int64(rep.Replayed),
+	}
+	return db, rep, nil
+}
+
+// redoPage applies one page-addressed record. The pageLSN check has
+// already established the page is in the exact pre-record state.
+func redoPage(pool *storage.BufferPool, r *wal.Record) error {
+	switch r.Kind {
+	case wal.KHeapNewPage:
+		return storage.ReplayHeapInit(pool, r.Page)
+	case wal.KHeapInsert:
+		return storage.ReplayHeapInsert(pool, r.Page, r.Slot, r.Data)
+	case wal.KHeapInsertAt:
+		return storage.ReplayHeapInsertAt(pool, r.Page, r.Slot, r.Data)
+	case wal.KHeapDelete:
+		return storage.ReplayHeapDelete(pool, r.Page, r.Slot)
+	case wal.KHeapUpdate:
+		return storage.ReplayHeapUpdate(pool, r.Page, r.Slot, r.Data)
+	case wal.KBTreeInit:
+		return btree.ReplayInit(pool, r.Page)
+	case wal.KBTreeInsert:
+		return btree.ReplayInsert(pool, r.Page, r.Key, r.RID)
+	case wal.KBTreeDelete:
+		return btree.ReplayDelete(pool, r.Page, r.Key)
+	case wal.KBTreeUpdate:
+		return btree.ReplayUpdate(pool, r.Page, r.Key, r.RID)
+	case wal.KBTreeImage:
+		return btree.ReplayImage(pool, r.Page, r.Data)
+	}
+	return fmt.Errorf("engine: unexpected redo kind %s", r.Kind)
+}

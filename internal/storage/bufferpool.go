@@ -18,8 +18,12 @@ type PoolStats struct {
 	LogicalReads  [2]int64 // indexed by Category
 	PhysicalReads [2]int64
 	Evictions     int64
-	Capacity      int // frames
-	Resident      int // frames currently cached
+	// GateStalls counts eviction attempts where every unpinned victim was
+	// held back by the no-steal gate, forcing the shard to grow past its
+	// frame budget until the gating statement finishes.
+	GateStalls int64
+	Capacity   int // frames
+	Resident   int // frames currently cached
 }
 
 // HitRatio returns the buffer hit ratio for a category in [0,1];
@@ -50,6 +54,13 @@ type frame struct {
 	cat   Category
 	elem  *list.Element // position in LRU list; nil while pinned
 
+	// lsn is the page's pageLSN: the LSN of the last log record applied
+	// to it (NoLSN when it has never been mutated under WAL). recLSN is
+	// the frame-start LSN of the FIRST record since the page was last
+	// clean — the dirty-page-table entry that bounds log truncation.
+	lsn    LSN
+	recLSN LSN
+
 	// ready is closed once the page content is loaded; concurrent
 	// fetchers of a page that is still being read from disk wait on it
 	// (the I/O latch). loadErr records a failed load.
@@ -62,6 +73,7 @@ type frame struct {
 type poolShard struct {
 	mu       sync.Mutex
 	disk     *Disk
+	gate     WALGate // nil when running without a WAL
 	frames   map[PageID]*frame
 	lru      *list.List // front = LRU victim candidate, back = most recent
 	capacity int        // max resident frames in this shard
@@ -90,6 +102,35 @@ type BufferPool struct {
 	fetchFault atomic.Pointer[FetchFaultFn]
 }
 
+// SetWALGate installs the write-ahead log's gate on every shard. Wire
+// it before the pool serves traffic (the engine does so at Open); a nil
+// gate restores the WAL-free behaviour.
+func (p *BufferPool) SetWALGate(g WALGate) {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.gate = g
+		s.mu.Unlock()
+	}
+}
+
+// StampLSN records that the log record ending at lsn (whose frame
+// starts at recLSN) has been applied to the page. Called by the WAL
+// statement scope right after appending the record, while the mutated
+// page is still pinned. A missing frame is ignored — it can only mean
+// the page was already evicted, which requires it to have been clean
+// and stamped on disk.
+func (p *BufferPool) StampLSN(id PageID, lsn, recLSN LSN) {
+	s := p.shard(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		f.lsn = lsn
+		if f.recLSN == NoLSN {
+			f.recLSN = recLSN
+		}
+	}
+	s.mu.Unlock()
+}
+
 // SetFetchFault installs (or, with nil, removes) a logical-access
 // fault hook. See BufferPool.fetchFault.
 func (p *BufferPool) SetFetchFault(fn FetchFaultFn) {
@@ -110,6 +151,12 @@ func (p *BufferPool) checkFetchFault(id PageID, cat Category) error {
 // ErrPoolExhausted is returned when every frame is pinned and a new page
 // must be brought in.
 var ErrPoolExhausted = errors.New("storage: buffer pool exhausted (all frames pinned)")
+
+// errAllGated is the internal verdict of an eviction pass that found
+// unpinned victims but every one was held back by the no-steal gate.
+// Unlike ErrPoolExhausted it is not an error to callers: the shard
+// grows past its budget and retries once the gating statement ends.
+var errAllGated = errors.New("storage: all eviction victims gated by no-steal")
 
 // closedChan is a pre-closed ready channel for frames born loaded.
 var closedChan = func() chan struct{} {
@@ -223,8 +270,8 @@ func (p *BufferPool) SetCapacityBytes(capacityBytes int64) error {
 func (s *poolShard) shrinkLocked() error {
 	for len(s.frames) > s.capacity {
 		if err := s.evictOneLocked(); err != nil {
-			if errors.Is(err, ErrPoolExhausted) {
-				return nil // every remaining page pinned; Unpin retries
+			if errors.Is(err, ErrPoolExhausted) || errors.Is(err, errAllGated) {
+				return nil // every remaining page pinned or gated; retried later
 			}
 			return err
 		}
@@ -294,6 +341,9 @@ func (p *BufferPool) Fetch(id PageID, cat Category) ([]byte, error) {
 	err := p.disk.Read(id, f.data)
 	s.mu.Lock()
 	f.loadErr = err
+	if err == nil {
+		f.lsn = p.disk.PageLSN(id)
+	}
 	close(f.ready)
 	if err != nil {
 		f.pins--
@@ -356,44 +406,86 @@ func (p *BufferPool) Unpin(id PageID, dirty bool) {
 func (s *poolShard) makeRoomLocked() error {
 	for len(s.frames) >= s.capacity {
 		if err := s.evictOneLocked(); err != nil {
+			if errors.Is(err, errAllGated) {
+				// No-steal outranks the frame budget: admit the page and
+				// let the deferred shrink reclaim the excess when the
+				// gating statement finishes.
+				s.stats.GateStalls++
+				return nil
+			}
 			return err
 		}
 	}
 	return nil
 }
 
+// evictOneLocked writes back and drops one unpinned frame, walking the
+// LRU list from cold to hot. Under a WAL gate a dirty victim must be
+// committed work only (no-steal: pageLSN below the oldest active
+// statement's begin LSN) and the log must be durable through its
+// pageLSN before the write-back (WAL-before-data).
 func (s *poolShard) evictOneLocked() error {
-	e := s.lru.Front()
-	if e == nil {
+	if s.lru.Len() == 0 {
 		return ErrPoolExhausted
 	}
-	f := e.Value.(*frame)
-	s.lru.Remove(e)
-	if f.dirty {
-		if err := s.disk.Write(f.id, f.data); err != nil {
-			// Re-list the victim; it is still resident.
-			f.elem = s.lru.PushFront(f)
-			return err
-		}
+	oldestActive := InfiniteLSN
+	if s.gate != nil {
+		oldestActive = s.gate.OldestActiveLSN()
 	}
-	delete(s.frames, f.id)
-	s.stats.Evictions++
-	return nil
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		f := e.Value.(*frame)
+		if f.dirty && s.gate != nil && f.lsn != NoLSN && f.lsn >= oldestActive {
+			continue // may carry uncommitted work; redo could not undo it
+		}
+		if f.dirty {
+			if s.gate != nil && f.lsn > s.gate.DurableLSN() {
+				if err := s.gate.SyncTo(f.lsn); err != nil {
+					return err
+				}
+			}
+			if err := s.disk.WriteLSN(f.id, f.data, f.lsn); err != nil {
+				return err
+			}
+		}
+		s.lru.Remove(e)
+		f.elem = nil
+		delete(s.frames, f.id)
+		s.stats.Evictions++
+		return nil
+	}
+	return errAllGated
 }
 
 // FlushAll writes every dirty resident page back to disk without
-// evicting anything.
+// evicting anything. Under a WAL gate each write-back honours
+// WAL-before-data; pages gated by no-steal (mutated by a still-active
+// statement) are skipped and stay dirty.
 func (p *BufferPool) FlushAll() error {
 	for _, s := range p.shards {
 		s.mu.Lock()
+		oldestActive := InfiniteLSN
+		if s.gate != nil {
+			oldestActive = s.gate.OldestActiveLSN()
+		}
 		for _, f := range s.frames {
-			if f.dirty {
-				if err := s.disk.Write(f.id, f.data); err != nil {
+			if !f.dirty {
+				continue
+			}
+			if s.gate != nil && f.lsn != NoLSN && f.lsn >= oldestActive {
+				continue
+			}
+			if s.gate != nil && f.lsn > s.gate.DurableLSN() {
+				if err := s.gate.SyncTo(f.lsn); err != nil {
 					s.mu.Unlock()
 					return err
 				}
-				f.dirty = false
 			}
+			if err := s.disk.WriteLSN(f.id, f.data, f.lsn); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			f.dirty = false
+			f.recLSN = NoLSN
 		}
 		s.mu.Unlock()
 	}
@@ -423,7 +515,12 @@ func (p *BufferPool) DropAll() error {
 	for _, s := range p.shards {
 		for _, f := range s.frames {
 			if f.dirty {
-				if err := s.disk.Write(f.id, f.data); err != nil {
+				if s.gate != nil && f.lsn > s.gate.DurableLSN() {
+					if err := s.gate.SyncTo(f.lsn); err != nil {
+						return err
+					}
+				}
+				if err := s.disk.WriteLSN(f.id, f.data, f.lsn); err != nil {
 					return err
 				}
 			}
@@ -432,6 +529,52 @@ func (p *BufferPool) DropAll() error {
 		s.lru.Init()
 	}
 	return nil
+}
+
+// Crash discards every resident frame without writing anything back —
+// the volatile half of power loss. Pins are ignored: the sessions that
+// held them died with the machine. The disk and the WAL's durable
+// prefix are all that survive.
+func (p *BufferPool) Crash() {
+	for _, s := range p.shards {
+		s.mu.Lock()
+		s.frames = make(map[PageID]*frame)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+}
+
+// DirtyPageTable snapshots the recLSN of every dirty resident page —
+// the table a fuzzy checkpoint records so recovery knows how far back
+// replay must start.
+func (p *BufferPool) DirtyPageTable() map[PageID]LSN {
+	out := make(map[PageID]LSN)
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.dirty && f.recLSN != NoLSN {
+				out[id] = f.recLSN
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// OldestRecLSN returns the smallest recLSN among dirty pages, or
+// InfiniteLSN when none is dirty. Log truncation must not pass it.
+func (p *BufferPool) OldestRecLSN() LSN {
+	oldest := InfiniteLSN
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.dirty && f.recLSN != NoLSN && f.recLSN < oldest {
+				oldest = f.recLSN
+			}
+		}
+		s.mu.Unlock()
+	}
+	return oldest
 }
 
 // FreePage removes a page from the cache (if resident) and releases it
@@ -465,6 +608,7 @@ func (p *BufferPool) Stats() PoolStats {
 			out.PhysicalReads[c] += s.stats.PhysicalReads[c]
 		}
 		out.Evictions += s.stats.Evictions
+		out.GateStalls += s.stats.GateStalls
 		out.Capacity += s.capacity
 		out.Resident += len(s.frames)
 		s.mu.Unlock()

@@ -1,11 +1,37 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrPageCorrupt is returned by Read when a page's contents do not
+// match its stored checksum — a torn or bit-rotted write. Tests inject
+// it with CorruptPage; recovery treats it as unrecoverable media error.
+var ErrPageCorrupt = errors.New("storage: page checksum mismatch")
+
+// ErrDiskCrashed is returned by every disk operation after SetCrashed,
+// modeling a machine that has lost power: no further I/O completes.
+var ErrDiskCrashed = errors.New("storage: disk crashed")
+
+// castagnoli is the CRC-32C polynomial table used for page checksums
+// (the same polynomial iSCSI and ext4 use; it has hardware support on
+// real silicon, which is why production engines pick it).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// pageMeta is the durable per-page header the disk keeps out-of-band:
+// the LSN of the last log record reflected in the page (NoLSN if the
+// page predates the WAL) and the CRC-32C of its contents. Keeping it
+// beside the page rather than inside it leaves the slotted layout — and
+// every offset computed from it — untouched.
+type pageMeta struct {
+	lsn LSN
+	sum uint32
+}
 
 // Disk is the backing page store. The paper's testbed kept data on an
 // NFS appliance; here pages live in memory and a configurable per-read
@@ -15,8 +41,10 @@ type Disk struct {
 	mu       sync.Mutex
 	pages    map[PageID][]byte
 	cats     map[PageID]Category
+	meta     map[PageID]pageMeta
 	next     uint64
 	pageSize int
+	crashed  bool
 
 	// ReadLatency is added to every physical page read. Zero (the
 	// default) makes unit tests fast; the experiment harnesses set it
@@ -42,6 +70,7 @@ func NewDisk(pageSize int) *Disk {
 	return &Disk{
 		pages:    make(map[PageID][]byte),
 		cats:     make(map[PageID]Category),
+		meta:     make(map[PageID]pageMeta),
 		pageSize: pageSize,
 	}
 }
@@ -81,11 +110,25 @@ func (d *Disk) Alloc() PageID { return d.AllocCat(CatData) }
 func (d *Disk) AllocCat(cat Category) PageID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.crashed {
+		return InvalidPageID
+	}
 	d.next++
 	id := PageID(d.next)
-	d.pages[id] = make([]byte, d.pageSize)
+	page := make([]byte, d.pageSize)
+	d.pages[id] = page
 	d.cats[id] = cat
+	d.meta[id] = pageMeta{sum: crc32.Checksum(page, castagnoli)}
 	return id
+}
+
+// SetCrashed marks the disk as crashed (true) or repaired (false).
+// While crashed every operation fails with ErrDiskCrashed and Alloc
+// returns InvalidPageID; the stored pages survive for recovery.
+func (d *Disk) SetCrashed(crashed bool) {
+	d.mu.Lock()
+	d.crashed = crashed
+	d.mu.Unlock()
 }
 
 // Read copies the page contents into dst, simulating I/O latency.
@@ -93,8 +136,12 @@ func (d *Disk) AllocCat(cat Category) PageID {
 // latency is paid: no I/O happened, so no I/O cost applies.
 func (d *Disk) Read(id PageID, dst []byte) error {
 	d.mu.Lock()
+	crashed := d.crashed
 	_, ok := d.pages[id]
 	d.mu.Unlock()
+	if crashed {
+		return ErrDiskCrashed
+	}
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
@@ -106,19 +153,42 @@ func (d *Disk) Read(id PageID, dst []byte) error {
 	}
 	d.mu.Lock()
 	src, ok := d.pages[id]
+	var badSum bool
 	if ok {
 		copy(dst, src)
+		badSum = crc32.Checksum(src, castagnoli) != d.meta[id].sum
 	}
 	d.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("storage: read of unallocated page %d", id)
 	}
+	if badSum {
+		return fmt.Errorf("storage: page %d: %w", id, ErrPageCorrupt)
+	}
 	d.physReads.Add(1)
 	return nil
 }
 
-// Write copies src to the page.
+// Write copies src to the page, stamping a fresh checksum and keeping
+// the page's recorded LSN. Use WriteLSN to advance the LSN too.
 func (d *Disk) Write(id PageID, src []byte) error {
+	return d.write(id, src, false, NoLSN)
+}
+
+// WriteLSN copies src to the page and records lsn as the page's LSN —
+// the write-back path of a WAL-governed buffer pool, which by the
+// WAL-before-data rule may only run once the log is durable past lsn.
+func (d *Disk) WriteLSN(id PageID, src []byte, lsn LSN) error {
+	return d.write(id, src, true, lsn)
+}
+
+func (d *Disk) write(id PageID, src []byte, setLSN bool, lsn LSN) error {
+	d.mu.Lock()
+	crashed := d.crashed
+	d.mu.Unlock()
+	if crashed {
+		return ErrDiskCrashed
+	}
 	if err := d.checkFault(FaultWrite, id); err != nil {
 		return err
 	}
@@ -126,6 +196,12 @@ func (d *Disk) Write(id PageID, src []byte) error {
 	dst, ok := d.pages[id]
 	if ok {
 		copy(dst, src)
+		m := d.meta[id]
+		m.sum = crc32.Checksum(dst, castagnoli)
+		if setLSN {
+			m.lsn = lsn
+		}
+		d.meta[id] = m
 	}
 	d.mu.Unlock()
 	if !ok {
@@ -135,12 +211,54 @@ func (d *Disk) Write(id PageID, src []byte) error {
 	return nil
 }
 
+// PageLSN returns the LSN recorded with the page's last WriteLSN, or
+// NoLSN for pages never written under WAL (or unallocated).
+func (d *Disk) PageLSN(id PageID) LSN {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meta[id].lsn
+}
+
+// CorruptPage flips bytes of the stored page without touching its
+// checksum, so the next Read fails with ErrPageCorrupt. It reports
+// whether the page existed.
+func (d *Disk) CorruptPage(id PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	page, ok := d.pages[id]
+	if !ok {
+		return false
+	}
+	page[len(page)/2] ^= 0xFF
+	return true
+}
+
 // Free releases the page.
 func (d *Disk) Free(id PageID) {
 	d.mu.Lock()
 	delete(d.pages, id)
 	delete(d.cats, id)
+	delete(d.meta, id)
 	d.mu.Unlock()
+}
+
+// Allocated reports whether the page currently exists.
+func (d *Disk) Allocated(id PageID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.pages[id]
+	return ok
+}
+
+// PageIDs returns the IDs of all allocated pages (any order).
+func (d *Disk) PageIDs() []PageID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]PageID, 0, len(d.pages))
+	for id := range d.pages {
+		out = append(out, id)
+	}
+	return out
 }
 
 // NumPages returns the number of allocated pages.

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fakeGate is a controllable WALGate for pool tests.
+type fakeGate struct {
+	mu      sync.Mutex
+	durable LSN
+	oldest  LSN
+	syncs   int
+}
+
+func (g *fakeGate) DurableLSN() LSN {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.durable
+}
+
+func (g *fakeGate) SyncTo(lsn LSN) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.syncs++
+	if lsn > g.durable {
+		g.durable = lsn
+	}
+	return nil
+}
+
+func (g *fakeGate) OldestActiveLSN() LSN {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.oldest
+}
+
+func (g *fakeGate) set(durable, oldest LSN) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.durable, g.oldest = durable, oldest
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	d := NewDisk(512)
+	id := d.Alloc()
+	data := make([]byte, 512)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := d.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptPage(id)
+	if err := d.Read(id, buf); !errors.Is(err, ErrPageCorrupt) {
+		t.Fatalf("read of corrupt page = %v, want ErrPageCorrupt", err)
+	}
+	// A fresh write heals the page.
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Read(id, buf); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+func TestFetchSurfacesCorruption(t *testing.T) {
+	d := NewDisk(512)
+	pool := NewBufferPool(d, 16*512)
+	id, buf, err := pool.NewPage(CatData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("hello"))
+	pool.Unpin(id, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptPage(id)
+	if _, err := pool.Fetch(id, CatData); !errors.Is(err, ErrPageCorrupt) {
+		t.Fatalf("fetch of corrupt page = %v, want ErrPageCorrupt", err)
+	}
+}
+
+func TestWriteLSNStampsDurablePageLSN(t *testing.T) {
+	d := NewDisk(512)
+	id := d.Alloc()
+	data := make([]byte, 512)
+	if d.PageLSN(id) != NoLSN {
+		t.Fatal("fresh page has a pageLSN")
+	}
+	if err := d.WriteLSN(id, data, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PageLSN(id); got != 42 {
+		t.Fatalf("PageLSN = %d, want 42", got)
+	}
+	// A plain Write preserves the stamp (the caller vouches nothing
+	// logged changed).
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PageLSN(id); got != 42 {
+		t.Fatalf("PageLSN after plain write = %d, want 42", got)
+	}
+}
+
+func TestNoStealGateBlocksUncommittedWriteback(t *testing.T) {
+	const pageSize = 512
+	d := NewDisk(pageSize)
+	pool := NewBufferPool(d, 8*pageSize)
+	gate := &fakeGate{}
+	gate.set(0, 50) // nothing durable; statement active since LSN 50
+	pool.SetWALGate(gate)
+
+	// Dirty more pages than the pool holds, all stamped with LSNs at or
+	// past the oldest active statement — none may be written back.
+	var ids []PageID
+	for i := 0; i < 24; i++ {
+		id, buf, err := pool.NewPage(CatData)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		copy(buf, []byte{byte(i)})
+		// Stamp while pinned, as statement scopes do — an unpinned dirty
+		// page with no pageLSN is by contract unlogged and evictable.
+		pool.StampLSN(id, LSN(60+i), LSN(60+i))
+		pool.Unpin(id, true)
+		ids = append(ids, id)
+	}
+	if w := d.PhysWrites(); w != 0 {
+		t.Fatalf("gated pages written back: PhysWrites = %d", w)
+	}
+	if s := pool.Stats(); s.GateStalls == 0 {
+		t.Fatal("expected gate stalls while over capacity")
+	}
+
+	// Statement ends: pages become flushable, each write-back forcing
+	// the log durable through its pageLSN first.
+	gate.set(0, InfiniteLSN)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if gate.syncs == 0 {
+		t.Fatal("flush never called SyncTo (WAL-before-data violated)")
+	}
+	if gate.DurableLSN() < 60+23 {
+		t.Fatalf("log durable through %d, want >= %d", gate.DurableLSN(), 60+23)
+	}
+	for i, id := range ids {
+		if got := d.PageLSN(id); got != LSN(60+i) {
+			t.Fatalf("page %d durable pageLSN = %d, want %d", id, got, 60+i)
+		}
+	}
+}
+
+func TestPoolCrashDropsDirtyFrames(t *testing.T) {
+	const pageSize = 512
+	d := NewDisk(pageSize)
+	pool := NewBufferPool(d, 8*pageSize)
+	id, buf, err := pool.NewPage(CatData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("doomed"))
+	pool.Unpin(id, true)
+
+	pool.Crash()
+	if w := d.PhysWrites(); w != 0 {
+		t.Fatalf("crash wrote pages back: PhysWrites = %d", w)
+	}
+	// A fresh pool sees the disk's (zero) content, not the lost update.
+	pool2 := NewBufferPool(d, 8*pageSize)
+	got, err := pool2.Fetch(id, CatData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Unpin(id, false)
+	if !bytes.Equal(got[:6], make([]byte, 6)) {
+		t.Fatalf("dirty frame survived crash: %q", got[:6])
+	}
+}
+
+func TestCorruptFaultMode(t *testing.T) {
+	d := NewDisk(512)
+	pool := NewBufferPool(d, 8*512)
+	id, buf, err := pool.NewPage(CatData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte("fine"))
+	pool.Unpin(id, true)
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DropAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt on the disk, then verify both the sentinel and that the
+	// error names the page.
+	d.CorruptPage(id)
+	_, err = pool.Fetch(id, CatData)
+	if !errors.Is(err, ErrPageCorrupt) {
+		t.Fatalf("err = %v, want ErrPageCorrupt", err)
+	}
+}

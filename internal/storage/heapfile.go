@@ -40,11 +40,85 @@ type HeapFile struct {
 	// insert doesn't have to touch every page.
 	freeBytes []int
 	rows      int64
+
+	// logger, when set, receives a redo record for every page mutation,
+	// applied before the page is unpinned so the WAL stamp lands while
+	// the frame cannot be evicted. A failed log call physically reverts
+	// the mutation, keeping page state and log in agreement.
+	logger HeapLogger
 }
 
 // NewHeapFile creates an empty heap file.
 func NewHeapFile(pool *BufferPool, mode InsertMode) *HeapFile {
 	return &HeapFile{pool: pool, mode: mode}
+}
+
+// RestoreHeapFile rebuilds a heap file over an existing page list (the
+// recovery path). Call RecomputeMeta afterwards to rebuild the row
+// count and free-space cache from the pages themselves.
+func RestoreHeapFile(pool *BufferPool, mode InsertMode, pages []PageID) *HeapFile {
+	return &HeapFile{
+		pool:      pool,
+		mode:      mode,
+		pages:     append([]PageID(nil), pages...),
+		freeBytes: make([]int, len(pages)),
+	}
+}
+
+// SetLogger installs (or, with nil, removes) the WAL logger for this
+// file. The engine swaps it per statement under the table's write lock.
+func (h *HeapFile) SetLogger(lg HeapLogger) {
+	h.mu.Lock()
+	h.logger = lg
+	h.mu.Unlock()
+}
+
+// log returns the current logger. Callers not already holding h.mu use
+// this; Insert reads h.logger directly under its own lock.
+func (h *HeapFile) log() HeapLogger {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.logger
+}
+
+// Pages returns a copy of the file's page list in file order.
+func (h *HeapFile) Pages() []PageID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]PageID(nil), h.pages...)
+}
+
+// Release detaches and returns the file's pages without freeing them —
+// the WAL drop path, where physical frees must wait until the drop's
+// commit record is durable.
+func (h *HeapFile) Release() []PageID {
+	h.mu.Lock()
+	pages := h.pages
+	h.pages, h.freeBytes, h.rows = nil, nil, 0
+	h.mu.Unlock()
+	return pages
+}
+
+// RecomputeMeta rebuilds the row count and free-space cache by scanning
+// every page. Recovery calls it after replay, since those are derived
+// values the log deliberately does not carry.
+func (h *HeapFile) RecomputeMeta() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.rows = 0
+	for i, id := range h.pages {
+		buf, err := h.pool.Fetch(id, CatData)
+		if err != nil {
+			return err
+		}
+		sp := Slotted(buf)
+		h.freeBytes[i] = sp.ReclaimableSpace()
+		n := int64(0)
+		sp.LiveRecords(func(uint16, []byte) bool { n++; return true })
+		h.rows += n
+		h.pool.Unpin(id, false)
+	}
+	return nil
 }
 
 // NumPages returns the number of pages in the file.
@@ -87,6 +161,14 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 			h.pool.Unpin(id, false)
 			return RID{}, false, err
 		}
+		if h.logger != nil {
+			if lerr := h.logger.HeapInsert(id, slot, rec); lerr != nil {
+				_ = sp.Delete(slot)
+				h.freeBytes[i] = sp.ReclaimableSpace()
+				h.pool.Unpin(id, true)
+				return RID{}, false, lerr
+			}
+		}
 		h.freeBytes[i] = sp.ReclaimableSpace()
 		h.pool.Unpin(id, true)
 		h.rows++
@@ -125,10 +207,25 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	sp := InitSlotted(buf)
+	if h.logger != nil {
+		if lerr := h.logger.HeapNewPage(id); lerr != nil {
+			// The unfiled page is left for recovery's orphan sweep; the
+			// log only fails when the system is crashing anyway.
+			h.pool.Unpin(id, true)
+			return RID{}, lerr
+		}
+	}
 	slot, err := sp.Insert(rec)
 	if err != nil {
 		h.pool.Unpin(id, true)
 		return RID{}, err
+	}
+	if h.logger != nil {
+		if lerr := h.logger.HeapInsert(id, slot, rec); lerr != nil {
+			_ = sp.Delete(slot)
+			h.pool.Unpin(id, true)
+			return RID{}, lerr
+		}
 	}
 	h.pages = append(h.pages, id)
 	h.freeBytes = append(h.freeBytes, sp.ReclaimableSpace())
@@ -161,8 +258,25 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 		return RID{}, err
 	}
 	sp := Slotted(buf)
+	lg := h.log()
+	var old []byte
+	if lg != nil {
+		// Keep the pre-image so a failed log call can physically revert.
+		if o, gerr := sp.Get(rid.Slot); gerr == nil {
+			old = append([]byte(nil), o...)
+		}
+	}
 	uerr := sp.Update(rid.Slot, rec)
 	if uerr == nil {
+		if lg != nil {
+			if lerr := lg.HeapUpdate(rid.Page, rid.Slot, rec); lerr != nil {
+				if old != nil {
+					_ = sp.Update(rid.Slot, old)
+				}
+				h.pool.Unpin(rid.Page, true)
+				return RID{}, lerr
+			}
+		}
 		h.noteFree(rid.Page, sp.ReclaimableSpace())
 		h.pool.Unpin(rid.Page, true)
 		return rid, nil
@@ -189,6 +303,16 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 		}
 		return RID{}, err
 	}
+	if lg != nil {
+		if lerr := lg.HeapDelete(rid.Page, rid.Slot); lerr != nil {
+			if old != nil {
+				_ = sp.InsertAt(rid.Slot, old)
+			}
+			h.pool.Unpin(rid.Page, true)
+			_ = h.Delete(newRID) // best effort; the log is crashing anyway
+			return RID{}, lerr
+		}
+	}
 	h.noteFree(rid.Page, sp.ReclaimableSpace())
 	h.pool.Unpin(rid.Page, true)
 	h.mu.Lock()
@@ -210,6 +334,13 @@ func (h *HeapFile) Reinsert(rid RID, rec []byte) error {
 		h.pool.Unpin(rid.Page, false)
 		return err
 	}
+	if lg := h.log(); lg != nil {
+		if lerr := lg.HeapInsertAt(rid.Page, rid.Slot, rec); lerr != nil {
+			_ = sp.Delete(rid.Slot)
+			h.pool.Unpin(rid.Page, true)
+			return lerr
+		}
+	}
 	h.noteFree(rid.Page, sp.ReclaimableSpace())
 	h.pool.Unpin(rid.Page, true)
 	h.mu.Lock()
@@ -225,9 +356,25 @@ func (h *HeapFile) Delete(rid RID) error {
 		return err
 	}
 	sp := Slotted(buf)
+	lg := h.log()
+	var old []byte
+	if lg != nil {
+		if o, gerr := sp.Get(rid.Slot); gerr == nil {
+			old = append([]byte(nil), o...)
+		}
+	}
 	if err := sp.Delete(rid.Slot); err != nil {
 		h.pool.Unpin(rid.Page, false)
 		return err
+	}
+	if lg != nil {
+		if lerr := lg.HeapDelete(rid.Page, rid.Slot); lerr != nil {
+			if old != nil {
+				_ = sp.InsertAt(rid.Slot, old)
+			}
+			h.pool.Unpin(rid.Page, true)
+			return lerr
+		}
 	}
 	h.noteFree(rid.Page, sp.ReclaimableSpace())
 	h.pool.Unpin(rid.Page, true)

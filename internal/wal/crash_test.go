@@ -1,0 +1,331 @@
+package wal_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// The crash-point sweep: run one deterministic multi-tenant workload,
+// count every durability operation (WAL append, WAL sync, physical page
+// write), then re-run it once per operation with a crash planted at
+// exactly that point. After every crash, recovery must produce a state
+// where each acknowledged statement is fully visible, the one pending
+// statement is all-or-nothing, and every structural invariant holds.
+
+// model is table -> id -> val; a table's presence in the map is its
+// existence in the schema.
+type model map[string]map[int64]string
+
+func (m model) clone() model {
+	c := make(model, len(m))
+	for t, rows := range m {
+		cr := make(map[int64]string, len(rows))
+		for k, v := range rows {
+			cr[k] = v
+		}
+		c[t] = cr
+	}
+	return c
+}
+
+// step is one workload statement plus its effect on the model.
+type step struct {
+	q      string
+	params []types.Value
+	mut    func(m model)
+}
+
+// buildWorkload returns a deterministic statement sequence over three
+// tenant tables (one indexed), including index build/drop and a
+// temporary table's full lifecycle, plus model snapshots: modelAt[k] is
+// the state after the first k steps.
+func buildWorkload() (steps []step, modelAt []model) {
+	rng := rand.New(rand.NewSource(42))
+	add := func(q string, mut func(m model), params ...types.Value) {
+		steps = append(steps, step{q: q, params: params, mut: mut})
+	}
+	tbl := func(i int) string { return fmt.Sprintf("t%d", i%3) }
+
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("t%d", i)
+		add("CREATE TABLE "+name+" (id INT NOT NULL, val TEXT)",
+			func(m model) { m[name] = map[int64]string{} })
+	}
+	add("CREATE UNIQUE INDEX t0_pk ON t0 (id)", func(m model) {})
+
+	nextID := map[string]int64{}
+	for i := 0; i < 280; i++ {
+		name := tbl(i)
+		switch {
+		case i == 40:
+			add("CREATE INDEX t1_id ON t1 (id)", func(m model) {})
+		case i == 90:
+			add("DROP INDEX t1_id ON t1", func(m model) {})
+		case i == 60:
+			add("CREATE TABLE scratch (id INT NOT NULL, val TEXT)",
+				func(m model) { m["scratch"] = map[int64]string{} })
+		case i > 60 && i < 110 && i%7 == 0:
+			id := nextID["scratch"]
+			nextID["scratch"]++
+			add("INSERT INTO scratch VALUES (?, ?)",
+				func(m model) { m["scratch"][id] = "s" },
+				types.NewInt(id), types.NewString("s"))
+		case i == 110:
+			add("DROP TABLE scratch", func(m model) { delete(m, "scratch") })
+		default:
+			switch r := rng.Intn(10); {
+			case r < 6: // insert
+				id := nextID[name]
+				nextID[name]++
+				val := fmt.Sprintf("v%d-%d", i, rng.Intn(1000))
+				add("INSERT INTO "+name+" VALUES (?, ?)",
+					func(m model) { m[name][id] = val },
+					types.NewInt(id), types.NewString(val))
+			case r < 8: // update one existing id (or a miss)
+				id := int64(rng.Intn(int(nextID[name]) + 1))
+				val := fmt.Sprintf("u%d", i)
+				add("UPDATE "+name+" SET val = ? WHERE id = ?",
+					func(m model) {
+						if _, ok := m[name][id]; ok {
+							m[name][id] = val
+						}
+					},
+					types.NewString(val), types.NewInt(id))
+			default: // delete
+				id := int64(rng.Intn(int(nextID[name]) + 1))
+				add("DELETE FROM "+name+" WHERE id = ?",
+					func(m model) { delete(m[name], id) },
+					types.NewInt(id))
+			}
+		}
+	}
+
+	m := model{}
+	modelAt = make([]model, len(steps)+1)
+	modelAt[0] = m.clone()
+	for k, s := range steps {
+		s.mut(m)
+		modelAt[k+1] = m.clone()
+	}
+	return steps, modelAt
+}
+
+func sweepConfig() engine.Config {
+	return engine.Config{
+		MemoryBytes:     64 << 10,
+		PageSize:        1024,
+		CheckpointBytes: 4 << 10,
+	}
+}
+
+// runUntilError executes steps until one fails, returning the index of
+// the failed (pending) step, or len(steps) if all succeeded.
+func runUntilError(db *engine.DB, steps []step) int {
+	for k, s := range steps {
+		if _, err := db.Exec(s.q, s.params...); err != nil {
+			return k
+		}
+	}
+	return len(steps)
+}
+
+// snapshotDB reads every table into model form.
+func snapshotDB(t *testing.T, db *engine.DB) model {
+	t.Helper()
+	m := model{}
+	for _, name := range db.Catalog().TableNames() {
+		rows, err := db.Query("SELECT id, val FROM " + name)
+		if err != nil {
+			t.Fatalf("snapshot %s: %v", name, err)
+		}
+		rm := map[int64]string{}
+		for _, r := range rows.Data {
+			rm[r[0].Int] = r[1].Str
+		}
+		m[name] = rm
+	}
+	return m
+}
+
+func TestCrashPointSweep(t *testing.T) {
+	steps, modelAt := buildWorkload()
+
+	// Counting pass: how many durability operations does the workload
+	// perform end to end?
+	count := engine.Open(sweepConfig())
+	probe := wal.InstallCrashPlan(wal.NeverCrash, count.Disk(), count.WAL())
+	if k := runUntilError(count, steps); k != len(steps) {
+		t.Fatalf("counting pass failed at step %d", k)
+	}
+	total := probe.Ops()
+	if total < 1000 {
+		t.Fatalf("workload too small for the sweep: %d crash sites, want >= 1000", total)
+	}
+	t.Logf("sweeping %d crash sites over %d statements", total, len(steps))
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 17
+	}
+	for site := int64(1); site <= total; site += stride {
+		db := engine.Open(sweepConfig())
+		plan := wal.InstallCrashPlan(site, db.Disk(), db.WAL())
+		pending := runUntilError(db, steps)
+		if !plan.Fired() {
+			t.Fatalf("site %d: plan never fired (pending=%d)", site, pending)
+		}
+		db2, rep, err := engine.Recover(db.Crash())
+		if err != nil {
+			t.Fatalf("site %d: recover: %v (report %+v)", site, err, rep)
+		}
+		got := snapshotDB(t, db2)
+		// A crash can land after a statement committed but inside the
+		// post-commit checkpoint, in which case the next statement is the
+		// one that observes the crash; both it and the statement that
+		// failed are legal "pending" boundaries. Everything acknowledged
+		// must be present; the pending statement is all-or-nothing.
+		if !reflect.DeepEqual(got, modelAt[pending]) &&
+			!reflect.DeepEqual(got, modelAt[min(pending+1, len(steps))]) {
+			t.Fatalf("site %d: recovered state matches neither boundary of step %d:\n got   %v\nbefore %v\nafter  %v",
+				site, pending, got, modelAt[pending], modelAt[min(pending+1, len(steps))])
+		}
+		// Periodically prove recovery is idempotent: crash the recovered
+		// database untouched and recover again.
+		if site%97 == 0 {
+			db3, rep2, err := engine.Recover(db2.Crash())
+			if err != nil {
+				t.Fatalf("site %d: second recover: %v", site, err)
+			}
+			if again := snapshotDB(t, db3); !reflect.DeepEqual(got, again) {
+				t.Fatalf("site %d: recovery not idempotent", site)
+			}
+			if rep2.Replayed != 0 && rep2.Replayed != rep.Replayed {
+				// Second recovery replays the same durable history onto the
+				// same durable pages; pageLSN skips make most of it a no-op
+				// but the counts must at least be stable.
+				t.Fatalf("site %d: second recovery replayed %d, first %d",
+					site, rep2.Replayed, rep.Replayed)
+			}
+		}
+	}
+}
+
+// TestCrashSoakRandomized crashes a concurrent multi-tenant workload at
+// random sites. Each tenant runs on its own table, so after recovery
+// each tenant's rows must equal its acknowledged writes, give or take
+// the single statement that was in flight.
+func TestCrashSoakRandomized(t *testing.T) {
+	const tenants = 4
+	const stmtsPerTenant = 30
+	seeds := 18
+	if testing.Short() {
+		seeds = 4
+	}
+
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		db := engine.Open(sweepConfig())
+		for w := 0; w < tenants; w++ {
+			if _, err := db.Exec(fmt.Sprintf("CREATE TABLE tenant%d (id INT NOT NULL, val TEXT)", w)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Rough site budget: a prior counting run isn't deterministic under
+		// concurrency, so draw from a range the workload plausibly covers;
+		// late (never-fired) sites degrade into the clean-crash case.
+		site := 1 + rng.Int63n(int64(tenants*stmtsPerTenant*5))
+		wal.InstallCrashPlan(site, db.Disk(), db.WAL())
+
+		acked := make([]map[int64]string, tenants)
+		pendings := make([]func(map[int64]string), tenants)
+		var wg sync.WaitGroup
+		for w := 0; w < tenants; w++ {
+			acked[w] = map[int64]string{}
+			wg.Add(1)
+			go func(w int, tseed int64) {
+				defer wg.Done()
+				trng := rand.New(rand.NewSource(tseed))
+				table := fmt.Sprintf("tenant%d", w)
+				var nextID int64
+				for i := 0; i < stmtsPerTenant; i++ {
+					var q string
+					var params []types.Value
+					var mut func(map[int64]string)
+					if r := trng.Intn(10); r < 7 || nextID == 0 {
+						id := nextID
+						val := fmt.Sprintf("s%d", i)
+						q, params = "INSERT INTO "+table+" VALUES (?, ?)",
+							[]types.Value{types.NewInt(id), types.NewString(val)}
+						mut = func(m map[int64]string) { m[id] = val }
+					} else if r < 9 {
+						id := trng.Int63n(nextID)
+						val := fmt.Sprintf("u%d", i)
+						q, params = "UPDATE "+table+" SET val = ? WHERE id = ?",
+							[]types.Value{types.NewString(val), types.NewInt(id)}
+						mut = func(m map[int64]string) {
+							if _, ok := m[id]; ok {
+								m[id] = val
+							}
+						}
+					} else {
+						id := trng.Int63n(nextID)
+						q, params = "DELETE FROM "+table+" WHERE id = ?",
+							[]types.Value{types.NewInt(id)}
+						mut = func(m map[int64]string) { delete(m, id) }
+					}
+					if _, err := db.Exec(q, params...); err != nil {
+						pendings[w] = mut
+						return
+					}
+					mut(acked[w])
+					if q[0] == 'I' {
+						nextID++
+					}
+				}
+			}(w, int64(seed*100+w))
+		}
+		wg.Wait()
+
+		db2, rep, err := engine.Recover(db.Crash())
+		if err != nil {
+			t.Fatalf("seed %d site %d: recover: %v (report %+v)", seed, site, err, rep)
+		}
+		got := snapshotDB(t, db2)
+		for w := 0; w < tenants; w++ {
+			table := fmt.Sprintf("tenant%d", w)
+			rows, ok := got[table]
+			if !ok {
+				t.Fatalf("seed %d: table %s lost", seed, table)
+			}
+			if reflect.DeepEqual(rows, acked[w]) {
+				continue
+			}
+			if pendings[w] != nil {
+				withPending := map[int64]string{}
+				for k, v := range acked[w] {
+					withPending[k] = v
+				}
+				pendings[w](withPending)
+				if reflect.DeepEqual(rows, withPending) {
+					continue
+				}
+			}
+			t.Fatalf("seed %d site %d: %s diverged:\n got   %v\nacked %v",
+				seed, site, table, rows, acked[w])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

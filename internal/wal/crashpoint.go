@@ -1,0 +1,79 @@
+package wal
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// CrashPlan arms a deterministic crash at exactly one durability
+// operation. One shared counter runs across the three operation kinds
+// that make state durable or discard the chance to — physical page
+// writes, WAL appends, and WAL syncs — so "site k" names the k-th such
+// operation of a deterministic workload, whichever kind it happens to
+// be. The sweep harness first runs the workload with an unreachable
+// site to count the operations, then replays it once per site.
+//
+// When the site is a sync, the crash is torn: a site-derived number of
+// tail bytes reach the durable prefix first, so the sweep also covers
+// recovery from mid-frame garbage at the log's end.
+type CrashPlan struct {
+	site  int64
+	seq   atomic.Int64
+	fired atomic.Bool
+	log   *Log
+}
+
+// NeverCrash is a site no run reaches; use it for the counting pass.
+const NeverCrash int64 = math.MaxInt64
+
+// InstallCrashPlan hooks a plan into the disk and the log. Site is
+// 1-based; the plan stays installed until the next SetFault on either.
+func InstallCrashPlan(site int64, disk *storage.Disk, log *Log) *CrashPlan {
+	p := &CrashPlan{site: site, log: log}
+	disk.SetFault(p.diskFault)
+	log.SetFault(p.logFault)
+	return p
+}
+
+// Fired reports whether the crash site was reached.
+func (p *CrashPlan) Fired() bool { return p.fired.Load() }
+
+// Ops returns how many countable operations the plan has observed; a
+// counting pass reads this to learn the sweep's upper bound.
+func (p *CrashPlan) Ops() int64 { return p.seq.Load() }
+
+func (p *CrashPlan) diskFault(fi storage.FaultInfo) error {
+	if p.fired.Load() {
+		return ErrCrashed
+	}
+	if fi.Op != storage.FaultWrite {
+		return nil
+	}
+	if p.seq.Add(1) == p.site {
+		p.fired.Store(true)
+		// The page write is refused and the machine is down: the log's
+		// volatile tail dies with it. Safe to lock the log here — the
+		// WAL-before-data sync completed before this write began.
+		p.log.Crash()
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (p *CrashPlan) logFault(op FaultOp, _ int64) error {
+	if p.fired.Load() {
+		return ErrCrashed
+	}
+	if p.seq.Add(1) != p.site {
+		return nil
+	}
+	p.fired.Store(true)
+	if op == OpSync {
+		// Torn sync: a deterministic, site-varying prefix of the tail
+		// lands durable — sometimes nothing, sometimes a partial frame.
+		return &PartialSyncError{Bytes: int(p.site % 97)}
+	}
+	return ErrCrashed
+}
