@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-bench bench-smoke bench-scaling bench-wide bench-recovery check
+.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn check
 
 all: check
 
@@ -12,6 +12,14 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# The interactive-transaction suite: engine anomaly/interleaving tests,
+# the model-differential harness on its three fixed seeds (1, 2, 3), and
+# the multi-statement-transaction crash-point sweep.
+test-txn:
+	$(GO) test ./internal/engine/ -run 'TestTxn|TestStmtRollback'
+	$(GO) test ./internal/modeltest/ -run TestDifferentialSeeds -v
+	$(GO) test ./internal/wal/ -run TestTxnCrashPointSweep
 
 race:
 	$(GO) test -race ./...
@@ -40,5 +48,10 @@ bench-wide:
 # recovery time vs checkpoint interval).
 bench-recovery:
 	$(GO) run ./cmd/mtdbench -recovery -json-out BENCH_4.json
+
+# Regenerate BENCH_5.json (interactive transactions: commits/sec and
+# conflict-abort rate vs session count).
+bench-txn:
+	$(GO) run ./cmd/mtdbench -txn -json-out BENCH_5.json
 
 check: build vet test race race-bench bench-smoke

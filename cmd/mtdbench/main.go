@@ -43,6 +43,7 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "run the multi-session scaling sweep instead of the variability sweep")
 		widebench = flag.Bool("widebench", false, "run the batch-execution/column-pruning benchmark and §6.2 Q2 sweep")
 		recovery  = flag.Bool("recovery", false, "run the WAL/recovery benchmark (commit latency with and without group commit, recovery time vs checkpoint interval)")
+		txnBench  = flag.Bool("txn", false, "run the interactive-transaction benchmark (commits/sec and conflict-abort rate vs session count)")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
@@ -66,6 +67,14 @@ func main() {
 			out = "BENCH_4.json"
 		}
 		runRecoveryBench(out)
+		return
+	}
+	if *txnBench {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_5.json"
+		}
+		runTxnBench(out)
 		return
 	}
 

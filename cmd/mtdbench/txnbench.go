@@ -1,0 +1,153 @@
+// The -txn benchmark measures the interactive-transaction subsystem:
+// concurrent sessions run short BEGIN/UPDATE*/COMMIT transactions over
+// a shared accounts table with a deliberately hot key range, so
+// first-updater-wins conflicts appear as the session count grows. Each
+// point reports committed transactions per second and the conflict-
+// abort rate. Results land in BENCH_5.json.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+type txnPoint struct {
+	Sessions      int     `json:"sessions"`
+	Txns          int64   `json:"transactions"`
+	Commits       int64   `json:"commits"`
+	Aborts        int64   `json:"aborts"`
+	Conflicts     int64   `json:"conflicts"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+	ConflictRate  float64 `json:"conflict_abort_rate"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+}
+
+// runTxnPoint drives txnsPerSession transactions through each of n
+// concurrent sessions. Every transaction updates stmtsPerTxn account
+// balances; a write-write conflict aborts the transaction, which the
+// driver acknowledges with ROLLBACK and counts — no retry, so the
+// conflict rate is the raw first-updater-wins loss rate.
+func runTxnPoint(n, txnsPerSession, stmtsPerTxn, accounts, hotKeys int, seed int64) txnPoint {
+	db := engine.Open(engine.Config{MemoryBytes: 32 << 20, CheckpointBytes: -1})
+	if _, err := db.Exec("CREATE TABLE acct (k INTEGER NOT NULL, bal INTEGER)"); err != nil {
+		fatal(err)
+	}
+	if _, err := db.Exec("CREATE UNIQUE INDEX acct_pk ON acct (k)"); err != nil {
+		fatal(err)
+	}
+	for k := 0; k < accounts; k++ {
+		if _, err := db.Exec("INSERT INTO acct VALUES (?, ?)", types.NewInt(int64(k)), types.NewInt(1000)); err != nil {
+			fatal(err)
+		}
+	}
+	db.ResetStats()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sess := db.Session()
+			defer sess.Close()
+			rng := rand.New(rand.NewSource(seed + int64(s)))
+			for i := 0; i < txnsPerSession; i++ {
+				if _, err := sess.Exec("BEGIN"); err != nil {
+					fatal(err)
+				}
+				ok := true
+				for j := 0; j < stmtsPerTxn; j++ {
+					// Mostly hot keys: contention scales with sessions.
+					k := int64(rng.Intn(hotKeys))
+					if rng.Intn(100) < 25 {
+						k = int64(rng.Intn(accounts))
+					}
+					if _, err := sess.Exec("UPDATE acct SET bal = bal + 1 WHERE k = ?", types.NewInt(k)); err != nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if _, err := sess.Exec("COMMIT"); err != nil {
+						ok = false
+					}
+				}
+				if !ok {
+					if _, err := sess.Exec("ROLLBACK"); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := db.Stats()
+	p := txnPoint{
+		Sessions:      n,
+		Txns:          st.TxnBegins,
+		Commits:       st.TxnCommits,
+		Aborts:        st.TxnAborts,
+		Conflicts:     st.TxnConflicts,
+		CommitsPerSec: float64(st.TxnCommits) / elapsed.Seconds(),
+		ElapsedMs:     float64(elapsed.Microseconds()) / 1000,
+	}
+	if st.TxnBegins > 0 {
+		p.ConflictRate = float64(st.TxnConflicts) / float64(st.TxnBegins)
+	}
+	return p
+}
+
+// runTxnBench sweeps the session count and writes BENCH_5.json.
+func runTxnBench(jsonOut string) {
+	const (
+		txnsPerSession = 600
+		stmtsPerTxn    = 4
+		accounts       = 512
+		hotKeys        = 16
+		seed           = 2008
+	)
+	fmt.Println("Interactive Transactions: snapshot isolation under contention")
+	fmt.Printf("%-10s %-8s %-8s %-10s %-14s %s\n",
+		"Sessions", "Commits", "Aborts", "Conflicts", "Commits/sec", "ConflictRate")
+	var pts []txnPoint
+	for _, n := range []int{1, 4, 16} {
+		p := runTxnPoint(n, txnsPerSession, stmtsPerTxn, accounts, hotKeys, seed)
+		pts = append(pts, p)
+		fmt.Printf("%-10d %-8d %-8d %-10d %-14.1f %.3f\n",
+			p.Sessions, p.Commits, p.Aborts, p.Conflicts, p.CommitsPerSec, p.ConflictRate)
+	}
+
+	out := struct {
+		Benchmark string                 `json:"benchmark"`
+		Config    map[string]interface{} `json:"config"`
+		Points    []txnPoint             `json:"points"`
+	}{
+		Benchmark: "interactive_transactions",
+		Config: map[string]interface{}{
+			"txns_per_session": txnsPerSession,
+			"stmts_per_txn":    stmtsPerTxn,
+			"accounts":         accounts,
+			"hot_keys":         hotKeys,
+			"seed":             seed,
+		},
+		Points: pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}

@@ -4,10 +4,18 @@
 // the example rows, and executes logical SQL for a tenant — showing the
 // rewritten physical SQL and, on request, the physical plan.
 //
+// Statements run through one interactive session, so transaction
+// control works across statements: BEGIN (or START TRANSACTION),
+// COMMIT, ROLLBACK, SAVEPOINT name, and ROLLBACK TO name. Statements
+// between BEGIN and COMMIT see the transaction's snapshot and commit or
+// roll back atomically — including every physical statement a logical
+// DML rewrites into.
+//
 // Usage:
 //
 //	mtdsql -layout chunk -tenant 17 "SELECT Beds FROM Account WHERE Hospital = 'State'"
 //	echo "SELECT * FROM Account" | mtdsql -layout pivot -tenant 42 -explain
+//	mtdsql -tenant 17 "BEGIN" "UPDATE Account SET Beds = 200 WHERE Aid = 1" "ROLLBACK"
 package main
 
 import (
@@ -85,7 +93,7 @@ func main() {
 		{ID: 35},
 		{ID: 42, Extensions: []string{"AutomotiveAccount"}},
 	}))
-	m := core.NewMapper(db, layout)
+	m := core.NewSessionMapper(db, layout)
 	load := []struct {
 		tenant int64
 		q      string
@@ -135,7 +143,7 @@ func main() {
 					fatalIf(fmt.Errorf("recover: %w", err))
 				}
 				db, img = db2, nil
-				m = core.NewMapper(db, layout)
+				m = core.NewSessionMapper(db, layout)
 				fmt.Printf("  recovered: %d durable records, %d statements committed, %d replayed, %d skipped\n",
 					rep.DurableRecords, rep.Committed, rep.Replayed, rep.Skipped)
 			case ".checkpoint":
@@ -152,6 +160,17 @@ func main() {
 		}
 		if img != nil {
 			fmt.Println("error: database is crashed (use .recover)")
+			continue
+		}
+		// Transaction control runs through the mapper's session as-is —
+		// no tenant rewriting, and subsequent statements join the open
+		// transaction until COMMIT or ROLLBACK.
+		if isTxnControl(stmt) {
+			if _, err := m.Exec(*tenant, stmt); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("  ok")
+			}
 			continue
 		}
 		phys, err := m.RewriteSQL(*tenant, stmt)
@@ -194,6 +213,17 @@ func main() {
 			fmt.Printf("  %d row(s) affected\n", res.RowsAffected)
 		}
 	}
+}
+
+// isTxnControl reports whether stmt is BEGIN/COMMIT/ROLLBACK/SAVEPOINT
+// (including ROLLBACK TO), which bypass tenant rewriting.
+func isTxnControl(stmt string) bool {
+	word := strings.ToUpper(strings.Fields(strings.TrimSpace(stmt))[0])
+	switch word {
+	case "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "START":
+		return true
+	}
+	return false
 }
 
 func fatalIf(err error) {

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/btree"
+	"repro/internal/mvcc"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -88,7 +89,18 @@ type Table struct {
 	Heap    *storage.HeapFile
 	Indexes []*Index
 
+	// Vers holds the table's MVCC version chains (always non-nil). The
+	// heap's slot-pin hook keeps chained RIDs from being reused while a
+	// chain still refers to them.
+	Vers *mvcc.VersionStore
+
 	Mu sync.RWMutex
+}
+
+// initVersions wires a fresh version store and its slot pin.
+func (t *Table) initVersions(mgr *mvcc.Manager) {
+	t.Vers = mvcc.NewStore(mgr)
+	t.Heap.SetSlotPin(t.Vers.Pinned)
 }
 
 // SetWAL installs (or, with nils, removes) the statement's WAL loggers
@@ -429,6 +441,9 @@ type Config struct {
 	MetaBytesPerTable int64
 	// InsertMode selects the heap placement policy for new tables.
 	InsertMode storage.InsertMode
+	// Versions, when set, registers each table's version store with the
+	// transaction manager so end-of-transaction sweeps can collect them.
+	Versions *mvcc.Manager
 }
 
 // Catalog owns the table namespace and the meta-data budget.
@@ -501,6 +516,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		Columns: append([]Column(nil), cols...),
 		Heap:    storage.NewHeapFile(c.pool, c.cfg.InsertMode),
 	}
+	t.initVersions(c.cfg.Versions)
 	c.tables[key(name)] = t
 	c.rebudget()
 	return t, nil

@@ -255,6 +255,7 @@ func Restore(pool *storage.BufferPool, cfg Config, snap *Snapshot) *Catalog {
 				Unique: is.Unique, Tree: btree.Restore(pool, is.Root),
 			})
 		}
+		t.initVersions(cfg.Versions)
 		c.tables[key(ts.Name)] = t
 	}
 	c.version.Store(snap.Version)

@@ -1,0 +1,269 @@
+// Transaction-aware row mutators. These wrap the PR 2 undo-logged
+// mutators with MVCC bookkeeping: first-updater-wins conflict checks
+// before any physical change, a version-chain entry (plus its pop as
+// an undo action) after each one, and unique-key checks that interpret
+// the physical index through the version chains — a key owned by an
+// uncommitted writer is a write-write conflict, not a violation, and a
+// key that is physically absent but would reappear if an uncommitted
+// delete rolled back conflicts too.
+package catalog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/mvcc"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// decodePre decodes a version-chain pre-image into a full row.
+func (t *Table) decodePre(pre []byte) ([]types.Value, error) {
+	row, err := types.DecodeRow(pre)
+	if err != nil {
+		return nil, err
+	}
+	for len(row) < len(t.Columns) {
+		row = append(row, types.Null())
+	}
+	return row, nil
+}
+
+// shadowedUniqueKey reports whether key is carried by the pre-image of
+// an uncommitted foreign write: the key is physically gone from the
+// index, but a rollback of that writer would bring it back. Inserting
+// it now must therefore conflict rather than race the outcome.
+func (t *Table) shadowedUniqueKey(tx *mvcc.Txn, ix *Index, key []byte) (bool, error) {
+	var derr error
+	found := false
+	t.Vers.UncommittedPreImages(func(rid storage.RID, writer *mvcc.Txn, pre []byte) bool {
+		if writer == tx {
+			return true // our own delete of this key is ours to overwrite
+		}
+		row, err := t.decodePre(pre)
+		if err != nil {
+			derr = err
+			return false
+		}
+		if bytes.Equal(ix.KeyFor(row, rid), key) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found, derr
+}
+
+// checkUniqueTxn classifies a prospective unique-key insert for tx:
+// nil (free), ErrWriteConflict (an uncommitted foreign write owns or
+// shadows the key), or a violation error.
+func (t *Table) checkUniqueTxn(tx *mvcc.Txn, ix *Index, key []byte) error {
+	if rid, err := ix.Tree.Get(key); err == nil {
+		if w, ok := t.Vers.NewestWriter(rid); ok && w != tx && !w.Committed() {
+			return fmt.Errorf("catalog: %s: unique key held by uncommitted transaction: %w", t.Name, mvcc.ErrWriteConflict)
+		}
+		return fmt.Errorf("catalog: %s: unique index %s violated", t.Name, ix.Name)
+	} else if !errors.Is(err, btree.ErrKeyNotFound) {
+		return err
+	}
+	shadowed, err := t.shadowedUniqueKey(tx, ix, key)
+	if err != nil {
+		return err
+	}
+	if shadowed {
+		return fmt.Errorf("catalog: %s: unique key shadowed by uncommitted delete: %w", t.Name, mvcc.ErrWriteConflict)
+	}
+	return nil
+}
+
+// InsertRowTxn is InsertRowUndo on behalf of a transaction. Inserts
+// never hit first-updater-wins (the heap assigns a slot no uncommitted
+// chain refers to, thanks to the slot pin); only unique keys can
+// collide with concurrent work.
+func (t *Table) InsertRowTxn(tx *mvcc.Txn, row []types.Value, u *UndoLog) (storage.RID, error) {
+	if tx == nil {
+		return t.InsertRowUndo(row, u)
+	}
+	row, err := t.normalizeRow(row)
+	if err != nil {
+		return storage.RID{}, err
+	}
+	for _, ix := range t.Indexes {
+		if !ix.Unique {
+			continue
+		}
+		if err := t.checkUniqueTxn(tx, ix, ix.KeyFor(row, storage.RID{})); err != nil {
+			return storage.RID{}, err
+		}
+	}
+	rid, err := t.Heap.Insert(types.EncodeRow(nil, row))
+	if err != nil {
+		return storage.RID{}, err
+	}
+	u.push(func() error { return t.Heap.Delete(rid) })
+	t.Vers.RecordWrite(tx, rid, nil)
+	u.push(func() error { t.Vers.PopWrite(tx, rid); return nil })
+	for _, ix := range t.Indexes {
+		key := ix.KeyFor(row, rid)
+		if err := ix.Tree.Insert(key, rid); err != nil {
+			return storage.RID{}, fmt.Errorf("catalog: %s: index %s: %w", t.Name, ix.Name, err)
+		}
+		tree := ix.Tree
+		u.push(func() error { return tree.Delete(key) })
+	}
+	return rid, nil
+}
+
+// DeleteRowTxn is DeleteRowUndo on behalf of a transaction: the
+// first-updater-wins check runs before anything is touched, and the
+// deleted bytes become the pre-image of a new version entry so older
+// snapshots keep seeing the row.
+func (t *Table) DeleteRowTxn(tx *mvcc.Txn, rid storage.RID, row []types.Value, u *UndoLog) error {
+	if tx == nil {
+		return t.DeleteRowUndo(rid, row, u)
+	}
+	if err := t.Vers.CheckWrite(tx, rid); err != nil {
+		return fmt.Errorf("catalog: %s: delete %v: %w", t.Name, rid, err)
+	}
+	rec, err := t.Heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		key := ix.KeyFor(row, rid)
+		if err := ix.Tree.Delete(key); err != nil {
+			return fmt.Errorf("catalog: %s: index %s: %w", t.Name, ix.Name, err)
+		}
+		tree := ix.Tree
+		u.push(func() error { return tree.Insert(key, rid) })
+	}
+	if err := t.Heap.Delete(rid); err != nil {
+		return err
+	}
+	u.push(func() error { return t.Heap.Reinsert(rid, rec) })
+	t.Vers.RecordWrite(tx, rid, rec)
+	u.push(func() error { t.Vers.PopWrite(tx, rid); return nil })
+	return nil
+}
+
+// UpdateRowsDeferredTxn is UpdateRowsDeferred on behalf of a
+// transaction: every row passes first-updater-wins before the first
+// physical change, every heap rewrite records its pre-image (and a
+// relocation records the new RID as an uncommitted insert), and the
+// deferred unique pass classifies duplicates through the chains.
+func (t *Table) UpdateRowsDeferredTxn(tx *mvcc.Txn, rids []storage.RID, oldRows, newRows [][]types.Value, u *UndoLog) ([]storage.RID, error) {
+	if tx == nil {
+		return t.UpdateRowsDeferred(rids, oldRows, newRows, u)
+	}
+	for _, rid := range rids {
+		if err := t.Vers.CheckWrite(tx, rid); err != nil {
+			return nil, fmt.Errorf("catalog: %s: update %v: %w", t.Name, rid, err)
+		}
+	}
+	// Shadowed-key screening for changed unique keys, before mutating.
+	normRows := make([][]types.Value, len(rids))
+	for i := range rids {
+		nr, err := t.normalizeRow(newRows[i])
+		if err != nil {
+			return nil, err
+		}
+		normRows[i] = nr
+		for _, ix := range t.Indexes {
+			if !ix.Unique {
+				continue
+			}
+			oldKey, newKey := ix.KeyFor(oldRows[i], rids[i]), ix.KeyFor(nr, rids[i])
+			if bytes.Equal(oldKey, newKey) {
+				continue
+			}
+			shadowed, err := t.shadowedUniqueKey(tx, ix, newKey)
+			if err != nil {
+				return nil, err
+			}
+			if shadowed {
+				return nil, fmt.Errorf("catalog: %s: unique key shadowed by uncommitted delete: %w", t.Name, mvcc.ErrWriteConflict)
+			}
+		}
+	}
+	type pendingInsert struct {
+		ix  *Index
+		key []byte
+		rid storage.RID
+	}
+	var inserts []pendingInsert
+	newRIDs := make([]storage.RID, len(rids))
+	for i, rid := range rids {
+		nr := normRows[i]
+		pre, err := t.Heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		newRID, err := t.updateHeapUndo(rid, nr, u)
+		if err != nil {
+			return nil, err
+		}
+		newRIDs[i] = newRID
+		t.Vers.RecordWrite(tx, rid, pre)
+		u.push(func() error { t.Vers.PopWrite(tx, rid); return nil })
+		if newRID != rid {
+			// Relocation: the new slot is an uncommitted insert; the old
+			// slot's chain keeps serving the pre-image to older snapshots.
+			nrid := newRID
+			t.Vers.RecordWrite(tx, nrid, nil)
+			u.push(func() error { t.Vers.PopWrite(tx, nrid); return nil })
+		}
+		for _, ix := range t.Indexes {
+			oldKey := ix.KeyFor(oldRows[i], rid)
+			newKey := ix.KeyFor(nr, newRID)
+			if string(oldKey) == string(newKey) && rid == newRID {
+				continue
+			}
+			tree := ix.Tree
+			if err := tree.Delete(oldKey); err != nil {
+				return nil, fmt.Errorf("catalog: %s: index %s delete: %w", t.Name, ix.Name, err)
+			}
+			u.push(func() error { return tree.Insert(oldKey, rid) })
+			inserts = append(inserts, pendingInsert{ix: ix, key: newKey, rid: newRID})
+		}
+	}
+	for _, p := range inserts {
+		if err := p.ix.Tree.Insert(p.key, p.rid); err != nil {
+			if errors.Is(err, btree.ErrDuplicateKey) && p.ix.Unique {
+				if rid2, gerr := p.ix.Tree.Get(p.key); gerr == nil {
+					if w, ok := t.Vers.NewestWriter(rid2); ok && w != tx && !w.Committed() {
+						return nil, fmt.Errorf("catalog: %s: unique key held by uncommitted transaction: %w", t.Name, mvcc.ErrWriteConflict)
+					}
+				}
+				return nil, fmt.Errorf("catalog: %s: unique index %s violated", t.Name, p.ix.Name)
+			}
+			return nil, fmt.Errorf("catalog: %s: index %s insert: %w", t.Name, p.ix.Name, err)
+		}
+		tree, key := p.ix.Tree, p.key
+		u.push(func() error { return tree.Delete(key) })
+	}
+	return newRIDs, nil
+}
+
+// VisibleVersions enumerates, in RID order, the snapshot-visible bytes
+// of every row that currently has a version chain. Versioned scans
+// combine it with a physical scan that skips chained RIDs: rows
+// without a chain have exactly one version, visible to everyone.
+// The bytes passed to fn are safe to retain.
+func (t *Table) VisibleVersions(tx *mvcc.Txn, fn func(rid storage.RID, rec []byte) error) error {
+	for _, rid := range t.Vers.RIDs() {
+		cur, err := t.Heap.Get(rid)
+		if err != nil && !errors.Is(err, storage.ErrSlotGone) {
+			return err
+		}
+		rec, ok := t.Vers.Resolve(tx, rid, cur)
+		if !ok {
+			continue
+		}
+		if err := fn(rid, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

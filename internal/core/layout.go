@@ -52,13 +52,41 @@ type Rewritten struct {
 }
 
 // Mapper executes logical statements for tenants through a layout.
+// With a Session attached (NewSessionMapper), statements run inside
+// that session, so interactive transactions (BEGIN/COMMIT/ROLLBACK/
+// SAVEPOINT) span logical statements: every physical statement a
+// logical DML rewrites into joins the same transaction, making the
+// rewrite itself atomic under rollback.
 type Mapper struct {
-	DB     *engine.DB
-	Layout Layout
+	DB      *engine.DB
+	Layout  Layout
+	Session *engine.Session
 }
 
 // NewMapper pairs a database with a layout.
 func NewMapper(db *engine.DB, l Layout) *Mapper { return &Mapper{DB: db, Layout: l} }
+
+// NewSessionMapper pairs a database with a layout and routes statements
+// through one interactive session.
+func NewSessionMapper(db *engine.DB, l Layout) *Mapper {
+	return &Mapper{DB: db, Layout: l, Session: db.Session()}
+}
+
+// execStmt runs one physical statement through the session if present.
+func (m *Mapper) execStmt(ps sql.Statement, params ...types.Value) (engine.Result, error) {
+	if m.Session != nil {
+		return m.Session.ExecStmt(ps, "", params...)
+	}
+	return m.DB.ExecStmt(ps, params...)
+}
+
+// queryStmt runs one physical SELECT through the session if present.
+func (m *Mapper) queryStmt(sel *sql.SelectStmt, params ...types.Value) (*engine.Rows, error) {
+	if m.Session != nil {
+		return m.Session.QueryStmt(sel, "", params...)
+	}
+	return m.DB.QueryStmt(sel, params...)
+}
 
 // Query runs a logical SELECT for a tenant.
 func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*engine.Rows, error) {
@@ -74,15 +102,25 @@ func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*en
 	if err != nil {
 		return nil, err
 	}
-	return m.DB.QueryStmt(rw.Query, params...)
+	return m.queryStmt(rw.Query, params...)
 }
 
-// Exec runs a logical INSERT, UPDATE, DELETE, or supported DDL for a
-// tenant and returns the count of affected logical rows.
+// Exec runs a logical INSERT, UPDATE, DELETE, supported DDL, or — on a
+// session-backed mapper — transaction control for a tenant and returns
+// the count of affected logical rows.
 func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engine.Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return engine.Result{}, err
+	}
+	// Transaction control is tenant-independent: no rewriting, straight
+	// to the session.
+	switch st.(type) {
+	case *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt, *sql.SavepointStmt:
+		if m.Session == nil {
+			return engine.Result{}, fmt.Errorf("core: transaction control needs a session-backed mapper")
+		}
+		return m.Session.ExecStmt(st, "")
 	}
 	rw, err := m.Layout.Rewrite(tenantID, st)
 	if err != nil {
@@ -93,7 +131,7 @@ func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engi
 	}
 	var affected int64
 	for i, ps := range rw.Direct {
-		res, err := m.DB.ExecStmt(ps, params...)
+		res, err := m.execStmt(ps, params...)
 		if err != nil {
 			return engine.Result{}, err
 		}
@@ -105,14 +143,14 @@ func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engi
 		affected = rw.Inserted
 	}
 	if rw.RowQuery != nil {
-		rows, err := m.DB.QueryStmt(rw.RowQuery, params...)
+		rows, err := m.queryStmt(rw.RowQuery, params...)
 		if err != nil {
 			return engine.Result{}, err
 		}
 		affected = int64(len(rows.Data))
 		if len(rows.Data) > 0 {
 			for _, ps := range rw.PhaseB(rows.Data) {
-				if _, err := m.DB.ExecStmt(ps); err != nil {
+				if _, err := m.execStmt(ps); err != nil {
 					return engine.Result{}, err
 				}
 			}

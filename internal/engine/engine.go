@@ -1,14 +1,18 @@
 // Package engine is the embedded relational database the testbed and
 // the schema-mapping layer run against: SQL in, rows out. It assembles
 // the substrates — disk, buffer pool, catalog with meta-data budget,
-// planner, executor — and provides statement-level concurrency control
-// with table-level locks and weak-isolation reads, matching the
-// transaction posture the paper's testbed adopts (§4.2: single-request
-// transactions, unrepeatable reads permitted).
+// planner, executor — and provides two transaction postures. Ad-hoc
+// Exec/Query statements autocommit under statement-level table locks,
+// matching the paper's testbed default (§4.2: single-request
+// transactions). A Session additionally offers interactive
+// multi-statement transactions (BEGIN/COMMIT/ROLLBACK, SAVEPOINT) with
+// snapshot-isolation reads via row versioning and first-updater-wins
+// write-write conflict detection.
 package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/exec"
+	"repro/internal/mvcc"
 	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -81,8 +86,9 @@ type DB struct {
 	pool    *storage.BufferPool
 	cat     *catalog.Catalog
 	planner *plan.Planner
-	plans   *planCache // nil when caching is disabled
-	log     *wal.Log   // nil when WAL is disabled
+	plans   *planCache    // nil when caching is disabled
+	log     *wal.Log      // nil when WAL is disabled
+	txns    *mvcc.Manager // transaction registry and commit clock
 
 	// recoveries and replayedRecs carry recovery lineage: how many times
 	// this database has been rebuilt from its log, and how many redo
@@ -91,8 +97,19 @@ type DB struct {
 	replayedRecs int64
 
 	// stmtRollbacks counts DML statements that failed and had their
-	// partial effects rolled back (statement-level atomicity).
-	stmtRollbacks atomic.Int64
+	// partial effects rolled back cleanly (statement-level atomicity);
+	// stmtRollbackFailures counts statements whose undo replay itself
+	// failed partway, leaving the table possibly inconsistent. A failed
+	// statement lands in exactly one of the two.
+	stmtRollbacks        atomic.Int64
+	stmtRollbackFailures atomic.Int64
+
+	// Interactive transaction outcomes (Session commits/rollbacks and
+	// first-updater-wins conflict aborts).
+	txnBegins    atomic.Int64
+	txnCommits   atomic.Int64
+	txnAborts    atomic.Int64
+	txnConflicts atomic.Int64
 
 	// execStats aggregates executor counters (rows/batches scanned,
 	// column values decoded vs skipped by pruning) across statements.
@@ -117,10 +134,12 @@ func Open(cfg Config) *DB {
 	disk := storage.NewDisk(cfg.PageSize)
 	disk.ReadLatency = cfg.ReadLatency
 	pool := storage.NewBufferPool(disk, cfg.MemoryBytes)
+	txns := mvcc.NewManager()
 	cat := catalog.New(pool, catalog.Config{
 		MemoryBytes:       cfg.MemoryBytes,
 		MetaBytesPerTable: cfg.MetaBytesPerTable,
 		InsertMode:        cfg.InsertMode,
+		Versions:          txns,
 	})
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = 512
@@ -146,6 +165,7 @@ func Open(cfg Config) *DB {
 		planner: plan.New(cat, cfg.Optimizer),
 		plans:   plans,
 		log:     log,
+		txns:    txns,
 	}
 }
 
@@ -183,6 +203,8 @@ func (db *DB) execStmtKeyed(st sql.Statement, key string, params []types.Value) 
 		return Result{}, err
 	case *sql.SelectStmt:
 		return db.execSelect(st, key, params)
+	case *sql.BeginStmt, *sql.CommitStmt, *sql.RollbackStmt, *sql.SavepointStmt:
+		return Result{}, fmt.Errorf("engine: %s requires a Session (DB.Exec statements autocommit)", st)
 	default:
 		res, err := db.execDML(st, key, params)
 		if err == nil {
@@ -190,6 +212,51 @@ func (db *DB) execStmtKeyed(st sql.Statement, key string, params []types.Value) 
 		}
 		return res, err
 	}
+}
+
+// readerTxn begins an ephemeral snapshot for an autocommit read when
+// interactive transactions are active; release undoes it. With none
+// active — the common case — reads run on the plain path at zero cost,
+// which is correct: the caller already holds its tables' locks, so
+// every version chain it could meet has a committed newest writer and
+// the physical rows are exactly the latest committed state.
+func (db *DB) readerTxn() (tx *mvcc.Txn, release func()) {
+	if db.txns.ActiveCount() == 0 {
+		return nil, func() {}
+	}
+	tx = db.txns.Begin()
+	// A pure reader records no writes; aborting deregisters it without
+	// spending a commit timestamp.
+	return tx, tx.Abort
+}
+
+// writerTxn begins an ephemeral transaction for an autocommit DML
+// statement when interactive transactions are active: concurrent
+// snapshots require the statement's writes to be versioned (pre-images
+// recorded) and stamped with a commit timestamp. With none active the
+// statement runs unversioned — no snapshot exists that must not see
+// it, its commit can be serialized before any transaction that begins
+// later, and the table write lock it holds keeps the race window
+// closed (a transaction writing the same table would register itself
+// before our check).
+func (db *DB) writerTxn() *mvcc.Txn {
+	if db.txns.ActiveCount() == 0 {
+		return nil
+	}
+	return db.txns.Begin()
+}
+
+// noteRollback classifies a failed DML statement's rollback: clean
+// (all undo steps applied; the table is back in its pre-statement
+// state) or failed partway (exec.RollbackFailedError; the table may be
+// inconsistent).
+func (db *DB) noteRollback(err error) {
+	var rf *exec.RollbackFailedError
+	if errors.As(err, &rf) {
+		db.stmtRollbackFailures.Add(1)
+		return
+	}
+	db.stmtRollbacks.Add(1)
 }
 
 // Query runs a SELECT and returns all rows.
@@ -223,16 +290,23 @@ func (db *DB) queryStmtKeyed(sel *sql.SelectStmt, key string, params []types.Val
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.CollectStats(p, params, &db.execStats)
+	tx, release := db.readerTxn()
+	defer release()
+	data, err := exec.CollectTx(p, params, &db.execStats, tx)
 	if err != nil {
 		return nil, err
 	}
+	return rowsFor(p, data), nil
+}
+
+// rowsFor packages collected data with the plan's output column names.
+func rowsFor(p plan.Node, data [][]types.Value) *Rows {
 	schema := p.Schema()
 	cols := make([]string, len(schema))
 	for i, c := range schema {
 		cols[i] = c.Name
 	}
-	return &Rows{Columns: cols, Data: data}, nil
+	return &Rows{Columns: cols, Data: data}
 }
 
 // execSelect runs a SELECT whose result nobody reads (Exec on a
@@ -250,7 +324,9 @@ func (db *DB) execSelect(sel *sql.SelectStmt, key string, params []types.Value) 
 	if err != nil {
 		return Result{}, err
 	}
-	_, err = exec.DrainStats(p, params, &db.execStats)
+	tx, release := db.readerTxn()
+	defer release()
+	_, err = exec.DrainTx(p, params, &db.execStats, tx)
 	return Result{}, err
 }
 
@@ -293,11 +369,9 @@ func (db *DB) Explain(query string, params ...types.Value) (string, error) {
 	return plan.Explain(p), nil
 }
 
-func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Result, error) {
-	db.ddlMu.RLock()
-	defer db.ddlMu.RUnlock()
-	var write string
-	var reads []string
+// dmlLockSets derives a DML statement's lock sets: the written table
+// and the tables its WHERE clause reads.
+func dmlLockSets(st sql.Statement) (write string, reads []string, err error) {
 	switch st := st.(type) {
 	case *sql.InsertStmt:
 		write = st.Table
@@ -308,8 +382,23 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		write = st.Table
 		reads = collectExprTables(st.Where, nil)
 	default:
-		return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
+		err = fmt.Errorf("engine: unsupported statement %T", st)
 	}
+	return write, reads, err
+}
+
+// execDML runs one autocommit DML statement. The caller's parsed
+// statement becomes its own one-statement transaction: a WAL scope
+// committed (durably) at the end, and — when interactive transactions
+// are concurrently active — an ephemeral mvcc transaction so the
+// statement's writes are versioned and stamped.
+func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Result, error) {
+	write, reads, err := dmlLockSets(st)
+	if err != nil {
+		return Result{}, err
+	}
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
 	unlock, err := db.lockTables(reads, write)
 	if err != nil {
 		return Result{}, err
@@ -333,24 +422,42 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		// Install the statement's loggers on the target table (we hold
 		// its write lock) so every page mutation — including undo
 		// compensations on failure — emits a redo record under this
-		// statement's ID. Cleared before the lock is released.
+		// transaction's ID. Cleared before the lock is released.
 		t.SetWAL(scope.HeapLogger(t.Name), scope.TreeLogger())
 		defer t.SetWAL(nil, nil)
 	}
-	n, err := exec.RunDMLStats(p, params, &db.execStats)
+	// Begin after the locks are held: a concurrent autocommit writer on
+	// the same table is serialized by the lock, never a false conflict.
+	tx := db.writerTxn()
+	undo := &catalog.UndoLog{}
+	n, err := exec.RunDMLTx(p, params, &db.execStats, tx, undo)
 	if err != nil {
-		// RunDML rolled the statement's partial effects back before
+		// RunDMLTx rolled the statement's partial effects back before
 		// returning (statement-level atomicity).
-		db.stmtRollbacks.Add(1)
+		db.noteRollback(err)
 		if scope != nil {
 			scope.Abort()
 		}
+		if tx != nil {
+			tx.Abort()
+		}
 		return Result{RowsAffected: n}, err
 	}
+	undo.Discard()
+	var cerr error
 	if scope != nil {
-		if cerr := scope.Commit(); cerr != nil {
-			return Result{StmtID: scope.ID()}, cerr
-		}
+		// Durability before visibility: the commit record is on the log
+		// before the commit timestamp makes the writes visible to
+		// snapshots that begin afterwards.
+		cerr = scope.Commit()
+	}
+	if tx != nil {
+		tx.Commit()
+	}
+	if cerr != nil {
+		return Result{StmtID: scope.ID()}, cerr
+	}
+	if scope != nil {
 		return Result{RowsAffected: n, StmtID: scope.ID()}, nil
 	}
 	return Result{RowsAffected: n}, nil
@@ -359,6 +466,14 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 func (db *DB) execDDL(st sql.Statement) error {
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
+	// DDL is serialized against whole transactions, not just statements:
+	// an open snapshot must not watch the schema shift under it, and the
+	// version stores hold row-level state no schema change knows how to
+	// migrate. Sessions register their transaction under ddlMu (shared)
+	// before releasing it, so the count here is authoritative.
+	if n := db.txns.ActiveCount(); n > 0 {
+		return fmt.Errorf("engine: DDL rejected: %d open transaction(s); COMMIT or ROLLBACK first", n)
+	}
 	if db.plans != nil {
 		// The catalog version bump already invalidates lookups; purging
 		// releases the stale plans' memory promptly.
@@ -465,6 +580,15 @@ func (db *DB) applyDDL(st sql.Statement, scope *wal.Scope) (*catalog.DDLChange, 
 // in a global order (by lowercased name) to avoid deadlocks. A table
 // appearing in both gets only the write lock.
 func (db *DB) lockTables(reads []string, write string) (func(), error) {
+	if write == "" {
+		return db.lockTablesMulti(reads, nil)
+	}
+	return db.lockTablesMulti(reads, []string{write})
+}
+
+// lockTablesMulti is lockTables for several write targets at once (a
+// whole transaction's rollback relocks every table it wrote).
+func (db *DB) lockTablesMulti(reads, writes []string) (func(), error) {
 	type lockReq struct {
 		name  string
 		write bool
@@ -476,10 +600,10 @@ func (db *DB) lockTables(reads []string, write string) (func(), error) {
 			seen[k] = &lockReq{name: r}
 		}
 	}
-	if write != "" {
-		k := strings.ToLower(write)
+	for _, w := range writes {
+		k := strings.ToLower(w)
 		if seen[k] == nil {
-			seen[k] = &lockReq{name: write}
+			seen[k] = &lockReq{name: w}
 		}
 		seen[k].write = true
 	}
@@ -578,8 +702,19 @@ type Stats struct {
 	Tables     int
 	MetaBytes  int64
 	// StmtRollbacks counts DML statements that failed and were rolled
-	// back to their pre-statement state.
-	StmtRollbacks int64
+	// back cleanly to their pre-statement state; StmtRollbackFailures
+	// counts failed statements whose undo replay itself failed partway
+	// (the table may be inconsistent). Every failed DML statement lands
+	// in exactly one of the two.
+	StmtRollbacks        int64
+	StmtRollbackFailures int64
+	// Interactive transaction outcomes: sessions' BEGINs, durable
+	// COMMITs, ROLLBACKs (explicit or conflict-forced), and the subset
+	// of aborts caused by first-updater-wins write-write conflicts.
+	TxnBegins    int64
+	TxnCommits   int64
+	TxnAborts    int64
+	TxnConflicts int64
 	// Exec carries executor counters: rows and batches produced by
 	// base-table scans, and column values decoded vs skipped by column
 	// pruning (the decode savings of narrow queries over wide tables).
@@ -598,15 +733,20 @@ type Stats struct {
 // Stats returns current counters.
 func (db *DB) Stats() Stats {
 	s := Stats{
-		Pool:             db.pool.Stats(),
-		PhysReads:        db.disk.PhysReads(),
-		PhysWrites:       db.disk.PhysWrites(),
-		Tables:           db.cat.NumTables(),
-		MetaBytes:        db.cat.MetaBytes(),
-		StmtRollbacks:    db.stmtRollbacks.Load(),
-		Exec:             db.execStats.Snapshot(),
-		Recoveries:       db.recoveries,
-		RecoveryReplayed: db.replayedRecs,
+		Pool:                 db.pool.Stats(),
+		PhysReads:            db.disk.PhysReads(),
+		PhysWrites:           db.disk.PhysWrites(),
+		Tables:               db.cat.NumTables(),
+		MetaBytes:            db.cat.MetaBytes(),
+		StmtRollbacks:        db.stmtRollbacks.Load(),
+		StmtRollbackFailures: db.stmtRollbackFailures.Load(),
+		TxnBegins:            db.txnBegins.Load(),
+		TxnCommits:           db.txnCommits.Load(),
+		TxnAborts:            db.txnAborts.Load(),
+		TxnConflicts:         db.txnConflicts.Load(),
+		Exec:                 db.execStats.Snapshot(),
+		Recoveries:           db.recoveries,
+		RecoveryReplayed:     db.replayedRecs,
 	}
 	if db.log != nil {
 		s.WAL = db.log.Stats()
@@ -681,6 +821,14 @@ func (db *DB) checkpointLocked() error {
 	}
 	bound := start
 	if o := db.pool.OldestRecLSN(); o < bound {
+		bound = o
+	}
+	// An open transaction scope spans statements: if it later commits,
+	// recovery must replay it from its first record, so truncation never
+	// passes the oldest active scope's begin. (With autocommit-only
+	// traffic the checkpoint's exclusive ddlMu means no scope is active
+	// and this bound is infinite.)
+	if o := db.log.OldestActiveLSN(); o < bound {
 		bound = o
 	}
 	db.log.TruncateTo(bound)

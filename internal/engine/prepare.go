@@ -3,8 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/exec"
-	"repro/internal/plan"
 	"repro/internal/sql"
 	"repro/internal/types"
 )
@@ -23,92 +21,44 @@ type Stmt struct {
 	db  *DB
 	st  sql.Statement
 	key string // plan-cache key: the statement's printed form
-
-	// precomputed lock sets
-	reads []string
-	write string
 }
 
-// Prepare parses a statement for repeated execution. DDL statements
-// cannot be prepared (they execute once by nature).
+// Prepare parses a statement for repeated execution. DDL and
+// transaction-control statements cannot be prepared (they execute once
+// by nature, through a Session for the latter).
 func (db *DB) Prepare(query string) (*Stmt, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	s := &Stmt{db: db, st: st, key: query}
-	switch st := st.(type) {
-	case *sql.SelectStmt:
-		s.reads = collectReadTables(st, nil)
-	case *sql.InsertStmt:
-		s.write = st.Table
-	case *sql.UpdateStmt:
-		s.write = st.Table
-		s.reads = collectExprTables(st.Where, nil)
-	case *sql.DeleteStmt:
-		s.write = st.Table
-		s.reads = collectExprTables(st.Where, nil)
+	switch st.(type) {
+	case *sql.SelectStmt, *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
 	default:
-		return nil, fmt.Errorf("engine: cannot prepare %T (DDL executes directly)", st)
+		return nil, fmt.Errorf("engine: cannot prepare %T (DDL and transaction control execute directly)", st)
 	}
-	return s, nil
-}
-
-// node returns the execution plan: cache-served at the current catalog
-// version, replanned automatically after schema changes. The caller
-// must hold ddlMu shared.
-func (s *Stmt) node() (plan.Node, error) {
-	return s.db.planFor(s.key, s.st)
+	return &Stmt{db: db, st: st, key: query}, nil
 }
 
 // Query executes a prepared SELECT.
 func (s *Stmt) Query(params ...types.Value) (*Rows, error) {
-	if _, ok := s.st.(*sql.SelectStmt); !ok {
+	sel, ok := s.st.(*sql.SelectStmt)
+	if !ok {
 		return nil, fmt.Errorf("engine: prepared statement is not a SELECT")
 	}
-	s.db.ddlMu.RLock()
-	defer s.db.ddlMu.RUnlock()
-	unlock, err := s.db.lockTables(s.reads, "")
-	if err != nil {
-		return nil, err
-	}
-	defer unlock()
-	n, err := s.node()
-	if err != nil {
-		return nil, err
-	}
-	data, err := exec.CollectStats(n, params, &s.db.execStats)
-	if err != nil {
-		return nil, err
-	}
-	schema := n.Schema()
-	cols := make([]string, len(schema))
-	for i, c := range schema {
-		cols[i] = c.Name
-	}
-	return &Rows{Columns: cols, Data: data}, nil
+	return s.db.queryStmtKeyed(sel, s.key, params)
 }
 
-// Exec executes a prepared DML statement.
+// Exec executes a prepared DML statement through the same path as
+// ad-hoc Exec — WAL scope, statement-level atomicity, mvcc stamping —
+// so a prepared write is every bit as durable as an ad-hoc one.
 func (s *Stmt) Exec(params ...types.Value) (Result, error) {
 	if _, isSel := s.st.(*sql.SelectStmt); isSel {
 		_, err := s.Query(params...)
 		return Result{}, err
 	}
-	s.db.ddlMu.RLock()
-	defer s.db.ddlMu.RUnlock()
-	unlock, err := s.db.lockTables(s.reads, s.write)
-	if err != nil {
-		return Result{}, err
+	res, err := s.db.execDML(s.st, s.key, params)
+	if err == nil {
+		s.db.maybeCheckpoint()
 	}
-	defer unlock()
-	n, err := s.node()
-	if err != nil {
-		return Result{}, err
-	}
-	count, err := exec.RunDMLStats(n, params, &s.db.execStats)
-	if err != nil {
-		s.db.stmtRollbacks.Add(1)
-	}
-	return Result{RowsAffected: count}, err
+	return res, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
+	"repro/internal/mvcc"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -16,22 +17,27 @@ import (
 //
 // The log is redo-only, so recovery replays forward and never undoes
 // page bytes. That works because of two run-time rules. First, the
-// no-steal gate: a page carrying an in-flight statement's mutation is
-// never written back, so the disk holds no bytes from statements that
-// were still open at the crash ("losers"). Second, aborted statements
-// append their logical compensations (through the same loggers) before
-// their KAbort, so replaying an aborted statement start to finish lands
-// on its compensated — invisible — state. Recovery therefore replays
-// every record whose statement has a durable terminator (KCommit or
-// KAbort) and skips loser records entirely; per-page idempotence comes
-// from the pageLSN skip (apply a record iff it is newer than the page).
+// no-steal gate: a page carrying an in-flight transaction's mutation is
+// never written back, so the disk holds no bytes from transactions that
+// were still open at the crash ("losers" — whether a single autocommit
+// statement or a multi-statement BEGIN block). Second, aborted
+// transactions append their logical compensations (through the same
+// loggers) before their KAbort, so replaying an aborted transaction
+// start to finish lands on its compensated — invisible — state; a
+// partial rollback to a SAVEPOINT logs its compensations the same way,
+// so savepoint markers themselves need no replay. Recovery therefore
+// replays every record whose transaction has a durable terminator
+// (KCommit or KAbort) and skips loser records entirely; per-page
+// idempotence comes from the pageLSN skip (apply a record iff it is
+// newer than the page).
 //
-// Aborted statements must replay because their structural side effects
+// Aborted transactions must replay because their structural side effects
 // survive an abort: a B+tree split or a heap page added while backfilling
 // stays in place even though the rows were compensated away, and later
 // committed records depend on that structure. Losers cannot be depended
-// on the same way — a loser held its table's write lock until the crash,
-// so no terminated statement follows it on the same pages.
+// on the same way — a loser held its tables' write locks statement by
+// statement, and the no-steal gate kept every page it dirtied out of the
+// disk image, so nothing durable follows it on the same pages.
 
 // RecoverReport summarizes what recovery found and did.
 type RecoverReport struct {
@@ -39,7 +45,8 @@ type RecoverReport struct {
 	// trimmed; CheckpointLSN is the last durable checkpoint (0 if none).
 	DurableRecords int
 	CheckpointLSN  wal.LSN
-	// Committed / Aborted / Losers partition the statements seen.
+	// Committed / Aborted / Losers partition the transactions seen
+	// (an autocommit statement is a one-statement transaction).
 	Committed int
 	Aborted   int
 	Losers    int
@@ -78,7 +85,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 	recs := img.Log.DurableRecords()
 	rep := &RecoverReport{DurableRecords: len(recs)}
 
-	// Pass 1: find the last checkpoint and classify statements.
+	// Pass 1: find the last checkpoint and classify transactions.
 	snap := &catalog.Snapshot{}
 	committed := map[uint64]bool{}
 	terminated := map[uint64]bool{}
@@ -93,13 +100,13 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 			snap = p.Catalog
 			rep.CheckpointLSN = r.LSN
 		case wal.KCommit:
-			committed[r.Stmt] = true
-			terminated[r.Stmt] = true
+			committed[r.Txn] = true
+			terminated[r.Txn] = true
 		case wal.KAbort:
-			terminated[r.Stmt] = true
+			terminated[r.Txn] = true
 		}
-		if r.Stmt != 0 {
-			seen[r.Stmt] = true
+		if r.Txn != 0 {
+			seen[r.Txn] = true
 		}
 	}
 	for id := range seen {
@@ -113,7 +120,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		}
 	}
 
-	// Pass 2: replay terminated statements in log order. pageLSN tracks
+	// Pass 2: replay terminated transactions in log order. pageLSN tracks
 	// each touched page's progress (seeded from the disk's durable
 	// stamp); deferred frees from committed statements run after the
 	// loop so earlier records can still redo onto those pages.
@@ -135,7 +142,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 	for _, r := range recs {
 		start := frameStart
 		frameStart = r.LSN
-		if r.Stmt != 0 && !terminated[r.Stmt] {
+		if r.Txn != 0 && !terminated[r.Txn] {
 			continue // loser: its pages never reached disk
 		}
 		// Metadata replay: schema-shaped records older than the
@@ -165,11 +172,11 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 			}
 			continue
 		case wal.KPageFree:
-			if committed[r.Stmt] {
+			if committed[r.Txn] {
 				frees = append(frees, freeReq{page: r.Page})
 			}
 			continue
-		case wal.KBegin, wal.KCommit, wal.KAbort, wal.KCheckpoint, wal.KPageAlloc:
+		case wal.KBegin, wal.KCommit, wal.KAbort, wal.KCheckpoint, wal.KPageAlloc, wal.KSavepoint:
 			continue
 		}
 		// Physical redo of page-addressed records.
@@ -200,10 +207,12 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 
 	// Rebuild the live catalog from the replayed model and recompute the
 	// derived state the log deliberately does not carry.
+	txns := mvcc.NewManager()
 	cat := catalog.Restore(pool, catalog.Config{
 		MemoryBytes:       cfg.MemoryBytes,
 		MetaBytesPerTable: cfg.MetaBytesPerTable,
 		InsertMode:        cfg.InsertMode,
+		Versions:          txns,
 	}, snap)
 	if err := cat.RecomputeAll(); err != nil {
 		return nil, rep, err
@@ -263,6 +272,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		planner:      plan.New(cat, cfg.Optimizer),
 		plans:        plans,
 		log:          img.Log,
+		txns:         txns,
 		recoveries:   img.recoveries + 1,
 		replayedRecs: img.replayedRecs + int64(rep.Replayed),
 	}

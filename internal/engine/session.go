@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/mvcc"
+	"repro/internal/sql"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Session errors.
+var (
+	// ErrNoTxn: COMMIT/ROLLBACK/SAVEPOINT outside a transaction.
+	ErrNoTxn = errors.New("engine: no transaction is open")
+	// ErrTxnOpen: BEGIN inside a transaction (nesting is not supported).
+	ErrTxnOpen = errors.New("engine: a transaction is already open")
+	// ErrTxnAborted: the transaction hit a write-write conflict and was
+	// rolled back; only COMMIT (which fails) or ROLLBACK clear the state.
+	ErrTxnAborted = errors.New("engine: transaction aborted by write-write conflict; issue ROLLBACK")
+	// ErrNoSavepoint: ROLLBACK TO an unknown savepoint name.
+	ErrNoSavepoint = errors.New("engine: no such savepoint")
+)
+
+// Session is a connection-like handle offering interactive
+// multi-statement transactions over a DB: BEGIN starts a snapshot,
+// statements inside it read that snapshot (snapshot isolation) and
+// write under first-updater-wins conflict detection, COMMIT makes the
+// whole group durable atomically, ROLLBACK (or a conflict) undoes it
+// entirely, and SAVEPOINT/ROLLBACK TO give partial undo inside the
+// group. Outside a transaction a Session behaves exactly like DB.Exec
+// / DB.Query (statement autocommit).
+//
+// A Session is a single logical connection and is NOT safe for
+// concurrent use; open one Session per worker. Different Sessions of
+// the same DB are safe to use concurrently.
+type Session struct {
+	db *DB
+
+	tx      *mvcc.Txn        // nil outside a transaction
+	scope   *wal.Scope       // lazily begun at the first write/savepoint
+	undo    *catalog.UndoLog // one shared log; statements/savepoints are marks
+	saves   []savepoint
+	written map[string]string // lowercased -> original table name
+	aborted bool              // conflict rolled the transaction back
+}
+
+type savepoint struct {
+	name string // lowercased
+	mark int
+}
+
+// Session opens a new session on the database.
+func (db *DB) Session() *Session {
+	return &Session{db: db}
+}
+
+// InTxn reports whether a transaction is open (including the aborted
+// state after a conflict, which still needs its ROLLBACK).
+func (s *Session) InTxn() bool { return s.tx != nil || s.aborted }
+
+// Close rolls back any open transaction and releases the session.
+func (s *Session) Close() error {
+	if s.aborted {
+		s.aborted = false
+		return nil
+	}
+	if s.tx == nil {
+		return nil
+	}
+	_, err := s.rollback()
+	return err
+}
+
+// Exec runs any statement in this session, including transaction
+// control (BEGIN/COMMIT/ROLLBACK/SAVEPOINT). SELECT results are
+// drained and counted, not materialized — use Query for rows.
+func (s *Session) Exec(query string, params ...types.Value) (Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ExecStmt(st, query, params...)
+}
+
+// ExecStmt is Exec for a pre-parsed statement; key is the plan-cache
+// key ("" to derive it from the statement).
+func (s *Session) ExecStmt(st sql.Statement, key string, params ...types.Value) (Result, error) {
+	switch st := st.(type) {
+	case *sql.BeginStmt:
+		return s.begin()
+	case *sql.CommitStmt:
+		return s.commit()
+	case *sql.RollbackStmt:
+		if st.To != "" {
+			return s.rollbackTo(st.To)
+		}
+		return s.rollback()
+	case *sql.SavepointStmt:
+		return s.savepoint(st.Name)
+	}
+	if s.aborted {
+		return Result{}, ErrTxnAborted
+	}
+	if s.tx == nil {
+		// Statement autocommit: exactly the DB paths.
+		return s.db.execStmtKeyed(st, key, params)
+	}
+	switch st := st.(type) {
+	case *sql.SelectStmt:
+		_, err := s.drainSelect(st, key, params)
+		return Result{}, err
+	case *sql.InsertStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+		return s.dml(st, key, params)
+	default:
+		return Result{}, fmt.Errorf("engine: %T not allowed inside a transaction (DDL needs COMMIT first)", st)
+	}
+}
+
+// Query runs a SELECT in this session; inside a transaction it reads
+// the transaction's snapshot.
+func (s *Session) Query(query string, params ...types.Value) (*Rows, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query needs a SELECT, got %T", st)
+	}
+	if s.aborted {
+		return nil, ErrTxnAborted
+	}
+	if s.tx == nil {
+		return s.db.queryStmtKeyed(sel, query, params)
+	}
+	return s.querySelect(sel, query, params)
+}
+
+// QueryStmt is Query for a pre-parsed SELECT; key is the plan-cache
+// key ("" to derive it from the statement).
+func (s *Session) QueryStmt(sel *sql.SelectStmt, key string, params ...types.Value) (*Rows, error) {
+	if s.aborted {
+		return nil, ErrTxnAborted
+	}
+	if s.tx == nil {
+		return s.db.queryStmtKeyed(sel, key, params)
+	}
+	return s.querySelect(sel, key, params)
+}
+
+// --- transaction control -----------------------------------------------------
+
+func (s *Session) begin() (Result, error) {
+	if s.aborted {
+		return Result{}, ErrTxnAborted
+	}
+	if s.tx != nil {
+		return Result{}, ErrTxnOpen
+	}
+	db := s.db
+	// Register under the DDL lock (shared): execDDL's open-transaction
+	// gate checks the registry under the exclusive side, so a BEGIN
+	// either completes before the DDL looks, or waits until it is done.
+	db.ddlMu.RLock()
+	s.tx = db.txns.Begin()
+	db.ddlMu.RUnlock()
+	db.txnBegins.Add(1)
+	s.undo = &catalog.UndoLog{}
+	s.written = make(map[string]string)
+	s.saves = nil
+	return Result{}, nil
+}
+
+func (s *Session) commit() (Result, error) {
+	if s.aborted {
+		// The transaction is already gone; COMMIT clears the state but
+		// reports that nothing was committed.
+		s.aborted = false
+		return Result{}, ErrTxnAborted
+	}
+	if s.tx == nil {
+		return Result{}, ErrNoTxn
+	}
+	db := s.db
+	var res Result
+	var cerr error
+	if s.scope != nil {
+		// Durability before visibility: the commit record reaches the
+		// log before the commit timestamp exposes the writes to
+		// snapshots that begin afterwards.
+		res.StmtID = s.scope.ID()
+		cerr = s.scope.Commit()
+	}
+	s.tx.Commit()
+	s.reset()
+	if cerr != nil {
+		return res, cerr
+	}
+	db.txnCommits.Add(1)
+	db.maybeCheckpoint()
+	return res, nil
+}
+
+func (s *Session) rollback() (Result, error) {
+	if s.aborted {
+		s.aborted = false
+		return Result{}, nil
+	}
+	if s.tx == nil {
+		return Result{}, ErrNoTxn
+	}
+	err := s.rollbackAll()
+	s.db.txnAborts.Add(1)
+	s.reset()
+	if err == nil {
+		s.db.maybeCheckpoint()
+	}
+	return Result{}, err
+}
+
+func (s *Session) savepoint(name string) (Result, error) {
+	if s.aborted {
+		return Result{}, ErrTxnAborted
+	}
+	if s.tx == nil {
+		return Result{}, ErrNoTxn
+	}
+	if err := s.ensureScope(); err != nil {
+		return Result{}, err
+	}
+	if s.scope != nil {
+		if err := s.scope.Savepoint(name); err != nil {
+			return Result{}, err
+		}
+	}
+	s.saves = append(s.saves, savepoint{name: strings.ToLower(name), mark: s.undo.Mark()})
+	return Result{}, nil
+}
+
+func (s *Session) rollbackTo(name string) (Result, error) {
+	if s.aborted {
+		return Result{}, ErrTxnAborted
+	}
+	if s.tx == nil {
+		return Result{}, ErrNoTxn
+	}
+	want := strings.ToLower(name)
+	found := -1
+	for i := len(s.saves) - 1; i >= 0; i-- {
+		if s.saves[i].name == want {
+			found = i
+			break
+		}
+	}
+	if found < 0 {
+		return Result{}, fmt.Errorf("%w: %s", ErrNoSavepoint, name)
+	}
+	sp := s.saves[found]
+	// Savepoints established after the named one are destroyed; the
+	// named one survives and can be rolled back to again.
+	s.saves = s.saves[:found+1]
+	err := s.undoLocked(sp.mark)
+	return Result{}, err
+}
+
+// --- statement execution inside a transaction --------------------------------
+
+// dml runs one DML statement under the transaction; a write-write
+// conflict aborts and rolls back the whole transaction (first-updater
+// wins — this session was second).
+func (s *Session) dml(st sql.Statement, key string, params []types.Value) (Result, error) {
+	res, err := s.dmlLocked(st, key, params)
+	if err != nil && errors.Is(err, mvcc.ErrWriteConflict) {
+		db := s.db
+		db.txnConflicts.Add(1)
+		rbErr := s.rollbackAll()
+		db.txnAborts.Add(1)
+		s.reset()
+		s.aborted = true
+		if rbErr != nil {
+			return res, fmt.Errorf("%w (rollback after conflict: %v)", err, rbErr)
+		}
+		return res, fmt.Errorf("%w (transaction rolled back)", err)
+	}
+	return res, err
+}
+
+func (s *Session) dmlLocked(st sql.Statement, key string, params []types.Value) (Result, error) {
+	db := s.db
+	write, reads, err := dmlLockSets(st)
+	if err != nil {
+		return Result{}, err
+	}
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	unlock, err := db.lockTables(reads, write)
+	if err != nil {
+		return Result{}, err
+	}
+	defer unlock()
+	p, err := db.planFor(key, st)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.ensureScope(); err != nil {
+		return Result{}, err
+	}
+	if s.scope != nil {
+		t, terr := db.cat.Table(write)
+		if terr != nil {
+			return Result{}, terr
+		}
+		t.SetWAL(s.scope.HeapLogger(t.Name), s.scope.TreeLogger())
+		defer t.SetWAL(nil, nil)
+	}
+	// Record the target before running: even a failed statement may
+	// need this table relocked if the rollback of an earlier statement's
+	// writes comes due, and a superset relock is harmless.
+	s.written[strings.ToLower(write)] = write
+	n, err := exec.RunDMLTx(p, params, &db.execStats, s.tx, s.undo)
+	if err != nil {
+		// The statement's own suffix of the undo log was replayed; the
+		// transaction's earlier statements stand.
+		db.noteRollback(err)
+		return Result{RowsAffected: n}, err
+	}
+	res := Result{RowsAffected: n}
+	if s.scope != nil {
+		res.StmtID = s.scope.ID()
+	}
+	return res, nil
+}
+
+func (s *Session) querySelect(sel *sql.SelectStmt, key string, params []types.Value) (*Rows, error) {
+	db := s.db
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	unlock, err := db.lockTables(collectReadTables(sel, nil), "")
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+	p, err := db.planFor(key, sel)
+	if err != nil {
+		return nil, err
+	}
+	data, err := exec.CollectTx(p, params, &db.execStats, s.tx)
+	if err != nil {
+		return nil, err
+	}
+	return rowsFor(p, data), nil
+}
+
+func (s *Session) drainSelect(sel *sql.SelectStmt, key string, params []types.Value) (int64, error) {
+	db := s.db
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	unlock, err := db.lockTables(collectReadTables(sel, nil), "")
+	if err != nil {
+		return 0, err
+	}
+	defer unlock()
+	p, err := db.planFor(key, sel)
+	if err != nil {
+		return 0, err
+	}
+	return exec.DrainTx(p, params, &db.execStats, s.tx)
+}
+
+// --- internals ----------------------------------------------------------------
+
+// ensureScope lazily begins the transaction's WAL scope at its first
+// write (or savepoint), so read-only transactions never touch the log.
+func (s *Session) ensureScope() error {
+	if s.db.log == nil || s.scope != nil {
+		return nil
+	}
+	scope, err := s.db.log.Begin()
+	if err != nil {
+		return err
+	}
+	s.scope = scope
+	return nil
+}
+
+// undoLocked relocks every table the transaction wrote (in the global
+// lock order), reinstalls the WAL loggers so compensations are logged
+// under this transaction, and replays the undo log back to mark.
+func (s *Session) undoLocked(mark int) error {
+	db := s.db
+	var writes []string
+	for _, name := range s.written {
+		writes = append(writes, name)
+	}
+	sort.Strings(writes)
+	db.ddlMu.RLock()
+	defer db.ddlMu.RUnlock()
+	unlock, err := db.lockTablesMulti(nil, writes)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	if s.scope != nil {
+		for _, name := range writes {
+			t, terr := db.cat.Table(name)
+			if terr != nil {
+				return terr
+			}
+			t.SetWAL(s.scope.HeapLogger(t.Name), s.scope.TreeLogger())
+			defer t.SetWAL(nil, nil)
+		}
+	}
+	failed, rbErr := s.undo.RollbackTo(mark)
+	if rbErr != nil {
+		return fmt.Errorf("engine: transaction rollback: %d undo step(s) failed: %w", failed, rbErr)
+	}
+	return nil
+}
+
+// rollbackAll undoes every write of the transaction, appends the abort
+// record (after the compensations, so recovery replays them inside the
+// terminated transaction), and releases the snapshot.
+func (s *Session) rollbackAll() error {
+	rbErr := s.undoLocked(0)
+	if s.scope != nil {
+		s.scope.Abort()
+	}
+	s.tx.Abort()
+	return rbErr
+}
+
+// reset clears the per-transaction state.
+func (s *Session) reset() {
+	s.tx = nil
+	s.scope = nil
+	s.undo = nil
+	s.saves = nil
+	s.written = nil
+	s.aborted = false
+}

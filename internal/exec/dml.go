@@ -4,10 +4,29 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/mvcc"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
+
+// RollbackFailedError reports a statement whose undo replay itself
+// failed: the statement's effects were only partially reverted and the
+// table may be inconsistent. Cause is the error that triggered the
+// rollback; RB the rollback failure; Failed how many undo steps could
+// not be applied. errors.Is/As match Cause through Unwrap.
+type RollbackFailedError struct {
+	Cause  error
+	RB     error
+	Table  string
+	Failed int
+}
+
+func (e *RollbackFailedError) Error() string {
+	return fmt.Sprintf("%v (%v; table %s may be inconsistent)", e.Cause, e.RB, e.Table)
+}
+
+func (e *RollbackFailedError) Unwrap() error { return e.Cause }
 
 // RunDML executes an INSERT, UPDATE, or DELETE plan and returns the
 // number of rows affected. The caller must already hold the target
@@ -23,9 +42,26 @@ func RunDML(n plan.Node, params []types.Value) (int64, error) {
 
 // RunDMLStats is RunDML feeding executor counters into st (nil ok).
 func RunDMLStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
-	bindSubqueries(n)
-	ctx := &Context{Params: params, Stats: st}
 	undo := &catalog.UndoLog{}
+	count, err := RunDMLTx(n, params, st, nil, undo)
+	if err == nil {
+		undo.Discard()
+	}
+	return count, err
+}
+
+// RunDMLTx executes a DML plan on behalf of a transaction (tx nil for
+// autocommit), appending physical undo steps to the caller's undo log.
+// On error the statement's own suffix of the log is replayed in
+// reverse — entries from earlier statements of the same transaction
+// are untouched — so a failed statement affects zero rows while the
+// transaction stays usable. On success the statement's entries remain
+// in the log for a later full-transaction rollback; the caller owns
+// their lifecycle (Discard after an autocommit success).
+func RunDMLTx(n plan.Node, params []types.Value, st *Stats, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
+	bindSubqueries(n, tx)
+	ctx := &Context{Params: params, Stats: st, Txn: tx}
+	mark := undo.Mark()
 	var (
 		count int64
 		err   error
@@ -34,22 +70,21 @@ func RunDMLStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
 	switch n := n.(type) {
 	case *plan.InsertPlan:
 		table = n.Table
-		count, err = runInsert(n, ctx, undo)
+		count, err = runInsert(n, ctx, tx, undo)
 	case *plan.UpdatePlan:
 		table = n.Table
-		count, err = runUpdate(n, ctx, undo)
+		count, err = runUpdate(n, ctx, tx, undo)
 	case *plan.DeletePlan:
 		table = n.Table
-		count, err = runDelete(n, ctx, undo)
+		count, err = runDelete(n, ctx, tx, undo)
 	default:
 		return 0, errNotDML(n)
 	}
 	if err == nil {
-		undo.Discard()
 		return count, nil
 	}
-	if rbErr := undo.Rollback(); rbErr != nil {
-		return 0, fmt.Errorf("%w (%v; table %s may be inconsistent)", err, rbErr, table.Name)
+	if failed, rbErr := undo.RollbackTo(mark); rbErr != nil {
+		return 0, &RollbackFailedError{Cause: err, RB: rbErr, Table: table.Name, Failed: failed}
 	}
 	return 0, err
 }
@@ -60,7 +95,7 @@ func (e notDMLError) Error() string { return "exec: not a DML plan: " + e.n.Labe
 
 func errNotDML(n plan.Node) error { return notDMLError{n} }
 
-func runInsert(p *plan.InsertPlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
+func runInsert(p *plan.InsertPlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
 	var count int64
 	for _, exprs := range p.Rows {
 		row := make([]types.Value, len(p.Table.Columns))
@@ -71,7 +106,7 @@ func runInsert(p *plan.InsertPlan, ctx *Context, undo *catalog.UndoLog) (int64, 
 			}
 			row[p.ColMap[i]] = v
 		}
-		if _, err := p.Table.InsertRowUndo(row, undo); err != nil {
+		if _, err := p.Table.InsertRowTxn(tx, row, undo); err != nil {
 			return count, err
 		}
 		count++
@@ -79,7 +114,7 @@ func runInsert(p *plan.InsertPlan, ctx *Context, undo *catalog.UndoLog) (int64, 
 	return count, nil
 }
 
-func runUpdate(p *plan.UpdatePlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
+func runUpdate(p *plan.UpdatePlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
 	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
 	if err != nil {
 		return 0, err
@@ -100,20 +135,20 @@ func runUpdate(p *plan.UpdatePlan, ctx *Context, undo *catalog.UndoLog) (int64, 
 		}
 		newRows[i] = newRow
 	}
-	if _, err := p.Table.UpdateRowsDeferred(rids, rows, newRows, undo); err != nil {
+	if _, err := p.Table.UpdateRowsDeferredTxn(tx, rids, rows, newRows, undo); err != nil {
 		return 0, err
 	}
 	return int64(len(rids)), nil
 }
 
-func runDelete(p *plan.DeletePlan, ctx *Context, undo *catalog.UndoLog) (int64, error) {
+func runDelete(p *plan.DeletePlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
 	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
 	if err != nil {
 		return 0, err
 	}
 	var count int64
 	for i, rid := range rids {
-		if err := p.Table.DeleteRowUndo(rid, rows[i], undo); err != nil {
+		if err := p.Table.DeleteRowTxn(tx, rid, rows[i], undo); err != nil {
 			return count, err
 		}
 		count++
@@ -126,7 +161,16 @@ func runDelete(p *plan.DeletePlan, ctx *Context, undo *catalog.UndoLog) (int64, 
 // full (no column pruning: SET expressions, index maintenance, and undo
 // all need complete rows) into a reused scratch buffer; only matching
 // rows are copied out, so rows the filter rejects cost no allocation.
+//
+// Under a transaction, matching follows the snapshot: chained rows are
+// skipped physically and gathered through their visible versions
+// instead. A gathered version that no longer matches the physical row
+// necessarily has an invisible newest writer, so the mutators'
+// first-updater-wins check turns it into a conflict before any byte
+// changes; whenever the check passes, the visible version and the
+// physical row are identical.
 func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, ctx *Context) ([]storage.RID, [][]types.Value, error) {
+	vers := versionedTable(ctx, t)
 	var rids []storage.RID
 	var rows [][]types.Value
 	var scratch []types.Value
@@ -158,6 +202,9 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		}
 		for ; it.Valid(); it.Next() {
 			rid := it.RID()
+			if vers && t.Vers.HasChain(rid) {
+				continue // gathered through the version chain below
+			}
 			row, _, _, err := t.GetRowInto(scratch, rid, nil)
 			if err != nil {
 				return nil, nil, err
@@ -170,9 +217,27 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		if err := it.Err(); err != nil {
 			return nil, nil, err
 		}
+		if vers {
+			err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+				row, err := decodeFull(t, rec)
+				if err != nil {
+					return err
+				}
+				if !inKeyRange(path.Index.KeyFor(row, rid), lo, hi) {
+					return nil
+				}
+				return keep(rid, row)
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 		return rids, rows, nil
 	}
 	scanner := t.Heap.Scanner()
+	if vers {
+		scanner.SetSkip(t.Vers.HasChain)
+	}
 	want := len(t.Columns)
 	for {
 		rid, rec, ok, err := scanner.Next()
@@ -180,7 +245,7 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 			return nil, nil, err
 		}
 		if !ok {
-			return rids, rows, nil
+			break
 		}
 		row, err := types.DecodeRowInto(scratch, rec, want)
 		if err != nil {
@@ -191,4 +256,17 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 			return nil, nil, err
 		}
 	}
+	if vers {
+		err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+			row, err := decodeFull(t, rec)
+			if err != nil {
+				return err
+			}
+			return keep(rid, row)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return rids, rows, nil
 }

@@ -6,6 +6,7 @@ package exec
 import (
 	"fmt"
 
+	"repro/internal/mvcc"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -16,6 +17,10 @@ type Context struct {
 	// Stats receives executor counters (rows scanned, batches, decode
 	// savings); may be nil. Iterators flush into it on Close.
 	Stats *Stats
+	// Txn, when set, makes scans snapshot-consistent: rows resolve
+	// through their version chains for this transaction instead of
+	// being read straight off the pages. nil keeps the plain path.
+	Txn *mvcc.Txn
 }
 
 // Iterator is the operator interface: Open, then Next until (nil, nil),
@@ -32,12 +37,17 @@ type Iterator interface {
 
 // Build compiles a plan node into an iterator tree and binds IN-subquery
 // scalars to this executor.
-func Build(n plan.Node) (Iterator, error) {
+func Build(n plan.Node) (Iterator, error) { return BuildTx(n, nil) }
+
+// BuildTx is Build binding IN-subquery materialization to tx's
+// snapshot, so subqueries see the same version of the database as the
+// enclosing statement.
+func BuildTx(n plan.Node, tx *mvcc.Txn) (Iterator, error) {
 	it, err := build(n)
 	if err != nil {
 		return nil, err
 	}
-	bindSubqueries(n)
+	bindSubqueries(n, tx)
 	return it, nil
 }
 
@@ -137,11 +147,16 @@ func Collect(n plan.Node, params []types.Value) ([][]types.Value, error) {
 // It drives the plan batch-at-a-time; rows are copied out of volatile
 // batch storage into the returned (caller-owned) slice.
 func CollectStats(n plan.Node, params []types.Value, st *Stats) ([][]types.Value, error) {
-	it, err := Build(n)
+	return CollectTx(n, params, st, nil)
+}
+
+// CollectTx is CollectStats under a transaction snapshot (tx nil ok).
+func CollectTx(n plan.Node, params []types.Value, st *Stats, tx *mvcc.Txn) ([][]types.Value, error) {
+	it, err := BuildTx(n, tx)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &Context{Params: params, Stats: st}
+	ctx := &Context{Params: params, Stats: st, Txn: tx}
 	bit := asBatch(it)
 	if err := bit.Open(ctx); err != nil {
 		return nil, err
@@ -203,11 +218,16 @@ func Drain(n plan.Node, params []types.Value) (int64, error) {
 // DrainStats is Drain feeding executor counters into st (nil ok).
 // Batches are counted and dropped without any copying.
 func DrainStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
-	it, err := Build(n)
+	return DrainTx(n, params, st, nil)
+}
+
+// DrainTx is DrainStats under a transaction snapshot (tx nil ok).
+func DrainTx(n plan.Node, params []types.Value, st *Stats, tx *mvcc.Txn) (int64, error) {
+	it, err := BuildTx(n, tx)
 	if err != nil {
 		return 0, err
 	}
-	ctx := &Context{Params: params, Stats: st}
+	ctx := &Context{Params: params, Stats: st, Txn: tx}
 	bit := asBatch(it)
 	if err := bit.Open(ctx); err != nil {
 		return 0, err
@@ -227,19 +247,26 @@ func DrainStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
 }
 
 // bindSubqueries installs the Materialize callback on every InSubquery
-// scalar in the plan and resets cached sets from prior runs.
-func bindSubqueries(n plan.Node) {
+// scalar in the plan and resets cached sets from prior runs. With a
+// transaction, subqueries materialize under its snapshot.
+func bindSubqueries(n plan.Node, tx *mvcc.Txn) {
 	for _, s := range nodeScalars(n) {
 		walkScalar(s, func(sc plan.Scalar) {
 			if in, ok := sc.(*plan.InSubquery); ok {
 				in.Reset()
-				in.Materialize = Collect
-				bindSubqueries(in.Plan)
+				if tx == nil {
+					in.Materialize = Collect
+				} else {
+					in.Materialize = func(p plan.Node, params []types.Value) ([][]types.Value, error) {
+						return CollectTx(p, params, nil, tx)
+					}
+				}
+				bindSubqueries(in.Plan, tx)
 			}
 		})
 	}
 	for _, c := range n.Children() {
-		bindSubqueries(c)
+		bindSubqueries(c, tx)
 	}
 }
 

@@ -19,14 +19,15 @@ import (
 // needs and evaluating the pushed-down filter in place. The row
 // interface drains those batches through a cursor.
 type seqScanIter struct {
-	node *plan.SeqScan
-	ctx  *Context
-	scan *storage.HeapScanner
-	want int
-	need []bool
-	b    Batch
-	cur  batchCursor
-	cnt  scanCounters
+	node   *plan.SeqScan
+	ctx    *Context
+	scan   *storage.HeapScanner
+	want   int
+	need   []bool
+	extras []extraRec // snapshot-visible versions of chained rows
+	b      Batch
+	cur    batchCursor
+	cnt    scanCounters
 }
 
 func (it *seqScanIter) Open(ctx *Context) error {
@@ -34,6 +35,15 @@ func (it *seqScanIter) Open(ctx *Context) error {
 	it.scan = it.node.Table.Heap.Scanner()
 	it.want = len(it.node.Table.Columns)
 	it.need = needMask(it.node.Needed, it.want)
+	it.extras = nil
+	if versionedTable(ctx, it.node.Table) {
+		it.scan.SetSkip(it.node.Table.Vers.HasChain)
+		var err error
+		it.extras, err = versionedRecs(ctx, it.node.Table)
+		if err != nil {
+			return err
+		}
+	}
 	it.cur.reset()
 	return nil
 }
@@ -45,7 +55,20 @@ func (it *seqScanIter) NextBatch() (*Batch, error) {
 			return nil, err
 		}
 		if !ok {
-			return nil, nil
+			// Chained rows scan through their version chains instead of
+			// the pages; their visible versions form the final batch(es).
+			if len(it.extras) == 0 {
+				return nil, nil
+			}
+			n := len(it.extras)
+			if n > BatchSize {
+				n = BatchSize
+			}
+			recs = recs[:0]
+			for _, e := range it.extras[:n] {
+				recs = append(recs, e.rec)
+			}
+			it.extras = it.extras[n:]
 		}
 		it.cnt.batches++
 		it.b.reset()
@@ -141,16 +164,19 @@ func indexKeys(path *plan.AccessPath, row, params []types.Value) (lo, hi []byte,
 // (only the plan's needed columns) into the batch arena while the row's
 // page is pinned — no intermediate record copy.
 type indexScanIter struct {
-	node *plan.IndexScan
-	ctx  *Context
-	it   *btree.Iterator
-	done bool
-	want int
-	need []bool
-	rids []storage.RID
-	b    Batch
-	cur  batchCursor
-	cnt  scanCounters
+	node   *plan.IndexScan
+	ctx    *Context
+	it     *btree.Iterator
+	done   bool
+	vers   bool
+	extras [][]types.Value // visible versions of chained rows in range
+	ei     int
+	want   int
+	need   []bool
+	rids   []storage.RID
+	b      Batch
+	cur    batchCursor
+	cnt    scanCounters
 }
 
 func (it *indexScanIter) Open(ctx *Context) error {
@@ -158,6 +184,7 @@ func (it *indexScanIter) Open(ctx *Context) error {
 	it.done = false
 	it.want = len(it.node.Table.Columns)
 	it.need = needMask(it.node.Needed, it.want)
+	it.extras, it.ei = nil, 0
 	it.cur.reset()
 	lo, hi, ok, err := indexKeys(&it.node.Path, nil, ctx.Params)
 	if err != nil {
@@ -167,8 +194,45 @@ func (it *indexScanIter) Open(ctx *Context) error {
 		it.done = true
 		return nil
 	}
+	it.vers = versionedTable(ctx, it.node.Table)
+	if it.vers {
+		// A chained row's visible version may carry a different key than
+		// its index entries, so the index is bypassed for those rows:
+		// every visible version is checked against [lo, hi) directly.
+		it.extras, err = versionedRowsInRange(ctx, it.node.Table, &it.node.Path, lo, hi)
+		if err != nil {
+			return err
+		}
+	}
 	it.it, err = it.node.Path.Index.Tree.SeekRange(lo, hi)
 	return err
+}
+
+// extrasBatch emits the residual-surviving version rows as batches.
+func (it *indexScanIter) extrasBatch() (*Batch, error) {
+	for it.ei < len(it.extras) {
+		it.cnt.batches++
+		it.b.reset()
+		for it.ei < len(it.extras) && len(it.b.Rows) < BatchSize {
+			row := it.extras[it.ei]
+			it.ei++
+			if it.node.Residual != nil {
+				v, err := it.node.Residual.Eval(row, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					continue
+				}
+			}
+			it.b.Rows = append(it.b.Rows, row)
+		}
+		if len(it.b.Rows) > 0 {
+			it.cnt.rows += int64(len(it.b.Rows))
+			return &it.b, nil
+		}
+	}
+	return nil, nil
 }
 
 func (it *indexScanIter) NextBatch() (*Batch, error) {
@@ -178,14 +242,22 @@ func (it *indexScanIter) NextBatch() (*Batch, error) {
 	for {
 		it.rids = it.rids[:0]
 		for len(it.rids) < BatchSize && it.it.Valid() {
-			it.rids = append(it.rids, it.it.RID())
+			rid := it.it.RID()
 			it.it.Next()
+			if it.vers && it.node.Table.Vers.HasChain(rid) {
+				continue // resolved through the version chain instead
+			}
+			it.rids = append(it.rids, rid)
 		}
 		if len(it.rids) == 0 {
-			it.done = true
 			if err := it.it.Err(); err != nil {
 				return nil, err
 			}
+			b, err := it.extrasBatch()
+			if err != nil || b != nil {
+				return b, err
+			}
+			it.done = true
 			return nil, nil
 		}
 		it.cnt.batches++
@@ -613,7 +685,11 @@ type indexNLJoinIter struct {
 	ctx   *Context
 
 	cur     []types.Value
+	haveRow bool
 	inner   *btree.Iterator
+	vers    bool
+	extras  [][]types.Value // visible versions of chained inner rows in range
+	ei      int
 	matched bool
 	width   int
 	need    []bool
@@ -624,14 +700,17 @@ type indexNLJoinIter struct {
 func (it *indexNLJoinIter) Open(ctx *Context) error {
 	it.ctx = ctx
 	it.cur, it.inner = nil, nil
+	it.haveRow = false
+	it.extras, it.ei = nil, 0
 	it.width = len(it.node.Inner.Columns)
 	it.need = needMask(it.node.NeededInner, it.width)
+	it.vers = versionedTable(ctx, it.node.Inner)
 	return it.outer.Open(ctx)
 }
 
 func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 	for {
-		if it.inner == nil {
+		if !it.haveRow {
 			orow, err := it.outer.Next()
 			if err != nil || orow == nil {
 				return nil, err
@@ -652,10 +731,24 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 			if err != nil {
 				return nil, err
 			}
+			it.extras, it.ei = nil, 0
+			if it.vers {
+				// Chained inner rows join through their visible versions,
+				// range-checked against [lo, hi) directly (their index
+				// entries reflect newer keys, or none).
+				it.extras, err = versionedRowsInRange(it.ctx, it.node.Inner, &it.node.Path, lo, hi)
+				if err != nil {
+					return nil, err
+				}
+			}
+			it.haveRow = true
 		}
-		for it.inner.Valid() {
+		for it.inner != nil && it.inner.Valid() {
 			rid := it.inner.RID()
 			it.inner.Next()
+			if it.vers && it.node.Inner.Vers.HasChain(rid) {
+				continue // resolved through the version chain instead
+			}
 			// FETCH with partial decode into a reused buffer; combine()
 			// copies the values out, so the buffer is free to be reused.
 			irow, dec, skip, err := it.node.Inner.GetRowInto(it.rowbuf, rid, it.need)
@@ -679,10 +772,30 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 			it.matched = true
 			return combined, nil
 		}
-		if err := it.inner.Err(); err != nil {
-			return nil, err
+		if it.inner != nil {
+			if err := it.inner.Err(); err != nil {
+				return nil, err
+			}
+			it.inner = nil
 		}
-		it.inner = nil
+		for it.ei < len(it.extras) {
+			irow := it.extras[it.ei]
+			it.ei++
+			it.cnt.rows++
+			combined := combine(it.cur, irow)
+			if it.node.Residual != nil {
+				v, err := it.node.Residual.Eval(combined, it.ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !plan.IsTrue(v) {
+					continue
+				}
+			}
+			it.matched = true
+			return combined, nil
+		}
+		it.haveRow = false
 		if !it.matched && it.node.Type == sql.LeftJoin {
 			return padRight(it.cur, it.width), nil
 		}

@@ -1,0 +1,321 @@
+package modeltest
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mvcc"
+	"repro/internal/types"
+)
+
+var seedFlag = flag.Int64("modelseed", 0, "run the differential test with a single extra seed")
+
+// classify maps an engine error onto the model's error classes.
+func classify(err error) string {
+	switch {
+	case err == nil:
+		return ClsOK
+	case errors.Is(err, engine.ErrTxnAborted):
+		return ClsAborted
+	case errors.Is(err, mvcc.ErrWriteConflict):
+		return ClsConflict
+	case errors.Is(err, engine.ErrNoTxn):
+		return ClsNoTxn
+	case errors.Is(err, engine.ErrTxnOpen):
+		return ClsTxnOpen
+	case errors.Is(err, engine.ErrNoSavepoint):
+		return ClsNoSavepoint
+	case strings.Contains(err.Error(), "unique"):
+		return ClsUnique
+	default:
+		return "other: " + err.Error()
+	}
+}
+
+func fmtVal(v types.Value) string {
+	switch v.Kind {
+	case types.KindNull:
+		return "NULL"
+	case types.KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case types.KindString:
+		return v.Str
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// harness drives one engine session and its model twin in lockstep.
+type harness struct {
+	t     *testing.T
+	seed  int64
+	step  int
+	op    Op
+	db    *engine.DB
+	model *Model
+	es    []*engine.Session
+	ms    []*MSession
+}
+
+func (h *harness) failf(format string, args ...interface{}) {
+	h.t.Fatalf("seed %d step %d [%s]: %s", h.seed, h.step, h.op, fmt.Sprintf(format, args...))
+}
+
+// apply runs op on engine session i and model session i and compares
+// the outcome.
+func (h *harness) apply(i int) {
+	op := h.op
+	es, ms := h.es[i], h.ms[i]
+	switch op.Kind {
+	case OpSelectPoint:
+		rows, err := es.Query(fmt.Sprintf("SELECT v, bal FROM %s WHERE k = ?", op.Table), types.NewInt(op.K))
+		want, wcls := ms.SelectPoint(op.Table, op.K)
+		if got := classify(err); got != wcls {
+			h.failf("error class = %s, model %s", got, wcls)
+		}
+		if err != nil {
+			return
+		}
+		if len(rows.Data) != len(want) {
+			h.failf("%d rows, model %d", len(rows.Data), len(want))
+		}
+		for r := range want {
+			gv, gb := fmtVal(rows.Data[r][0]), fmtVal(rows.Data[r][1])
+			wv, wb := want[r][0].(string), fmt.Sprintf("%d", want[r][1].(int64))
+			if gv != wv || gb != wb {
+				h.failf("row %d = (%s, %s), model (%s, %s)", r, gv, gb, wv, wb)
+			}
+		}
+	case OpSelectRange:
+		rows, err := es.Query(fmt.Sprintf(
+			"SELECT k, bal FROM %s WHERE k >= ? AND k < ? ORDER BY k", op.Table),
+			types.NewInt(op.Lo), types.NewInt(op.Hi))
+		want, wcls := ms.SelectRange(op.Table, op.Lo, op.Hi)
+		if got := classify(err); got != wcls {
+			h.failf("error class = %s, model %s", got, wcls)
+		}
+		if err != nil {
+			return
+		}
+		if len(rows.Data) != len(want) {
+			h.failf("%d rows, model %d", len(rows.Data), len(want))
+		}
+		for r := range want {
+			if rows.Data[r][0].Int != want[r][0] || rows.Data[r][1].Int != want[r][1] {
+				h.failf("row %d = (%d, %d), model (%d, %d)", r,
+					rows.Data[r][0].Int, rows.Data[r][1].Int, want[r][0], want[r][1])
+			}
+		}
+	case OpSelectAgg:
+		rows, err := es.Query(fmt.Sprintf("SELECT COUNT(*), SUM(bal) FROM %s", op.Table))
+		wcount, wsum, wnull, wcls := ms.SelectAgg(op.Table)
+		if got := classify(err); got != wcls {
+			h.failf("error class = %s, model %s", got, wcls)
+		}
+		if err != nil {
+			return
+		}
+		if rows.Data[0][0].Int != wcount {
+			h.failf("COUNT = %d, model %d", rows.Data[0][0].Int, wcount)
+		}
+		gotNull := rows.Data[0][1].Kind == types.KindNull
+		if gotNull != wnull || (!wnull && rows.Data[0][1].Int != wsum) {
+			h.failf("SUM = %s, model sum=%d null=%v", fmtVal(rows.Data[0][1]), wsum, wnull)
+		}
+	default:
+		h.applyExec(i)
+	}
+}
+
+func (h *harness) applyExec(i int) {
+	op := h.op
+	es, ms := h.es[i], h.ms[i]
+	var (
+		affected int64
+		cls      string
+		q        string
+		params   []types.Value
+	)
+	checkRows := false
+	switch op.Kind {
+	case OpBegin:
+		q, cls = "BEGIN", ms.Begin()
+	case OpCommit:
+		q, cls = "COMMIT", ms.Commit()
+	case OpRollback:
+		q, cls = "ROLLBACK", ms.Rollback()
+	case OpSavepoint:
+		q = "SAVEPOINT " + op.Name
+		cls = ms.Savepoint(op.Name)
+	case OpRollbackTo:
+		q = "ROLLBACK TO " + op.Name
+		cls = ms.RollbackTo(op.Name)
+	case OpInsert:
+		q = fmt.Sprintf("INSERT INTO %s VALUES (?, ?, ?)", op.Table)
+		params = []types.Value{types.NewInt(op.K), types.NewString(op.Str), types.NewInt(op.Delta)}
+		affected, cls = ms.Insert(op.Table, op.K, op.Str, op.Delta)
+		checkRows = true
+	case OpUpdateBal:
+		q = fmt.Sprintf("UPDATE %s SET bal = bal + ? WHERE k = ?", op.Table)
+		params = []types.Value{types.NewInt(op.Delta), types.NewInt(op.K)}
+		affected, cls = ms.UpdateBal(op.Table, op.K, op.Delta)
+		checkRows = true
+	case OpUpdateV:
+		q = fmt.Sprintf("UPDATE %s SET v = ? WHERE k = ?", op.Table)
+		params = []types.Value{types.NewString(op.Str), types.NewInt(op.K)}
+		affected, cls = ms.UpdateV(op.Table, op.K, op.Str)
+		checkRows = true
+	case OpDelete:
+		q = fmt.Sprintf("DELETE FROM %s WHERE k = ?", op.Table)
+		params = []types.Value{types.NewInt(op.K)}
+		affected, cls = ms.Delete(op.Table, op.K)
+		checkRows = true
+	case OpRangeUpdate:
+		q = fmt.Sprintf("UPDATE %s SET bal = bal + ? WHERE k >= ? AND k < ?", op.Table)
+		params = []types.Value{types.NewInt(op.Delta), types.NewInt(op.Lo), types.NewInt(op.Hi)}
+		affected, cls = ms.RangeUpdateBal(op.Table, op.Lo, op.Hi, op.Delta)
+		checkRows = true
+	default:
+		h.failf("unhandled op kind %d", op.Kind)
+	}
+	res, err := es.Exec(q, params...)
+	if got := classify(err); got != cls {
+		h.failf("error class = %s, model %s (err: %v)", got, cls, err)
+	}
+	if err == nil && checkRows && res.RowsAffected != affected {
+		h.failf("rows affected = %d, model %d", res.RowsAffected, affected)
+	}
+}
+
+// compareCommitted checks the engine's committed state (as an
+// autocommit reader sees it) against the model's ground truth.
+func (h *harness) compareCommitted() {
+	for _, table := range []string{"acct1", "acct2"} {
+		rows, err := h.db.Query(fmt.Sprintf("SELECT k, v, bal FROM %s ORDER BY k", table))
+		if err != nil {
+			h.failf("committed-state query on %s: %v", table, err)
+		}
+		want := h.model.CommittedState(table)
+		if len(rows.Data) != len(want) {
+			h.failf("%s: %d committed rows, model %d", table, len(rows.Data), len(want))
+		}
+		for r := range want {
+			gk, gv, gb := rows.Data[r][0].Int, fmtVal(rows.Data[r][1]), rows.Data[r][2].Int
+			wk, wv, wb := want[r][0].(int64), want[r][1].(string), want[r][2].(int64)
+			if gk != wk || gv != wv || gb != wb {
+				h.failf("%s row %d = (%d, %s, %d), model (%d, %s, %d)",
+					table, r, gk, gv, gb, wk, wv, wb)
+			}
+		}
+	}
+}
+
+// runSeed drives one full differential run: 3 concurrent logical
+// sessions, serialized statement-by-statement by a deterministic
+// generator, until the model has completed at least minTxns
+// transactions; the engine must agree on every statement outcome,
+// every query result, the periodic committed snapshots, the final
+// state, and the transaction counters.
+func runSeed(t *testing.T, seed int64, minTxns int) {
+	const sessions = 3
+	db := engine.Open(engine.Config{})
+	model := NewModel("acct1", "acct2")
+	for _, table := range []string{"acct1", "acct2"} {
+		if _, err := db.Exec(fmt.Sprintf(
+			"CREATE TABLE %s (k INTEGER NOT NULL, v VARCHAR(100), bal INTEGER)", table)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf(
+			"CREATE UNIQUE INDEX %s_pk ON %s (k)", table, table)); err != nil {
+			t.Fatal(err)
+		}
+		for k := int64(0); k < SeedRows; k++ {
+			v := fmt.Sprintf("init-%04d", k)
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO %s VALUES (?, ?, 100)", table),
+				types.NewInt(k), types.NewString(v)); err != nil {
+				t.Fatal(err)
+			}
+			model.Seed(table, k, v, 100)
+		}
+	}
+
+	h := &harness{t: t, seed: seed, db: db, model: model}
+	for i := 0; i < sessions; i++ {
+		h.es = append(h.es, db.Session())
+		h.ms = append(h.ms, model.Session())
+	}
+	gen := NewGenerator(seed)
+
+	maxSteps := minTxns * 60
+	for h.step = 1; h.step <= maxSteps; h.step++ {
+		if model.Commits+model.Aborts >= minTxns {
+			break
+		}
+		i := gen.rng.Intn(sessions)
+		h.op = gen.Next(h.ms[i])
+		h.apply(i)
+		if h.step%1000 == 0 {
+			h.compareCommitted()
+		}
+	}
+	if got := model.Commits + model.Aborts; got < minTxns {
+		t.Fatalf("seed %d: only %d transactions finished in %d steps", seed, got, h.step)
+	}
+
+	// Wind down: settle every open transaction the same way on both.
+	h.op = Op{Kind: OpRollback}
+	for i := 0; i < sessions; i++ {
+		if h.ms[i].InTxn() {
+			h.apply(i)
+		}
+		if err := h.es[i].Close(); err != nil {
+			t.Fatalf("seed %d: close session %d: %v", seed, i, err)
+		}
+	}
+	h.compareCommitted()
+
+	// The engine's transaction counters must match the model's exactly.
+	st := db.Stats()
+	if st.TxnCommits != int64(model.Commits) ||
+		st.TxnAborts != int64(model.Aborts) ||
+		st.TxnConflicts != int64(model.Conflict) {
+		t.Errorf("seed %d: counters engine(commits=%d aborts=%d conflicts=%d) model(%d %d %d)",
+			seed, st.TxnCommits, st.TxnAborts, st.TxnConflicts,
+			model.Commits, model.Aborts, model.Conflict)
+	}
+	for _, table := range []string{"acct1", "acct2"} {
+		tab, err := db.Catalog().Table(table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tab.CheckInvariants(); err != nil {
+			t.Errorf("seed %d: %s invariants: %v", seed, table, err)
+		}
+	}
+	t.Logf("seed %d: %d steps, %d commits, %d aborts (%d conflicts)",
+		seed, h.step, model.Commits, model.Aborts, model.Conflict)
+}
+
+// TestDifferentialSeeds is the acceptance run: three fixed seeds, at
+// least 1000 transactions each, engine and model in lockstep.
+func TestDifferentialSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSeed(t, seed, 1000)
+		})
+	}
+}
+
+// TestDifferentialExtraSeed runs one more seed from -modelseed, for
+// soak runs beyond the fixed set.
+func TestDifferentialExtraSeed(t *testing.T) {
+	if *seedFlag == 0 {
+		t.Skip("pass -modelseed N to run an extra differential seed")
+	}
+	runSeed(t, *seedFlag, 1000)
+}

@@ -1,0 +1,169 @@
+// Package mvcc provides the transaction timestamps and row-version
+// bookkeeping behind snapshot-isolation reads and first-updater-wins
+// write-conflict detection.
+//
+// The design deliberately keeps the on-page row format untouched: a
+// heap page always holds the *newest* bytes of every row, and an
+// in-memory side store (VersionStore, one per table) keeps the chain
+// of pre-images that older snapshots still need. A chain exists only
+// while some transaction needs it — entries are garbage-collected the
+// moment every active snapshot is newer than the writer that created
+// them — so a database with no open interactive transactions carries
+// zero versioning overhead on the read path.
+//
+// Timestamps: the Manager keeps a logical clock that ticks once per
+// commit. A transaction's snapshot is the clock value at Begin; a
+// writer's commit timestamp is the clock value after its tick. A write
+// is visible to a reader iff the reader made it, or the writer
+// committed at or before the reader's snapshot.
+package mvcc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrWriteConflict is returned when first-updater-wins detects that a
+// row targeted by a write was already written by a transaction that is
+// not visible to the writer (still active, aborted but not yet undone,
+// or committed after the writer's snapshot). The losing transaction
+// must abort.
+var ErrWriteConflict = errors.New("mvcc: write-write conflict")
+
+// abortedWord is the commit-word value marking an aborted transaction.
+const abortedWord = ^uint64(0)
+
+// Manager issues transactions and owns the commit clock.
+type Manager struct {
+	mu     sync.Mutex
+	ts     uint64 // last committed timestamp
+	nextID uint64
+	active map[uint64]*Txn
+
+	dirtyMu sync.Mutex
+	dirty   map[*VersionStore]struct{}
+}
+
+// NewManager returns an empty transaction manager.
+func NewManager() *Manager {
+	return &Manager{
+		active: make(map[uint64]*Txn),
+		dirty:  make(map[*VersionStore]struct{}),
+	}
+}
+
+// Begin starts a transaction whose snapshot is the current clock.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	tx := &Txn{id: m.nextID, beginTS: m.ts, mgr: m}
+	m.active[tx.id] = tx
+	return tx
+}
+
+// ActiveCount reports how many transactions are begun but not yet
+// finished. The engine uses it to fence DDL off from open transactions.
+func (m *Manager) ActiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.active)
+}
+
+// markDirty records that a store holds version chains so the
+// end-of-transaction sweep knows where to collect.
+func (m *Manager) markDirty(s *VersionStore) {
+	m.dirtyMu.Lock()
+	m.dirty[s] = struct{}{}
+	m.dirtyMu.Unlock()
+}
+
+// finish stamps the transaction terminal (commit tick or aborted),
+// deregisters it, and garbage-collects every dirty store against the
+// new horizon.
+func (m *Manager) finish(tx *Txn, abort bool) {
+	m.mu.Lock()
+	if abort {
+		tx.word.Store(abortedWord)
+	} else if tx.word.Load() == 0 {
+		m.ts++
+		tx.word.Store(m.ts)
+	}
+	delete(m.active, tx.id)
+	// Horizon: the oldest snapshot any remaining transaction holds.
+	horizon := m.ts
+	for _, a := range m.active {
+		if a.beginTS < horizon {
+			horizon = a.beginTS
+		}
+	}
+	m.mu.Unlock()
+
+	m.dirtyMu.Lock()
+	stores := make([]*VersionStore, 0, len(m.dirty))
+	for s := range m.dirty {
+		stores = append(stores, s)
+	}
+	m.dirtyMu.Unlock()
+	for _, s := range stores {
+		if s.GC(horizon) {
+			m.dirtyMu.Lock()
+			// Re-check under the lock: a concurrent write may have re-added
+			// chains after GC reported the store empty.
+			if !s.HasVersions() {
+				delete(m.dirty, s)
+			}
+			m.dirtyMu.Unlock()
+		}
+	}
+}
+
+// Txn is one transaction. The zero commit word means active; ^0 means
+// aborted; any other value is the commit timestamp.
+type Txn struct {
+	id      uint64
+	beginTS uint64
+	mgr     *Manager
+	word    atomic.Uint64
+}
+
+// ID returns the manager-assigned transaction id (1-based).
+func (t *Txn) ID() uint64 { return t.id }
+
+// BeginTS returns the snapshot timestamp.
+func (t *Txn) BeginTS() uint64 { return t.beginTS }
+
+// Aborted reports whether the transaction has been marked aborted.
+func (t *Txn) Aborted() bool { return t.word.Load() == abortedWord }
+
+// Committed reports whether the transaction committed.
+func (t *Txn) Committed() bool {
+	w := t.word.Load()
+	return w != 0 && w != abortedWord
+}
+
+// Visible reports whether writer w's writes are visible to reader t:
+// t wrote them itself, or w committed at or before t's snapshot.
+func (t *Txn) Visible(w *Txn) bool {
+	if w == t {
+		return true
+	}
+	word := w.word.Load()
+	return word != 0 && word != abortedWord && word <= t.beginTS
+}
+
+// Commit stamps the commit timestamp, deregisters the transaction, and
+// sweeps version garbage. Durability (WAL commit) must already be
+// settled by the caller: stamping makes the writes visible.
+func (t *Txn) Commit() { t.mgr.finish(t, false) }
+
+// MarkAborted flags the transaction aborted without deregistering it.
+// Call it before undoing the transaction's writes: from this moment
+// every version entry it wrote is invisible to all readers, and rows
+// it touched stay write-conflict-blocked until the undo pops them.
+func (t *Txn) MarkAborted() { t.word.Store(abortedWord) }
+
+// Abort marks the transaction aborted (if not already), deregisters
+// it, and sweeps version garbage.
+func (t *Txn) Abort() { t.mgr.finish(t, true) }

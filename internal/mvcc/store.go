@@ -1,0 +1,202 @@
+package mvcc
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/storage"
+)
+
+// entry is one write to a row: who made it and the bytes the row held
+// immediately before (nil if the row did not exist). The store owns
+// pre — callers must hand over bytes that nothing else mutates.
+type entry struct {
+	writer *Txn
+	pre    []byte
+}
+
+// VersionStore holds the version chains of one table, keyed by RID.
+// A chain's entries run oldest to newest; the newest bytes of the row
+// live on the heap page itself. Reading a row for a snapshot walks the
+// chain newest-first: stop at the first visible writer (the current
+// bytes are theirs), otherwise step back to that entry's pre-image.
+//
+// All mutating calls happen under the table's write lock, all reads
+// under at least its read lock; the internal mutex makes each call
+// atomic against concurrent GC and cross-table readers.
+type VersionStore struct {
+	mu     sync.Mutex
+	mgr    *Manager
+	chains map[storage.RID][]entry
+}
+
+// NewStore returns an empty store. mgr may be nil in tests; then no
+// automatic GC registration happens.
+func NewStore(mgr *Manager) *VersionStore {
+	return &VersionStore{mgr: mgr, chains: make(map[storage.RID][]entry)}
+}
+
+// HasVersions reports whether any chain exists. Statements use it to
+// skip the versioned read path entirely when no transaction has
+// in-flight or recently committed writes on the table.
+func (s *VersionStore) HasVersions() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chains) > 0
+}
+
+// HasChain reports whether rid has a version chain.
+func (s *VersionStore) HasChain(rid storage.RID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.chains[rid]
+	return ok
+}
+
+// Pinned reports whether rid's heap slot must not be reused by a fresh
+// insert. Any chain pins its slot: reusing it would splice an
+// unrelated row into the middle of a version chain.
+func (s *VersionStore) Pinned(rid storage.RID) bool { return s.HasChain(rid) }
+
+// CheckWrite applies first-updater-wins: writing rid is allowed iff
+// the newest version entry (if any) is visible to tx — tx's own write,
+// or a commit at or before tx's snapshot. Everything else (active
+// writer, aborted-but-not-yet-undone writer, commit after tx began)
+// is ErrWriteConflict.
+func (s *VersionStore) CheckWrite(tx *Txn, rid storage.RID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	if len(ch) == 0 {
+		return nil
+	}
+	if !tx.Visible(ch[len(ch)-1].writer) {
+		return ErrWriteConflict
+	}
+	return nil
+}
+
+// RecordWrite appends a version entry for tx's write to rid, taking
+// ownership of pre. The caller has already passed CheckWrite (or the
+// write is an insert into a fresh slot, which cannot conflict).
+func (s *VersionStore) RecordWrite(tx *Txn, rid storage.RID, pre []byte) {
+	s.mu.Lock()
+	s.chains[rid] = append(s.chains[rid], entry{writer: tx, pre: pre})
+	s.mu.Unlock()
+	if s.mgr != nil {
+		s.mgr.markDirty(s)
+	}
+}
+
+// NewestWriter returns the transaction behind the newest version entry
+// of rid, or ok=false when rid has no chain.
+func (s *VersionStore) NewestWriter(rid storage.RID) (*Txn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	if len(ch) == 0 {
+		return nil, false
+	}
+	return ch[len(ch)-1].writer, true
+}
+
+// PopWrite removes the newest entry of rid's chain, which must belong
+// to tx — the undo path for a rolled-back write.
+func (s *VersionStore) PopWrite(tx *Txn, rid storage.RID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	if len(ch) == 0 || ch[len(ch)-1].writer != tx {
+		return // already collected (aborted entries are GC-eligible)
+	}
+	if len(ch) == 1 {
+		delete(s.chains, rid)
+		return
+	}
+	s.chains[rid] = ch[:len(ch)-1]
+}
+
+// Resolve returns the bytes of rid visible to reader, given cur — the
+// current heap bytes (nil if the slot is dead). The second result is
+// false when no version is visible (the row does not exist in the
+// reader's snapshot). The returned bytes may alias cur or an immutable
+// store-owned pre-image.
+func (s *VersionStore) Resolve(reader *Txn, rid storage.RID, cur []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.chains[rid]
+	for i := len(ch) - 1; i >= 0; i-- {
+		if reader.Visible(ch[i].writer) {
+			break
+		}
+		cur = ch[i].pre
+	}
+	return cur, cur != nil
+}
+
+// RIDs returns every chained RID in (page, slot) order, for
+// deterministic enumeration of rows whose visible version may differ
+// from (or be missing from) the physical heap and indexes.
+func (s *VersionStore) RIDs() []storage.RID {
+	s.mu.Lock()
+	out := make([]storage.RID, 0, len(s.chains))
+	for rid := range s.chains {
+		out = append(out, rid)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Page != out[j].Page {
+			return out[i].Page < out[j].Page
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}
+
+// UncommittedPreImages calls fn for every pre-image written by a
+// transaction that has not committed (active, or aborted with its undo
+// still pending), stopping early if fn returns false. Unique-key
+// checks use it to detect keys that are physically absent from an
+// index but would reappear if the uncommitted writer rolled back.
+func (s *VersionStore) UncommittedPreImages(fn func(rid storage.RID, writer *Txn, pre []byte) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for rid, ch := range s.chains {
+		for _, e := range ch {
+			if e.pre == nil || e.writer.Committed() {
+				continue
+			}
+			if !fn(rid, e.writer, e.pre) {
+				return
+			}
+		}
+	}
+}
+
+// GC drops entries no snapshot can need: from the oldest end of each
+// chain, remove entries whose writer aborted or committed at or before
+// horizon (the oldest active snapshot). It stops at the first entry
+// that must stay — chain order guarantees nothing newer is collectable
+// either. Returns true when the store is left empty.
+func (s *VersionStore) GC(horizon uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for rid, ch := range s.chains {
+		i := 0
+		for i < len(ch) {
+			w := ch[i].writer.word.Load()
+			if w == abortedWord || (w != 0 && w <= horizon) {
+				i++
+				continue
+			}
+			break
+		}
+		switch {
+		case i == len(ch):
+			delete(s.chains, rid)
+		case i > 0:
+			s.chains[rid] = append([]entry(nil), ch[i:]...)
+		}
+	}
+	return len(s.chains) == 0
+}

@@ -157,6 +157,24 @@ type AlterAddColumnStmt struct {
 	Col   ColumnDef
 }
 
+// BeginStmt is BEGIN [TRANSACTION | WORK] / START TRANSACTION.
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT [TRANSACTION | WORK] / END.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK [TRANSACTION | WORK], or, with To set,
+// ROLLBACK TO [SAVEPOINT] name (a partial rollback that keeps the
+// transaction and the savepoint alive).
+type RollbackStmt struct {
+	To string
+}
+
+// SavepointStmt is SAVEPOINT name.
+type SavepointStmt struct {
+	Name string
+}
+
 func (*SelectStmt) stmt()         {}
 func (*InsertStmt) stmt()         {}
 func (*UpdateStmt) stmt()         {}
@@ -166,6 +184,10 @@ func (*CreateIndexStmt) stmt()    {}
 func (*DropTableStmt) stmt()      {}
 func (*DropIndexStmt) stmt()      {}
 func (*AlterAddColumnStmt) stmt() {}
+func (*BeginStmt) stmt()          {}
+func (*CommitStmt) stmt()         {}
+func (*RollbackStmt) stmt()       {}
+func (*SavepointStmt) stmt()      {}
 
 func (*NamedTable) tableRef()    {}
 func (*SubqueryTable) tableRef() {}
@@ -580,3 +602,16 @@ func (s *AlterAddColumnStmt) String() string {
 	}
 	return out
 }
+
+func (s *BeginStmt) String() string { return "BEGIN" }
+
+func (s *CommitStmt) String() string { return "COMMIT" }
+
+func (s *RollbackStmt) String() string {
+	if s.To != "" {
+		return "ROLLBACK TO SAVEPOINT " + s.To
+	}
+	return "ROLLBACK"
+}
+
+func (s *SavepointStmt) String() string { return "SAVEPOINT " + s.Name }

@@ -123,8 +123,56 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.isKw("ALTER"):
 		return p.parseAlter()
+	case p.isKw("BEGIN"), p.isKw("START"):
+		return p.parseBegin()
+	case p.isKw("COMMIT"), p.isKw("END"):
+		p.advance()
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &CommitStmt{}, nil
+	case p.isKw("ROLLBACK"):
+		return p.parseRollback()
+	case p.isKw("SAVEPOINT"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &SavepointStmt{Name: name}, nil
 	}
 	return nil, p.errf("expected statement, found %s", p.cur())
+}
+
+func (p *parser) parseBegin() (Statement, error) {
+	if p.acceptKw("START") {
+		if err := p.expectKw("TRANSACTION"); err != nil {
+			return nil, err
+		}
+		return &BeginStmt{}, nil
+	}
+	if err := p.expectKw("BEGIN"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("TRANSACTION")
+	p.acceptKw("WORK")
+	return &BeginStmt{}, nil
+}
+
+func (p *parser) parseRollback() (Statement, error) {
+	if err := p.expectKw("ROLLBACK"); err != nil {
+		return nil, err
+	}
+	p.acceptKw("TRANSACTION")
+	p.acceptKw("WORK")
+	if p.acceptKw("TO") {
+		p.acceptKw("SAVEPOINT")
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &RollbackStmt{To: name}, nil
+	}
+	return &RollbackStmt{}, nil
 }
 
 // clauseKeywords cannot be consumed as implicit table/column aliases.

@@ -46,6 +46,12 @@ type HeapFile struct {
 	// the frame cannot be evicted. A failed log call physically reverts
 	// the mutation, keeping page state and log in agreement.
 	logger HeapLogger
+
+	// slotPin, when set, vetoes tombstone-slot reuse: Insert will not
+	// place a fresh record into a dead slot the callback reports pinned.
+	// The MVCC layer pins any RID with a live version chain — reusing it
+	// would graft an unrelated row onto the chain.
+	slotPin func(RID) bool
 }
 
 // NewHeapFile creates an empty heap file.
@@ -75,6 +81,13 @@ func (h *HeapFile) SetLogger(lg HeapLogger) {
 
 // log returns the current logger. Callers not already holding h.mu use
 // this; Insert reads h.logger directly under its own lock.
+// SetSlotPin installs (or clears, with nil) the tombstone-reuse veto.
+func (h *HeapFile) SetSlotPin(pin func(RID) bool) {
+	h.mu.Lock()
+	h.slotPin = pin
+	h.mu.Unlock()
+}
+
 func (h *HeapFile) log() HeapLogger {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -150,8 +163,12 @@ func (h *HeapFile) Insert(rec []byte) (RID, error) {
 		if err != nil {
 			return RID{}, false, err
 		}
+		var avoid func(uint16) bool
+		if h.slotPin != nil {
+			avoid = func(slot uint16) bool { return h.slotPin(RID{Page: id, Slot: slot}) }
+		}
 		sp := Slotted(buf)
-		slot, err := sp.Insert(rec)
+		slot, err := sp.InsertAvoiding(rec, avoid)
 		if errors.Is(err, ErrPageFull) {
 			h.freeBytes[i] = sp.ReclaimableSpace()
 			h.pool.Unpin(id, false)
@@ -475,7 +492,15 @@ type HeapScanner struct {
 	recs  [][]byte
 	arena []byte
 	i     int
+	skip  func(RID) bool
 }
+
+// SetSkip installs a visibility filter: records whose RID the callback
+// claims are omitted from the scan. Snapshot reads use it to hide rows
+// with version chains (the chain, not the page, decides what a
+// transaction sees for those RIDs; the caller enumerates the chains
+// separately). Must be called before the first Next/NextPage.
+func (s *HeapScanner) SetSkip(skip func(RID) bool) { s.skip = skip }
 
 // NextPage loads every live record of the next non-empty page in one
 // buffer-pool visit. The returned slices are reused by the following
@@ -499,6 +524,9 @@ func (s *HeapScanner) NextPage() ([]RID, [][]byte, bool, error) {
 		s.rids = s.rids[:0]
 		s.recs = s.recs[:0]
 		Slotted(buf).LiveRecords(func(slot uint16, rec []byte) bool {
+			if s.skip != nil && s.skip(RID{Page: id, Slot: slot}) {
+				return true
+			}
 			off := len(s.arena)
 			s.arena = append(s.arena, rec...)
 			s.rids = append(s.rids, RID{Page: id, Slot: slot})

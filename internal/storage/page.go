@@ -123,12 +123,19 @@ var ErrPageFull = errors.New("storage: page full")
 
 // Insert places rec on the page and returns its slot number.
 func (p SlottedPage) Insert(rec []byte) (uint16, error) {
+	return p.InsertAvoiding(rec, nil)
+}
+
+// InsertAvoiding is Insert with a slot-reuse veto: tombstone slots for
+// which avoid returns true are not reused (their RID is reserved — a
+// version chain still refers to it). A nil avoid admits every slot.
+func (p SlottedPage) InsertAvoiding(rec []byte, avoid func(uint16) bool) (uint16, error) {
 	need := len(rec) + slotSize
 	// Reuse a tombstone slot if one exists (no new slot entry needed).
 	n := p.numSlots()
 	var reuse = n
 	for i := uint16(0); i < n; i++ {
-		if off, _ := p.slotAt(i); off == 0 {
+		if off, _ := p.slotAt(i); off == 0 && (avoid == nil || !avoid(i)) {
 			reuse = i
 			need = len(rec)
 			break
@@ -174,6 +181,11 @@ func (p SlottedPage) InsertAt(i uint16, rec []byte) error {
 	return nil
 }
 
+// ErrSlotGone marks a Get against a tombstoned slot, so callers that
+// legitimately probe for liveness (version-chain reads) can tell "row
+// currently absent" from real storage failures.
+var ErrSlotGone = errors.New("storage: slot deleted")
+
 // Get returns the record stored in slot i. The returned slice aliases
 // the page buffer; callers must copy it if they retain it past unpin.
 func (p SlottedPage) Get(i uint16) ([]byte, error) {
@@ -182,7 +194,7 @@ func (p SlottedPage) Get(i uint16) ([]byte, error) {
 	}
 	off, length := p.slotAt(i)
 	if off == 0 {
-		return nil, fmt.Errorf("storage: slot %d deleted", i)
+		return nil, fmt.Errorf("storage: slot %d: %w", i, ErrSlotGone)
 	}
 	return p.buf[off : off+length], nil
 }

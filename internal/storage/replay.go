@@ -20,8 +20,11 @@ func ReplayHeapInit(pool *BufferPool, page PageID) error {
 }
 
 // ReplayHeapInsert redoes an insert that originally landed in slot. A
-// slot equal to the current slot count re-runs the append path; a lower
-// slot reoccupies the tombstone the original insert reused.
+// lower slot reoccupies the tombstone the original insert reused; a
+// slot equal to the current slot count forces the append path — the
+// original insert may have skipped free tombstones that were pinned by
+// version chains at run time, a fact the log does not carry, so replay
+// must not re-run tombstone-reuse placement.
 func ReplayHeapInsert(pool *BufferPool, page PageID, slot uint16, rec []byte) error {
 	buf, err := pool.Fetch(page, CatData)
 	if err != nil {
@@ -32,7 +35,7 @@ func ReplayHeapInsert(pool *BufferPool, page PageID, slot uint16, rec []byte) er
 		err = sp.InsertAt(slot, rec)
 	} else {
 		var got uint16
-		got, err = sp.Insert(rec)
+		got, err = sp.InsertAvoiding(rec, func(uint16) bool { return true })
 		if err == nil && got != slot {
 			err = fmt.Errorf("storage: replay insert landed in slot %d, logged %d (page %d)", got, slot, page)
 		}

@@ -74,6 +74,11 @@ const (
 	// KCatalog carries a JSON-encoded DDL change (create/drop table or
 	// index, add column).
 	KCatalog
+	// KSavepoint marks a savepoint inside a transaction scope; Data is
+	// the savepoint name. Purely informational for recovery: a partial
+	// rollback appends logical compensations through the same loggers,
+	// so redo needs no special handling.
+	KSavepoint
 )
 
 var kindNames = map[Kind]string{
@@ -84,7 +89,7 @@ var kindNames = map[Kind]string{
 	KHeapUpdate: "heap-update", KBTreeInit: "btree-init",
 	KBTreeInsert: "btree-insert", KBTreeDelete: "btree-delete",
 	KBTreeUpdate: "btree-update", KBTreeImage: "btree-image",
-	KBTreeRoot: "btree-root", KCatalog: "catalog",
+	KBTreeRoot: "btree-root", KCatalog: "catalog", KSavepoint: "savepoint",
 }
 
 func (k Kind) String() string {
@@ -99,7 +104,7 @@ func (k Kind) String() string {
 // and the decoder total.
 type Record struct {
 	Kind  Kind
-	Stmt  uint64 // owning statement, 0 for checkpoints
+	Txn   uint64 // owning transaction (autocommit: statement), 0 for checkpoints
 	Page  storage.PageID
 	Page2 storage.PageID // KBTreeRoot: the new root
 	Slot  uint16
@@ -128,7 +133,7 @@ func (r *Record) Mutates() bool {
 // encode serializes the record payload (everything but the frame).
 func (r *Record) encode(dst []byte) []byte {
 	dst = append(dst, byte(r.Kind), byte(r.Cat))
-	dst = binary.AppendUvarint(dst, r.Stmt)
+	dst = binary.AppendUvarint(dst, r.Txn)
 	dst = binary.AppendUvarint(dst, uint64(r.Page))
 	dst = binary.AppendUvarint(dst, uint64(r.Page2))
 	dst = binary.AppendUvarint(dst, uint64(r.Slot))
@@ -174,7 +179,7 @@ func decodeRecord(p []byte) (*Record, error) {
 	}
 	var v uint64
 	var err error
-	if r.Stmt, err = u(); err != nil {
+	if r.Txn, err = u(); err != nil {
 		return nil, err
 	}
 	if v, err = u(); err != nil {

@@ -4,10 +4,12 @@ import (
 	"repro/internal/storage"
 )
 
-// Scope is one statement's window onto the log. The engine opens a
-// scope per DML or DDL statement, installs its loggers on the tables
-// the statement writes, and closes it with Commit (append the commit
-// record, group-commit sync, run deferred frees) or Abort.
+// Scope is one transaction's window onto the log. The engine opens a
+// scope per autocommit DML/DDL statement or per interactive
+// transaction (at its first write), installs its loggers on the tables
+// being written, and closes it with Commit (append the commit record,
+// group-commit sync, run deferred frees) or Abort. A scope may span
+// many statements; Savepoint drops a named marker between them.
 //
 // The logger adapters append a redo record per page mutation and stamp
 // the page's in-memory pageLSN, which is what ties the buffer pool's
@@ -24,13 +26,20 @@ type Scope struct {
 	deferredCat  []storage.Category
 }
 
-// ID returns the statement's log-assigned ID.
+// ID returns the transaction's log-assigned ID.
 func (s *Scope) ID() uint64 { return s.id }
+
+// Savepoint appends a named savepoint marker. Recovery skips it — the
+// compensations of a partial rollback are logged like any other
+// mutation — but the marker keeps the durable history auditable.
+func (s *Scope) Savepoint(name string) error {
+	return s.append(&Record{Kind: KSavepoint, Data: []byte(name)})
+}
 
 // append logs a record under this statement and stamps the mutated
 // page, if any.
 func (s *Scope) append(r *Record) error {
-	r.Stmt = s.id
+	r.Txn = s.id
 	start, lsn, err := s.l.append(r)
 	if err != nil {
 		return err
@@ -48,17 +57,17 @@ func (s *Scope) append(r *Record) error {
 func (s *Scope) Commit() error {
 	for i, id := range s.deferredFree {
 		if err := s.append(&Record{Kind: KPageFree, Page: id, Cat: s.deferredCat[i]}); err != nil {
-			s.l.endStmt(s.id)
+			s.l.endTxn(s.id)
 			return err
 		}
 	}
-	_, lsn, err := s.l.append(&Record{Kind: KCommit, Stmt: s.id})
+	_, lsn, err := s.l.append(&Record{Kind: KCommit, Txn: s.id})
 	if err != nil {
-		s.l.endStmt(s.id)
+		s.l.endTxn(s.id)
 		return err
 	}
 	err = s.l.Commit(lsn)
-	s.l.endStmt(s.id)
+	s.l.endTxn(s.id)
 	if err != nil {
 		return err
 	}
@@ -74,8 +83,8 @@ func (s *Scope) Commit() error {
 // crashed) and closes the scope. Deferred frees are dropped: the pages
 // stay live, exactly as recovery would leave them.
 func (s *Scope) Abort() {
-	_, _, _ = s.l.append(&Record{Kind: KAbort, Stmt: s.id})
-	s.l.endStmt(s.id)
+	_, _, _ = s.l.append(&Record{Kind: KAbort, Txn: s.id})
+	s.l.endTxn(s.id)
 }
 
 // DeferFree schedules pages for release at commit.

@@ -102,8 +102,8 @@ type Log struct {
 	crashed bool
 	syncing bool
 
-	nextStmt uint64
-	active   map[uint64]LSN // stmt id -> begin-record LSN
+	nextTxn uint64
+	active  map[uint64]LSN // stmt id -> begin-record LSN
 
 	pendingCommits []LSN // commit records awaiting durability
 	bytesSinceCkpt int64
@@ -355,17 +355,20 @@ func (l *Log) Commit(lsn LSN) error {
 	return nil
 }
 
-// Begin opens a statement scope: appends the begin record and registers
-// the statement as active for the no-steal gate.
+// Begin opens a transaction scope (one autocommit statement or one
+// interactive multi-statement transaction): appends the begin record
+// and registers the scope as active for the no-steal gate and for
+// checkpoint truncation (an open scope's records must survive until
+// its terminator is durable).
 func (l *Log) Begin() (*Scope, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
 		return nil, ErrCrashed
 	}
-	l.nextStmt++
-	id := l.nextStmt
-	lsn, err := l.appendLocked(&Record{Kind: KBegin, Stmt: id})
+	l.nextTxn++
+	id := l.nextTxn
+	lsn, err := l.appendLocked(&Record{Kind: KBegin, Txn: id})
 	if err != nil {
 		return nil, err
 	}
@@ -373,7 +376,7 @@ func (l *Log) Begin() (*Scope, error) {
 	return &Scope{l: l, id: id}, nil
 }
 
-func (l *Log) endStmt(id uint64) {
+func (l *Log) endTxn(id uint64) {
 	l.mu.Lock()
 	delete(l.active, id)
 	l.mu.Unlock()

@@ -10,7 +10,7 @@ import (
 )
 
 func rec(kind Kind, stmt uint64) *Record {
-	return &Record{Kind: kind, Stmt: stmt, Page: 7, Slot: 2, Data: []byte("payload")}
+	return &Record{Kind: kind, Txn: stmt, Page: 7, Slot: 2, Data: []byte("payload")}
 }
 
 func TestAppendSyncDurability(t *testing.T) {
@@ -52,7 +52,7 @@ func TestAppendSyncDurability(t *testing.T) {
 		if r.LSN != lsns[i] {
 			t.Fatalf("decoded LSN[%d] = %d, want %d", i, r.LSN, lsns[i])
 		}
-		if r.Kind != KHeapInsert || r.Stmt != 1 || r.Page != 7 || r.Slot != 2 || string(r.Data) != "payload" {
+		if r.Kind != KHeapInsert || r.Txn != 1 || r.Page != 7 || r.Slot != 2 || string(r.Data) != "payload" {
 			t.Fatalf("decoded record mismatch: %+v", r)
 		}
 	}
@@ -167,7 +167,7 @@ func TestGroupCommitBatching(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			lsn, err := l.Append(&Record{Kind: KCommit, Stmt: uint64(i + 1)})
+			lsn, err := l.Append(&Record{Kind: KCommit, Txn: uint64(i + 1)})
 			if err != nil {
 				errs[i] = err
 				return
@@ -200,7 +200,7 @@ func TestGroupCommitBatching(t *testing.T) {
 func TestNoGroupCommitSyncsEveryCommit(t *testing.T) {
 	l := New(Config{NoGroupCommit: true})
 	for i := 0; i < 5; i++ {
-		lsn, err := l.Append(&Record{Kind: KCommit, Stmt: uint64(i + 1)})
+		lsn, err := l.Append(&Record{Kind: KCommit, Txn: uint64(i + 1)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,17 +292,17 @@ func TestCheckpointResetsByteTrigger(t *testing.T) {
 func TestRecordRoundTripAllKinds(t *testing.T) {
 	l := New(Config{})
 	records := []*Record{
-		{Kind: KBegin, Stmt: 9},
-		{Kind: KPageAlloc, Stmt: 9, Page: 4, Cat: storage.CatIndex},
-		{Kind: KHeapNewPage, Stmt: 9, Page: 4, Table: "accounts"},
-		{Kind: KHeapInsertAt, Stmt: 9, Page: 4, Slot: 11, Data: []byte{1, 2, 3}},
-		{Kind: KHeapUpdate, Stmt: 9, Page: 4, Slot: 11, Data: []byte{}},
-		{Kind: KBTreeInsert, Stmt: 9, Page: 5, Key: []byte("k"), RID: storage.RID{Page: 4, Slot: 11}},
-		{Kind: KBTreeImage, Stmt: 9, Page: 5, Data: make([]byte, 256)},
-		{Kind: KBTreeRoot, Stmt: 9, Page: 5, Page2: 6},
-		{Kind: KPageFree, Stmt: 9, Page: 4, Cat: storage.CatData},
-		{Kind: KCatalog, Stmt: 9, Data: []byte(`{"op":"create_table"}`)},
-		{Kind: KCommit, Stmt: 9},
+		{Kind: KBegin, Txn: 9},
+		{Kind: KPageAlloc, Txn: 9, Page: 4, Cat: storage.CatIndex},
+		{Kind: KHeapNewPage, Txn: 9, Page: 4, Table: "accounts"},
+		{Kind: KHeapInsertAt, Txn: 9, Page: 4, Slot: 11, Data: []byte{1, 2, 3}},
+		{Kind: KHeapUpdate, Txn: 9, Page: 4, Slot: 11, Data: []byte{}},
+		{Kind: KBTreeInsert, Txn: 9, Page: 5, Key: []byte("k"), RID: storage.RID{Page: 4, Slot: 11}},
+		{Kind: KBTreeImage, Txn: 9, Page: 5, Data: make([]byte, 256)},
+		{Kind: KBTreeRoot, Txn: 9, Page: 5, Page2: 6},
+		{Kind: KPageFree, Txn: 9, Page: 4, Cat: storage.CatData},
+		{Kind: KCatalog, Txn: 9, Data: []byte(`{"op":"create_table"}`)},
+		{Kind: KCommit, Txn: 9},
 	}
 	for _, r := range records {
 		if _, err := l.Append(r); err != nil {
@@ -318,7 +318,7 @@ func TestRecordRoundTripAllKinds(t *testing.T) {
 	}
 	for i, r := range got {
 		w := records[i]
-		if r.Kind != w.Kind || r.Stmt != w.Stmt || r.Page != w.Page || r.Page2 != w.Page2 ||
+		if r.Kind != w.Kind || r.Txn != w.Txn || r.Page != w.Page || r.Page2 != w.Page2 ||
 			r.Slot != w.Slot || r.Cat != w.Cat || r.RID != w.RID || r.Table != w.Table ||
 			string(r.Key) != string(w.Key) || string(r.Data) != string(w.Data) {
 			t.Fatalf("record %d round trip mismatch:\n got %+v\nwant %+v", i, r, w)
