@@ -246,13 +246,17 @@ func (t *Table) UpdateRowsDeferredTxn(tx *mvcc.Txn, rids []storage.RID, oldRows,
 	return newRIDs, nil
 }
 
-// VisibleVersions enumerates, in RID order, the snapshot-visible bytes
-// of every row that currently has a version chain. Versioned scans
-// combine it with a physical scan that skips chained RIDs: rows
-// without a chain have exactly one version, visible to everyone.
-// The bytes passed to fn are safe to retain.
-func (t *Table) VisibleVersions(tx *mvcc.Txn, fn func(rid storage.RID, rec []byte) error) error {
-	for _, rid := range t.Vers.RIDs() {
+// VisibleVersions enumerates the snapshot-visible bytes of rids — the
+// chained-RID set the statement captured via Vers.RIDs() when its scan
+// began. Versioned scans combine it with a physical scan that skips
+// exactly that set: rows without a chain have one version, visible to
+// everyone. Taking the capture instead of re-reading the store makes
+// the statement immune to concurrent GC (a captured RID whose chain
+// was collected meanwhile resolves to its heap bytes, which is the
+// version such a chain left visible to every live snapshot). The
+// bytes passed to fn are safe to retain.
+func (t *Table) VisibleVersions(tx *mvcc.Txn, rids []storage.RID, fn func(rid storage.RID, rec []byte) error) error {
+	for _, rid := range rids {
 		cur, err := t.Heap.Get(rid)
 		if err != nil && !errors.Is(err, storage.ErrSlotGone) {
 			return err

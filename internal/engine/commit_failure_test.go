@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// dbInt runs a 1x1 query through the DB (autocommit) and returns the
+// value. Reads never touch the WAL, so they work on a crashed log too.
+func dbInt(t *testing.T, db *DB, q string, params ...types.Value) int64 {
+	t.Helper()
+	rows, err := db.Query(q, params...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	if len(rows.Data) != 1 || len(rows.Data[0]) != 1 {
+		t.Fatalf("Query(%q): want 1x1 result, got %dx?", q, len(rows.Data))
+	}
+	return rows.Data[0][0].Int
+}
+
+// TestTxnCommitAppendFailureRollsBack fails the COMMIT record's append
+// while the log stays alive. Durability before visibility: the commit
+// must not be acknowledged, the transaction's writes must not publish,
+// and the session must come out of the transaction usable.
+func TestTxnCommitAppendFailureRollsBack(t *testing.T) {
+	db := newTxnDB(t, Config{}, 4)
+	s, s2 := db.Session(), db.Session()
+	defer s.Close()
+	defer s2.Close()
+
+	sessExec(t, s, "BEGIN")
+	sessExec(t, s, "INSERT INTO acct VALUES (100, 'new', 1)")
+	sessExec(t, s, "UPDATE acct SET bal = 55 WHERE k = 0")
+
+	// The next append is the commit record; a plain (non-crash) error
+	// fails just that append and leaves the log usable.
+	injected := errors.New("injected commit-append failure")
+	var fired atomic.Bool
+	db.WAL().SetFault(func(op wal.FaultOp, seq int64) error {
+		if op == wal.OpAppend && fired.CompareAndSwap(false, true) {
+			return injected
+		}
+		return nil
+	})
+	before := db.Stats()
+	_, err := s.Exec("COMMIT")
+	db.WAL().SetFault(nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("COMMIT error = %v, want wrapped %v", err, injected)
+	}
+	after := db.Stats()
+	if after.TxnCommits != before.TxnCommits {
+		t.Errorf("TxnCommits %d -> %d, want unchanged", before.TxnCommits, after.TxnCommits)
+	}
+	if after.TxnAborts != before.TxnAborts+1 {
+		t.Errorf("TxnAborts %d -> %d, want +1", before.TxnAborts, after.TxnAborts)
+	}
+
+	// Nothing was committed: the other session sees the original state.
+	if got := oneInt(t, s2, "SELECT COUNT(*) FROM acct"); got != 4 {
+		t.Errorf("rows after failed commit: %d, want 4", got)
+	}
+	if got := oneInt(t, s2, "SELECT bal FROM acct WHERE k = 0"); got != 100 {
+		t.Errorf("bal after failed commit: %d, want 100", got)
+	}
+
+	// The session is out of the transaction and fully usable.
+	if s.InTxn() {
+		t.Fatal("session still in a transaction after failed commit")
+	}
+	sessExec(t, s, "BEGIN")
+	sessExec(t, s, "UPDATE acct SET bal = 77 WHERE k = 1")
+	sessExec(t, s, "COMMIT")
+	if got := oneInt(t, s2, "SELECT bal FROM acct WHERE k = 1"); got != 77 {
+		t.Errorf("bal after retry commit: %d, want 77", got)
+	}
+}
+
+// TestTxnCommitSyncFailureRollsBack fails the commit's durability sync,
+// which downs the log. The in-memory state must roll back (unlogged —
+// compensation appends cannot reach a dead log), and recovery from the
+// durable prefix must agree: the transaction left no durable commit
+// record, so it is a loser.
+func TestTxnCommitSyncFailureRollsBack(t *testing.T) {
+	db := newTxnDB(t, Config{}, 4)
+	s, s2 := db.Session(), db.Session()
+	defer s2.Close()
+
+	sessExec(t, s, "BEGIN")
+	sessExec(t, s, "INSERT INTO acct VALUES (100, 'new', 1)")
+	sessExec(t, s, "UPDATE acct SET bal = 55 WHERE k = 0")
+
+	injected := errors.New("injected sync failure")
+	db.WAL().SetFault(func(op wal.FaultOp, seq int64) error {
+		if op == wal.OpSync {
+			return injected
+		}
+		return nil
+	})
+	_, err := s.Exec("COMMIT")
+	db.WAL().SetFault(nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("COMMIT error = %v, want wrapped %v", err, injected)
+	}
+	if !db.WAL().Crashed() {
+		t.Fatal("sync fault should down the log")
+	}
+
+	// In-memory state rolled back despite the dead log.
+	if got := oneInt(t, s2, "SELECT COUNT(*) FROM acct"); got != 4 {
+		t.Errorf("rows after failed commit: %d, want 4", got)
+	}
+	if got := oneInt(t, s2, "SELECT bal FROM acct WHERE k = 0"); got != 100 {
+		t.Errorf("bal after failed commit: %d, want 100", got)
+	}
+
+	// Recovery agrees: no durable commit record, transaction discarded.
+	db2, rep, err := Recover(db.Crash())
+	if err != nil {
+		t.Fatalf("recover: %v (report %+v)", err, rep)
+	}
+	if got := dbInt(t, db2, "SELECT COUNT(*) FROM acct"); got != 4 {
+		t.Errorf("recovered rows: %d, want 4", got)
+	}
+	if got := dbInt(t, db2, "SELECT bal FROM acct WHERE k = 0"); got != 100 {
+		t.Errorf("recovered bal: %d, want 100", got)
+	}
+}
+
+// TestAutocommitCommitSyncFailureRollsBack is the same durability gate
+// on the autocommit path: a statement whose one-statement transaction
+// cannot commit must report the error with zero effect, both in memory
+// and after recovery.
+func TestAutocommitCommitSyncFailureRollsBack(t *testing.T) {
+	db := newTxnDB(t, Config{}, 4)
+
+	injected := errors.New("injected sync failure")
+	db.WAL().SetFault(func(op wal.FaultOp, seq int64) error {
+		if op == wal.OpSync {
+			return injected
+		}
+		return nil
+	})
+	_, err := db.Exec("UPDATE acct SET bal = 1 WHERE k >= 0")
+	db.WAL().SetFault(nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("Exec error = %v, want wrapped %v", err, injected)
+	}
+
+	for k := int64(0); k < 4; k++ {
+		if got := dbInt(t, db, "SELECT bal FROM acct WHERE k = ?", types.NewInt(k)); got != 100 {
+			t.Errorf("k=%d: bal after failed autocommit: %d, want 100", k, got)
+		}
+	}
+
+	db2, rep, err := Recover(db.Crash())
+	if err != nil {
+		t.Fatalf("recover: %v (report %+v)", err, rep)
+	}
+	for k := int64(0); k < 4; k++ {
+		if got := dbInt(t, db2, "SELECT bal FROM acct WHERE k = ?", types.NewInt(k)); got != 100 {
+			t.Errorf("k=%d: recovered bal: %d, want 100", k, got)
+		}
+	}
+}

@@ -409,22 +409,23 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		return Result{}, err
 	}
 	var scope *wal.Scope
+	var tbl *catalog.Table
 	if db.log != nil {
 		scope, err = db.log.Begin()
 		if err != nil {
 			return Result{}, err
 		}
-		t, terr := db.cat.Table(write)
-		if terr != nil {
+		tbl, err = db.cat.Table(write)
+		if err != nil {
 			scope.Abort()
-			return Result{}, terr
+			return Result{}, err
 		}
 		// Install the statement's loggers on the target table (we hold
 		// its write lock) so every page mutation — including undo
 		// compensations on failure — emits a redo record under this
 		// transaction's ID. Cleared before the lock is released.
-		t.SetWAL(scope.HeapLogger(t.Name), scope.TreeLogger())
-		defer t.SetWAL(nil, nil)
+		tbl.SetWAL(scope.HeapLogger(tbl.Name), scope.TreeLogger())
+		defer tbl.SetWAL(nil, nil)
 	}
 	// Begin after the locks are held: a concurrent autocommit writer on
 	// the same table is serialized by the lock, never a false conflict.
@@ -443,7 +444,6 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		}
 		return Result{RowsAffected: n}, err
 	}
-	undo.Discard()
 	var cerr error
 	if scope != nil {
 		// Durability before visibility: the commit record is on the log
@@ -451,11 +451,34 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 		// snapshots that begin afterwards.
 		cerr = scope.Commit()
 	}
+	if cerr != nil {
+		// The commit record is not durable: take the statement back out
+		// (the undo log is still whole) instead of leaving writes in
+		// memory that the client was told failed and that a crash would
+		// silently discard. A torn sync may still have landed the commit
+		// record, in which case recovery resurrects the statement — the
+		// error means "not committed here", the durable log is the final
+		// authority after a crash.
+		if db.log.Crashed() {
+			// Compensation appends would fail every undo step; revert
+			// unlogged. Recovery discards the terminator-less
+			// transaction wholesale, matching the undone state.
+			tbl.SetWAL(nil, nil)
+		}
+		ferr := cerr
+		if failed, rbErr := undo.RollbackTo(0); rbErr != nil {
+			ferr = &exec.RollbackFailedError{Cause: cerr, RB: rbErr, Table: tbl.Name, Failed: failed}
+		}
+		db.noteRollback(ferr)
+		scope.Abort() // best effort; a no-op once the log is down
+		if tx != nil {
+			tx.Abort()
+		}
+		return Result{StmtID: scope.ID()}, ferr
+	}
+	undo.Discard()
 	if tx != nil {
 		tx.Commit()
-	}
-	if cerr != nil {
-		return Result{StmtID: scope.ID()}, cerr
 	}
 	if scope != nil {
 		return Result{RowsAffected: n, StmtID: scope.ID()}, nil

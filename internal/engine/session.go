@@ -197,11 +197,30 @@ func (s *Session) commit() (Result, error) {
 		res.StmtID = s.scope.ID()
 		cerr = s.scope.Commit()
 	}
+	if cerr != nil {
+		// The commit record is not durable, so the writes must not be
+		// published: stamping a commit timestamp would show them as
+		// committed to every later snapshot while the client holds a
+		// commit error — and a crash would then silently discard them.
+		// The undo log is still intact at this point: roll the whole
+		// transaction back and abort its snapshot, so memory matches
+		// what recovery would rebuild. (One ambiguity remains: a torn
+		// sync can land the commit record durably even though Commit
+		// reported failure; recovery then resurrects the transaction.
+		// The error therefore means "not committed here", with the
+		// durable log the final authority after a crash.)
+		rbErr := s.undoLocked(0)
+		s.scope.Abort() // best effort; a no-op once the log is down
+		s.tx.Abort()
+		db.txnAborts.Add(1)
+		s.reset()
+		if rbErr != nil {
+			return res, fmt.Errorf("%w; rollback after failed commit also failed: %v", cerr, rbErr)
+		}
+		return res, fmt.Errorf("%w (transaction rolled back, nothing committed)", cerr)
+	}
 	s.tx.Commit()
 	s.reset()
-	if cerr != nil {
-		return res, cerr
-	}
 	db.txnCommits.Add(1)
 	db.maybeCheckpoint()
 	return res, nil
@@ -406,7 +425,13 @@ func (s *Session) undoLocked(mark int) error {
 		return err
 	}
 	defer unlock()
-	if s.scope != nil {
+	if s.scope != nil && !db.log.Crashed() {
+		// On a live log every compensation is logged under the
+		// transaction so recovery replays the rollback too. Once the log
+		// is down, appends would fail each undo step; the physical undo
+		// then runs unlogged — the durable log holds no terminator, so
+		// recovery discards the transaction wholesale, matching the
+		// undone in-memory state.
 		for _, name := range writes {
 			t, terr := db.cat.Table(name)
 			if terr != nil {

@@ -164,13 +164,21 @@ func runDelete(p *plan.DeletePlan, ctx *Context, tx *mvcc.Txn, undo *catalog.Und
 //
 // Under a transaction, matching follows the snapshot: chained rows are
 // skipped physically and gathered through their visible versions
-// instead. A gathered version that no longer matches the physical row
-// necessarily has an invisible newest writer, so the mutators'
-// first-updater-wins check turns it into a conflict before any byte
-// changes; whenever the check passes, the visible version and the
-// physical row are identical.
+// instead. The chained-RID set is captured once up front — skipping on
+// a live HasChain while enumerating versions afterwards would let a
+// concurrently committing session's GC collect a chain in between,
+// silently dropping that row from the match set. A gathered version
+// that no longer matches the physical row necessarily has an invisible
+// newest writer, so the mutators' first-updater-wins check turns it
+// into a conflict before any byte changes; whenever the check passes,
+// the visible version and the physical row are identical.
 func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, ctx *Context) ([]storage.RID, [][]types.Value, error) {
 	vers := versionedTable(ctx, t)
+	var chains chainSet
+	var chainRIDs []storage.RID
+	if vers {
+		chains, chainRIDs = captureChains(t)
+	}
 	var rids []storage.RID
 	var rows [][]types.Value
 	var scratch []types.Value
@@ -202,7 +210,7 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		}
 		for ; it.Valid(); it.Next() {
 			rid := it.RID()
-			if vers && t.Vers.HasChain(rid) {
+			if vers && chains.has(rid) {
 				continue // gathered through the version chain below
 			}
 			row, _, _, err := t.GetRowInto(scratch, rid, nil)
@@ -218,7 +226,7 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 			return nil, nil, err
 		}
 		if vers {
-			err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+			err := t.VisibleVersions(ctx.Txn, chainRIDs, func(rid storage.RID, rec []byte) error {
 				row, err := decodeFull(t, rec)
 				if err != nil {
 					return err
@@ -236,7 +244,7 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 	}
 	scanner := t.Heap.Scanner()
 	if vers {
-		scanner.SetSkip(t.Vers.HasChain)
+		scanner.SetSkip(chains.has)
 	}
 	want := len(t.Columns)
 	for {
@@ -257,7 +265,7 @@ func gatherMatches(t *catalog.Table, path *plan.AccessPath, filter plan.Scalar, 
 		}
 	}
 	if vers {
-		err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+		err := t.VisibleVersions(ctx.Txn, chainRIDs, func(rid storage.RID, rec []byte) error {
 			row, err := decodeFull(t, rec)
 			if err != nil {
 				return err

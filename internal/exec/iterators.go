@@ -37,9 +37,13 @@ func (it *seqScanIter) Open(ctx *Context) error {
 	it.need = needMask(it.node.Needed, it.want)
 	it.extras = nil
 	if versionedTable(ctx, it.node.Table) {
-		it.scan.SetSkip(it.node.Table.Vers.HasChain)
+		// Captured once: the same RID set is skipped physically and
+		// served from the chains, so concurrent GC cannot hand a row to
+		// both halves of the scan (or neither).
+		set, rids := captureChains(it.node.Table)
+		it.scan.SetSkip(set.has)
 		var err error
-		it.extras, err = versionedRecs(ctx, it.node.Table)
+		it.extras, err = versionedRecs(ctx, it.node.Table, rids)
 		if err != nil {
 			return err
 		}
@@ -169,6 +173,7 @@ type indexScanIter struct {
 	it     *btree.Iterator
 	done   bool
 	vers   bool
+	chains chainSet        // chained RIDs captured at Open
 	extras [][]types.Value // visible versions of chained rows in range
 	ei     int
 	want   int
@@ -195,11 +200,17 @@ func (it *indexScanIter) Open(ctx *Context) error {
 		return nil
 	}
 	it.vers = versionedTable(ctx, it.node.Table)
+	it.chains = nil
 	if it.vers {
 		// A chained row's visible version may carry a different key than
 		// its index entries, so the index is bypassed for those rows:
 		// every visible version is checked against [lo, hi) directly.
-		it.extras, err = versionedRowsInRange(ctx, it.node.Table, &it.node.Path, lo, hi)
+		// The chained-RID set is captured once so concurrent GC cannot
+		// flip a RID back to the physical path after its version was
+		// already gathered here.
+		var rids []storage.RID
+		it.chains, rids = captureChains(it.node.Table)
+		it.extras, err = versionedRowsInRange(ctx, it.node.Table, &it.node.Path, lo, hi, rids)
 		if err != nil {
 			return err
 		}
@@ -244,7 +255,7 @@ func (it *indexScanIter) NextBatch() (*Batch, error) {
 		for len(it.rids) < BatchSize && it.it.Valid() {
 			rid := it.it.RID()
 			it.it.Next()
-			if it.vers && it.node.Table.Vers.HasChain(rid) {
+			if it.vers && it.chains.has(rid) {
 				continue // resolved through the version chain instead
 			}
 			it.rids = append(it.rids, rid)
@@ -688,6 +699,7 @@ type indexNLJoinIter struct {
 	haveRow bool
 	inner   *btree.Iterator
 	vers    bool
+	chains  chainSet        // chained inner RIDs captured per probe
 	extras  [][]types.Value // visible versions of chained inner rows in range
 	ei      int
 	matched bool
@@ -732,11 +744,16 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 				return nil, err
 			}
 			it.extras, it.ei = nil, 0
+			it.chains = nil
 			if it.vers {
 				// Chained inner rows join through their visible versions,
 				// range-checked against [lo, hi) directly (their index
-				// entries reflect newer keys, or none).
-				it.extras, err = versionedRowsInRange(it.ctx, it.node.Inner, &it.node.Path, lo, hi)
+				// entries reflect newer keys, or none). The chained-RID
+				// set is captured per probe so concurrent GC cannot serve
+				// a row both physically and through its chain.
+				var rids []storage.RID
+				it.chains, rids = captureChains(it.node.Inner)
+				it.extras, err = versionedRowsInRange(it.ctx, it.node.Inner, &it.node.Path, lo, hi, rids)
 				if err != nil {
 					return nil, err
 				}
@@ -746,7 +763,7 @@ func (it *indexNLJoinIter) Next() ([]types.Value, error) {
 		for it.inner != nil && it.inner.Valid() {
 			rid := it.inner.RID()
 			it.inner.Next()
-			if it.vers && it.node.Inner.Vers.HasChain(rid) {
+			if it.vers && it.chains.has(rid) {
 				continue // resolved through the version chain instead
 			}
 			// FETCH with partial decode into a reused buffer; combine()

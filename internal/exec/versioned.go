@@ -32,6 +32,37 @@ func versionedTable(ctx *Context, t *catalog.Table) bool {
 	return ctx != nil && ctx.Txn != nil && t.Vers != nil && t.Vers.HasVersions()
 }
 
+// chainSet is the set of RIDs that had a version chain when a
+// statement's scan began. A statement must capture it ONCE and use it
+// both to skip physical rows and as the domain of its version
+// enumeration: the version store's GC runs from concurrently
+// committing sessions without the table lock, so a live HasChain
+// probe can flip mid-scan — a chain collected between the enumeration
+// and the page visit would return the row twice (or, probed in the
+// other order, not at all). With one captured set the two halves of
+// the scan partition the table exactly, whatever GC does meanwhile:
+// a captured RID whose chain has since been collected resolves to its
+// heap bytes, which is precisely the version a collectable chain left
+// visible to every live snapshot.
+type chainSet map[storage.RID]struct{}
+
+func (cs chainSet) has(rid storage.RID) bool {
+	_, ok := cs[rid]
+	return ok
+}
+
+// captureChains snapshots t's chained RIDs: the membership set (the
+// scan's skip predicate) and the ordered slice (the enumeration
+// domain for VisibleVersions).
+func captureChains(t *catalog.Table) (chainSet, []storage.RID) {
+	rids := t.Vers.RIDs()
+	set := make(chainSet, len(rids))
+	for _, rid := range rids {
+		set[rid] = struct{}{}
+	}
+	return set, rids
+}
+
 // inKeyRange replicates the B+tree SeekRange criterion lo <= key < hi
 // (nil bounds are open) for a key not present in the tree.
 func inKeyRange(key, lo, hi []byte) bool {
@@ -50,11 +81,12 @@ type extraRec struct {
 	rec []byte
 }
 
-// versionedRecs returns the visible bytes of every chained RID of t,
-// in RID order. The bytes are safe to retain until the statement ends.
-func versionedRecs(ctx *Context, t *catalog.Table) ([]extraRec, error) {
+// versionedRecs returns the visible bytes of the captured chained RIDs
+// of t, in RID order. The bytes are safe to retain until the statement
+// ends.
+func versionedRecs(ctx *Context, t *catalog.Table, rids []storage.RID) ([]extraRec, error) {
 	var out []extraRec
-	err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+	err := t.VisibleVersions(ctx.Txn, rids, func(rid storage.RID, rec []byte) error {
 		out = append(out, extraRec{rid: rid, rec: rec})
 		return nil
 	})
@@ -74,10 +106,11 @@ func decodeFull(t *catalog.Table, rec []byte) ([]types.Value, error) {
 }
 
 // versionedRowsInRange returns the decoded visible version of every
-// chained RID whose index key falls in [lo, hi) under path's index.
-func versionedRowsInRange(ctx *Context, t *catalog.Table, path *plan.AccessPath, lo, hi []byte) ([][]types.Value, error) {
+// captured chained RID whose index key falls in [lo, hi) under path's
+// index.
+func versionedRowsInRange(ctx *Context, t *catalog.Table, path *plan.AccessPath, lo, hi []byte, rids []storage.RID) ([][]types.Value, error) {
 	var out [][]types.Value
-	err := t.VisibleVersions(ctx.Txn, func(rid storage.RID, rec []byte) error {
+	err := t.VisibleVersions(ctx.Txn, rids, func(rid storage.RID, rec []byte) error {
 		row, err := decodeFull(t, rec)
 		if err != nil {
 			return err

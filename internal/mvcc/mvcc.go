@@ -158,12 +158,9 @@ func (t *Txn) Visible(w *Txn) bool {
 // settled by the caller: stamping makes the writes visible.
 func (t *Txn) Commit() { t.mgr.finish(t, false) }
 
-// MarkAborted flags the transaction aborted without deregistering it.
-// Call it before undoing the transaction's writes: from this moment
-// every version entry it wrote is invisible to all readers, and rows
-// it touched stay write-conflict-blocked until the undo pops them.
-func (t *Txn) MarkAborted() { t.word.Store(abortedWord) }
-
-// Abort marks the transaction aborted (if not already), deregisters
-// it, and sweeps version garbage.
+// Abort marks the transaction aborted, deregisters it, and sweeps
+// version garbage. The caller must have finished undoing the
+// transaction's writes first: marking makes its remaining chain
+// entries GC-eligible, so a not-yet-undone row could lose the chain
+// that redirects readers away from its pre-undo page bytes.
 func (t *Txn) Abort() { t.mgr.finish(t, true) }

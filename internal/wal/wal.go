@@ -425,6 +425,16 @@ func (l *Log) TruncateTo(lsn LSN) {
 	l.base = lsn
 }
 
+// Crashed reports whether the log is down (explicit Crash or a fault
+// verdict). The engine checks it before logging rollback compensations:
+// on a dead log the physical undo still runs, unlogged — recovery will
+// classify the transaction by the durable records alone.
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
 // Crash drops the volatile tail and fails every subsequent operation,
 // modeling power loss. The durable prefix survives for recovery.
 func (l *Log) Crash() {
