@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn check
+.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke check
 
 all: check
 
@@ -49,9 +49,14 @@ bench-wide:
 bench-recovery:
 	$(GO) run ./cmd/mtdbench -recovery -json-out BENCH_4.json
 
-# Regenerate BENCH_5.json (interactive transactions: commits/sec and
-# conflict-abort rate vs session count).
+# Regenerate BENCH_5.json (interactive transactions: commits/sec,
+# conflict-abort rate, and p50/p99 commit latency vs session count).
 bench-txn:
 	$(GO) run ./cmd/mtdbench -txn -json-out BENCH_5.json
+
+# Reduced -txn sweep (CI regression canary): exercises the full
+# bench path in seconds and writes its JSON to the system temp dir.
+bench-txn-smoke:
+	$(GO) run ./cmd/mtdbench -txn -txn-smoke
 
 check: build vet test race race-bench bench-smoke

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -44,6 +45,7 @@ func main() {
 		widebench = flag.Bool("widebench", false, "run the batch-execution/column-pruning benchmark and §6.2 Q2 sweep")
 		recovery  = flag.Bool("recovery", false, "run the WAL/recovery benchmark (commit latency with and without group commit, recovery time vs checkpoint interval)")
 		txnBench  = flag.Bool("txn", false, "run the interactive-transaction benchmark (commits/sec and conflict-abort rate vs session count)")
+		txnSmoke  = flag.Bool("txn-smoke", false, "with -txn, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
@@ -72,9 +74,13 @@ func main() {
 	if *txnBench {
 		out := *jsonOut
 		if out == "" {
-			out = "BENCH_5.json"
+			if *txnSmoke {
+				out = filepath.Join(os.TempDir(), "BENCH_5_smoke.json")
+			} else {
+				out = "BENCH_5.json"
+			}
 		}
-		runTxnBench(out)
+		runTxnBench(out, *txnSmoke)
 		return
 	}
 

@@ -63,6 +63,35 @@ type Config struct {
 	// much log has accumulated since the last one. 0 means the default
 	// (4 MiB); negative disables automatic checkpoints.
 	CheckpointBytes int64
+	// ConflictWait bounds how long a session DML statement parks for a
+	// conflicting write holder to commit or roll back before the
+	// statement aborts (bounded wait-then-abort). 0 means the default
+	// (2ms); negative disables waiting entirely — classic insta-abort
+	// first-updater-wins.
+	ConflictWait time.Duration
+}
+
+// defaultConflictWait is the bounded wait-then-abort deadline when
+// Config.ConflictWait is zero.
+const defaultConflictWait = 2 * time.Millisecond
+
+// admissionWaitFactor scales the row-conflict wait deadline up to the
+// write-admission deadline: admission is a transaction-scoped courtesy
+// queue, so it affords a longer (but still bounded) park than the
+// per-statement row wait.
+const admissionWaitFactor = 10
+
+// resolveConflictWait maps the Config encoding (0 default, negative
+// disabled) to the internal one (0 disabled). Config itself is never
+// mutated: Recover re-resolves the original value.
+func resolveConflictWait(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return defaultConflictWait
+	case d < 0:
+		return 0
+	}
+	return d
 }
 
 // Result reports the outcome of a non-query statement.
@@ -89,6 +118,30 @@ type DB struct {
 	plans   *planCache    // nil when caching is disabled
 	log     *wal.Log      // nil when WAL is disabled
 	txns    *mvcc.Manager // transaction registry and commit clock
+
+	// conflictWait is the resolved bounded wait-then-abort deadline
+	// (0 = waiting disabled); admissionWait is the write-admission
+	// deadline derived from it (admissionWaitFactor ×).
+	conflictWait  time.Duration
+	admissionWait time.Duration
+
+	// gates holds the per-table soft write-admission gates, created on
+	// first use and keyed by lowercased table name. A gate outliving its
+	// table (DROP) is harmless: it is scheduling state only.
+	gateMu sync.Mutex
+	gates  map[string]*writeGate
+
+	// admissionWaits/admissionWaitNanos count transactions that parked
+	// at a write-admission gate and their total parked time;
+	// admissionTimeouts count parks that expired into forced admission.
+	admissionWaits     atomic.Int64
+	admissionWaitNanos atomic.Int64
+	admissionTimeouts  atomic.Int64
+
+	// lockWaits/lockWaitNanos count table-latch acquisitions that had
+	// to block and their total blocked time.
+	lockWaits     atomic.Int64
+	lockWaitNanos atomic.Int64
 
 	// recoveries and replayedRecs carry recovery lineage: how many times
 	// this database has been rebuilt from its log, and how many redo
@@ -157,15 +210,19 @@ func Open(cfg Config) *DB {
 		log.AttachPool(pool)
 		pool.SetWALGate(log)
 	}
+	cw := resolveConflictWait(cfg.ConflictWait)
 	return &DB{
-		cfg:     cfg,
-		disk:    disk,
-		pool:    pool,
-		cat:     cat,
-		planner: plan.New(cat, cfg.Optimizer),
-		plans:   plans,
-		log:     log,
-		txns:    txns,
+		cfg:           cfg,
+		disk:          disk,
+		pool:          pool,
+		cat:           cat,
+		planner:       plan.New(cat, cfg.Optimizer),
+		plans:         plans,
+		log:           log,
+		txns:          txns,
+		conflictWait:  cw,
+		admissionWait: cw * admissionWaitFactor,
+		gates:         make(map[string]*writeGate),
 	}
 }
 
@@ -645,11 +702,23 @@ func (db *DB) lockTablesMulti(reads, writes []string) (func(), error) {
 			}
 			return nil, err
 		}
+		// Try the fast path first so the uncontended case costs nothing;
+		// only a blocked acquisition pays for a clock read and counters.
 		if req.write {
-			t.Mu.Lock()
+			if !t.Mu.TryLock() {
+				start := time.Now()
+				t.Mu.Lock()
+				db.lockWaits.Add(1)
+				db.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+			}
 			locked = append(locked, t.Mu.Unlock)
 		} else {
-			t.Mu.RLock()
+			if !t.Mu.TryRLock() {
+				start := time.Now()
+				t.Mu.RLock()
+				db.lockWaits.Add(1)
+				db.lockWaitNanos.Add(time.Since(start).Nanoseconds())
+			}
 			locked = append(locked, t.Mu.RUnlock)
 		}
 	}
@@ -658,6 +727,49 @@ func (db *DB) lockTablesMulti(reads, writes []string) (func(), error) {
 			locked[i]()
 		}
 	}, nil
+}
+
+// writeGate is a soft per-table write-admission token. A session
+// transaction takes the token at its first write to the table and
+// returns it when the transaction ends, so under write contention
+// transactions queue politely instead of interleaving their statements
+// and colliding under first-updater-wins. The gate is scheduling state
+// ONLY — it never changes what can commit: a transaction that cannot
+// get the token within the bounded deadline is admitted anyway (forced
+// admission) and proceeds to the ordinary conflict machinery. That
+// keeps single-threaded interleavings (one client juggling several
+// sessions) live, and makes the gate trivially deadlock-free: no
+// waiter waits forever, and token holders never wait on gates they
+// already hold.
+type writeGate struct {
+	tok chan struct{} // capacity 1, pre-filled: the admission token
+}
+
+func newWriteGate() *writeGate {
+	g := &writeGate{tok: make(chan struct{}, 1)}
+	g.tok <- struct{}{}
+	return g
+}
+
+// release returns the token. Non-blocking send keeps the capacity-1
+// invariant: only an acquire that reported held releases.
+func (g *writeGate) release() {
+	select {
+	case g.tok <- struct{}{}:
+	default:
+	}
+}
+
+// gateFor returns (creating if needed) the admission gate for a table.
+func (db *DB) gateFor(lower string) *writeGate {
+	db.gateMu.Lock()
+	g := db.gates[lower]
+	if g == nil {
+		g = newWriteGate()
+		db.gates[lower] = g
+	}
+	db.gateMu.Unlock()
+	return g
 }
 
 // collectReadTables lists the base tables a SELECT touches, including
@@ -738,6 +850,37 @@ type Stats struct {
 	TxnCommits   int64
 	TxnAborts    int64
 	TxnConflicts int64
+	// Contention telemetry. LockWaits/LockWaitNanos count table-latch
+	// acquisitions that blocked and their total blocked time. RowWaits/
+	// RowWaitNanos count DML statements that parked in bounded
+	// wait-then-abort and their total parked time; RowWaitTimeouts are
+	// waits that expired into a conflict abort, RowWaitRescues waits
+	// that cleared and let the write proceed. ImmediateConflicts are
+	// first-updater-wins conflicts no wait could change (the holder
+	// committed too new or holds a reserved commit timestamp) or that
+	// arrived with waiting disabled.
+	// AdmissionWaits/AdmissionWaitNanos count transactions that parked at
+	// a per-table write-admission gate and their total parked time;
+	// AdmissionTimeouts count parks that expired into forced admission
+	// (the gate is scheduling only — a timed-out transaction proceeds).
+	LockWaits          int64
+	LockWaitNanos      int64
+	AdmissionWaits     int64
+	AdmissionWaitNanos int64
+	AdmissionTimeouts  int64
+	RowWaits           int64
+	RowWaitNanos       int64
+	RowWaitTimeouts    int64
+	RowWaitRescues     int64
+	ImmediateConflicts int64
+	// Commit-pipeline telemetry: current and high-water number of
+	// reserved commits awaiting publication, publication rounds, and
+	// commits published (PublishedTxns / PublishBatches is the mean
+	// pipeline batch size).
+	CommitPipelineDepth int64
+	CommitPipelineMax   int64
+	PublishBatches      int64
+	PublishedTxns       int64
 	// Exec carries executor counters: rows and batches produced by
 	// base-table scans, and column values decoded vs skipped by column
 	// pruning (the decode savings of narrow queries over wide tables).
@@ -771,6 +914,21 @@ func (db *DB) Stats() Stats {
 		Recoveries:           db.recoveries,
 		RecoveryReplayed:     db.replayedRecs,
 	}
+	c := db.txns.Contention()
+	s.LockWaits = db.lockWaits.Load()
+	s.LockWaitNanos = db.lockWaitNanos.Load()
+	s.AdmissionWaits = db.admissionWaits.Load()
+	s.AdmissionWaitNanos = db.admissionWaitNanos.Load()
+	s.AdmissionTimeouts = db.admissionTimeouts.Load()
+	s.RowWaits = c.RowWaits
+	s.RowWaitNanos = c.RowWaitNanos
+	s.RowWaitTimeouts = c.RowWaitTimeouts
+	s.RowWaitRescues = c.RowWaitRescues
+	s.ImmediateConflicts = c.ImmediateConflicts
+	s.CommitPipelineDepth = c.PipelineDepth
+	s.CommitPipelineMax = c.PipelineMax
+	s.PublishBatches = c.PublishBatches
+	s.PublishedTxns = c.PublishedTxns
 	if db.log != nil {
 		s.WAL = db.log.Stats()
 	}

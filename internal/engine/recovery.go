@@ -35,9 +35,21 @@ import (
 // survive an abort: a B+tree split or a heap page added while backfilling
 // stays in place even though the rows were compensated away, and later
 // committed records depend on that structure. Losers cannot be depended
-// on the same way — a loser held its tables' write locks statement by
-// statement, and the no-steal gate kept every page it dirtied out of the
-// disk image, so nothing durable follows it on the same pages.
+// on the same way — even under fine-grained conflict control, a session
+// applies each statement's physical writes while holding the table's
+// exclusive latch, so a loser's records for a table form contiguous
+// statement-sized runs exactly as under whole-statement write locks,
+// and the no-steal gate kept every page it dirtied out of the disk
+// image: nothing durable follows it on the same pages. The conflict
+// machinery around the latch — bounded waits on version chains, the
+// reserve/publish commit pipeline — is volatile mvcc state the log
+// never records: a reserved-but-unpublished commit either has a durable
+// KCommit (it replays committed) or not (it is a loser and is skipped),
+// and publication order only ever gated in-memory visibility, which
+// every crash discards wholesale. Durability-before-visibility still
+// holds because a timestamp publishes only after the commit record's
+// group sync returns; commit timestamps themselves are rebuilt fresh by
+// the new Manager.
 
 // RecoverReport summarizes what recovery found and did.
 type RecoverReport struct {
@@ -265,16 +277,19 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		plans = newPlanCache(cfg.PlanCacheSize)
 	}
 	db := &DB{
-		cfg:          cfg,
-		disk:         img.Disk,
-		pool:         pool,
-		cat:          cat,
-		planner:      plan.New(cat, cfg.Optimizer),
-		plans:        plans,
-		log:          img.Log,
-		txns:         txns,
-		recoveries:   img.recoveries + 1,
-		replayedRecs: img.replayedRecs + int64(rep.Replayed),
+		cfg:           cfg,
+		disk:          img.Disk,
+		pool:          pool,
+		cat:           cat,
+		planner:       plan.New(cat, cfg.Optimizer),
+		plans:         plans,
+		log:           img.Log,
+		txns:          txns,
+		conflictWait:  resolveConflictWait(cfg.ConflictWait),
+		admissionWait: resolveConflictWait(cfg.ConflictWait) * admissionWaitFactor,
+		gates:         make(map[string]*writeGate),
+		recoveries:    img.recoveries + 1,
+		replayedRecs:  img.replayedRecs + int64(rep.Replayed),
 	}
 	return db, rep, nil
 }

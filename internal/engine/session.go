@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -48,6 +49,12 @@ type Session struct {
 	saves   []savepoint
 	written map[string]string // lowercased -> original table name
 	aborted bool              // conflict rolled the transaction back
+
+	// gates records the write-admission gates this transaction passed,
+	// by lowercased table name: a non-nil value is a held token to
+	// release at transaction end, nil marks a forced admission (tried,
+	// not held — never re-queued this transaction).
+	gates map[string]*writeGate
 }
 
 type savepoint struct {
@@ -168,7 +175,7 @@ func (s *Session) begin() (Result, error) {
 	// gate checks the registry under the exclusive side, so a BEGIN
 	// either completes before the DDL looks, or waits until it is done.
 	db.ddlMu.RLock()
-	s.tx = db.txns.Begin()
+	s.tx = db.txns.BeginLazy()
 	db.ddlMu.RUnlock()
 	db.txnBegins.Add(1)
 	s.undo = &catalog.UndoLog{}
@@ -191,13 +198,23 @@ func (s *Session) commit() (Result, error) {
 	var res Result
 	var cerr error
 	if s.scope != nil {
-		// Durability before visibility: the commit record reaches the
-		// log before the commit timestamp exposes the writes to
-		// snapshots that begin afterwards.
+		// Durability before visibility, pipelined: reserve the commit
+		// timestamp first — a counter increment, fixing this commit's
+		// order relative to every other — then run the log sync outside
+		// the clock's critical section. Concurrent committers reserve
+		// their own timestamps and append behind us while our sync is in
+		// flight, and one shared group-commit fsync publishes the whole
+		// batch in reservation order. The writes stay invisible (the
+		// reserved timestamp is unpublished) until MarkDurable below.
 		res.StmtID = s.scope.ID()
+		db.txns.ReserveCommit(s.tx)
 		cerr = s.scope.Commit()
 	}
 	if cerr != nil {
+		// Withdraw the reservation before undoing: waiters must go back
+		// to treating this transaction as an aborting holder, and the
+		// pipeline behind it must not stall on our dead slot.
+		db.txns.ResolveAbort(s.tx)
 		// The commit record is not durable, so the writes must not be
 		// published: stamping a commit timestamp would show them as
 		// committed to every later snapshot while the client holds a
@@ -219,7 +236,16 @@ func (s *Session) commit() (Result, error) {
 		}
 		return res, fmt.Errorf("%w (transaction rolled back, nothing committed)", cerr)
 	}
-	s.tx.Commit()
+	if s.scope != nil {
+		// The commit record is durable; publish the timestamp (in
+		// reservation order — this may briefly wait for an earlier
+		// reservation whose sync is still in flight).
+		db.txns.MarkDurable(s.tx)
+	} else {
+		// Read-only or WAL-less transaction: nothing was synced, commit
+		// synchronously.
+		s.tx.Commit()
+	}
 	s.reset()
 	db.txnCommits.Add(1)
 	db.maybeCheckpoint()
@@ -310,39 +336,110 @@ func (s *Session) dml(st sql.Statement, key string, params []types.Value) (Resul
 	return res, err
 }
 
+// dmlLocked runs one DML statement in three phases so sessions on the
+// same table block each other only for the physical apply, never for
+// the gather or the conflict wait:
+//
+//  1. Gather under SHARED latches on every table the statement touches
+//     (including the write target): plan, evaluate expressions, and
+//     collect the snapshot-visible match set without mutating anything.
+//  2. Bounded wait-then-abort on the write set, holding NO table
+//     latch: park until conflicting holders resolve or the deadline
+//     expires.
+//  3. Apply under the write table's EXCLUSIVE latch: the mutators'
+//     first-updater-wins checks re-run here, catching any holder that
+//     slipped in after phase 2; a failed apply replays the statement's
+//     undo suffix before the latch drops.
+//
+// Two scheduling steps precede the phases. First, the transaction's
+// FIRST write to a table passes the table's soft admission gate
+// (bounded park for the token, forced admission on timeout) so
+// contending writers queue whole transactions instead of interleaving
+// statements. Second, the transaction's snapshot is pinned (lazily, at
+// its first observation — see mvcc.Manager.Pin): a transaction that
+// just waited its turn at the gate thereby starts from a snapshot that
+// includes the previous holder's commit instead of conflicting with it.
+//
+// Deadlock freedom: phase 1 acquires only shared latches in the global
+// sorted order; phase 3 holds exactly one exclusive latch and acquires
+// nothing else while holding it; the phase-2 wait holds no latch and
+// is bounded. The bound also breaks the one cross-lock cycle left: a
+// waiter holds ddlMu shared, a pending checkpoint (ddlMu exclusive)
+// queues behind it and can block the holder's rollback relock — the
+// timeout unwinds the waiter and the system drains.
 func (s *Session) dmlLocked(st sql.Statement, key string, params []types.Value) (Result, error) {
 	db := s.db
 	write, reads, err := dmlLockSets(st)
 	if err != nil {
 		return Result{}, err
 	}
+	// Admission before ddlMu so a parked waiter never delays DDL, and
+	// before the pin so the snapshot postdates the previous holder.
+	s.admitWrite(write)
+	db.txns.Pin(s.tx)
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
-	unlock, err := db.lockTables(reads, write)
+
+	// Phase 1: gather. The write target is latched shared like the
+	// reads — nothing is mutated yet.
+	unlock, err := db.lockTablesMulti(append(append([]string(nil), reads...), write), nil)
 	if err != nil {
 		return Result{}, err
 	}
-	defer unlock()
 	p, err := db.planFor(key, st)
 	if err != nil {
+		unlock()
 		return Result{}, err
 	}
+	pd, err := exec.PrepareDML(p, params, &db.execStats, s.tx)
+	unlock()
+	if err != nil {
+		// Nothing was applied; the failed statement still counts as a
+		// (trivially clean) statement rollback, as it always has.
+		db.noteRollback(err)
+		return Result{}, err
+	}
+
+	// Phase 2: clear the write set, parking on holders that may still
+	// release it (first-updater-wins with bounded wait-then-abort).
+	t := pd.Table()
+	if ws := pd.WriteSet(); len(ws) > 0 {
+		if werr := t.Vers.WaitCheckWrites(s.tx, ws, db.conflictWait); werr != nil {
+			werr = fmt.Errorf("engine: update %s: %w", t.Name, werr)
+			db.noteRollback(werr)
+			return Result{}, werr
+		}
+	}
+
 	if err := s.ensureScope(); err != nil {
 		return Result{}, err
 	}
-	if s.scope != nil {
-		t, terr := db.cat.Table(write)
-		if terr != nil {
-			return Result{}, terr
-		}
-		t.SetWAL(s.scope.HeapLogger(t.Name), s.scope.TreeLogger())
-		defer t.SetWAL(nil, nil)
-	}
-	// Record the target before running: even a failed statement may
+	// Record the target before applying: even a failed statement may
 	// need this table relocked if the rollback of an earlier statement's
 	// writes comes due, and a superset relock is harmless.
 	s.written[strings.ToLower(write)] = write
-	n, err := exec.RunDMLTx(p, params, &db.execStats, s.tx, s.undo)
+
+	// Phase 3: apply. The exclusive latch spans the statement's whole
+	// physical application — heap, indexes, WAL appends — so its log
+	// records stay contiguous per table exactly as under the old
+	// whole-statement write lock, and the in-latch undo replay on error
+	// keeps statement atomicity without other appliers interleaving.
+	t.Mu.Lock()
+	if s.scope != nil {
+		t.SetWAL(s.scope.HeapLogger(t.Name), s.scope.TreeLogger())
+	}
+	mark := s.undo.Mark()
+	n, err := exec.ApplyDML(pd, s.tx, s.undo)
+	if err != nil {
+		if failed, rbErr := s.undo.RollbackTo(mark); rbErr != nil {
+			err = &exec.RollbackFailedError{Cause: err, RB: rbErr, Table: t.Name, Failed: failed}
+		}
+		n = 0
+	}
+	if s.scope != nil {
+		t.SetWAL(nil, nil)
+	}
+	t.Mu.Unlock()
 	if err != nil {
 		// The statement's own suffix of the undo log was replayed; the
 		// transaction's earlier statements stand.
@@ -356,8 +453,51 @@ func (s *Session) dmlLocked(st sql.Statement, key string, params []types.Value) 
 	return res, nil
 }
 
+// admitWrite passes the transaction through table's soft admission
+// gate at its first write to that table; later writes to the same
+// table (held or forced) go straight through. Scheduling only — see
+// writeGate.
+func (s *Session) admitWrite(table string) {
+	k := strings.ToLower(table)
+	if _, tried := s.gates[k]; tried {
+		return
+	}
+	db := s.db
+	g := db.gateFor(k)
+	held := false
+	select {
+	case <-g.tok:
+		held = true
+	default:
+		if db.admissionWait > 0 {
+			// Counted at park start so concurrent observers (stats
+			// readers, tests) see the park while it is happening.
+			db.admissionWaits.Add(1)
+			start := time.Now()
+			timer := time.NewTimer(db.admissionWait)
+			select {
+			case <-g.tok:
+				held = true
+			case <-timer.C:
+				db.admissionTimeouts.Add(1)
+			}
+			timer.Stop()
+			db.admissionWaitNanos.Add(time.Since(start).Nanoseconds())
+		}
+	}
+	if s.gates == nil {
+		s.gates = make(map[string]*writeGate)
+	}
+	if held {
+		s.gates[k] = g
+	} else {
+		s.gates[k] = nil
+	}
+}
+
 func (s *Session) querySelect(sel *sql.SelectStmt, key string, params []types.Value) (*Rows, error) {
 	db := s.db
+	db.txns.Pin(s.tx)
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
 	unlock, err := db.lockTables(collectReadTables(sel, nil), "")
@@ -378,6 +518,7 @@ func (s *Session) querySelect(sel *sql.SelectStmt, key string, params []types.Va
 
 func (s *Session) drainSelect(sel *sql.SelectStmt, key string, params []types.Value) (int64, error) {
 	db := s.db
+	db.txns.Pin(s.tx)
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
 	unlock, err := db.lockTables(collectReadTables(sel, nil), "")
@@ -460,8 +601,17 @@ func (s *Session) rollbackAll() error {
 	return rbErr
 }
 
-// reset clears the per-transaction state.
+// reset clears the per-transaction state. Held admission tokens are
+// released HERE — after the commit published or the rollback finished —
+// so the next admitted transaction's pinned snapshot sees this one's
+// outcome.
 func (s *Session) reset() {
+	for _, g := range s.gates {
+		if g != nil {
+			g.release()
+		}
+	}
+	s.gates = nil
 	s.tx = nil
 	s.scope = nil
 	s.undo = nil

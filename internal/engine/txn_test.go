@@ -569,10 +569,15 @@ func TestTxnPreparedThroughSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Prepared DML on the DB handle autocommits even while another
-	// session holds a snapshot.
+	// session holds a snapshot. The snapshot is pinned lazily at the
+	// session's first statement, so read something before the prepared
+	// write lands.
 	r := db.Session()
 	defer r.Close()
 	sessExec(t, r, "BEGIN")
+	if got := oneInt(t, r, "SELECT bal FROM acct WHERE k = 1"); got != 100 {
+		t.Fatalf("pinning read: bal(1)=%d, want 100", got)
+	}
 	if _, err := st.Exec(types.NewInt(5), types.NewInt(0)); err != nil {
 		t.Fatalf("prepared autocommit exec: %v", err)
 	}

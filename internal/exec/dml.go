@@ -58,33 +58,24 @@ func RunDMLStats(n plan.Node, params []types.Value, st *Stats) (int64, error) {
 // transaction stays usable. On success the statement's entries remain
 // in the log for a later full-transaction rollback; the caller owns
 // their lifecycle (Discard after an autocommit success).
+//
+// RunDMLTx runs gather and apply back to back, which is correct under
+// a whole-statement exclusive table lock (the autocommit path). The
+// session path instead calls PrepareDML under shared latches, runs the
+// bounded conflict wait latch-free, and ApplyDML under the exclusive
+// latch — same two halves, pulled apart.
 func RunDMLTx(n plan.Node, params []types.Value, st *Stats, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
-	bindSubqueries(n, tx)
-	ctx := &Context{Params: params, Stats: st, Txn: tx}
-	mark := undo.Mark()
-	var (
-		count int64
-		err   error
-		table *catalog.Table
-	)
-	switch n := n.(type) {
-	case *plan.InsertPlan:
-		table = n.Table
-		count, err = runInsert(n, ctx, tx, undo)
-	case *plan.UpdatePlan:
-		table = n.Table
-		count, err = runUpdate(n, ctx, tx, undo)
-	case *plan.DeletePlan:
-		table = n.Table
-		count, err = runDelete(n, ctx, tx, undo)
-	default:
-		return 0, errNotDML(n)
+	pd, err := PrepareDML(n, params, st, tx)
+	if err != nil {
+		return 0, err
 	}
+	mark := undo.Mark()
+	count, err := ApplyDML(pd, tx, undo)
 	if err == nil {
 		return count, nil
 	}
 	if failed, rbErr := undo.RollbackTo(mark); rbErr != nil {
-		return 0, &RollbackFailedError{Cause: err, RB: rbErr, Table: table.Name, Failed: failed}
+		return 0, &RollbackFailedError{Cause: err, RB: rbErr, Table: pd.table.Name, Failed: failed}
 	}
 	return 0, err
 }
@@ -95,65 +86,129 @@ func (e notDMLError) Error() string { return "exec: not a DML plan: " + e.n.Labe
 
 func errNotDML(n plan.Node) error { return notDMLError{n} }
 
-func runInsert(p *plan.InsertPlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
-	var count int64
-	for _, exprs := range p.Rows {
-		row := make([]types.Value, len(p.Table.Columns))
-		for i, e := range exprs {
-			v, err := e.Eval(nil, ctx.Params)
-			if err != nil {
+const (
+	verbInsert = iota
+	verbUpdate
+	verbDelete
+)
+
+// PreparedDML is the read-only half of a DML statement: the gathered
+// match set and fully evaluated new rows, ready to apply. Between
+// Prepare and Apply nothing is mutated, so a prepared statement can be
+// dropped at no cost (a conflict discovered by the bounded wait).
+type PreparedDML struct {
+	table   *catalog.Table
+	verb    int
+	rows    [][]types.Value // insert: evaluated VALUES rows
+	rids    []storage.RID   // update/delete: matched RIDs
+	oldRows [][]types.Value // update/delete: matched pre-images
+	newRows [][]types.Value // update: evaluated post-images
+}
+
+// Table returns the statement's target table.
+func (p *PreparedDML) Table() *catalog.Table { return p.table }
+
+// WriteSet returns the RIDs the statement will overwrite — the rows
+// the bounded conflict wait must clear. Inserts return nil: a fresh
+// slot cannot conflict, and unique-key collisions are detected during
+// apply.
+func (p *PreparedDML) WriteSet() []storage.RID {
+	if p.verb == verbInsert {
+		return nil
+	}
+	return p.rids
+}
+
+// PrepareDML evaluates a DML plan without mutating anything: it binds
+// subqueries, gathers the snapshot-visible match set, and evaluates
+// VALUES/SET expressions against the pre-statement rows. The caller
+// must hold at least shared latches on the target table and every
+// table the plan reads.
+func PrepareDML(n plan.Node, params []types.Value, st *Stats, tx *mvcc.Txn) (*PreparedDML, error) {
+	bindSubqueries(n, tx)
+	ctx := &Context{Params: params, Stats: st, Txn: tx}
+	switch n := n.(type) {
+	case *plan.InsertPlan:
+		rows := make([][]types.Value, 0, len(n.Rows))
+		for _, exprs := range n.Rows {
+			row := make([]types.Value, len(n.Table.Columns))
+			for i, e := range exprs {
+				v, err := e.Eval(nil, ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				row[n.ColMap[i]] = v
+			}
+			rows = append(rows, row)
+		}
+		return &PreparedDML{table: n.Table, verb: verbInsert, rows: rows}, nil
+	case *plan.UpdatePlan:
+		rids, rows, err := gatherMatches(n.Table, n.Path, n.Filter, ctx)
+		if err != nil {
+			return nil, err
+		}
+		// Evaluate every SET expression against the pre-statement rows
+		// before mutating anything, then apply the batch with unique
+		// checks deferred: UPDATE t SET k = k+1 must not depend on scan
+		// order.
+		newRows := make([][]types.Value, len(rids))
+		for i := range rids {
+			oldRow := rows[i]
+			newRow := append([]types.Value(nil), oldRow...)
+			for j, col := range n.SetCols {
+				v, err := n.SetExprs[j].Eval(oldRow, ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				newRow[col] = v
+			}
+			newRows[i] = newRow
+		}
+		return &PreparedDML{table: n.Table, verb: verbUpdate, rids: rids, oldRows: rows, newRows: newRows}, nil
+	case *plan.DeletePlan:
+		rids, rows, err := gatherMatches(n.Table, n.Path, n.Filter, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &PreparedDML{table: n.Table, verb: verbDelete, rids: rids, oldRows: rows}, nil
+	default:
+		return nil, errNotDML(n)
+	}
+}
+
+// ApplyDML performs a prepared statement's physical writes, appending
+// undo steps as they apply. The caller must hold the target table's
+// exclusive latch for the whole call and, on error, replay the
+// statement's undo suffix before releasing it. The mutators' own
+// first-updater-wins checks re-run here, under the latch — they are
+// what makes the latch-free wait sound against writers that slip in
+// after it returns.
+func ApplyDML(pd *PreparedDML, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
+	switch pd.verb {
+	case verbInsert:
+		var count int64
+		for _, row := range pd.rows {
+			if _, err := pd.table.InsertRowTxn(tx, row, undo); err != nil {
 				return count, err
 			}
-			row[p.ColMap[i]] = v
+			count++
 		}
-		if _, err := p.Table.InsertRowTxn(tx, row, undo); err != nil {
-			return count, err
+		return count, nil
+	case verbUpdate:
+		if _, err := pd.table.UpdateRowsDeferredTxn(tx, pd.rids, pd.oldRows, pd.newRows, undo); err != nil {
+			return 0, err
 		}
-		count++
-	}
-	return count, nil
-}
-
-func runUpdate(p *plan.UpdatePlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
-	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
-	if err != nil {
-		return 0, err
-	}
-	// Evaluate every SET expression against the pre-statement rows
-	// before mutating anything, then apply the batch with unique checks
-	// deferred: UPDATE t SET k = k+1 must not depend on scan order.
-	newRows := make([][]types.Value, len(rids))
-	for i := range rids {
-		oldRow := rows[i]
-		newRow := append([]types.Value(nil), oldRow...)
-		for j, col := range p.SetCols {
-			v, err := p.SetExprs[j].Eval(oldRow, ctx.Params)
-			if err != nil {
-				return 0, err
+		return int64(len(pd.rids)), nil
+	default:
+		var count int64
+		for i, rid := range pd.rids {
+			if err := pd.table.DeleteRowTxn(tx, rid, pd.oldRows[i], undo); err != nil {
+				return count, err
 			}
-			newRow[col] = v
+			count++
 		}
-		newRows[i] = newRow
+		return count, nil
 	}
-	if _, err := p.Table.UpdateRowsDeferredTxn(tx, rids, rows, newRows, undo); err != nil {
-		return 0, err
-	}
-	return int64(len(rids)), nil
-}
-
-func runDelete(p *plan.DeletePlan, ctx *Context, tx *mvcc.Txn, undo *catalog.UndoLog) (int64, error) {
-	rids, rows, err := gatherMatches(p.Table, p.Path, p.Filter, ctx)
-	if err != nil {
-		return 0, err
-	}
-	var count int64
-	for i, rid := range rids {
-		if err := p.Table.DeleteRowTxn(tx, rid, rows[i], undo); err != nil {
-			return count, err
-		}
-		count++
-	}
-	return count, nil
 }
 
 // gatherMatches scans via the access path (or sequentially) and buffers

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/mvcc"
@@ -222,7 +223,12 @@ func (h *harness) compareCommitted() {
 // state, and the transaction counters.
 func runSeed(t *testing.T, seed int64, minTxns int) {
 	const sessions = 3
-	db := engine.Open(engine.Config{})
+	// A short conflict wait keeps the driver fast: statements are issued
+	// serially, so every engine-side park (row wait or admission) runs
+	// its full deadline before resolving exactly as the model predicts —
+	// bounded waits and forced admission never change statement outcomes
+	// under a serial schedule, only their latency.
+	db := engine.Open(engine.Config{ConflictWait: 100 * time.Microsecond})
 	model := NewModel("acct1", "acct2")
 	for _, table := range []string{"acct1", "acct2"} {
 		if _, err := db.Exec(fmt.Sprintf(

@@ -5,6 +5,16 @@
 // transaction workloads. Any divergence — in rows affected, error
 // class, query results, or final committed state — is a bug in one of
 // the two, and the model is small enough to audit by eye.
+//
+// The engine's bounded-wait machinery (row waits, write-admission
+// parks, forced admission — DESIGN.md §12) needs no new outcome
+// classes here: the driver issues statements serially, so every
+// engine-side park runs its full deadline and then resolves exactly as
+// an immediate decision would — a rescued wait is ClsOK, an expired
+// one ClsConflict. Bounded waiting changes statement latency, never
+// statement outcome, under a serial schedule. What the model does
+// mirror is lazy snapshot pinning: a transaction's beginTS freezes at
+// its first observing statement (pin), not at BEGIN.
 package modeltest
 
 import "sort"
@@ -174,6 +184,7 @@ type MSession struct {
 	inTxn   bool
 	aborted bool
 	beginTS uint64
+	pinned  bool // snapshot observed; beginTS frozen (lazy pinning)
 	ov      overlay
 	saves   []msave
 }
@@ -189,6 +200,19 @@ func (s *MSession) InTxn() bool { return s.inTxn || s.aborted }
 
 // Aborted reports the conflict-aborted state.
 func (s *MSession) Aborted() bool { return s.aborted }
+
+// pin freezes the transaction's snapshot at its first observation,
+// mirroring the engine's lazy snapshot pinning (mvcc.Manager.Pin):
+// BEGIN gives a provisional snapshot, and the first statement that
+// could observe it re-stamps it at the current clock. Transaction
+// control (SAVEPOINT, ROLLBACK TO) does not pin — it observes nothing
+// beyond the session's own overlay.
+func (s *MSession) pin() {
+	if s.inTxn && !s.pinned {
+		s.pinned = true
+		s.beginTS = s.m.clock
+	}
+}
 
 // read resolves (table, k) for this session: own overlay first, then
 // the snapshot (or latest committed state outside a transaction).
@@ -221,7 +245,8 @@ func (s *MSession) Begin() string {
 		return ClsTxnOpen
 	}
 	s.inTxn = true
-	s.beginTS = s.m.clock
+	s.beginTS = s.m.clock // provisional until pinned
+	s.pinned = false
 	s.ov = make(overlay)
 	s.saves = nil
 	return ClsOK
@@ -299,6 +324,7 @@ func (s *MSession) RollbackTo(name string) string {
 func (s *MSession) clear() {
 	s.inTxn = false
 	s.aborted = false
+	s.pinned = false
 	s.ov = nil
 	s.saves = nil
 }
@@ -334,6 +360,7 @@ func (s *MSession) Insert(table string, k int64, v string, bal int64) (int64, st
 	if s.aborted {
 		return 0, ClsAborted
 	}
+	s.pin()
 	// Unique check against current state, classified like the engine:
 	// key held or shadowed by an uncommitted foreign write -> conflict;
 	// committed live row (or own live write) -> violation.
@@ -385,6 +412,7 @@ func (s *MSession) pointWrite(table string, k int64, mut func(*ovEntry)) (int64,
 	if s.aborted {
 		return 0, ClsAborted
 	}
+	s.pin()
 	v, bal, ok := s.read(table, k)
 	if !ok {
 		return 0, ClsOK // no visible row: zero rows affected, no conflict
@@ -415,6 +443,7 @@ func (s *MSession) RangeUpdateBal(table string, lo, hi, delta int64) (int64, str
 	if s.aborted {
 		return 0, ClsAborted
 	}
+	s.pin()
 	var matched []int64
 	for _, k := range s.m.keysFor(s, table) {
 		if k >= lo && k < hi {
@@ -456,6 +485,7 @@ func (s *MSession) SelectPoint(table string, k int64) ([][2]interface{}, string)
 	if s.aborted {
 		return nil, ClsAborted
 	}
+	s.pin()
 	if v, bal, ok := s.read(table, k); ok {
 		return [][2]interface{}{{v, bal}}, ClsOK
 	}
@@ -468,6 +498,7 @@ func (s *MSession) SelectRange(table string, lo, hi int64) ([][2]int64, string) 
 	if s.aborted {
 		return nil, ClsAborted
 	}
+	s.pin()
 	var out [][2]int64
 	for _, k := range s.m.keysFor(s, table) {
 		if k >= lo && k < hi {
@@ -485,6 +516,7 @@ func (s *MSession) SelectAgg(table string) (count int64, sum int64, sumNull bool
 	if s.aborted {
 		return 0, 0, false, ClsAborted
 	}
+	s.pin()
 	for _, k := range s.m.keysFor(s, table) {
 		if _, bal, ok := s.read(table, k); ok {
 			count++

@@ -3,6 +3,7 @@ package mvcc
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -21,13 +22,20 @@ type entry struct {
 // chain newest-first: stop at the first visible writer (the current
 // bytes are theirs), otherwise step back to that entry's pre-image.
 //
-// All mutating calls happen under the table's write lock, all reads
-// under at least its read lock; the internal mutex makes each call
-// atomic against concurrent GC and cross-table readers.
+// Mutating calls happen while the caller holds the table's latch
+// exclusively (the apply phase of a DML statement, or its undo); reads
+// run under at least the shared latch. WaitCheckWrites is the one
+// latch-free entry point — it only inspects chains and parks, so the
+// internal mutex alone keeps it coherent against concurrent appliers.
 type VersionStore struct {
 	mu     sync.Mutex
 	mgr    *Manager
 	chains map[storage.RID][]entry
+
+	// signal wakes conflict waiters parked on an aborted-but-not-yet-
+	// undone entry: PopWrite and GC close it (close-and-renew) whenever
+	// they remove entries. Lazily allocated — nil while nobody waits.
+	signal chan struct{}
 }
 
 // NewStore returns an empty store. mgr may be nil in tests; then no
@@ -111,9 +119,115 @@ func (s *VersionStore) PopWrite(tx *Txn, rid storage.RID) {
 	}
 	if len(ch) == 1 {
 		delete(s.chains, rid)
-		return
+	} else {
+		s.chains[rid] = ch[:len(ch)-1]
 	}
-	s.chains[rid] = ch[:len(ch)-1]
+	s.bumpLocked()
+}
+
+// signalLocked returns the current waiter-wakeup channel, allocating
+// it on first use. Called with s.mu held.
+func (s *VersionStore) signalLocked() <-chan struct{} {
+	if s.signal == nil {
+		s.signal = make(chan struct{})
+	}
+	return s.signal
+}
+
+// bumpLocked wakes every waiter parked on the store by closing the
+// signal channel and renewing it lazily. Called with s.mu held by any
+// path that removes chain entries.
+func (s *VersionStore) bumpLocked() {
+	if s.signal != nil {
+		close(s.signal)
+		s.signal = nil
+	}
+}
+
+// WaitCheckWrites is first-updater-wins with bounded wait-then-abort:
+// for each rid it checks the newest chain entry like CheckWrite, but
+// when the blocking holder may still release the row — it is active
+// (its fate is undecided) or aborted with its undo still pending (the
+// entry is about to be popped) — the caller parks until the holder
+// resolves or the shared budget expires. Holders that committed after
+// tx's snapshot, or that hold a reserved commit timestamp (issued
+// after every live snapshot, so if it publishes it is certainly too
+// new), conflict immediately: no amount of waiting changes the
+// outcome. The caller holds no table latch; the apply phase rechecks
+// under the exclusive latch via the mutators' own CheckWrite calls, so
+// a holder that slips in after this returns is still caught.
+func (s *VersionStore) WaitCheckWrites(tx *Txn, rids []storage.RID, budget time.Duration) error {
+	if s.mgr == nil {
+		for _, rid := range rids {
+			if err := s.CheckWrite(tx, rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		timer  *time.Timer
+		parked time.Time
+	)
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+		if !parked.IsZero() {
+			s.mgr.rowWaitNanos.Add(time.Since(parked).Nanoseconds())
+		}
+	}()
+	for _, rid := range rids {
+		for {
+			s.mu.Lock()
+			ch := s.chains[rid]
+			if len(ch) == 0 || tx.Visible(ch[len(ch)-1].writer) {
+				s.mu.Unlock()
+				break
+			}
+			holder := ch[len(ch)-1].writer
+			word := holder.word.Load()
+			if (word != 0 && word != abortedWord) || holder.Reserved() {
+				// Committed after tx began, or certain to if its sync
+				// succeeds: waiting cannot clear this conflict.
+				s.mu.Unlock()
+				s.mgr.immediateConflicts.Add(1)
+				return ErrWriteConflict
+			}
+			var wake <-chan struct{}
+			if word == abortedWord {
+				wake = s.signalLocked() // undo pop is imminent
+			} else {
+				wake = holder.done // active: settled at publish/abort
+			}
+			s.mu.Unlock()
+			if budget <= 0 {
+				s.mgr.immediateConflicts.Add(1)
+				return ErrWriteConflict
+			}
+			if timer == nil {
+				// One timer with the full budget, shared across every rid:
+				// the statement's total parked time is bounded, not each
+				// row's. timer.C is consumed at most once — a timeout
+				// returns immediately below.
+				timer = time.NewTimer(budget)
+				parked = time.Now()
+				s.mgr.rowWaits.Add(1)
+			}
+			select {
+			case <-wake:
+				// Re-check the chain: the wake may be for another rid's
+				// entry, or the holder may have resolved against us.
+			case <-timer.C:
+				s.mgr.rowWaitTimeouts.Add(1)
+				return ErrWriteConflict
+			}
+		}
+	}
+	if !parked.IsZero() {
+		s.mgr.rowWaitRescues.Add(1)
+	}
+	return nil
 }
 
 // Resolve returns the bytes of rid visible to reader, given cur — the
@@ -181,6 +295,7 @@ func (s *VersionStore) UncommittedPreImages(fn func(rid storage.RID, writer *Txn
 func (s *VersionStore) GC(horizon uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	changed := false
 	for rid, ch := range s.chains {
 		i := 0
 		for i < len(ch) {
@@ -194,9 +309,14 @@ func (s *VersionStore) GC(horizon uint64) bool {
 		switch {
 		case i == len(ch):
 			delete(s.chains, rid)
+			changed = true
 		case i > 0:
 			s.chains[rid] = append([]entry(nil), ch[i:]...)
+			changed = true
 		}
+	}
+	if changed {
+		s.bumpLocked()
 	}
 	return len(s.chains) == 0
 }
