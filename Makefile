@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke check
+.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke check
 
 all: check
 
@@ -58,5 +58,17 @@ bench-txn:
 # bench path in seconds and writes its JSON to the system temp dir.
 bench-txn-smoke:
 	$(GO) run ./cmd/mtdbench -txn -txn-smoke
+
+# Regenerate BENCH_6.json (the CRM workload over the wire protocol:
+# commits/sec, statements/sec, and p50/p99 whole-action latency at
+# 64/256/1024 concurrent connections, plus the zero-leak drain check).
+bench-net:
+	$(GO) run ./cmd/mtdbench -net -json-out BENCH_6.json
+
+# Reduced -net sweep (CI regression canary): the full network path —
+# dial, handshake, auth, wire transactions, drain invariant — in
+# seconds, writing its JSON to the system temp dir.
+bench-net-smoke:
+	$(GO) run ./cmd/mtdbench -net -net-smoke
 
 check: build vet test race race-bench bench-smoke

@@ -1,0 +1,341 @@
+// Package client is the Go client for the mtdserver network front
+// door: Dial opens one authenticated protocol connection, Conn offers
+// Exec/Query/Prepare over it (including interactive transactions —
+// BEGIN/COMMIT/ROLLBACK travel as ordinary statements), and Pool keeps
+// a bounded set of healthy connections warm for concurrent workers.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/types"
+)
+
+// Client errors.
+var (
+	// ErrConnClosed: the connection was closed (locally or by a
+	// transport failure) and can no longer carry requests.
+	ErrConnClosed = errors.New("client: connection is closed")
+	// ErrPoolClosed: Get after Pool.Close.
+	ErrPoolClosed = errors.New("client: pool is closed")
+)
+
+// Config tells Dial where and who.
+type Config struct {
+	// Addr is the server's "host:port".
+	Addr string
+	// Tenant and Token are the handshake credentials.
+	Tenant int64
+	Token  string
+	// DialTimeout bounds connection establishment plus the handshake
+	// round-trip (default 5s).
+	DialTimeout time.Duration
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Columns []string
+	Data    [][]types.Value
+}
+
+// Conn is one protocol connection: a single logical session on the
+// server, carrying one request/response exchange at a time (methods
+// serialize internally; use a Pool for concurrency).
+type Conn struct {
+	nc        net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	sessionID uint64
+
+	reqMu  sync.Mutex
+	broken bool // transport failed; the connection is dead
+	closed bool
+}
+
+// Dial connects and performs the credentialed handshake.
+func Dial(cfg Config) (*Conn, error) {
+	timeout := cfg.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", cfg.Addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	c := &Conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if err := protocol.WriteFrame(c.bw, protocol.Encode(&protocol.Hello{
+		Version: protocol.Version,
+		Tenant:  cfg.Tenant,
+		Token:   cfg.Token,
+	})); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	m, err := readMsg(c.br)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	switch m := m.(type) {
+	case *protocol.HelloOK:
+		c.sessionID = m.SessionID
+		return c, nil
+	case *protocol.Error:
+		nc.Close()
+		return nil, m
+	}
+	nc.Close()
+	return nil, fmt.Errorf("client: unexpected handshake reply %T", m)
+}
+
+// SessionID is the server-assigned session id from the handshake.
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// readMsg reads and decodes one frame.
+func readMsg(r io.Reader) (any, error) {
+	payload, err := protocol.ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.Decode(payload)
+}
+
+// roundTrip sends one message and reads one reply, marking the
+// connection broken on any transport failure.
+func (c *Conn) roundTrip(m any) (any, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	return c.roundTripLocked(m)
+}
+
+func (c *Conn) roundTripLocked(m any) (any, error) {
+	if c.closed || c.broken {
+		return nil, ErrConnClosed
+	}
+	if err := protocol.WriteFrame(c.bw, protocol.Encode(m)); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	reply, err := readMsg(c.br)
+	if err != nil {
+		c.broken = true
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Exec runs one statement (DML, DDL, or transaction control) and
+// returns the affected row count. A server-reported failure comes back
+// as *protocol.Error (see ErrorCode); the connection stays usable.
+func (c *Conn) Exec(sql string, params ...types.Value) (int64, error) {
+	reply, err := c.roundTrip(&protocol.Exec{SQL: sql, Params: params})
+	if err != nil {
+		return 0, err
+	}
+	switch m := reply.(type) {
+	case *protocol.Result:
+		return m.RowsAffected, nil
+	case *protocol.Error:
+		return 0, m
+	}
+	return 0, c.protocolViolation(reply)
+}
+
+// Query runs a SELECT and materializes the streamed result.
+func (c *Conn) Query(sql string, params ...types.Value) (*Rows, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	reply, err := c.roundTripLocked(&protocol.Query{SQL: sql, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return c.collectRowsLocked(reply)
+}
+
+// collectRowsLocked turns a RowsHeader + RowBatch* stream into Rows.
+func (c *Conn) collectRowsLocked(first any) (*Rows, error) {
+	switch m := first.(type) {
+	case *protocol.Error:
+		return nil, m
+	case *protocol.RowsHeader:
+		rows := &Rows{Columns: m.Columns}
+		for {
+			reply, err := readMsg(c.br)
+			if err != nil {
+				c.broken = true
+				return nil, err
+			}
+			b, ok := reply.(*protocol.RowBatch)
+			if !ok {
+				return nil, c.protocolViolation(reply)
+			}
+			rows.Data = append(rows.Data, b.Rows...)
+			if b.Last {
+				return rows, nil
+			}
+		}
+	}
+	return nil, c.protocolViolation(first)
+}
+
+// protocolViolation marks the connection dead: the reply stream is out
+// of sync with the requests, nothing after it can be trusted.
+func (c *Conn) protocolViolation(got any) error {
+	c.broken = true
+	return fmt.Errorf("client: unexpected reply %T", got)
+}
+
+// Ping round-trips a health check.
+func (c *Conn) Ping() error {
+	reply, err := c.roundTrip(&protocol.Ping{})
+	if err != nil {
+		return err
+	}
+	if _, ok := reply.(*protocol.Pong); !ok {
+		return c.protocolViolation(reply)
+	}
+	return nil
+}
+
+// ServerStats fetches the server's counters as JSON.
+func (c *Conn) ServerStats() ([]byte, error) {
+	reply, err := c.roundTrip(&protocol.Stats{})
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case *protocol.StatsResult:
+		return m.JSON, nil
+	case *protocol.Error:
+		return nil, m
+	}
+	return nil, c.protocolViolation(reply)
+}
+
+// Stmt is a server-side prepared statement bound to its connection.
+type Stmt struct {
+	c       *Conn
+	id      uint32
+	isQuery bool
+}
+
+// Prepare registers a statement on the server.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	reply, err := c.roundTrip(&protocol.Prepare{SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	switch m := reply.(type) {
+	case *protocol.Prepared:
+		return &Stmt{c: c, id: m.ID, isQuery: m.IsQuery}, nil
+	case *protocol.Error:
+		return nil, m
+	}
+	return nil, c.protocolViolation(reply)
+}
+
+// IsQuery reports whether the statement is a SELECT.
+func (s *Stmt) IsQuery() bool { return s.isQuery }
+
+// Exec executes the prepared statement.
+func (s *Stmt) Exec(params ...types.Value) (int64, error) {
+	reply, err := s.c.roundTrip(&protocol.StmtExec{ID: s.id, Params: params})
+	if err != nil {
+		return 0, err
+	}
+	switch m := reply.(type) {
+	case *protocol.Result:
+		return m.RowsAffected, nil
+	case *protocol.Error:
+		return 0, m
+	}
+	return 0, s.c.protocolViolation(reply)
+}
+
+// Query executes the prepared SELECT.
+func (s *Stmt) Query(params ...types.Value) (*Rows, error) {
+	s.c.reqMu.Lock()
+	defer s.c.reqMu.Unlock()
+	reply, err := s.c.roundTripLocked(&protocol.StmtQuery{ID: s.id, Params: params})
+	if err != nil {
+		return nil, err
+	}
+	return s.c.collectRowsLocked(reply)
+}
+
+// Close discards the prepared statement server-side.
+func (s *Stmt) Close() error {
+	reply, err := s.c.roundTrip(&protocol.StmtClose{ID: s.id})
+	if err != nil {
+		return err
+	}
+	if e, ok := reply.(*protocol.Error); ok {
+		return e
+	}
+	return nil
+}
+
+// Healthy reports whether the connection can still carry requests.
+func (c *Conn) Healthy() bool {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	return !c.closed && !c.broken
+}
+
+// Close sends a best-effort Goodbye and closes the socket. The server
+// rolls back any transaction left open.
+func (c *Conn) Close() error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.broken {
+		if protocol.WriteFrame(c.bw, protocol.Encode(&protocol.Goodbye{})) == nil {
+			c.bw.Flush()
+		}
+	}
+	return c.nc.Close()
+}
+
+// ErrorCode extracts a server error code from err (a *protocol.Error
+// anywhere in the chain); ok is false for transport-level errors.
+func ErrorCode(err error) (code uint16, ok bool) {
+	var pe *protocol.Error
+	if errors.As(err, &pe) {
+		return pe.Code, true
+	}
+	return 0, false
+}
+
+// IsConflict reports a first-updater-wins write conflict (the server
+// rolled the transaction back; retry it).
+func IsConflict(err error) bool {
+	code, ok := ErrorCode(err)
+	return ok && code == protocol.CodeConflict
+}
+
+// IsRateLimited reports a statement rejected by the tenant's rate
+// limit (the connection is still usable; back off and retry).
+func IsRateLimited(err error) bool {
+	code, ok := ErrorCode(err)
+	return ok && code == protocol.CodeRateLimit
+}

@@ -1,0 +1,264 @@
+package client
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// startServer builds a raw-mode server over a small table.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, *engine.DB, net.Addr) {
+	t.Helper()
+	db := engine.Open(engine.Config{CheckpointBytes: -1})
+	for _, q := range []string{
+		"CREATE TABLE t (k INTEGER NOT NULL, v INTEGER)",
+		"CREATE UNIQUE INDEX t_pk ON t (k)",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (?, 0)", types.NewInt(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg.DB = db
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, db, addr
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	c, err := Dial(Config{Addr: addr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.SessionID() == 0 {
+		t.Fatal("no session id")
+	}
+
+	n, err := c.Exec("UPDATE t SET v = 3 WHERE k = 1")
+	if err != nil || n != 1 {
+		t.Fatalf("exec: n=%d err=%v", n, err)
+	}
+	rows, err := c.Query("SELECT v FROM t WHERE k = ?", types.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 3 {
+		t.Fatalf("query got %v", rows.Data)
+	}
+
+	// Statement error: typed, connection survives.
+	_, err = c.Exec("UPDATE nosuch SET v = 1")
+	if code, ok := ErrorCode(err); !ok || code != protocol.CodeSQL {
+		t.Fatalf("expected CodeSQL, got %v", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after error: %v", err)
+	}
+
+	// Prepared statement.
+	st, err := c.Prepare("SELECT v FROM t WHERE k = ?")
+	if err != nil || !st.IsQuery() {
+		t.Fatalf("prepare: %v", err)
+	}
+	rows, err = st.Query(types.NewInt(1))
+	if err != nil || rows.Data[0][0].Int != 3 {
+		t.Fatalf("stmt query: %v %v", rows, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction.
+	for _, q := range []string{"BEGIN", "UPDATE t SET v = 4 WHERE k = 1", "COMMIT"} {
+		if _, err := c.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if b, err := c.ServerStats(); err != nil || !strings.Contains(string(b), "statements") {
+		t.Fatalf("server stats: %s %v", b, err)
+	}
+}
+
+func TestConnConflictMapping(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	c1, err := Dial(Config{Addr: addr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(Config{Addr: addr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	mustExec := func(c *Conn, q string) {
+		t.Helper()
+		if _, err := c.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec(c1, "BEGIN")
+	mustExec(c1, "UPDATE t SET v = 1 WHERE k = 2")
+	mustExec(c2, "BEGIN")
+	_, err = c2.Exec("UPDATE t SET v = 2 WHERE k = 2")
+	if !IsConflict(err) {
+		t.Fatalf("expected conflict, got %v", err)
+	}
+	// The server rolled c2 back; ROLLBACK clears the client state.
+	mustExec(c2, "ROLLBACK")
+	mustExec(c1, "COMMIT")
+}
+
+func TestDialAuthFailure(t *testing.T) {
+	auth := server.NewAuthenticator()
+	auth.Register(1, server.Credentials{Token: "right"})
+	_, _, addr := startServer(t, server.Config{Auth: auth})
+	_, err := Dial(Config{Addr: addr.String(), Tenant: 1, Token: "wrong"})
+	if code, ok := ErrorCode(err); !ok || code != protocol.CodeAuth {
+		t.Fatalf("expected CodeAuth, got %v", err)
+	}
+}
+
+func TestPoolReuseAndConcurrency(t *testing.T) {
+	srv, db, addr := startServer(t, server.Config{})
+	p := NewPool(PoolConfig{Conn: Config{Addr: addr.String()}, MaxConns: 4, HealthInterval: -1})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				c, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Query("SELECT v FROM t WHERE k = ?", types.NewInt(int64(w%8))); err != nil {
+					t.Error(err)
+					p.Discard(c)
+					return
+				}
+				p.Put(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+	dials, _, idle := p.Stats()
+	if dials > 4 {
+		t.Fatalf("pool dialed %d conns with MaxConns=4", dials)
+	}
+	if idle == 0 {
+		t.Fatal("no idle connections after drain")
+	}
+	_ = srv
+	_ = db
+}
+
+// TestPoolHealthCheckEvictsDead: connections killed server-side must
+// be evicted by the checkout-time staleness ping, and Get must hand
+// back a fresh working connection.
+func TestPoolHealthCheckEvictsDead(t *testing.T) {
+	srv, db, addr := startServer(t, server.Config{})
+	p := NewPool(PoolConfig{
+		Conn:           Config{Addr: addr.String()},
+		MaxConns:       2,
+		HealthInterval: -1,
+		IdlePingAfter:  time.Nanosecond, // every checkout pings
+	})
+	defer p.Close()
+
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+
+	// Kill every server-side session behind the pool's back.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.OpenSessions() > 0 {
+		srv.CloseSessions()
+		if time.Now().After(deadline) {
+			t.Fatal("sessions did not die")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The idle conn is now dead; Get must evict it and dial fresh.
+	time.Sleep(10 * time.Millisecond)
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatalf("replacement conn unhealthy: %v", err)
+	}
+	p.Put(c2)
+	dials, evicted, _ := p.Stats()
+	if evicted == 0 || dials < 2 {
+		t.Fatalf("expected an eviction and a redial: dials=%d evicted=%d", dials, evicted)
+	}
+	_ = db
+}
+
+// TestPoolBackgroundHealthLoop: the periodic pinger prunes dead idle
+// connections without any Get traffic.
+func TestPoolBackgroundHealthLoop(t *testing.T) {
+	srv, _, addr := startServer(t, server.Config{})
+	p := NewPool(PoolConfig{
+		Conn:           Config{Addr: addr.String()},
+		MaxConns:       2,
+		HealthInterval: 5 * time.Millisecond,
+		IdlePingAfter:  -1,
+	})
+	defer p.Close()
+
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(c)
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.OpenSessions() > 0 {
+		srv.CloseSessions()
+		if time.Now().After(deadline) {
+			t.Fatal("sessions did not die")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for {
+		_, evicted, idle := p.Stats()
+		if evicted >= 1 && idle == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health loop never evicted: evicted=%d idle=%d", evicted, idle)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

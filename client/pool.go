@@ -1,0 +1,234 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// Conn is the per-connection dial configuration.
+	Conn Config
+	// MaxConns bounds total live connections (default 8). Get blocks
+	// while all of them are checked out.
+	MaxConns int
+	// HealthInterval is how often the background checker pings idle
+	// connections and discards dead ones (default 30s; negative
+	// disables the background loop — Get still verifies stale conns).
+	HealthInterval time.Duration
+	// IdlePingAfter: a connection idle longer than this is pinged
+	// before being handed out by Get (default 10s; 0 uses the default,
+	// negative disables the check).
+	IdlePingAfter time.Duration
+}
+
+// pooled is an idle connection plus when it was returned.
+type pooled struct {
+	conn    *Conn
+	idleAt  time.Time
+}
+
+// Pool is a bounded pool of protocol connections with health checks:
+// dead connections (server restart, dropped TCP) are detected by the
+// background pinger or the checkout-time staleness ping and replaced
+// with fresh dials instead of being handed to workers.
+type Pool struct {
+	cfg PoolConfig
+
+	// sem holds one token per allowed live connection.
+	sem chan struct{}
+
+	mu     sync.Mutex
+	idle   []pooled // newest at the end
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	dials   int64 // connections ever dialed (stats/tests)
+	evicted int64 // connections discarded by a health check
+}
+
+// NewPool builds a pool; connections are dialed lazily by Get.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 8
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 30 * time.Second
+	}
+	if cfg.IdlePingAfter == 0 {
+		cfg.IdlePingAfter = 10 * time.Second
+	}
+	p := &Pool{
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxConns),
+		stop: make(chan struct{}),
+	}
+	if cfg.HealthInterval > 0 {
+		p.wg.Add(1)
+		go p.healthLoop()
+	}
+	return p
+}
+
+// Get checks out a healthy connection, dialing a new one when no idle
+// connection is available. It blocks while MaxConns are checked out.
+// Return the connection with Put (healthy) or Discard (broken).
+func (p *Pool) Get() (*Conn, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-p.stop:
+		return nil, ErrPoolClosed
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		<-p.sem
+		return nil, ErrPoolClosed
+	}
+	for {
+		c, idleFor, ok := p.popIdle()
+		if !ok {
+			break
+		}
+		if !c.Healthy() {
+			p.countEvict()
+			c.Close()
+			continue
+		}
+		if p.cfg.IdlePingAfter > 0 && idleFor > p.cfg.IdlePingAfter {
+			if c.Ping() != nil {
+				p.countEvict()
+				c.Close()
+				continue
+			}
+		}
+		return c, nil
+	}
+	c, err := Dial(p.cfg.Conn)
+	if err != nil {
+		<-p.sem
+		return nil, err
+	}
+	p.mu.Lock()
+	p.dials++
+	p.mu.Unlock()
+	return c, nil
+}
+
+// popIdle pops the most recently used idle connection.
+func (p *Pool) popIdle() (c *Conn, idleFor time.Duration, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle) == 0 {
+		return nil, 0, false
+	}
+	e := p.idle[len(p.idle)-1]
+	p.idle = p.idle[:len(p.idle)-1]
+	return e.conn, time.Since(e.idleAt), true
+}
+
+func (p *Pool) countEvict() {
+	p.mu.Lock()
+	p.evicted++
+	p.mu.Unlock()
+}
+
+// Put returns a connection for reuse. Broken connections are closed
+// and their slot freed (equivalent to Discard).
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		<-p.sem
+		return
+	}
+	if !c.Healthy() {
+		p.Discard(c)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		<-p.sem
+		return
+	}
+	p.idle = append(p.idle, pooled{conn: c, idleAt: time.Now()})
+	p.mu.Unlock()
+	<-p.sem
+}
+
+// Discard closes a checked-out connection and frees its slot; the
+// next Get dials a replacement.
+func (p *Pool) Discard(c *Conn) {
+	if c != nil {
+		c.Close()
+	}
+	<-p.sem
+}
+
+// healthLoop periodically pings every idle connection and evicts the
+// dead ones, so a server restart does not leave the pool full of
+// corpses for Get to trip over one by one.
+func (p *Pool) healthLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		idle := p.idle
+		p.idle = nil
+		p.mu.Unlock()
+		var alive []pooled
+		for _, e := range idle {
+			if e.conn.Healthy() && e.conn.Ping() == nil {
+				alive = append(alive, e)
+			} else {
+				p.countEvict()
+				e.conn.Close()
+			}
+		}
+		p.mu.Lock()
+		if p.closed {
+			for _, e := range alive {
+				e.conn.Close()
+			}
+		} else {
+			p.idle = append(p.idle, alive...)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Stats reports the pool's lifetime dial and eviction counts plus the
+// current idle size.
+func (p *Pool) Stats() (dials, evicted int64, idle int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials, p.evicted, len(p.idle)
+}
+
+// Close stops the health loop and closes every idle connection.
+// Checked-out connections are the caller's to Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	close(p.stop)
+	for _, e := range idle {
+		e.conn.Close()
+	}
+	p.wg.Wait()
+}

@@ -46,6 +46,10 @@ func main() {
 		recovery  = flag.Bool("recovery", false, "run the WAL/recovery benchmark (commit latency with and without group commit, recovery time vs checkpoint interval)")
 		txnBench  = flag.Bool("txn", false, "run the interactive-transaction benchmark (commits/sec and conflict-abort rate vs session count)")
 		txnSmoke  = flag.Bool("txn-smoke", false, "with -txn, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
+		netBench  = flag.Bool("net", false, "run the network benchmark: the CRM workload over the wire protocol, swept over concurrent connections")
+		netSmoke  = flag.Bool("net-smoke", false, "with -net, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
+		netConns  = flag.String("net-conns", "64,256,1024", "comma-separated connection counts for -net")
+		netActs   = flag.Int("net-actions", 6000, "total actions per -net sweep point, split across its connections")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
 	)
@@ -69,6 +73,20 @@ func main() {
 			out = "BENCH_4.json"
 		}
 		runRecoveryBench(out)
+		return
+	}
+	if *netBench {
+		out := *jsonOut
+		connsList, actions := *netConns, *netActs
+		if *netSmoke {
+			connsList, actions = "4,16", 240
+			if out == "" {
+				out = filepath.Join(os.TempDir(), "BENCH_6_smoke.json")
+			}
+		} else if out == "" {
+			out = "BENCH_6.json"
+		}
+		runNetBench(out, connsList, actions, *netSmoke)
 		return
 	}
 	if *txnBench {

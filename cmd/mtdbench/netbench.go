@@ -1,0 +1,294 @@
+// The -net benchmark drives the §4 CRM workload through the whole
+// network stack — client connection, wire protocol, per-tenant auth,
+// server session registry, schema-mapping rewrite, engine — instead of
+// calling the mapper in-process. It sweeps the concurrent connection
+// count (default 64/256/1024); every connection authenticates as one
+// tenant and runs its share of the card deck, with each DML action
+// wrapped in an explicit BEGIN/COMMIT over the wire. Each point
+// reports commits/sec, statements/sec, and p50/p99 whole-action
+// latency, and then asserts the drain invariant: after every client
+// disconnects, the server must hold zero sessions, zero active
+// transactions, and zero pinned snapshots — a leaked session would
+// pin the MVCC GC horizon forever. Results land in BENCH_6.json;
+// -net-smoke runs a reduced sweep for CI.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/server"
+	"repro/internal/testbed"
+)
+
+type netPoint struct {
+	Conns          int   `json:"conns"`
+	ActionsPerConn int   `json:"actions_per_conn"`
+	Actions        int64 `json:"actions"`
+	Statements     int64 `json:"statements"` // server-side count for this point
+	Commits        int64 `json:"commits"`
+	Conflicts      int64 `json:"conflicts"`
+	Errors         int64 `json:"errors"`
+
+	ElapsedMs        float64 `json:"elapsed_ms"`
+	CommitsPerSec    float64 `json:"commits_per_sec"`
+	StatementsPerSec float64 `json:"statements_per_sec"`
+	P50ActionUs      float64 `json:"p50_action_us"`
+	P99ActionUs      float64 `json:"p99_action_us"`
+
+	// Drain invariant after every connection closed: all must be zero.
+	LeakedSessions  int   `json:"leaked_sessions"`
+	ActiveTxns      int64 `json:"active_txns"`
+	PinnedSnapshots int64 `json:"pinned_snapshots"`
+}
+
+// runNetPoint runs one sweep point: conns concurrent connections, each
+// bound to tenant (connIdx % tenants) + 1, each running actionsPerConn
+// dealt cards against the shared server.
+func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actionsPerConn, tenants int, seed int64) netPoint {
+	deck := testbed.BuildDeck(rand.New(rand.NewSource(seed)))
+	var deckNext atomic.Int64
+
+	before := srv.Stats()
+	var (
+		commits, conflicts, errs, actions atomic.Int64
+		latMu                             sync.Mutex
+		lats                              []time.Duration
+	)
+
+	// Every worker dials and signals ready before any runs an action, so
+	// the measured window excludes the connection ramp-up.
+	start := make(chan struct{})
+	ready := make(chan error, conns)
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenantIdx := i % tenants
+			c, err := client.Dial(client.Config{
+				Addr:   addr,
+				Tenant: int64(tenantIdx + 1),
+				Token:  netToken(tenantIdx + 1),
+			})
+			ready <- err
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			<-start
+
+			rng := rand.New(rand.NewSource(seed + 7919*int64(i)))
+			var adminSeq int64 // never advanced: Admin cards are remapped
+			local := make([]time.Duration, 0, actionsPerConn)
+			for n := 0; n < actionsPerConn; n++ {
+				class := deck[int(deckNext.Add(1))%len(deck)]
+				if class == testbed.Admin {
+					// Tenant provisioning is DDL the wire protocol does not
+					// carry; deal the card as a light select instead.
+					class = testbed.SelectLight
+				}
+				a := bed.Workload.NextActionFor(rng, class, tenantIdx, &adminSeq)
+				t0 := time.Now()
+				for _, q := range a.Queries {
+					if _, err := c.Query(q); err != nil {
+						errs.Add(1)
+					}
+				}
+				if len(a.Execs) > 0 {
+					runNetTxn(c, a.Execs, &commits, &conflicts, &errs)
+				}
+				local = append(local, time.Since(t0))
+				actions.Add(1)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	for i := 0; i < conns; i++ {
+		if err := <-ready; err != nil {
+			fatal(fmt.Errorf("dial (conn %d/%d): %w", i+1, conns, err))
+		}
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	// Drain: every client Closed (best-effort Goodbye) on the way out of
+	// its goroutine; the server must reap all of them and release every
+	// engine resource. Poll because reaping is asynchronous.
+	leak := srv.Stats()
+	deadline := time.Now().Add(10 * time.Second)
+	for leak.OpenSessions != 0 || leak.ActiveTxns != 0 || leak.PinnedSnapshots != 0 {
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("leak after %d-conn point: sessions=%d active_txns=%d pinned=%d",
+				conns, leak.OpenSessions, leak.ActiveTxns, leak.PinnedSnapshots))
+		}
+		time.Sleep(time.Millisecond)
+		leak = srv.Stats()
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := netPoint{
+		Conns:          conns,
+		ActionsPerConn: actionsPerConn,
+		Actions:        actions.Load(),
+		Statements:     leak.Statements - before.Statements,
+		Commits:        commits.Load(),
+		Conflicts:      conflicts.Load(),
+		Errors:         errs.Load(),
+
+		ElapsedMs:        float64(elapsed.Microseconds()) / 1000,
+		CommitsPerSec:    float64(commits.Load()) / elapsed.Seconds(),
+		StatementsPerSec: float64(leak.Statements-before.Statements) / elapsed.Seconds(),
+		P50ActionUs:      float64(quantile(lats, 0.50).Nanoseconds()) / 1000,
+		P99ActionUs:      float64(quantile(lats, 0.99).Nanoseconds()) / 1000,
+
+		LeakedSessions:  leak.OpenSessions,
+		ActiveTxns:      leak.ActiveTxns,
+		PinnedSnapshots: leak.PinnedSnapshots,
+	}
+	return p
+}
+
+// runNetTxn wraps one action's DML in an explicit wire transaction.
+// A first-updater-wins conflict aborts the transaction server-side;
+// the client acknowledges with ROLLBACK and the action counts as a
+// conflict, not an error — the same no-retry policy as the -txn bench.
+func runNetTxn(c *client.Conn, execs []string, commits, conflicts, errs *atomic.Int64) {
+	if _, err := c.Exec("BEGIN"); err != nil {
+		errs.Add(1)
+		return
+	}
+	ok := true
+	for _, e := range execs {
+		if _, err := c.Exec(e); err != nil {
+			if client.IsConflict(err) {
+				conflicts.Add(1)
+			} else {
+				errs.Add(1)
+			}
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if _, err := c.Exec("COMMIT"); err != nil {
+			if client.IsConflict(err) {
+				conflicts.Add(1)
+			} else {
+				errs.Add(1)
+			}
+			ok = false
+		}
+	}
+	if ok {
+		commits.Add(1)
+	} else {
+		if _, err := c.Exec("ROLLBACK"); err != nil {
+			errs.Add(1)
+		}
+	}
+}
+
+func netToken(tenantID int) string { return fmt.Sprintf("bench-%d", tenantID) }
+
+// runNetBench provisions a CRM testbed, serves it over TCP on a
+// loopback port in layout mode with per-tenant credentials, and sweeps
+// the concurrent connection count. totalActions is split across the
+// connections of each point (at least 4 per connection) so every point
+// does comparable total work.
+func runNetBench(jsonOut, connsList string, totalActions int, smoke bool) {
+	const (
+		tenants      = 32
+		rowsPerTable = 16
+		seed         = 2008
+	)
+	var conns []int
+	for _, s := range strings.Split(connsList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fatal(fmt.Errorf("bad conn count %q", s))
+		}
+		conns = append(conns, n)
+	}
+
+	fmt.Fprintf(os.Stderr, "setting up CRM testbed (%d tenants, %d rows/table)...\n", tenants, rowsPerTable)
+	bed, err := testbed.Setup(testbed.Config{
+		Tenants: tenants, Instances: 1, RowsPerTable: rowsPerTable,
+		Sessions: 1, Actions: 1, Seed: seed, MemoryBytes: 64 << 20,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	auth := server.NewAuthenticator()
+	for id := 1; id <= tenants; id++ {
+		auth.Register(int64(id), server.Credentials{Token: netToken(id)})
+	}
+	srv, err := server.New(server.Config{DB: bed.DB, Layout: bed.Layout, Auth: auth})
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Println("Network Front Door: CRM workload over the wire protocol")
+	fmt.Printf("%-8s %-8s %-10s %-10s %-9s %-7s %-13s %-12s %-12s %s\n",
+		"Conns", "Actions", "Commits", "Conflicts", "Errors", "Stmts", "Commits/sec", "Stmts/sec", "p50(us)", "p99(us)")
+	var pts []netPoint
+	for _, n := range conns {
+		per := totalActions / n
+		if per < 4 {
+			per = 4
+		}
+		p := runNetPoint(srv, addr.String(), bed, n, per, tenants, seed)
+		pts = append(pts, p)
+		fmt.Printf("%-8d %-8d %-10d %-10d %-9d %-7d %-13.1f %-12.1f %-12.1f %.1f\n",
+			p.Conns, p.Actions, p.Commits, p.Conflicts, p.Errors, p.Statements,
+			p.CommitsPerSec, p.StatementsPerSec, p.P50ActionUs, p.P99ActionUs)
+	}
+	fmt.Println("\ndrain invariant: all points ended with 0 sessions, 0 active txns, 0 pinned snapshots")
+
+	out := struct {
+		Benchmark string                 `json:"benchmark"`
+		Config    map[string]interface{} `json:"config"`
+		Points    []netPoint             `json:"points"`
+	}{
+		Benchmark: "network_frontdoor",
+		Config: map[string]interface{}{
+			"tenants":        tenants,
+			"rows_per_table": rowsPerTable,
+			"total_actions":  totalActions,
+			"layout":         "basic",
+			"txn_per_dml":    true,
+			"admin_cards":    "remapped to select-light (no DDL on the wire)",
+			"seed":           seed,
+			"smoke":          smoke,
+		},
+		Points: pts,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}

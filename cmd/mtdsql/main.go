@@ -76,7 +76,13 @@ func exampleSchema() *core.Schema {
 	}
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the shell and returns the process exit code: 0 only if
+// every statement succeeded. The mapper's session is always closed on
+// the way out — end of arguments, stdin EOF, or an early error — which
+// rolls back any transaction left open.
+func run() (code int) {
 	var (
 		layoutName = flag.String("layout", "chunk", "schema-mapping layout")
 		tenant     = flag.Int64("tenant", 17, "tenant ID (17, 35, or 42)")
@@ -94,6 +100,17 @@ func main() {
 		{ID: 42, Extensions: []string{"AutomotiveAccount"}},
 	}))
 	m := core.NewSessionMapper(db, layout)
+	defer func() {
+		if m.Session != nil {
+			m.Session.Close()
+		}
+	}()
+	// fail marks the run as failed (non-zero exit) but keeps the shell
+	// processing the remaining statements, like sqlite3 does.
+	fail := func(err error) {
+		fmt.Println("error:", err)
+		code = 1
+	}
 	load := []struct {
 		tenant int64
 		q      string
@@ -103,8 +120,10 @@ func main() {
 		{42, "INSERT INTO Account (Aid, Name, Dealers) VALUES (1, 'Big', 65)"},
 	}
 	for _, l := range load {
-		_, err := m.Exec(l.tenant, l.q)
-		fatalIf(err)
+		if _, err := m.Exec(l.tenant, l.q); err != nil {
+			fail(err)
+			return
+		}
 	}
 
 	var stmts []string
@@ -129,7 +148,7 @@ func main() {
 			switch stmt {
 			case ".crash":
 				if img != nil {
-					fmt.Println("error: already crashed (use .recover)")
+					fail(fmt.Errorf("already crashed (use .recover)"))
 					continue
 				}
 				img = db.Crash()
@@ -140,7 +159,8 @@ func main() {
 				}
 				db2, rep, err := engine.Recover(img)
 				if err != nil {
-					fatalIf(fmt.Errorf("recover: %w", err))
+					fail(fmt.Errorf("recover: %w", err))
+					return
 				}
 				db, img = db2, nil
 				m = core.NewSessionMapper(db, layout)
@@ -148,18 +168,21 @@ func main() {
 					rep.DurableRecords, rep.Committed, rep.Replayed, rep.Skipped)
 			case ".checkpoint":
 				if img != nil {
-					fmt.Println("error: crashed (use .recover)")
+					fail(fmt.Errorf("crashed (use .recover)"))
 					continue
 				}
-				fatalIf(db.Checkpoint())
+				if err := db.Checkpoint(); err != nil {
+					fail(err)
+					continue
+				}
 				fmt.Println("  checkpoint written, log truncated")
 			default:
-				fmt.Printf("error: unknown meta-command %q (.crash, .recover, .checkpoint)\n", stmt)
+				fail(fmt.Errorf("unknown meta-command %q (.crash, .recover, .checkpoint)", stmt))
 			}
 			continue
 		}
 		if img != nil {
-			fmt.Println("error: database is crashed (use .recover)")
+			fail(fmt.Errorf("database is crashed (use .recover)"))
 			continue
 		}
 		// Transaction control runs through the mapper's session as-is —
@@ -167,7 +190,7 @@ func main() {
 		// transaction until COMMIT or ROLLBACK.
 		if isTxnControl(stmt) {
 			if _, err := m.Exec(*tenant, stmt); err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 			} else {
 				fmt.Println("  ok")
 			}
@@ -175,7 +198,7 @@ func main() {
 		}
 		phys, err := m.RewriteSQL(*tenant, stmt)
 		if err != nil {
-			fmt.Println("error:", err)
+			fail(err)
 			continue
 		}
 		for _, p := range phys {
@@ -193,7 +216,7 @@ func main() {
 			}
 			rows, err := m.Query(*tenant, stmt)
 			if err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 				continue
 			}
 			fmt.Println("  " + strings.Join(rows.Columns, " | "))
@@ -207,12 +230,13 @@ func main() {
 		} else {
 			res, err := m.Exec(*tenant, stmt)
 			if err != nil {
-				fmt.Println("error:", err)
+				fail(err)
 				continue
 			}
 			fmt.Printf("  %d row(s) affected\n", res.RowsAffected)
 		}
 	}
+	return code
 }
 
 // isTxnControl reports whether stmt is BEGIN/COMMIT/ROLLBACK/SAVEPOINT

@@ -850,6 +850,12 @@ type Stats struct {
 	TxnCommits   int64
 	TxnAborts    int64
 	TxnConflicts int64
+	// ActiveTxns is the number of transactions begun but not finished at
+	// snapshot time; PinnedSnapshots the subset holding a pinned
+	// snapshot (constraining the version-GC horizon). Both must drain to
+	// zero when every session is closed — the server's leak check.
+	ActiveTxns      int64
+	PinnedSnapshots int64
 	// Contention telemetry. LockWaits/LockWaitNanos count table-latch
 	// acquisitions that blocked and their total blocked time. RowWaits/
 	// RowWaitNanos count DML statements that parked in bounded
@@ -910,6 +916,8 @@ func (db *DB) Stats() Stats {
 		TxnCommits:           db.txnCommits.Load(),
 		TxnAborts:            db.txnAborts.Load(),
 		TxnConflicts:         db.txnConflicts.Load(),
+		ActiveTxns:           int64(db.txns.ActiveCount()),
+		PinnedSnapshots:      int64(db.txns.PinnedCount()),
 		Exec:                 db.execStats.Snapshot(),
 		Recoveries:           db.recoveries,
 		RecoveryReplayed:     db.replayedRecs,
@@ -962,6 +970,10 @@ func (db *DB) Disk() *storage.Disk { return db.disk }
 
 // WAL exposes the log for experiment harnesses (nil when disabled).
 func (db *DB) WAL() *wal.Log { return db.log }
+
+// Txns exposes the transaction manager; the network server's drain
+// check and the disconnect tests read its pin counts and GC horizon.
+func (db *DB) Txns() *mvcc.Manager { return db.txns }
 
 // ckptPayload is the JSON body of a KCheckpoint record: the catalog at
 // checkpoint time plus the dirty-page table (each dirty page's recLSN —

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
@@ -26,6 +27,11 @@ var (
 	ErrTxnAborted = errors.New("engine: transaction aborted by write-write conflict; issue ROLLBACK")
 	// ErrNoSavepoint: ROLLBACK TO an unknown savepoint name.
 	ErrNoSavepoint = errors.New("engine: no such savepoint")
+	// ErrSessionClosed: a statement arrived after Close. The server's
+	// disconnect path closes sessions whose connection died; a worker
+	// goroutine still holding the handle gets this instead of silently
+	// writing into a rolled-back transaction.
+	ErrSessionClosed = errors.New("engine: session is closed")
 )
 
 // Session is a connection-like handle offering interactive
@@ -37,11 +43,23 @@ var (
 // group. Outside a transaction a Session behaves exactly like DB.Exec
 // / DB.Query (statement autocommit).
 //
-// A Session is a single logical connection and is NOT safe for
-// concurrent use; open one Session per worker. Different Sessions of
-// the same DB are safe to use concurrently.
+// A Session is a single logical connection: open one Session per
+// worker and run its statements from one goroutine at a time.
+// Statements and Close are internally serialized, so Close MAY be
+// called from another goroutine — even while a statement is in flight —
+// and waits for the statement, then rolls back any open transaction,
+// releases held write-admission tokens, and unpins the snapshot. That
+// is the network server's abrupt-disconnect path: the connection
+// goroutine dies, and whoever reaps the session gets a full cleanup no
+// matter what was mid-flight. Different Sessions of the same DB are
+// safe to use concurrently.
 type Session struct {
 	db *DB
+
+	// mu serializes statements with each other and with Close; closed
+	// fails all further statements with ErrSessionClosed.
+	mu     sync.Mutex
+	closed bool
 
 	tx      *mvcc.Txn        // nil outside a transaction
 	scope   *wal.Scope       // lazily begun at the first write/savepoint
@@ -69,11 +87,34 @@ func (db *DB) Session() *Session {
 
 // InTxn reports whether a transaction is open (including the aborted
 // state after a conflict, which still needs its ROLLBACK).
-func (s *Session) InTxn() bool { return s.tx != nil || s.aborted }
+func (s *Session) InTxn() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tx != nil || s.aborted
+}
+
+// Closed reports whether Close has run.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // Close rolls back any open transaction and releases the session.
+// Safe to call concurrently with an in-flight statement (it waits for
+// the statement, then cleans up) and idempotent: the first call wins,
+// later ones return nil. After Close every statement fails with
+// ErrSessionClosed.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.aborted {
+		// The conflict already rolled everything back; just clear the
+		// protocol state.
 		s.aborted = false
 		return nil
 	}
@@ -98,6 +139,15 @@ func (s *Session) Exec(query string, params ...types.Value) (Result, error) {
 // ExecStmt is Exec for a pre-parsed statement; key is the plan-cache
 // key ("" to derive it from the statement).
 func (s *Session) ExecStmt(st sql.Statement, key string, params ...types.Value) (Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Result{}, ErrSessionClosed
+	}
+	return s.execStmtLocked(st, key, params...)
+}
+
+func (s *Session) execStmtLocked(st sql.Statement, key string, params ...types.Value) (Result, error) {
 	switch st := st.(type) {
 	case *sql.BeginStmt:
 		return s.begin()
@@ -140,18 +190,17 @@ func (s *Session) Query(query string, params ...types.Value) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Query needs a SELECT, got %T", st)
 	}
-	if s.aborted {
-		return nil, ErrTxnAborted
-	}
-	if s.tx == nil {
-		return s.db.queryStmtKeyed(sel, query, params)
-	}
-	return s.querySelect(sel, query, params)
+	return s.QueryStmt(sel, query, params...)
 }
 
 // QueryStmt is Query for a pre-parsed SELECT; key is the plan-cache
 // key ("" to derive it from the statement).
 func (s *Session) QueryStmt(sel *sql.SelectStmt, key string, params ...types.Value) (*Rows, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
 	if s.aborted {
 		return nil, ErrTxnAborted
 	}

@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+// closeTestDB builds a database with two tables and a few rows, the
+// fixture for the disconnect-safety tests.
+func closeTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{CheckpointBytes: -1})
+	for _, q := range []string{
+		"CREATE TABLE t (k INTEGER NOT NULL, v INTEGER)",
+		"CREATE UNIQUE INDEX t_pk ON t (k)",
+		"CREATE TABLE u (k INTEGER NOT NULL, v INTEGER)",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 8; k++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (?, 0)", types.NewInt(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec("INSERT INTO u VALUES (?, 0)", types.NewInt(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestCloseMidTransactionReleasesEverything is the deterministic half
+// of the kill-mid-statement regression: a transaction that has written
+// (so it holds a pinned snapshot, a write-admission token, and an undo
+// log) is Closed from ANOTHER goroutine — the server's reaper — and
+// every resource must come back.
+func TestCloseMidTransactionReleasesEverything(t *testing.T) {
+	db := closeTestDB(t)
+	s := db.Session()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE t SET v = 1 WHERE k = 3"); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.Stats().PinnedSnapshots; n != 1 {
+		t.Fatalf("pinned snapshots before close = %d, want 1", n)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	if err := <-done; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	st := db.Stats()
+	if st.ActiveTxns != 0 || st.PinnedSnapshots != 0 {
+		t.Fatalf("after close: active=%d pinned=%d, want 0/0", st.ActiveTxns, st.PinnedSnapshots)
+	}
+	// The rollback must have taken the write back out.
+	rows, err := db.Query("SELECT v FROM t WHERE k = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int != 0 {
+		t.Fatalf("write survived Close: v = %d", rows.Data[0][0].Int)
+	}
+	// The admission token must be free again: a fresh transaction's
+	// first write to t must not park (AdmissionWaits unchanged).
+	before := db.Stats().AdmissionWaits
+	s2 := db.Session()
+	defer s2.Close()
+	for _, q := range []string{"BEGIN", "UPDATE t SET v = 2 WHERE k = 3", "COMMIT"} {
+		if _, err := s2.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if after := db.Stats().AdmissionWaits; after != before {
+		t.Fatalf("admission token leaked: waits %d -> %d", before, after)
+	}
+	// Statements after Close fail closed.
+	if _, err := s.Exec("SELECT * FROM t"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Exec after Close: got %v, want ErrSessionClosed", err)
+	}
+	if _, err := s.Query("SELECT * FROM t"); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Query after Close: got %v, want ErrSessionClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestCloseConcurrentWithExec is the racing half: a worker goroutine
+// hammers DML inside a transaction while the reaper Closes the session
+// mid-flight. Close must wait out the in-flight statement, roll back,
+// and leave no transaction, snapshot pin, or admission token behind —
+// run under -race this also proves the handoff is data-race free.
+func TestCloseConcurrentWithExec(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		db := closeTestDB(t)
+		s := db.Session()
+		if _, err := s.Exec("BEGIN"); err != nil {
+			t.Fatal(err)
+		}
+		var sawClosed atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; ; i++ {
+				k := types.NewInt(int64(i % 8))
+				_, err := s.Exec("UPDATE t SET v = v + 1 WHERE k = ?", k)
+				if err == nil {
+					_, err = s.Exec("UPDATE u SET v = v + 1 WHERE k = ?", k)
+				}
+				if errors.Is(err, ErrSessionClosed) {
+					sawClosed.Store(true)
+					return
+				}
+				if err != nil {
+					// A conflict abort is impossible here (single writer),
+					// anything else is a real failure.
+					t.Errorf("worker statement failed: %v", err)
+					return
+				}
+			}
+		}()
+		// Let the worker get some statements in flight, then reap.
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		<-done
+		if !sawClosed.Load() {
+			t.Fatal("worker never observed ErrSessionClosed")
+		}
+		st := db.Stats()
+		if st.ActiveTxns != 0 || st.PinnedSnapshots != 0 {
+			t.Fatalf("round %d leaked: active=%d pinned=%d", round, st.ActiveTxns, st.PinnedSnapshots)
+		}
+		// Both tables' admission tokens must be free: a follow-up
+		// transaction writing both commits without parking.
+		before := db.Stats().AdmissionWaits
+		s2 := db.Session()
+		for _, q := range []string{
+			"BEGIN",
+			"UPDATE t SET v = 0 WHERE k = 0",
+			"UPDATE u SET v = 0 WHERE k = 0",
+			"COMMIT",
+		} {
+			if _, err := s2.Exec(q); err != nil {
+				t.Fatalf("round %d follow-up %s: %v", round, q, err)
+			}
+		}
+		s2.Close()
+		if after := db.Stats().AdmissionWaits; after != before {
+			t.Fatalf("round %d: admission token leaked (waits %d -> %d)", round, before, after)
+		}
+	}
+}
+
+// TestCloseDuringAbortedState: a conflict leaves the session in the
+// aborted-until-ROLLBACK state; Close must clear it without touching
+// the (already rolled back) transaction.
+func TestCloseDuringAbortedState(t *testing.T) {
+	db := closeTestDB(t)
+	db2 := db // alias for clarity; same instance
+
+	s1 := db.Session()
+	s2 := db2.Session()
+	if _, err := s1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Exec("UPDATE t SET v = 10 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	// s2 must lose first-updater-wins against s1's uncommitted write.
+	_, err := s2.Exec("UPDATE t SET v = 20 WHERE k = 1")
+	if err == nil {
+		t.Fatal("expected write-write conflict")
+	}
+	if !s2.InTxn() {
+		t.Fatal("aborted session should still report InTxn until ROLLBACK")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("Close of aborted session: %v", err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatalf("Close of s1: %v", err)
+	}
+	st := db.Stats()
+	if st.ActiveTxns != 0 || st.PinnedSnapshots != 0 {
+		t.Fatalf("leak after aborted close: active=%d pinned=%d", st.ActiveTxns, st.PinnedSnapshots)
+	}
+}
+
+// TestStatsPollUnderLoad drives concurrent sessions (interactive
+// transactions and autocommit statements) while a poller hammers
+// db.Stats() — the server's metrics endpoint. Run under -race this
+// verifies the stats snapshot is race-clean against every counter the
+// sessions mutate.
+func TestStatsPollUnderLoad(t *testing.T) {
+	db := closeTestDB(t)
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		var last Stats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			last = db.Stats()
+			_ = last
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.Session()
+			defer s.Close()
+			for i := 0; i < 60; i++ {
+				k := types.NewInt(int64((w*7 + i) % 8))
+				if w%2 == 0 {
+					// Interactive transaction.
+					if _, err := s.Exec("BEGIN"); err != nil {
+						t.Error(err)
+						return
+					}
+					_, err := s.Exec("UPDATE t SET v = v + 1 WHERE k = ?", k)
+					if err != nil {
+						s.Exec("ROLLBACK")
+						continue
+					}
+					if _, err := s.Exec("COMMIT"); err != nil {
+						continue
+					}
+				} else {
+					// Autocommit mix.
+					if _, err := db.Exec("UPDATE u SET v = v + 1 WHERE k = ?", k); err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+
+	st := db.Stats()
+	if st.ActiveTxns != 0 || st.PinnedSnapshots != 0 {
+		t.Fatalf("leaked after load: active=%d pinned=%d", st.ActiveTxns, st.PinnedSnapshots)
+	}
+}

@@ -145,6 +145,39 @@ func (m *Manager) ActiveCount() int {
 	return len(m.active)
 }
 
+// PinnedCount reports how many active transactions hold a pinned
+// snapshot — the transactions that constrain the GC horizon. The
+// server's drain check uses it: after every connection is reaped it
+// must be zero, or a disconnect leaked a snapshot and version chains
+// can never be collected past it.
+func (m *Manager) PinnedCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, a := range m.active {
+		if a.pinned {
+			n++
+		}
+	}
+	return n
+}
+
+// Horizon reports the current GC horizon: the oldest snapshot any
+// pinned active transaction holds, or the published clock when none
+// is. Tests use it to prove a disconnect released its snapshot (the
+// horizon advances past it).
+func (m *Manager) Horizon() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.published
+	for _, a := range m.active {
+		if a.pinned && a.beginTS < h {
+			h = a.beginTS
+		}
+	}
+	return h
+}
+
 // ReserveCommit assigns tx the next commit timestamp and queues it for
 // publication. The caller then makes the commit record durable and
 // calls MarkDurable (success) or ResolveAbort (failed sync/append).

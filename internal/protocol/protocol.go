@@ -1,0 +1,540 @@
+// Package protocol is the wire protocol between the mtdserver front
+// door and its clients: a length-prefixed, CRC-framed binary framing
+// with a small message vocabulary — credentialed handshake, simple and
+// prepared statements, explicit transaction control (which travels as
+// ordinary statements), and streaming result batches. Row payloads use
+// the engine's own row serialization (types.EncodeRow), so a result
+// batch on the wire is byte-for-byte the executor's row encoding.
+//
+// Frame layout (all integers big-endian):
+//
+//	[4-byte payload length][4-byte CRC-32C of payload][payload]
+//
+// The payload's first byte is the message type; the rest is the
+// message body. A frame whose length exceeds MaxFrame is rejected
+// before any allocation, a frame whose checksum does not match its
+// payload is ErrBadCRC, and a connection that dies mid-frame surfaces
+// io.ErrUnexpectedEOF — the three failure modes a server must survive
+// from arbitrary clients.
+package protocol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Version is the protocol version carried in the handshake. A server
+// refuses a Hello with a different major version.
+const Version uint32 = 1
+
+// MaxFrame bounds a single frame's payload (header excluded). Result
+// streams chunk into batches well below this; anything larger on the
+// wire is a corrupt or hostile peer.
+const MaxFrame = 8 << 20
+
+// headerSize is the fixed frame header: length + CRC.
+const headerSize = 8
+
+// castagnoli is the CRC-32C table (same polynomial as the WAL frames).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Framing errors.
+var (
+	// ErrBadCRC: the payload does not match its checksum.
+	ErrBadCRC = errors.New("protocol: frame checksum mismatch")
+	// ErrFrameTooLarge: declared payload length exceeds MaxFrame.
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds size limit")
+	// ErrShortFrame: a decode ran off the end of the message body.
+	ErrShortFrame = errors.New("protocol: truncated message body")
+	// ErrBadMessage: unknown message type or malformed body.
+	ErrBadMessage = errors.New("protocol: malformed message")
+)
+
+// Message types. Client-originated types have the high bit clear,
+// server-originated ones have it set.
+const (
+	TypeHello     byte = 0x01 // Hello: version, tenant, token
+	TypeExec      byte = 0x02 // Exec: sql, params
+	TypeQuery     byte = 0x03 // Query: sql, params
+	TypePrepare   byte = 0x04 // Prepare: sql
+	TypeStmtExec  byte = 0x05 // StmtExec: stmt id, params
+	TypeStmtQuery byte = 0x06 // StmtQuery: stmt id, params
+	TypeStmtClose byte = 0x07 // StmtClose: stmt id
+	TypePing      byte = 0x08 // Ping
+	TypeGoodbye   byte = 0x09 // Goodbye: orderly close
+	TypeStats     byte = 0x0A // Stats: request the server's counters
+
+	TypeHelloOK  byte = 0x81 // HelloOK: session id
+	TypeError    byte = 0x82 // Error: code, message
+	TypeResult   byte = 0x83 // Result: rows affected
+	TypeRowsHdr  byte = 0x84 // RowsHeader: column names
+	TypeRowBatch byte = 0x85 // RowBatch: rows, last flag
+	TypePrepared byte = 0x86 // Prepared: stmt id, is-query flag
+	TypePong     byte = 0x87 // Pong
+	TypeStatsRes byte = 0x88 // StatsResult: JSON blob
+)
+
+// Error codes carried by Error messages.
+const (
+	CodeProtocol  uint16 = 1 // malformed frame or message
+	CodeAuth      uint16 = 2 // unknown tenant or bad credentials
+	CodeQuota     uint16 = 3 // per-tenant session quota exhausted
+	CodeRateLimit uint16 = 4 // per-tenant statement rate exceeded
+	CodeSQL       uint16 = 5 // statement failed (parse, plan, execute)
+	CodeConflict  uint16 = 6 // write-write conflict; transaction rolled back
+	CodeShutdown  uint16 = 7 // server is draining
+	CodeClosed    uint16 = 8 // session already closed
+)
+
+// --- framing -----------------------------------------------------------------
+
+// WriteFrame writes one frame carrying payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame and returns its payload. A peer that
+// vanishes mid-frame yields io.ErrUnexpectedEOF (io.EOF only on a
+// clean boundary); a declared length beyond MaxFrame is rejected
+// before allocating; a checksum mismatch is ErrBadCRC.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF at a frame boundary, ErrUnexpectedEOF inside
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, ErrBadCRC
+	}
+	return payload, nil
+}
+
+// DecodeFrame splits one frame off buf (the in-memory form of
+// ReadFrame, used by the fuzz target and by tests over captured
+// bytes): payload plus the unconsumed rest. A partial frame is
+// io.ErrUnexpectedEOF.
+func DecodeFrame(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < headerSize {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.BigEndian.Uint32(buf[0:4])
+	if n > MaxFrame {
+		return nil, nil, ErrFrameTooLarge
+	}
+	if uint32(len(buf)-headerSize) < n {
+		return nil, nil, io.ErrUnexpectedEOF
+	}
+	payload = buf[headerSize : headerSize+int(n)]
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(buf[4:8]) {
+		return nil, nil, ErrBadCRC
+	}
+	return payload, buf[headerSize+int(n):], nil
+}
+
+// --- messages ----------------------------------------------------------------
+
+// Hello opens a connection: protocol version plus the tenant's
+// credentials. The server answers HelloOK or Error.
+type Hello struct {
+	Version uint32
+	Tenant  int64
+	Token   string
+}
+
+// HelloOK acknowledges a successful handshake.
+type HelloOK struct{ SessionID uint64 }
+
+// Exec runs one statement (DML, DDL, or transaction control) and
+// answers Result or Error.
+type Exec struct {
+	SQL    string
+	Params []types.Value
+}
+
+// Query runs a SELECT and answers RowsHeader + RowBatch* or Error.
+type Query struct {
+	SQL    string
+	Params []types.Value
+}
+
+// Prepare registers a statement server-side and answers Prepared.
+type Prepare struct{ SQL string }
+
+// StmtExec executes a prepared non-query statement.
+type StmtExec struct {
+	ID     uint32
+	Params []types.Value
+}
+
+// StmtQuery executes a prepared SELECT.
+type StmtQuery struct {
+	ID     uint32
+	Params []types.Value
+}
+
+// StmtClose discards a prepared statement.
+type StmtClose struct{ ID uint32 }
+
+// Ping answers Pong (the pool's health check).
+type Ping struct{}
+
+// Goodbye announces an orderly client close.
+type Goodbye struct{}
+
+// Stats requests the server's counters; answered by StatsResult.
+type Stats struct{}
+
+// Error reports a failure; Code classifies it for the client.
+type Error struct {
+	Code uint16
+	Msg  string
+}
+
+// Result reports a non-query statement's outcome.
+type Result struct{ RowsAffected int64 }
+
+// RowsHeader opens a result stream with its column names.
+type RowsHeader struct{ Columns []string }
+
+// RowBatch carries a chunk of result rows; Last marks the end of the
+// stream (a Last batch may be empty).
+type RowBatch struct {
+	Rows [][]types.Value
+	Last bool
+}
+
+// Prepared acknowledges a Prepare with the server-side statement id.
+type Prepared struct {
+	ID      uint32
+	IsQuery bool
+}
+
+// Pong answers a Ping.
+type Pong struct{}
+
+// StatsResult carries the server's counters as JSON.
+type StatsResult struct{ JSON []byte }
+
+// --- encoding ----------------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte  { return binary.BigEndian.AppendUint64(b, uint64(v)) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// appendParams appends a parameter row (types.EncodeRow with a length
+// prefix).
+func appendParams(b []byte, params []types.Value) []byte {
+	return appendBytes(b, types.EncodeRow(nil, params))
+}
+
+// Encode renders m as a frame payload (type byte + body). It panics on
+// an unknown message type: encoding is always of our own values.
+func Encode(m any) []byte {
+	switch m := m.(type) {
+	case *Hello:
+		b := []byte{TypeHello}
+		b = appendU32(b, m.Version)
+		b = appendI64(b, m.Tenant)
+		return appendString(b, m.Token)
+	case *HelloOK:
+		return appendU64([]byte{TypeHelloOK}, m.SessionID)
+	case *Exec:
+		b := appendString([]byte{TypeExec}, m.SQL)
+		return appendParams(b, m.Params)
+	case *Query:
+		b := appendString([]byte{TypeQuery}, m.SQL)
+		return appendParams(b, m.Params)
+	case *Prepare:
+		return appendString([]byte{TypePrepare}, m.SQL)
+	case *StmtExec:
+		b := appendU32([]byte{TypeStmtExec}, m.ID)
+		return appendParams(b, m.Params)
+	case *StmtQuery:
+		b := appendU32([]byte{TypeStmtQuery}, m.ID)
+		return appendParams(b, m.Params)
+	case *StmtClose:
+		return appendU32([]byte{TypeStmtClose}, m.ID)
+	case *Ping:
+		return []byte{TypePing}
+	case *Goodbye:
+		return []byte{TypeGoodbye}
+	case *Stats:
+		return []byte{TypeStats}
+	case *Error:
+		b := appendU16([]byte{TypeError}, m.Code)
+		return appendString(b, m.Msg)
+	case *Result:
+		return appendI64([]byte{TypeResult}, m.RowsAffected)
+	case *RowsHeader:
+		b := appendU32([]byte{TypeRowsHdr}, uint32(len(m.Columns)))
+		for _, c := range m.Columns {
+			b = appendString(b, c)
+		}
+		return b
+	case *RowBatch:
+		b := []byte{TypeRowBatch}
+		if m.Last {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendU32(b, uint32(len(m.Rows)))
+		for _, r := range m.Rows {
+			b = appendBytes(b, types.EncodeRow(nil, r))
+		}
+		return b
+	case *Prepared:
+		b := appendU32([]byte{TypePrepared}, m.ID)
+		if m.IsQuery {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	case *Pong:
+		return []byte{TypePong}
+	case *StatsResult:
+		return appendBytes([]byte{TypeStatsRes}, m.JSON)
+	}
+	panic(fmt.Sprintf("protocol: Encode of unknown message %T", m))
+}
+
+// --- decoding ----------------------------------------------------------------
+
+// dec is a bounds-checked cursor over a message body. Every getter
+// reports failure by setting err; callers check once at the end.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrShortFrame
+	}
+	d.b = nil
+}
+
+func (d *dec) u16() uint16 {
+	if len(d.b) < 2 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b)
+	d.b = d.b[2:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if len(d.b) < 4 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) byte() byte {
+	if len(d.b) < 1 {
+		d.fail()
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if uint32(len(d.b)) < n {
+		d.fail()
+		return nil
+	}
+	v := d.b[:n]
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+// row decodes one length-prefixed EncodeRow payload, bounding the
+// declared value count by the payload size (each value costs at least
+// one byte) so a hostile count cannot drive a huge allocation.
+func (d *dec) row() []types.Value {
+	p := d.bytes()
+	if d.err != nil {
+		return nil
+	}
+	if len(p) == 0 {
+		d.fail()
+		return nil
+	}
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		d.fail()
+		return nil
+	}
+	row, err := types.DecodeRow(p)
+	if err != nil {
+		d.err = fmt.Errorf("%w: %v", ErrBadMessage, err)
+		d.b = nil
+		return nil
+	}
+	return row
+}
+
+// done finalizes a decode: any leftover bytes mean a malformed body.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if len(d.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b))
+	}
+	return nil
+}
+
+// maxListItems bounds decoded list lengths by the bytes that could
+// possibly back them (each item costs at least one byte on the wire).
+func maxListItems(n uint32, remaining int) bool { return uint64(n) <= uint64(remaining) }
+
+// Decode parses a frame payload into its message struct.
+func Decode(payload []byte) (any, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrBadMessage)
+	}
+	d := &dec{b: payload[1:]}
+	switch payload[0] {
+	case TypeHello:
+		m := &Hello{Version: d.u32(), Tenant: d.i64(), Token: d.str()}
+		return m, d.done()
+	case TypeHelloOK:
+		m := &HelloOK{SessionID: d.u64()}
+		return m, d.done()
+	case TypeExec:
+		m := &Exec{SQL: d.str(), Params: d.row()}
+		return m, d.done()
+	case TypeQuery:
+		m := &Query{SQL: d.str(), Params: d.row()}
+		return m, d.done()
+	case TypePrepare:
+		m := &Prepare{SQL: d.str()}
+		return m, d.done()
+	case TypeStmtExec:
+		m := &StmtExec{ID: d.u32(), Params: d.row()}
+		return m, d.done()
+	case TypeStmtQuery:
+		m := &StmtQuery{ID: d.u32(), Params: d.row()}
+		return m, d.done()
+	case TypeStmtClose:
+		m := &StmtClose{ID: d.u32()}
+		return m, d.done()
+	case TypePing:
+		return &Ping{}, d.done()
+	case TypeGoodbye:
+		return &Goodbye{}, d.done()
+	case TypeStats:
+		return &Stats{}, d.done()
+	case TypeError:
+		m := &Error{Code: d.u16(), Msg: d.str()}
+		return m, d.done()
+	case TypeResult:
+		m := &Result{RowsAffected: d.i64()}
+		return m, d.done()
+	case TypeRowsHdr:
+		n := d.u32()
+		if d.err == nil && !maxListItems(n, len(d.b)) {
+			d.fail()
+		}
+		m := &RowsHeader{}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Columns = append(m.Columns, d.str())
+		}
+		return m, d.done()
+	case TypeRowBatch:
+		m := &RowBatch{Last: d.byte() != 0}
+		n := d.u32()
+		if d.err == nil && !maxListItems(n, len(d.b)) {
+			d.fail()
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Rows = append(m.Rows, d.row())
+		}
+		return m, d.done()
+	case TypePrepared:
+		m := &Prepared{ID: d.u32(), IsQuery: d.byte() != 0}
+		return m, d.done()
+	case TypePong:
+		return &Pong{}, d.done()
+	case TypeStatsRes:
+		b := d.bytes()
+		m := &StatsResult{JSON: append([]byte(nil), b...)}
+		return m, d.done()
+	}
+	return nil, fmt.Errorf("%w: unknown type 0x%02x", ErrBadMessage, payload[0])
+}
+
+// SanitizeParams rejects parameter values a server should never accept
+// from the wire (NaN floats break index ordering invariants).
+func SanitizeParams(params []types.Value) error {
+	for i, v := range params {
+		if v.Kind == types.KindFloat && math.IsNaN(v.Float) {
+			return fmt.Errorf("%w: parameter %d is NaN", ErrBadMessage, i)
+		}
+	}
+	return nil
+}
+
+// Error implements the error interface so servers' Error messages can
+// flow through Go error returns on the client.
+func (e *Error) Error() string {
+	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Audit event names.
+const (
+	AuditConnect    = "connect"     // handshake accepted
+	AuditAuthFail   = "auth_fail"   // bad tenant or token
+	AuditQuota      = "quota_reject" // session quota exhausted
+	AuditRateLimit  = "rate_limit"  // statement rejected by rate limiter
+	AuditStatement  = "statement"   // one statement (only with Statements on)
+	AuditDisconnect = "disconnect"  // session reaped
+)
+
+// AuditEvent is one append-only audit record.
+type AuditEvent struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Tenant int64     `json:"tenant"`
+	Conn   uint64    `json:"conn"`
+	Event  string    `json:"event"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// AuditLog is an append-only log of security-relevant server events.
+// Every record gets a strictly increasing sequence number; the most
+// recent records are kept in a bounded in-memory ring, and each record
+// is optionally mirrored as a JSON line to a writer (a file, for a
+// durable trail). Safe for concurrent use.
+type AuditLog struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []AuditEvent // newest at the end, bounded by max
+	max  int
+	w    io.Writer
+
+	// Statements also audits every statement (high volume; off by
+	// default — connection and rejection events are always recorded).
+	Statements bool
+}
+
+// NewAuditLog returns an audit log keeping up to max recent events in
+// memory (default 4096 if max <= 0) and mirroring records to w as JSON
+// lines when w is non-nil.
+func NewAuditLog(max int, w io.Writer) *AuditLog {
+	if max <= 0 {
+		max = 4096
+	}
+	return &AuditLog{max: max, w: w}
+}
+
+// Record appends one event. A nil log is a no-op, so call sites never
+// need to guard.
+func (l *AuditLog) Record(tenant int64, conn uint64, event, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e := AuditEvent{
+		Seq:    l.seq,
+		Time:   time.Now(),
+		Tenant: tenant,
+		Conn:   conn,
+		Event:  event,
+		Detail: detail,
+	}
+	l.ring = append(l.ring, e)
+	if len(l.ring) > l.max {
+		// Drop the oldest; the ring only ever exceeds max by one.
+		copy(l.ring, l.ring[1:])
+		l.ring = l.ring[:l.max]
+	}
+	if l.w != nil {
+		if b, err := json.Marshal(e); err == nil {
+			l.w.Write(append(b, '\n'))
+		}
+	}
+}
+
+// Seq reports the number of events ever recorded.
+func (l *AuditLog) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Recent returns the newest n events, oldest first.
+func (l *AuditLog) Recent(n int) []AuditEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]AuditEvent, n)
+	copy(out, l.ring[len(l.ring)-n:])
+	return out
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Authentication and admission errors; the connection handler maps
+// them onto protocol error codes.
+var (
+	// ErrAuth: unknown tenant or wrong token. Deliberately one error for
+	// both, so the handshake does not leak which tenants exist.
+	ErrAuth = errors.New("server: authentication failed")
+	// ErrQuota: the tenant's concurrent-session quota is exhausted.
+	ErrQuota = errors.New("server: session quota exhausted")
+	// ErrRateLimited: the tenant's statement rate limit is exhausted.
+	ErrRateLimited = errors.New("server: statement rate limit exceeded")
+)
+
+// Credentials configure one tenant's access.
+type Credentials struct {
+	// Token is the shared secret presented in the handshake.
+	Token string
+	// MaxSessions bounds the tenant's concurrent connections; 0 means
+	// unlimited.
+	MaxSessions int
+	// StatementsPerSec is the tenant's sustained statement rate; 0 means
+	// unlimited. Burst is the token-bucket depth (default: the rate,
+	// minimum 1) — short spikes up to Burst statements pass at line
+	// speed before the sustained rate applies.
+	StatementsPerSec float64
+	Burst            float64
+}
+
+// tenantAuth is one tenant's registered credentials plus its live
+// admission state (session count, rate-limiter bucket).
+type tenantAuth struct {
+	creds Credentials
+
+	mu       sync.Mutex
+	sessions int
+	tokens   float64
+	last     time.Time
+}
+
+// Authenticator holds per-tenant credentials, session quotas, and
+// statement rate limits. Safe for concurrent use.
+type Authenticator struct {
+	mu      sync.RWMutex
+	tenants map[int64]*tenantAuth
+
+	// now is the clock (swapped by rate-limit tests).
+	now func() time.Time
+}
+
+// NewAuthenticator returns an empty credential registry.
+func NewAuthenticator() *Authenticator {
+	return &Authenticator{tenants: make(map[int64]*tenantAuth), now: time.Now}
+}
+
+// Register installs (or replaces) a tenant's credentials.
+func (a *Authenticator) Register(tenant int64, c Credentials) {
+	if c.StatementsPerSec > 0 && c.Burst <= 0 {
+		c.Burst = c.StatementsPerSec
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tenants[tenant] = &tenantAuth{creds: c, tokens: c.Burst}
+}
+
+// lookup returns the tenant's auth state, or nil.
+func (a *Authenticator) lookup(tenant int64) *tenantAuth {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.tenants[tenant]
+}
+
+// Authenticate checks a handshake's credentials in constant time (for
+// the token comparison; tenant existence necessarily short-circuits).
+func (a *Authenticator) Authenticate(tenant int64, token string) error {
+	ta := a.lookup(tenant)
+	if ta == nil {
+		return fmt.Errorf("%w (tenant %d)", ErrAuth, tenant)
+	}
+	if subtle.ConstantTimeCompare([]byte(ta.creds.Token), []byte(token)) != 1 {
+		return fmt.Errorf("%w (tenant %d)", ErrAuth, tenant)
+	}
+	return nil
+}
+
+// AcquireSession claims a session slot under the tenant's quota; the
+// caller must ReleaseSession exactly once on success.
+func (a *Authenticator) AcquireSession(tenant int64) error {
+	ta := a.lookup(tenant)
+	if ta == nil {
+		return fmt.Errorf("%w (tenant %d)", ErrAuth, tenant)
+	}
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if ta.creds.MaxSessions > 0 && ta.sessions >= ta.creds.MaxSessions {
+		return fmt.Errorf("%w (tenant %d: %d open)", ErrQuota, tenant, ta.sessions)
+	}
+	ta.sessions++
+	return nil
+}
+
+// ReleaseSession returns a session slot.
+func (a *Authenticator) ReleaseSession(tenant int64) {
+	ta := a.lookup(tenant)
+	if ta == nil {
+		return
+	}
+	ta.mu.Lock()
+	if ta.sessions > 0 {
+		ta.sessions--
+	}
+	ta.mu.Unlock()
+}
+
+// Sessions reports a tenant's open session count.
+func (a *Authenticator) Sessions(tenant int64) int {
+	ta := a.lookup(tenant)
+	if ta == nil {
+		return 0
+	}
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	return ta.sessions
+}
+
+// AllowStatement charges one statement against the tenant's rate
+// limit (a token bucket refilled at StatementsPerSec up to Burst).
+func (a *Authenticator) AllowStatement(tenant int64) error {
+	ta := a.lookup(tenant)
+	if ta == nil {
+		return fmt.Errorf("%w (tenant %d)", ErrAuth, tenant)
+	}
+	rate := ta.creds.StatementsPerSec
+	if rate <= 0 {
+		return nil
+	}
+	now := a.now()
+	ta.mu.Lock()
+	defer ta.mu.Unlock()
+	if !ta.last.IsZero() {
+		ta.tokens += now.Sub(ta.last).Seconds() * rate
+		if ta.tokens > ta.creds.Burst {
+			ta.tokens = ta.creds.Burst
+		}
+	}
+	ta.last = now
+	if ta.tokens < 1 {
+		return fmt.Errorf("%w (tenant %d)", ErrRateLimited, tenant)
+	}
+	ta.tokens--
+	return nil
+}

@@ -1,0 +1,556 @@
+// Package server is the network front door over the engine: it speaks
+// the internal/protocol wire format, authenticates tenants (token
+// check, session quota, statement rate limit — see Authenticator),
+// keeps an append-only audit trail, and multiplexes one engine Session
+// (or one session-backed tenant Mapper, in layout mode) per accepted
+// connection through a registry.
+//
+// Disconnect semantics are the package's reason to exist: however a
+// connection dies — clean Goodbye, torn frame, TCP reset mid-DML,
+// server shutdown — the reap path runs exactly once and closes the
+// engine session, which waits out any in-flight statement, rolls back
+// the open transaction, releases write-admission tokens, and unpins
+// the snapshot. A dropped client can therefore never wedge the GC
+// horizon or leak a quota slot.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mvcc"
+	"repro/internal/protocol"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// DB is the engine to serve. Required.
+	DB *engine.DB
+	// Layout, when non-nil, puts the server in layout mode: clients send
+	// LOGICAL SQL which is tenant-rewritten through a session-backed
+	// core.Mapper, so a connection can only ever touch its own tenant's
+	// rows. With Layout nil, clients send physical SQL straight to an
+	// engine session (trusted/admin deployments and the benchmarks).
+	Layout core.Layout
+	// Auth authenticates handshakes and enforces quotas and rate limits.
+	// Nil accepts every credential with no limits (tests, local bench).
+	Auth *Authenticator
+	// Audit receives connection and rejection events (nil: no auditing).
+	Audit *AuditLog
+	// MaxRowBatch bounds rows per RowBatch frame (default 256).
+	MaxRowBatch int
+	// HandshakeTimeout bounds how long an accepted connection may take
+	// to complete its Hello (default 5s) so half-open connections cannot
+	// hold sockets forever.
+	HandshakeTimeout time.Duration
+}
+
+// Stats is a point-in-time snapshot of the server's counters plus the
+// engine's leak-relevant gauges.
+type Stats struct {
+	Accepted        int64 `json:"accepted"`
+	OpenSessions    int   `json:"open_sessions"`
+	Statements      int64 `json:"statements"`
+	AuthFailures    int64 `json:"auth_failures"`
+	QuotaRejects    int64 `json:"quota_rejects"`
+	RateLimited     int64 `json:"rate_limited"`
+	ProtocolErrors  int64 `json:"protocol_errors"`
+	AuditSeq        uint64 `json:"audit_seq"`
+	ActiveTxns      int64 `json:"active_txns"`
+	PinnedSnapshots int64 `json:"pinned_snapshots"`
+}
+
+// Server accepts protocol connections and drives them against the
+// engine. Construct with New, then Serve/ListenAndServe.
+type Server struct {
+	cfg Config
+	reg *registry
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	nextID uint64
+
+	wg sync.WaitGroup
+
+	accepted    atomic.Int64
+	statements  atomic.Int64
+	authFails   atomic.Int64
+	quotaFails  atomic.Int64
+	rateLimited atomic.Int64
+	protoErrors atomic.Int64
+}
+
+// New builds a server over cfg. cfg.DB is required.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.MaxRowBatch <= 0 {
+		cfg.MaxRowBatch = 256
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	return &Server{cfg: cfg, reg: newRegistry()}, nil
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Start listens on addr and serves in a background goroutine,
+// returning the bound address (use ":0" for an ephemeral port).
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on ln until Close. It returns
+// ErrServerClosed after a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(nc)
+		}()
+	}
+}
+
+// Close stops accepting, reaps every live session (rolling back its
+// open transaction), and waits for the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range s.reg.snapshot() {
+		s.reap(c, "server shutdown")
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// OpenSessions reports live registered sessions (the drain check).
+func (s *Server) OpenSessions() int { return s.reg.len() }
+
+// CloseSessions reaps every currently live session — rolling back open
+// transactions and dropping the sockets — while the listener keeps
+// accepting. An admin drain, and the client pool tests' way to
+// simulate a server-side kill.
+func (s *Server) CloseSessions() {
+	for _, c := range s.reg.snapshot() {
+		s.reap(c, "admin session close")
+	}
+}
+
+// Stats snapshots the server's counters and the engine's leak gauges.
+func (s *Server) Stats() Stats {
+	est := s.cfg.DB.Stats()
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		OpenSessions:    s.reg.len(),
+		Statements:      s.statements.Load(),
+		AuthFailures:    s.authFails.Load(),
+		QuotaRejects:    s.quotaFails.Load(),
+		RateLimited:     s.rateLimited.Load(),
+		ProtocolErrors:  s.protoErrors.Load(),
+		AuditSeq:        s.cfg.Audit.Seq(),
+		ActiveTxns:      est.ActiveTxns,
+		PinnedSnapshots: est.PinnedSnapshots,
+	}
+}
+
+// --- connection handling -----------------------------------------------------
+
+// writeMsg frames, writes, and flushes one message.
+func writeMsg(bw *bufio.Writer, m any) error {
+	if err := protocol.WriteFrame(bw, protocol.Encode(m)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// errCode maps a statement error onto its protocol error code.
+func errCode(err error) uint16 {
+	switch {
+	case errors.Is(err, mvcc.ErrWriteConflict):
+		return protocol.CodeConflict
+	case errors.Is(err, engine.ErrSessionClosed):
+		return protocol.CodeClosed
+	}
+	return protocol.CodeSQL
+}
+
+// handleConn runs one connection: handshake, then the statement loop.
+func (s *Server) handleConn(nc net.Conn) {
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+
+	c, ok := s.handshake(nc, br, bw)
+	if !ok {
+		nc.Close()
+		return
+	}
+	defer s.reap(c, "connection closed")
+
+	for {
+		payload, err := protocol.ReadFrame(br)
+		if err != nil {
+			// io.EOF at a frame boundary is the normal abrupt close; a
+			// torn frame, oversized frame, or bad CRC is a protocol error
+			// worth telling the peer about (best effort) before dropping.
+			if errors.Is(err, protocol.ErrBadCRC) || errors.Is(err, protocol.ErrFrameTooLarge) {
+				s.protoErrors.Add(1)
+				writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+			}
+			return
+		}
+		msg, err := protocol.Decode(payload)
+		if err != nil {
+			s.protoErrors.Add(1)
+			writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+			return
+		}
+		if done, err := s.dispatch(c, bw, msg); done || err != nil {
+			return
+		}
+	}
+}
+
+// handshake performs the credentialed Hello exchange under a deadline.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*connState, bool) {
+	nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	defer nc.SetReadDeadline(time.Time{})
+
+	payload, err := protocol.ReadFrame(br)
+	if err != nil {
+		return nil, false
+	}
+	msg, err := protocol.Decode(payload)
+	if err != nil {
+		s.protoErrors.Add(1)
+		writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+		return nil, false
+	}
+	hello, ok := msg.(*protocol.Hello)
+	if !ok {
+		s.protoErrors.Add(1)
+		writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: "expected Hello"})
+		return nil, false
+	}
+	if hello.Version != protocol.Version {
+		s.protoErrors.Add(1)
+		writeMsg(bw, &protocol.Error{
+			Code: protocol.CodeProtocol,
+			Msg:  fmt.Sprintf("protocol version %d, server speaks %d", hello.Version, protocol.Version),
+		})
+		return nil, false
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	if s.cfg.Auth != nil {
+		if err := s.cfg.Auth.Authenticate(hello.Tenant, hello.Token); err != nil {
+			s.authFails.Add(1)
+			s.cfg.Audit.Record(hello.Tenant, id, AuditAuthFail, err.Error())
+			writeMsg(bw, &protocol.Error{Code: protocol.CodeAuth, Msg: "authentication failed"})
+			return nil, false
+		}
+		if err := s.cfg.Auth.AcquireSession(hello.Tenant); err != nil {
+			s.quotaFails.Add(1)
+			s.cfg.Audit.Record(hello.Tenant, id, AuditQuota, err.Error())
+			writeMsg(bw, &protocol.Error{Code: protocol.CodeQuota, Msg: err.Error()})
+			return nil, false
+		}
+	}
+	c := &connState{id: id, tenant: hello.Tenant, nc: nc, stmts: make(map[uint32]*prepStmt)}
+	if s.cfg.Layout != nil {
+		c.mapper = core.NewSessionMapper(s.cfg.DB, s.cfg.Layout)
+		c.sess = c.mapper.Session
+	} else {
+		c.sess = s.cfg.DB.Session()
+	}
+	s.reg.add(c)
+	s.cfg.Audit.Record(c.tenant, c.id, AuditConnect, nc.RemoteAddr().String())
+	if err := writeMsg(bw, &protocol.HelloOK{SessionID: id}); err != nil {
+		s.reap(c, "handshake write failed")
+		return nil, false
+	}
+	return c, true
+}
+
+// reap tears one connection down exactly once: socket, engine session
+// (rollback of any open transaction, admission tokens, snapshot pin),
+// registry entry, quota slot, audit record — in that order, so by the
+// time the registry is empty the engine holds nothing for this client.
+func (s *Server) reap(c *connState, reason string) {
+	c.reapOnce.Do(func() {
+		c.nc.Close()
+		c.sess.Close()
+		s.reg.remove(c.id)
+		if s.cfg.Auth != nil {
+			s.cfg.Auth.ReleaseSession(c.tenant)
+		}
+		s.cfg.Audit.Record(c.tenant, c.id, AuditDisconnect, reason)
+	})
+}
+
+// admitStatement charges the rate limiter; on rejection it reports the
+// Error to the client (the connection survives) and returns false.
+// detail is the statement summary for the (optional) per-statement
+// audit trail.
+func (s *Server) admitStatement(c *connState, bw *bufio.Writer, detail string) bool {
+	s.statements.Add(1)
+	if s.cfg.Audit != nil && s.cfg.Audit.Statements {
+		s.cfg.Audit.Record(c.tenant, c.id, AuditStatement, detail)
+	}
+	if s.cfg.Auth == nil {
+		return true
+	}
+	if err := s.cfg.Auth.AllowStatement(c.tenant); err != nil {
+		s.rateLimited.Add(1)
+		s.cfg.Audit.Record(c.tenant, c.id, AuditRateLimit, err.Error())
+		writeMsg(bw, &protocol.Error{Code: protocol.CodeRateLimit, Msg: err.Error()})
+		return false
+	}
+	return true
+}
+
+// dispatch handles one decoded client message. done means the
+// connection should close (Goodbye); a non-nil error means the socket
+// is gone.
+func (s *Server) dispatch(c *connState, bw *bufio.Writer, msg any) (done bool, err error) {
+	switch m := msg.(type) {
+	case *protocol.Ping:
+		return false, writeMsg(bw, &protocol.Pong{})
+	case *protocol.Goodbye:
+		s.reap(c, "goodbye")
+		return true, nil
+	case *protocol.Stats:
+		b, jerr := json.Marshal(s.Stats())
+		if jerr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: jerr.Error()})
+		}
+		return false, writeMsg(bw, &protocol.StatsResult{JSON: b})
+
+	case *protocol.Exec:
+		if !s.admitStatement(c, bw, m.SQL) {
+			return false, nil
+		}
+		if perr := protocol.SanitizeParams(m.Params); perr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+		}
+		res, xerr := s.doExec(c, m.SQL, m.Params)
+		if xerr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
+		}
+		return false, writeMsg(bw, &protocol.Result{RowsAffected: res.RowsAffected})
+
+	case *protocol.Query:
+		if !s.admitStatement(c, bw, m.SQL) {
+			return false, nil
+		}
+		if perr := protocol.SanitizeParams(m.Params); perr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+		}
+		rows, qerr := s.doQuery(c, m.SQL, m.Params)
+		if qerr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
+		}
+		return false, s.writeRows(bw, rows)
+
+	case *protocol.Prepare:
+		ps, perr := s.prepare(c, m.SQL)
+		if perr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: errCode(perr), Msg: perr.Error()})
+		}
+		c.nextStmt++
+		id := c.nextStmt
+		c.stmts[id] = ps
+		return false, writeMsg(bw, &protocol.Prepared{ID: id, IsQuery: ps.isQuery})
+
+	case *protocol.StmtExec:
+		if !s.admitStatement(c, bw, fmt.Sprintf("stmt %d", m.ID)) {
+			return false, nil
+		}
+		ps, ok := c.stmts[m.ID]
+		if !ok {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
+		}
+		if perr := protocol.SanitizeParams(m.Params); perr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+		}
+		res, xerr := s.execPrepared(c, ps, m.Params)
+		if xerr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
+		}
+		return false, writeMsg(bw, &protocol.Result{RowsAffected: res.RowsAffected})
+
+	case *protocol.StmtQuery:
+		if !s.admitStatement(c, bw, fmt.Sprintf("stmt %d", m.ID)) {
+			return false, nil
+		}
+		ps, ok := c.stmts[m.ID]
+		if !ok {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
+		}
+		if perr := protocol.SanitizeParams(m.Params); perr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+		}
+		rows, qerr := s.queryPrepared(c, ps, m.Params)
+		if qerr != nil {
+			return false, writeMsg(bw, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
+		}
+		return false, s.writeRows(bw, rows)
+
+	case *protocol.StmtClose:
+		delete(c.stmts, m.ID)
+		return false, writeMsg(bw, &protocol.Result{})
+	}
+	s.protoErrors.Add(1)
+	return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: fmt.Sprintf("unexpected message %T", msg)})
+}
+
+// --- statement execution -----------------------------------------------------
+
+// doExec runs one non-query (or drained SELECT) statement.
+func (s *Server) doExec(c *connState, q string, params []types.Value) (engine.Result, error) {
+	if c.mapper == nil {
+		return c.sess.Exec(q, params...)
+	}
+	st, err := sql.Parse(q)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	if _, isSel := st.(*sql.SelectStmt); isSel {
+		// Exec-of-SELECT in layout mode: run and drain.
+		rows, qerr := c.mapper.Query(c.tenant, q, params...)
+		if qerr != nil {
+			return engine.Result{}, qerr
+		}
+		return engine.Result{RowsAffected: int64(len(rows.Data))}, nil
+	}
+	return c.mapper.Exec(c.tenant, q, params...)
+}
+
+// doQuery runs one SELECT.
+func (s *Server) doQuery(c *connState, q string, params []types.Value) (*engine.Rows, error) {
+	if c.mapper == nil {
+		return c.sess.Query(q, params...)
+	}
+	return c.mapper.Query(c.tenant, q, params...)
+}
+
+// prepare registers one statement. In raw mode it is parsed once and
+// the SQL string doubles as the engine's plan-cache key; in layout mode
+// the rewrite is tenant-dependent, so only the classification happens
+// here and the SQL is rewritten per execution.
+func (s *Server) prepare(c *connState, q string) (*prepStmt, error) {
+	st, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	ps := &prepStmt{sql: q, st: st}
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		ps.sel = sel
+		ps.isQuery = true
+	}
+	return ps, nil
+}
+
+func (s *Server) execPrepared(c *connState, ps *prepStmt, params []types.Value) (engine.Result, error) {
+	if c.mapper != nil {
+		return s.doExec(c, ps.sql, params)
+	}
+	return c.sess.ExecStmt(ps.st, ps.sql, params...)
+}
+
+func (s *Server) queryPrepared(c *connState, ps *prepStmt, params []types.Value) (*engine.Rows, error) {
+	if !ps.isQuery {
+		return nil, fmt.Errorf("server: prepared statement is not a query")
+	}
+	if c.mapper != nil {
+		return c.mapper.Query(c.tenant, ps.sql, params...)
+	}
+	return c.sess.QueryStmt(ps.sel, ps.sql, params...)
+}
+
+// writeRows streams a materialized result as RowsHeader + RowBatch
+// frames, chunked to MaxRowBatch rows per frame; the final batch
+// carries Last (a zero-row result is a single empty Last batch).
+func (s *Server) writeRows(bw *bufio.Writer, rows *engine.Rows) error {
+	if err := protocol.WriteFrame(bw, protocol.Encode(&protocol.RowsHeader{Columns: rows.Columns})); err != nil {
+		return err
+	}
+	data := rows.Data
+	for {
+		n := len(data)
+		last := n <= s.cfg.MaxRowBatch
+		if !last {
+			n = s.cfg.MaxRowBatch
+		}
+		rb := &protocol.RowBatch{Rows: data[:n], Last: last}
+		if err := protocol.WriteFrame(bw, protocol.Encode(rb)); err != nil {
+			return err
+		}
+		if last {
+			return bw.Flush()
+		}
+		data = data[n:]
+	}
+}

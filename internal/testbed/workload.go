@@ -297,7 +297,14 @@ type Action struct {
 // Controller also randomly selects tenants, with an equal distribution,
 // and assigns one to each card").
 func (w *Workload) NextAction(r *rand.Rand, class ActionClass, adminSeq *int64) Action {
-	tenantIdx := r.Intn(w.tenants)
+	return w.NextActionFor(r, class, r.Intn(w.tenants), adminSeq)
+}
+
+// NextActionFor deals one card for a specific tenant (0-based index).
+// The network benchmark uses it to bind each connection to the tenant
+// it authenticated as, mirroring how a SaaS client only ever issues
+// statements for its own tenant.
+func (w *Workload) NextActionFor(r *rand.Rand, class ActionClass, tenantIdx int, adminSeq *int64) Action {
 	a := Action{Class: class, Tenant: int64(tenantIdx + 1)}
 	base := CRMTables[r.Intn(len(CRMTables))]
 	table := w.TableFor(tenantIdx, base)
