@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke check
+.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke bench-net-pipeline check
 
 all: check
 
@@ -67,8 +67,16 @@ bench-net:
 
 # Reduced -net sweep (CI regression canary): the full network path —
 # dial, handshake, auth, wire transactions, drain invariant — in
-# seconds, writing its JSON to the system temp dir.
+# seconds, writing its JSON to the system temp dir. Runs both frame
+# modes so the zero-leak drain holds with pipelining on AND off.
 bench-net-smoke:
 	$(GO) run ./cmd/mtdbench -net -net-smoke
+	$(GO) run ./cmd/mtdbench -net -net-smoke -net-pipeline=false
+
+# Pipelining ablation: the full -net sweep with one Batch frame per
+# action vs one round trip per statement, side by side.
+bench-net-pipeline:
+	$(GO) run ./cmd/mtdbench -net -json-out BENCH_6.json
+	$(GO) run ./cmd/mtdbench -net -net-pipeline=false -json-out BENCH_6_nopipeline.json
 
 check: build vet test race race-bench bench-smoke

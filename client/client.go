@@ -202,6 +202,143 @@ func (c *Conn) protocolViolation(got any) error {
 	return fmt.Errorf("client: unexpected reply %T", got)
 }
 
+// --- pipelining --------------------------------------------------------------
+
+// PipelineStmt is one statement in a pipelined batch. Query selects
+// the streamed-rows reply shape; everything else answers a row count.
+type PipelineStmt struct {
+	Query  bool
+	SQL    string
+	Params []types.Value
+}
+
+// PipelineResult is one statement's outcome, index-matched to the
+// batch. Exactly one of Err, Rows (queries), or RowsAffected (execs)
+// is meaningful.
+type PipelineResult struct {
+	Err          error // *protocol.Error for server-side failures
+	RowsAffected int64
+	Rows         *Rows // non-nil for successful queries
+}
+
+// Poisoned reports that this statement was never executed because an
+// earlier statement in the batch failed (see protocol.CodePoisoned).
+func (r PipelineResult) Poisoned() bool {
+	code, ok := ErrorCode(r.Err)
+	return ok && code == protocol.CodePoisoned
+}
+
+// Pipeline sends all statements in one Batch frame and collects the
+// tagged replies — one network round trip for the whole sequence
+// instead of one per statement.
+//
+// The server executes strictly in order and stops at the first
+// failure: the failing statement's result carries the real error, and
+// every later statement comes back Poisoned (not executed). A
+// transaction pipelined as BEGIN…COMMIT therefore cannot half-commit;
+// on error the caller owns cleanup (typically a ROLLBACK — the
+// connection itself stays usable).
+//
+// The returned slice always has len(stmts) entries unless the
+// transport failed, in which case the error is non-nil and the
+// connection is broken.
+func (c *Conn) Pipeline(stmts []PipelineStmt) ([]PipelineResult, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	if len(stmts) > protocol.MaxBatch {
+		return nil, fmt.Errorf("client: batch of %d exceeds protocol.MaxBatch (%d)", len(stmts), protocol.MaxBatch)
+	}
+	b := &protocol.Batch{Stmts: make([]protocol.BatchStmt, len(stmts))}
+	for i, st := range stmts {
+		b.Stmts[i] = protocol.BatchStmt{Query: st.Query, SQL: st.SQL, Params: st.Params}
+	}
+
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if c.closed || c.broken {
+		return nil, ErrConnClosed
+	}
+	if err := protocol.WriteFrame(c.bw, protocol.Encode(b)); err != nil {
+		c.broken = true
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.broken = true
+		return nil, err
+	}
+
+	results := make([]PipelineResult, len(stmts))
+	seen := make([]bool, len(stmts))
+	take := func(idx uint32) (int, error) {
+		i := int(idx)
+		if i >= len(stmts) || seen[i] {
+			c.broken = true
+			return 0, fmt.Errorf("client: batch reply for bad index %d", idx)
+		}
+		seen[i] = true
+		return i, nil
+	}
+	for {
+		reply, err := readMsg(c.br)
+		if err != nil {
+			c.broken = true
+			return nil, err
+		}
+		switch m := reply.(type) {
+		case *protocol.BatchResult:
+			i, err := take(m.Index)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = PipelineResult{RowsAffected: m.RowsAffected}
+		case *protocol.BatchError:
+			i, err := take(m.Index)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = PipelineResult{Err: &protocol.Error{Code: m.Code, Msg: m.Msg}}
+		case *protocol.BatchRowsHeader:
+			i, err := take(m.Index)
+			if err != nil {
+				return nil, err
+			}
+			rows := &Rows{Columns: m.Columns}
+			for {
+				next, err := readMsg(c.br)
+				if err != nil {
+					c.broken = true
+					return nil, err
+				}
+				rb, ok := next.(*protocol.RowBatch)
+				if !ok {
+					return nil, c.protocolViolation(next)
+				}
+				rows.Data = append(rows.Data, rb.Rows...)
+				if rb.Last {
+					break
+				}
+			}
+			results[i] = PipelineResult{Rows: rows}
+		case *protocol.BatchDone:
+			for i := range seen {
+				if !seen[i] {
+					c.broken = true
+					return nil, fmt.Errorf("client: BatchDone with statement %d unanswered", i)
+				}
+			}
+			return results, nil
+		case *protocol.Error:
+			// A non-batch error (e.g. protocol-level) aborts the exchange;
+			// the reply stream is no longer 1:1 with the batch.
+			c.broken = true
+			return nil, m
+		default:
+			return nil, c.protocolViolation(reply)
+		}
+	}
+}
+
 // Ping round-trips a health check.
 func (c *Conn) Ping() error {
 	reply, err := c.roundTrip(&protocol.Ping{})

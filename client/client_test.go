@@ -262,3 +262,70 @@ func TestPoolBackgroundHealthLoop(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestConnPipeline: one Batch frame carries a whole transaction; the
+// results come back index-matched, and a mid-pipeline failure surfaces
+// as the real error at its index with everything after Poisoned.
+func TestConnPipeline(t *testing.T) {
+	_, _, addr := startServer(t, server.Config{})
+	c, err := Dial(Config{Addr: addr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results, err := c.Pipeline([]PipelineStmt{
+		{SQL: "BEGIN"},
+		{SQL: "UPDATE t SET v = 21 WHERE k = ?", Params: []types.Value{types.NewInt(1)}},
+		{SQL: "COMMIT"},
+		{Query: true, SQL: "SELECT v FROM t WHERE k = 1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].RowsAffected != 1 {
+		t.Fatalf("update: %+v", results[1])
+	}
+	if results[3].Rows == nil || results[3].Rows.Data[0][0].Int != 21 {
+		t.Fatalf("select: %+v", results[3])
+	}
+
+	// A failing statement poisons the tail; the connection survives and
+	// ROLLBACK clears the open transaction.
+	results, err = c.Pipeline([]PipelineStmt{
+		{SQL: "BEGIN"},
+		{SQL: "UPDATE nosuch SET v = 1"},
+		{SQL: "UPDATE t SET v = 99 WHERE k = 1"},
+		{SQL: "COMMIT"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, ok := ErrorCode(results[1].Err); !ok || code != protocol.CodeSQL {
+		t.Fatalf("stmt 1: %+v", results[1])
+	}
+	for _, i := range []int{2, 3} {
+		if !results[i].Poisoned() {
+			t.Fatalf("stmt %d not poisoned: %+v", i, results[i])
+		}
+	}
+	if _, err := c.Exec("ROLLBACK"); err != nil {
+		t.Fatalf("rollback after poisoned batch: %v", err)
+	}
+	rows, err := c.Query("SELECT v FROM t WHERE k = 1")
+	if err != nil || rows.Data[0][0].Int != 21 {
+		t.Fatalf("poisoned write leaked: %v %v", rows, err)
+	}
+
+	// Empty and oversized batches are client-side errors.
+	if res, err := c.Pipeline(nil); res != nil || err != nil {
+		t.Fatalf("empty pipeline: %v %v", res, err)
+	}
+	big := make([]PipelineStmt, protocol.MaxBatch+1)
+	if _, err := c.Pipeline(big); err == nil {
+		t.Fatal("oversized pipeline accepted")
+	}
+	if !c.Healthy() {
+		t.Fatal("connection should survive client-side validation errors")
+	}
+}

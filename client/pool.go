@@ -24,8 +24,8 @@ type PoolConfig struct {
 
 // pooled is an idle connection plus when it was returned.
 type pooled struct {
-	conn    *Conn
-	idleAt  time.Time
+	conn   *Conn
+	idleAt time.Time
 }
 
 // Pool is a bounded pool of protocol connections with health checks:

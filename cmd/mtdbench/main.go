@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -50,10 +51,25 @@ func main() {
 		netSmoke  = flag.Bool("net-smoke", false, "with -net, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		netConns  = flag.String("net-conns", "64,256,1024", "comma-separated connection counts for -net")
 		netActs   = flag.Int("net-actions", 6000, "total actions per -net sweep point, split across its connections")
+		netPipe   = flag.Bool("net-pipeline", true, "with -net, pipeline each action's statements into one Batch frame (false: one round trip per statement)")
+		netSlots  = flag.Int("net-slots", 0, "with -net, the server's fair-admission slot count (0: server default, negative: unlimited)")
 		sessList  = flag.String("scaling-sessions", "1,2,4,8,16", "comma-separated session counts for -scaling")
 		jsonOut   = flag.String("json-out", "", "with -scaling, also write the sweep as JSON to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *scaling {
 		runScaling(*sessList, *tenants, *rows, *actions, *memMB, *latency, *seed, *jsonOut)
@@ -86,7 +102,7 @@ func main() {
 		} else if out == "" {
 			out = "BENCH_6.json"
 		}
-		runNetBench(out, connsList, actions, *netSmoke)
+		runNetBench(out, connsList, actions, *netSmoke, *netPipe, *netSlots)
 		return
 	}
 	if *txnBench {

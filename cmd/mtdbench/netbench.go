@@ -4,13 +4,17 @@
 // calling the mapper in-process. It sweeps the concurrent connection
 // count (default 64/256/1024); every connection authenticates as one
 // tenant and runs its share of the card deck, with each DML action
-// wrapped in an explicit BEGIN/COMMIT over the wire. Each point
-// reports commits/sec, statements/sec, and p50/p99 whole-action
-// latency, and then asserts the drain invariant: after every client
-// disconnects, the server must hold zero sessions, zero active
-// transactions, and zero pinned snapshots — a leaked session would
-// pin the MVCC GC horizon forever. Results land in BENCH_6.json;
-// -net-smoke runs a reduced sweep for CI.
+// wrapped in an explicit BEGIN/COMMIT over the wire. By default each
+// action's statements travel pipelined in one Batch frame (one round
+// trip per action instead of one per statement); -net-pipeline=false
+// restores the statement-at-a-time path for comparison. Each point
+// reports commits/sec, statements/sec, p50/p99 whole-action latency,
+// and the statement-path telemetry (rewrite-cache hit rate, plan-cache
+// hits, executor queueing), and then asserts the drain invariant:
+// after every client disconnects, the server must hold zero sessions,
+// zero active transactions, and zero pinned snapshots — a leaked
+// session would pin the MVCC GC horizon forever. Results land in
+// BENCH_6.json; -net-smoke runs a reduced sweep for CI.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,10 +36,15 @@ import (
 )
 
 type netPoint struct {
-	Conns          int   `json:"conns"`
-	ActionsPerConn int   `json:"actions_per_conn"`
+	Conns int `json:"conns"`
+	// ActionsTarget is the point's exact share of the sweep's total:
+	// base = target/conns actions per connection, with the remainder
+	// dealt one extra to the first target%conns connections.
+	ActionsTarget  int   `json:"actions_target"`
+	ActionsPerConn int   `json:"actions_per_conn"` // base share (min per conn)
 	Actions        int64 `json:"actions"`
 	Statements     int64 `json:"statements"` // server-side count for this point
+	Batches        int64 `json:"batches"`    // pipelined frames for this point
 	Commits        int64 `json:"commits"`
 	Conflicts      int64 `json:"conflicts"`
 	Errors         int64 `json:"errors"`
@@ -45,6 +55,17 @@ type netPoint struct {
 	P50ActionUs      float64 `json:"p50_action_us"`
 	P99ActionUs      float64 `json:"p99_action_us"`
 
+	// Statement-path telemetry, as deltas over the point's window.
+	RewriteHits        int64   `json:"rewrite_hits"`
+	RewriteMisses      int64   `json:"rewrite_misses"`
+	RewriteUncacheable int64   `json:"rewrite_uncacheable"`
+	RewriteHitRate     float64 `json:"rewrite_hit_rate"`
+	PlanCacheHits      int64   `json:"plan_cache_hits"`
+	PlanCacheMisses    int64   `json:"plan_cache_misses"`
+	ExecWaits          int64   `json:"exec_waits"`
+	ExecWaitMicros     int64   `json:"exec_wait_micros"`
+	ExecQueueMax       int     `json:"exec_queue_max"` // cumulative high-water
+
 	// Drain invariant after every connection closed: all must be zero.
 	LeakedSessions  int   `json:"leaked_sessions"`
 	ActiveTxns      int64 `json:"active_txns"`
@@ -52,11 +73,13 @@ type netPoint struct {
 }
 
 // runNetPoint runs one sweep point: conns concurrent connections, each
-// bound to tenant (connIdx % tenants) + 1, each running actionsPerConn
-// dealt cards against the shared server.
-func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actionsPerConn, tenants int, seed int64) netPoint {
+// bound to tenant (connIdx % tenants) + 1. totalActions is dealt
+// exactly: the first totalActions%conns connections run one extra
+// action on top of the totalActions/conns base.
+func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, totalActions, tenants int, seed int64, pipeline bool) netPoint {
 	deck := testbed.BuildDeck(rand.New(rand.NewSource(seed)))
 	var deckNext atomic.Int64
+	base, extra := totalActions/conns, totalActions%conns
 
 	before := srv.Stats()
 	var (
@@ -66,14 +89,21 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 	)
 
 	// Every worker dials and signals ready before any runs an action, so
-	// the measured window excludes the connection ramp-up.
+	// the measured window excludes the connection ramp-up; workers park
+	// again after their last action so it excludes the teardown too
+	// (1024 Goodbyes would otherwise bill the high-fan-in points for
+	// their own disconnect storm).
 	start := make(chan struct{})
+	finish := make(chan struct{})
 	ready := make(chan error, conns)
-	var wg sync.WaitGroup
+	var wg, actWg sync.WaitGroup
 	for i := 0; i < conns; i++ {
 		wg.Add(1)
+		actWg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			done := func() { actWg.Done() }
+			defer func() { done() }()
 			tenantIdx := i % tenants
 			c, err := client.Dial(client.Config{
 				Addr:   addr,
@@ -87,25 +117,39 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 			defer c.Close()
 			<-start
 
-			rng := rand.New(rand.NewSource(seed + 7919*int64(i)))
+			share := base
+			if i < extra {
+				share++
+			}
 			var adminSeq int64 // never advanced: Admin cards are remapped
-			local := make([]time.Duration, 0, actionsPerConn)
-			for n := 0; n < actionsPerConn; n++ {
-				class := deck[int(deckNext.Add(1))%len(deck)]
+			local := make([]time.Duration, 0, share)
+			for n := 0; n < share; n++ {
+				idx := deckNext.Add(1)
+				class := deck[int(idx)%len(deck)]
 				if class == testbed.Admin {
 					// Tenant provisioning is DDL the wire protocol does not
 					// carry; deal the card as a light select instead.
 					class = testbed.SelectLight
 				}
+				// The action rng is seeded by the card index, not the
+				// connection, so every sweep point runs the same 6000
+				// concrete actions — otherwise each point would draw a
+				// different statement mix and the cross-point comparison
+				// would measure deck luck along with concurrency.
+				rng := rand.New(rand.NewSource(seed + 7919*idx))
 				a := bed.Workload.NextActionFor(rng, class, tenantIdx, &adminSeq)
 				t0 := time.Now()
-				for _, q := range a.Queries {
-					if _, err := c.Query(q); err != nil {
-						errs.Add(1)
+				if pipeline {
+					runNetActionPipelined(c, a.Queries, a.Execs, &commits, &conflicts, &errs)
+				} else {
+					for _, q := range a.Queries {
+						if _, err := c.Query(q); err != nil {
+							errs.Add(1)
+						}
 					}
-				}
-				if len(a.Execs) > 0 {
-					runNetTxn(c, a.Execs, &commits, &conflicts, &errs)
+					if len(a.Execs) > 0 {
+						runNetTxn(c, a.Execs, &commits, &conflicts, &errs)
+					}
 				}
 				local = append(local, time.Since(t0))
 				actions.Add(1)
@@ -113,6 +157,9 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 			latMu.Lock()
 			lats = append(lats, local...)
 			latMu.Unlock()
+			done()
+			done = func() {}
+			<-finish
 		}(i)
 	}
 	for i := 0; i < conns; i++ {
@@ -120,10 +167,16 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 			fatal(fmt.Errorf("dial (conn %d/%d): %w", i+1, conns, err))
 		}
 	}
+	// The ramp-up (dials, handshakes, session setup) is excluded from
+	// the measured window; collect its garbage outside the window too,
+	// so the first in-window GC cycles don't pay for it.
+	runtime.GC()
 	t0 := time.Now()
 	close(start)
-	wg.Wait()
+	actWg.Wait()
 	elapsed := time.Since(t0)
+	close(finish)
+	wg.Wait()
 
 	// Drain: every client Closed (best-effort Goodbye) on the way out of
 	// its goroutine; the server must reap all of them and release every
@@ -140,11 +193,22 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 	}
 
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rwHits := (leak.RewriteHits + leak.RewriteTemplateHits) - (before.RewriteHits + before.RewriteTemplateHits)
+	rwMisses := leak.RewriteMisses - before.RewriteMisses
+	rwUncache := leak.RewriteUncacheable - before.RewriteUncacheable
+	// Hit rate over cacheable lookups; uncacheable statements (BEGIN/
+	// COMMIT/INSERT) bypass the cache and are reported separately.
+	var rwRate float64
+	if total := rwHits + rwMisses; total > 0 {
+		rwRate = float64(rwHits) / float64(total)
+	}
 	p := netPoint{
 		Conns:          conns,
-		ActionsPerConn: actionsPerConn,
+		ActionsTarget:  totalActions,
+		ActionsPerConn: base,
 		Actions:        actions.Load(),
 		Statements:     leak.Statements - before.Statements,
+		Batches:        leak.Batches - before.Batches,
 		Commits:        commits.Load(),
 		Conflicts:      conflicts.Load(),
 		Errors:         errs.Load(),
@@ -155,14 +219,84 @@ func runNetPoint(srv *server.Server, addr string, bed *testbed.Bed, conns, actio
 		P50ActionUs:      float64(quantile(lats, 0.50).Nanoseconds()) / 1000,
 		P99ActionUs:      float64(quantile(lats, 0.99).Nanoseconds()) / 1000,
 
+		RewriteHits:        rwHits,
+		RewriteMisses:      rwMisses,
+		RewriteUncacheable: rwUncache,
+		RewriteHitRate:     rwRate,
+		PlanCacheHits:      leak.PlanCacheHits - before.PlanCacheHits,
+		PlanCacheMisses:    leak.PlanCacheMisses - before.PlanCacheMisses,
+		ExecWaits:          leak.ExecWaits - before.ExecWaits,
+		ExecWaitMicros:     leak.ExecWaitMicros - before.ExecWaitMicros,
+		ExecQueueMax:       leak.ExecQueueMax,
+
 		LeakedSessions:  leak.OpenSessions,
 		ActiveTxns:      leak.ActiveTxns,
 		PinnedSnapshots: leak.PinnedSnapshots,
 	}
+	if p.Actions != int64(totalActions) {
+		fatal(fmt.Errorf("%d-conn point ran %d actions, dealt %d", conns, p.Actions, totalActions))
+	}
 	return p
 }
 
-// runNetTxn wraps one action's DML in an explicit wire transaction.
+// runNetActionPipelined sends one action — its queries plus its DML
+// wrapped in BEGIN/COMMIT — as a single Batch frame: one network round
+// trip and one flush for the whole action. The server's poison rule
+// guarantees the COMMIT never runs after an earlier failure; the
+// client classifies the first real failure (conflict vs error) and
+// acknowledges with ROLLBACK, the same no-retry policy as the
+// statement-at-a-time path.
+func runNetActionPipelined(c *client.Conn, queries, execs []string, commits, conflicts, errs *atomic.Int64) {
+	stmts := make([]client.PipelineStmt, 0, len(queries)+len(execs)+2)
+	for _, q := range queries {
+		stmts = append(stmts, client.PipelineStmt{Query: true, SQL: q})
+	}
+	txn := len(execs) > 0
+	if txn {
+		stmts = append(stmts, client.PipelineStmt{SQL: "BEGIN"})
+		for _, e := range execs {
+			stmts = append(stmts, client.PipelineStmt{SQL: e})
+		}
+		stmts = append(stmts, client.PipelineStmt{SQL: "COMMIT"})
+	}
+	if len(stmts) == 0 {
+		return
+	}
+	results, err := c.Pipeline(stmts)
+	if err != nil {
+		errs.Add(1)
+		return
+	}
+	failed := false
+	for _, r := range results {
+		if r.Err == nil || r.Poisoned() {
+			continue
+		}
+		// First real failure decides the action's outcome.
+		if !failed {
+			failed = true
+			if client.IsConflict(r.Err) {
+				conflicts.Add(1)
+			} else {
+				errs.Add(1)
+			}
+		}
+	}
+	if !txn {
+		return
+	}
+	if failed {
+		// The transaction is still open (and possibly aborted); clear it.
+		if _, err := c.Exec("ROLLBACK"); err != nil {
+			errs.Add(1)
+		}
+		return
+	}
+	commits.Add(1)
+}
+
+// runNetTxn wraps one action's DML in an explicit wire transaction,
+// one round trip per statement (the -net-pipeline=false path).
 // A first-updater-wins conflict aborts the transaction server-side;
 // the client acknowledges with ROLLBACK and the action counts as a
 // conflict, not an error — the same no-retry policy as the -txn bench.
@@ -204,12 +338,15 @@ func runNetTxn(c *client.Conn, execs []string, commits, conflicts, errs *atomic.
 
 func netToken(tenantID int) string { return fmt.Sprintf("bench-%d", tenantID) }
 
-// runNetBench provisions a CRM testbed, serves it over TCP on a
-// loopback port in layout mode with per-tenant credentials, and sweeps
-// the concurrent connection count. totalActions is split across the
-// connections of each point (at least 4 per connection) so every point
-// does comparable total work.
-func runNetBench(jsonOut, connsList string, totalActions int, smoke bool) {
+// runNetBench sweeps the concurrent connection count over the wire
+// protocol. Every point gets a freshly provisioned CRM testbed and a
+// fresh server on a loopback port (setup is outside the measured
+// window), and totalActions is dealt exactly across the point's
+// connections — so every point does identical total work from
+// identical starting state. Sharing one database across points would
+// confound the sweep: each point's INSERTs grow the tables, and later
+// points would scan more data than earlier ones.
+func runNetBench(jsonOut, connsList string, totalActions int, smoke, pipeline bool, slots int) {
 	const (
 		tenants      = 32
 		rowsPerTable = 16
@@ -224,43 +361,44 @@ func runNetBench(jsonOut, connsList string, totalActions int, smoke bool) {
 		conns = append(conns, n)
 	}
 
-	fmt.Fprintf(os.Stderr, "setting up CRM testbed (%d tenants, %d rows/table)...\n", tenants, rowsPerTable)
-	bed, err := testbed.Setup(testbed.Config{
-		Tenants: tenants, Instances: 1, RowsPerTable: rowsPerTable,
-		Sessions: 1, Actions: 1, Seed: seed, MemoryBytes: 64 << 20,
-	})
-	if err != nil {
-		fatal(err)
-	}
-
 	auth := server.NewAuthenticator()
 	for id := 1; id <= tenants; id++ {
 		auth.Register(int64(id), server.Credentials{Token: netToken(id)})
 	}
-	srv, err := server.New(server.Config{DB: bed.DB, Layout: bed.Layout, Auth: auth})
-	if err != nil {
-		fatal(err)
-	}
-	addr, err := srv.Start("127.0.0.1:0")
-	if err != nil {
-		fatal(err)
-	}
-	defer srv.Close()
 
-	fmt.Println("Network Front Door: CRM workload over the wire protocol")
-	fmt.Printf("%-8s %-8s %-10s %-10s %-9s %-7s %-13s %-12s %-12s %s\n",
-		"Conns", "Actions", "Commits", "Conflicts", "Errors", "Stmts", "Commits/sec", "Stmts/sec", "p50(us)", "p99(us)")
+	mode := "pipelined"
+	if !pipeline {
+		mode = "statement-at-a-time"
+	}
+	fmt.Printf("Network Front Door: CRM workload over the wire protocol (%s)\n", mode)
+	fmt.Printf("%-8s %-8s %-10s %-10s %-9s %-7s %-13s %-12s %-10s %-12s %-12s %s\n",
+		"Conns", "Actions", "Commits", "Conflicts", "Errors", "Stmts", "Commits/sec", "Stmts/sec", "RwHit%", "p50(us)", "p99(us)", "ExecWaits")
 	var pts []netPoint
+	execSlots := 0
 	for _, n := range conns {
-		per := totalActions / n
-		if per < 4 {
-			per = 4
+		fmt.Fprintf(os.Stderr, "setting up CRM testbed (%d tenants, %d rows/table) for %d conns...\n", tenants, rowsPerTable, n)
+		bed, err := testbed.Setup(testbed.Config{
+			Tenants: tenants, Instances: 1, RowsPerTable: rowsPerTable,
+			Sessions: 1, Actions: 1, Seed: seed, MemoryBytes: 64 << 20,
+		})
+		if err != nil {
+			fatal(err)
 		}
-		p := runNetPoint(srv, addr.String(), bed, n, per, tenants, seed)
+		srv, err := server.New(server.Config{DB: bed.DB, Layout: bed.Layout, Auth: auth, MaxConcurrent: slots})
+		if err != nil {
+			fatal(err)
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		execSlots = srv.Stats().ExecSlots
+		p := runNetPoint(srv, addr.String(), bed, n, totalActions, tenants, seed, pipeline)
+		srv.Close()
 		pts = append(pts, p)
-		fmt.Printf("%-8d %-8d %-10d %-10d %-9d %-7d %-13.1f %-12.1f %-12.1f %.1f\n",
+		fmt.Printf("%-8d %-8d %-10d %-10d %-9d %-7d %-13.1f %-12.1f %-10.1f %-12.1f %-12.1f %d\n",
 			p.Conns, p.Actions, p.Commits, p.Conflicts, p.Errors, p.Statements,
-			p.CommitsPerSec, p.StatementsPerSec, p.P50ActionUs, p.P99ActionUs)
+			p.CommitsPerSec, p.StatementsPerSec, 100*p.RewriteHitRate, p.P50ActionUs, p.P99ActionUs, p.ExecWaits)
 	}
 	fmt.Println("\ndrain invariant: all points ended with 0 sessions, 0 active txns, 0 pinned snapshots")
 
@@ -271,14 +409,17 @@ func runNetBench(jsonOut, connsList string, totalActions int, smoke bool) {
 	}{
 		Benchmark: "network_frontdoor",
 		Config: map[string]interface{}{
-			"tenants":        tenants,
-			"rows_per_table": rowsPerTable,
-			"total_actions":  totalActions,
-			"layout":         "basic",
-			"txn_per_dml":    true,
-			"admin_cards":    "remapped to select-light (no DDL on the wire)",
-			"seed":           seed,
-			"smoke":          smoke,
+			"tenants":         tenants,
+			"rows_per_table":  rowsPerTable,
+			"total_actions":   totalActions,
+			"layout":          "basic",
+			"txn_per_dml":     true,
+			"pipeline":        pipeline,
+			"exec_slots":      execSlots,
+			"fresh_per_point": true,
+			"admin_cards":     "remapped to select-light (no DDL on the wire)",
+			"seed":            seed,
+			"smoke":           smoke,
 		},
 		Points: pts,
 	}

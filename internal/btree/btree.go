@@ -147,16 +147,29 @@ func decodeLeaf(buf []byte) *leafNode {
 		keys: make([][]byte, 0, n),
 		rids: make([]storage.RID, 0, n),
 	}
+	// All keys share one backing array (one allocation per decode, not
+	// one per key). Each key is capped with a full slice expression so
+	// an append through one can never clobber its neighbour. Key bytes
+	// are immutable after decode: mutations replace whole entries in
+	// ln.keys, they never write through the byte slices.
+	total := 0
+	for i, q := 0, nodeHeader; i < n; i++ {
+		kl, sz := binary.Uvarint(buf[q:])
+		q += sz + int(kl) + 10
+		total += int(kl)
+	}
+	backing := make([]byte, 0, total)
 	p := nodeHeader
 	for i := 0; i < n; i++ {
 		kl, sz := binary.Uvarint(buf[p:])
 		p += sz
-		key := append([]byte(nil), buf[p:p+int(kl)]...)
+		start := len(backing)
+		backing = append(backing, buf[p:p+int(kl)]...)
 		p += int(kl)
 		page := storage.PageID(binary.LittleEndian.Uint64(buf[p:]))
 		slot := binary.LittleEndian.Uint16(buf[p+8:])
 		p += 10
-		ln.keys = append(ln.keys, key)
+		ln.keys = append(ln.keys, backing[start:len(backing):len(backing)])
 		ln.rids = append(ln.rids, storage.RID{Page: page, Slot: slot})
 	}
 	return ln

@@ -57,10 +57,17 @@ type Rewritten struct {
 // SAVEPOINT) span logical statements: every physical statement a
 // logical DML rewrites into joins the same transaction, making the
 // rewrite itself atomic under rollback.
+//
+// With a Cache attached (typically one RewriteCache shared by every
+// session of a server), SELECT/UPDATE/DELETE texts resolve through the
+// rewrite cache: a steady-state statement skips lexing, parsing, and
+// the layout rewrite entirely, and its physical statements reach the
+// engine with precomputed plan-cache keys.
 type Mapper struct {
 	DB      *engine.DB
 	Layout  Layout
 	Session *engine.Session
+	Cache   *RewriteCache
 }
 
 // NewMapper pairs a database with a layout.
@@ -73,23 +80,37 @@ func NewSessionMapper(db *engine.DB, l Layout) *Mapper {
 }
 
 // execStmt runs one physical statement through the session if present.
-func (m *Mapper) execStmt(ps sql.Statement, params ...types.Value) (engine.Result, error) {
+// key is the engine plan-cache key ("" = derive from the statement).
+func (m *Mapper) execStmt(ps sql.Statement, key string, params ...types.Value) (engine.Result, error) {
 	if m.Session != nil {
-		return m.Session.ExecStmt(ps, "", params...)
+		return m.Session.ExecStmt(ps, key, params...)
 	}
 	return m.DB.ExecStmt(ps, params...)
 }
 
 // queryStmt runs one physical SELECT through the session if present.
-func (m *Mapper) queryStmt(sel *sql.SelectStmt, params ...types.Value) (*engine.Rows, error) {
+func (m *Mapper) queryStmt(sel *sql.SelectStmt, key string, params ...types.Value) (*engine.Rows, error) {
 	if m.Session != nil {
-		return m.Session.QueryStmt(sel, "", params...)
+		return m.Session.QueryStmt(sel, key, params...)
 	}
 	return m.DB.QueryStmt(sel, params...)
 }
 
 // Query runs a logical SELECT for a tenant.
 func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*engine.Rows, error) {
+	if m.Cache != nil {
+		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
+		if err != nil {
+			return nil, err
+		}
+		if cr != nil {
+			if cr.rw.Query == nil {
+				return nil, fmt.Errorf("core: Query needs a SELECT")
+			}
+			return m.queryStmt(cr.rw.Query, cr.queryKey, bind...)
+		}
+		return nil, fmt.Errorf("core: Query needs a SELECT, got %T", st)
+	}
 	st, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -102,17 +123,37 @@ func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*en
 	if err != nil {
 		return nil, err
 	}
-	return m.queryStmt(rw.Query, params...)
+	return m.queryStmt(rw.Query, "", params...)
 }
 
 // Exec runs a logical INSERT, UPDATE, DELETE, supported DDL, or — on a
 // session-backed mapper — transaction control for a tenant and returns
 // the count of affected logical rows.
 func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engine.Result, error) {
+	if m.Cache != nil {
+		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		if cr != nil {
+			if cr.rw.Query != nil {
+				return engine.Result{}, fmt.Errorf("core: use Query for SELECT statements")
+			}
+			return m.execRewritten(cr, bind)
+		}
+		return m.execParsed(tenantID, st, params)
+	}
 	st, err := sql.Parse(query)
 	if err != nil {
 		return engine.Result{}, err
 	}
+	return m.execParsed(tenantID, st, params)
+}
+
+// execParsed runs an already-parsed logical statement through the full
+// rewrite path (the uncached route; also everything the rewrite cache
+// refuses: INSERT, DDL, transaction control).
+func (m *Mapper) execParsed(tenantID int64, st sql.Statement, params []types.Value) (engine.Result, error) {
 	// Transaction control is tenant-independent: no rewriting, straight
 	// to the session.
 	switch st.(type) {
@@ -129,9 +170,21 @@ func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engi
 	if rw.Query != nil {
 		return engine.Result{}, fmt.Errorf("core: use Query for SELECT statements")
 	}
+	return m.execRewritten(&cachedRewrite{rw: rw}, params)
+}
+
+// execRewritten executes a rewritten non-query statement's physical
+// plan: Direct statements, then the two-phase RowQuery/PhaseB shape.
+// Empty key strings fall back to the engine deriving keys itself.
+func (m *Mapper) execRewritten(cr *cachedRewrite, params []types.Value) (engine.Result, error) {
+	rw := cr.rw
 	var affected int64
 	for i, ps := range rw.Direct {
-		res, err := m.execStmt(ps, params...)
+		key := ""
+		if cr.directKeys != nil {
+			key = cr.directKeys[i]
+		}
+		res, err := m.execStmt(ps, key, params...)
 		if err != nil {
 			return engine.Result{}, err
 		}
@@ -143,20 +196,59 @@ func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engi
 		affected = rw.Inserted
 	}
 	if rw.RowQuery != nil {
-		rows, err := m.queryStmt(rw.RowQuery, params...)
+		rows, err := m.queryStmt(rw.RowQuery, cr.rowQueryKey, params...)
 		if err != nil {
 			return engine.Result{}, err
 		}
 		affected = int64(len(rows.Data))
 		if len(rows.Data) > 0 {
+			// Phase (b) statements are built from phase (a)'s result
+			// values — always literal-only, never parameterized.
 			for _, ps := range rw.PhaseB(rows.Data) {
-				if _, err := m.execStmt(ps); err != nil {
+				if _, err := m.execStmt(ps, ""); err != nil {
 					return engine.Result{}, err
 				}
 			}
 		}
 	}
 	return engine.Result{RowsAffected: affected}, nil
+}
+
+// Do runs one logical statement of either kind for a tenant: SELECTs
+// answer rows, everything else answers a Result. It is the server's
+// batch entry point — one parse/cache lookup decides the shape instead
+// of the caller pre-parsing to route between Query and Exec.
+func (m *Mapper) Do(tenantID int64, query string, params ...types.Value) (engine.Result, *engine.Rows, error) {
+	if m.Cache != nil {
+		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
+		if err != nil {
+			return engine.Result{}, nil, err
+		}
+		if cr != nil {
+			if cr.rw.Query != nil {
+				rows, err := m.queryStmt(cr.rw.Query, cr.queryKey, bind...)
+				return engine.Result{}, rows, err
+			}
+			res, err := m.execRewritten(cr, bind)
+			return res, nil, err
+		}
+		res, err := m.execParsed(tenantID, st, params)
+		return res, nil, err
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		rw, err := m.Layout.Rewrite(tenantID, sel)
+		if err != nil {
+			return engine.Result{}, nil, err
+		}
+		rows, err := m.queryStmt(rw.Query, "", params...)
+		return engine.Result{}, rows, err
+	}
+	res, err := m.execParsed(tenantID, st, params)
+	return res, nil, err
 }
 
 // RewriteSQL returns the physical SQL a logical statement maps to

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// RewriteCache makes the §6.1 query-transformation layer free in steady
+// state: an LRU of layout rewrites keyed by (tenant, statement text,
+// catalog version). Application SQL mostly arrives with values inlined,
+// so a raw text alone would give every distinct value its own entry;
+// the cache therefore canonicalizes first (sql.ExtractParams lifts the
+// literals into positional parameters) and keys the rewrite on the
+// template text, with per-raw-text alias entries remembering the
+// extracted bindings. A steady-state statement then costs one map hit:
+// no lexing, no parsing, no layout rewrite — and because each cached
+// physical statement carries its precomputed plan-cache key string, the
+// engine's plan cache hits without re-rendering SQL either.
+//
+// The catalog version in the key makes DDL invalidation implicit, the
+// same trick as the engine plan cache: a schema change bumps the
+// version, every subsequent lookup misses and re-rewrites against the
+// new schema, and stale entries age out of the LRU.
+//
+// Rewrites are cached only for SELECT, UPDATE, and DELETE. INSERT
+// rewrites are side-effecting (they reserve logical row ids via the
+// layout's row sequences) and value-dependent, so they always take the
+// full rewrite path; DDL and transaction control likewise.
+//
+// Filling is singleflighted per key: concurrent sessions of the same
+// tenant sharing statement text do the parse+rewrite work once. Shared
+// template ASTs are never re-planned concurrently — every execution
+// reaches the engine under the template's one key string, and the plan
+// cache's own in-flight table guarantees at most one build per key.
+type RewriteCache struct {
+	db     *engine.DB
+	layout Layout
+
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = LRU victim, back = most recent
+	entries map[rcKey]*list.Element
+	flight  map[rcKey]*rcFlight
+
+	hits         int64 // raw-text hits (zero-parse path)
+	templateHits int64 // parsed + extracted, but the template's rewrite was cached
+	misses       int64 // full parse + rewrite
+	uncacheable  int64 // statements outside the cacheable classes
+}
+
+type rcKey struct {
+	tenant  int64
+	text    string
+	version int64
+}
+
+// cachedRewrite is one rewrite template: the physical statement shapes
+// plus their precomputed plan-cache key strings (st.String() rendered
+// once at fill time instead of per execution).
+type cachedRewrite struct {
+	rw          *Rewritten
+	queryKey    string
+	directKeys  []string
+	rowQueryKey string
+}
+
+// rcEntry is one LRU slot. Template entries have extra == nil; raw
+// alias entries carry the literal values their text canonicalized away,
+// in Param index order.
+type rcEntry struct {
+	key   rcKey
+	cr    *cachedRewrite
+	extra []types.Value
+}
+
+// rcFlight is a single-flight slot for one key's fill.
+type rcFlight struct {
+	done chan struct{}
+	ent  *rcEntry
+	st   sql.Statement // set instead of ent for uncacheable statements
+	err  error
+}
+
+// RewriteCacheStats is a point-in-time counter snapshot.
+type RewriteCacheStats struct {
+	Hits         int64 // raw-text hits: no parse, no rewrite
+	TemplateHits int64 // parsed, but the canonical template was cached
+	Misses       int64 // full parse + layout rewrite
+	Uncacheable  int64 // INSERT / DDL / transaction control
+	Entries      int   // current LRU population
+}
+
+// HitRate returns the fraction of cacheable lookups that skipped the
+// layout rewrite. Uncacheable statements (INSERT, DDL, transaction
+// control) never consult the cache — they are excluded from the rate
+// and reported separately in Uncacheable.
+func (s RewriteCacheStats) HitRate() float64 {
+	total := s.Hits + s.TemplateHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.TemplateHits) / float64(total)
+}
+
+// DefaultRewriteCacheCap bounds the cache; at ~thousands of templates
+// per tenant deck this fits the CRM workload many times over.
+const DefaultRewriteCacheCap = 8192
+
+// NewRewriteCache builds a cache for one (db, layout) pair. One cache
+// is meant to be shared by every session of a server.
+func NewRewriteCache(db *engine.DB, layout Layout, capacity int) *RewriteCache {
+	if capacity <= 0 {
+		capacity = DefaultRewriteCacheCap
+	}
+	return &RewriteCache{
+		db:      db,
+		layout:  layout,
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[rcKey]*list.Element),
+		flight:  make(map[rcKey]*rcFlight),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *RewriteCache) Stats() RewriteCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RewriteCacheStats{
+		Hits:         c.hits,
+		TemplateHits: c.templateHits,
+		Misses:       c.misses,
+		Uncacheable:  c.uncacheable,
+		Entries:      len(c.entries),
+	}
+}
+
+// lookup resolves one logical statement text for a tenant.
+//
+// Outcomes:
+//   - cr != nil: the rewrite is cached; bind carries the parameter
+//     values to execute it with (the caller's params, or the literals
+//     extracted from this raw text).
+//   - cr == nil, st != nil: the statement is not cacheable (INSERT,
+//     DDL, transaction control); st is the parse result so the caller
+//     can run the ordinary rewrite path without re-parsing.
+//   - err != nil: parse or rewrite failed.
+//
+// userParams are returned as bind for already-parameterized texts; for
+// canonicalized texts (which by construction contained no `?`) the
+// extracted literals bind instead, and any caller-supplied params —
+// which no placeholder could have referenced — are ignored.
+func (c *RewriteCache) lookup(tenant int64, text string, userParams []types.Value) (cr *cachedRewrite, bind []types.Value, st sql.Statement, err error) {
+	version := c.db.Catalog().Version()
+	key := rcKey{tenant: tenant, text: text, version: version}
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToBack(e)
+		ent := e.Value.(*rcEntry)
+		c.hits++
+		c.mu.Unlock()
+		return ent.cr, bindParams(ent, userParams), nil, nil
+	}
+	if f, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, nil, nil, f.err
+		}
+		if f.ent != nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return f.ent.cr, bindParams(f.ent, userParams), nil, nil
+		}
+		// Uncacheable: the flight's parse result belongs to its owner
+		// (ASTs are mutable); re-parse for this caller.
+		c.mu.Lock()
+		c.uncacheable++
+		c.mu.Unlock()
+		st, err = sql.Parse(text)
+		return nil, nil, st, err
+	}
+	f := &rcFlight{done: make(chan struct{})}
+	c.flight[key] = f
+	c.mu.Unlock()
+
+	var templateHit bool
+	f.ent, f.st, templateHit, f.err = c.fill(key)
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	switch {
+	case f.err != nil:
+		// Errors are not cached: a later lookup retries.
+	case f.ent != nil:
+		if templateHit {
+			c.templateHits++
+		} else {
+			c.misses++
+		}
+		c.insertLocked(f.ent)
+	default:
+		c.uncacheable++
+	}
+	c.mu.Unlock()
+	close(f.done)
+
+	if f.err != nil {
+		return nil, nil, nil, f.err
+	}
+	if f.ent != nil {
+		return f.ent.cr, bindParams(f.ent, userParams), nil, nil
+	}
+	return nil, nil, f.st, nil
+}
+
+// bindParams picks the execution bindings for an entry: extracted
+// literals for canonicalized texts, the caller's params otherwise.
+func bindParams(ent *rcEntry, userParams []types.Value) []types.Value {
+	if ent.extra != nil {
+		return ent.extra
+	}
+	return userParams
+}
+
+// fill parses and rewrites one key's statement. Returns (entry, nil)
+// for cacheable statements, (nil, parsed) for uncacheable ones;
+// templateHit reports that the canonical template's rewrite was already
+// cached (only the parse + extraction ran).
+func (c *RewriteCache) fill(key rcKey) (ent *rcEntry, parsed sql.Statement, templateHit bool, err error) {
+	st, err := sql.Parse(key.text)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	switch st.(type) {
+	case *sql.SelectStmt, *sql.UpdateStmt, *sql.DeleteStmt:
+	default:
+		return nil, st, false, nil
+	}
+
+	// Canonicalize: lift inlined literals into params so statements
+	// differing only in values share one template entry.
+	extra, extracted := sql.ExtractParams(st)
+	if !extracted {
+		cr, err := c.rewriteTemplate(key.tenant, st)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		return &rcEntry{key: key, cr: cr}, nil, false, nil
+	}
+
+	canonText := st.String()
+	canonKey := rcKey{tenant: key.tenant, text: canonText, version: key.version}
+	c.mu.Lock()
+	if e, ok := c.entries[canonKey]; ok {
+		c.lru.MoveToBack(e)
+		cr := e.Value.(*rcEntry).cr
+		c.mu.Unlock()
+		return &rcEntry{key: key, cr: cr, extra: extra}, nil, true, nil
+	}
+	c.mu.Unlock()
+
+	cr, err := c.rewriteTemplate(key.tenant, st)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	c.mu.Lock()
+	// First insert wins: if another fill published this template while
+	// we rewrote, alias to the published one so all raw texts share a
+	// single template AST.
+	if e, ok := c.entries[canonKey]; ok {
+		cr = e.Value.(*rcEntry).cr
+	} else {
+		c.insertLocked(&rcEntry{key: canonKey, cr: cr})
+	}
+	c.mu.Unlock()
+	return &rcEntry{key: key, cr: cr, extra: extra}, nil, false, nil
+}
+
+// rewriteTemplate runs the layout rewrite and renders the plan-cache
+// key strings once.
+func (c *RewriteCache) rewriteTemplate(tenant int64, st sql.Statement) (*cachedRewrite, error) {
+	rw, err := c.layout.Rewrite(tenant, st)
+	if err != nil {
+		return nil, err
+	}
+	cr := &cachedRewrite{rw: rw}
+	if rw.Query != nil {
+		cr.queryKey = rw.Query.String()
+	}
+	if len(rw.Direct) > 0 {
+		cr.directKeys = make([]string, len(rw.Direct))
+		for i, d := range rw.Direct {
+			cr.directKeys[i] = d.String()
+		}
+	}
+	if rw.RowQuery != nil {
+		cr.rowQueryKey = rw.RowQuery.String()
+	}
+	return cr, nil
+}
+
+// insertLocked adds ent to the LRU, evicting from the front past cap.
+// Caller holds c.mu.
+func (c *RewriteCache) insertLocked(ent *rcEntry) {
+	if e, ok := c.entries[ent.key]; ok {
+		// Lost a publish race for the same key; keep the incumbent.
+		c.lru.MoveToBack(e)
+		return
+	}
+	c.entries[ent.key] = c.lru.PushBack(ent)
+	for len(c.entries) > c.cap {
+		victim := c.lru.Front()
+		c.lru.Remove(victim)
+		delete(c.entries, victim.Value.(*rcEntry).key)
+	}
+}

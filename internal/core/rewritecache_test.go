@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+)
+
+// cachedMappers builds every layout twice over identical fresh
+// databases: one mapper uncached, one with a shared RewriteCache.
+func cachedMappers(t *testing.T) map[string][2]*Mapper {
+	t.Helper()
+	schema := paperSchema()
+	plain := allLayouts(t, schema)
+	cached := allLayouts(t, schema)
+	out := map[string][2]*Mapper{}
+	for name, cm := range cached {
+		cm.Cache = NewRewriteCache(cm.DB, cm.Layout, 0)
+		out[name] = [2]*Mapper{plain[name], cm}
+	}
+	return out
+}
+
+// TestRewriteCacheEquivalence drives an identical statement sequence
+// through a cached and an uncached mapper on every layout and demands
+// identical results at every step — the cache must be invisible except
+// for speed.
+func TestRewriteCacheEquivalence(t *testing.T) {
+	for name, pair := range cachedMappers(t) {
+		plain, cached := pair[0], pair[1]
+		loadPaperData(t, plain)
+		loadPaperData(t, cached)
+
+		queries := []struct {
+			tenant int64
+			q      string
+		}{
+			{17, "SELECT Aid, Name, Hospital, Beds FROM Account WHERE Aid = 1"},
+			{17, "SELECT Aid, Name, Hospital, Beds FROM Account WHERE Aid = 2"},
+			{17, "SELECT COUNT(*) FROM Account WHERE Beds > 100"},
+			{35, "SELECT Aid, Name FROM Account"},
+			{42, "SELECT Name FROM Account WHERE Dealers = 65"},
+			{42, "SELECT Name FROM Account WHERE Dealers = 9999"},
+		}
+		for _, qq := range queries {
+			got := queryAll(t, cached, qq.tenant, qq.q)
+			want := queryAll(t, plain, qq.tenant, qq.q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Errorf("%s: %q diverged:\ncached  %v\nuncached %v", name, qq.q, got, want)
+			}
+			// Run the cached query again so the second pass exercises the
+			// raw-text hit path, not just the fill path.
+			again := queryAll(t, cached, qq.tenant, qq.q)
+			if fmt.Sprint(again) != fmt.Sprint(want) {
+				t.Errorf("%s: %q diverged on cache hit:\ncached  %v\nuncached %v", name, qq.q, again, want)
+			}
+		}
+
+		execs := []struct {
+			tenant int64
+			q      string
+		}{
+			{17, "UPDATE Account SET Beds = 200 WHERE Aid = 1"},
+			{17, "UPDATE Account SET Beds = 300 WHERE Aid = 1"}, // same template, new literal
+			{42, "UPDATE Account SET Dealers = Dealers + 1 WHERE Aid = 1"},
+			{35, "DELETE FROM Account WHERE Aid = 99"}, // no-op delete
+			{17, "UPDATE Account SET Name = 'AcmeX' WHERE Beds = 300"},
+		}
+		for _, e := range execs {
+			rc, err := cached.Exec(e.tenant, e.q)
+			if err != nil {
+				t.Fatalf("%s: cached Exec(%q): %v", name, e.q, err)
+			}
+			rp, err := plain.Exec(e.tenant, e.q)
+			if err != nil {
+				t.Fatalf("%s: plain Exec(%q): %v", name, e.q, err)
+			}
+			if rc.RowsAffected != rp.RowsAffected {
+				t.Errorf("%s: %q affected %d cached vs %d uncached", name, e.q, rc.RowsAffected, rp.RowsAffected)
+			}
+		}
+		verify := "SELECT Aid, Name, Hospital, Beds FROM Account"
+		if got, want := queryAll(t, cached, 17, verify), queryAll(t, plain, 17, verify); fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: post-DML state diverged:\ncached  %v\nuncached %v", name, got, want)
+		}
+	}
+}
+
+// TestRewriteCacheHitAccounting verifies the canonicalization math: N
+// statements sharing a template cost one rewrite, repeats cost nothing,
+// and the hit rate reflects it.
+func TestRewriteCacheHitAccounting(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 0)
+
+	// 8 distinct literal values, same template: 1 miss + 7 template hits.
+	for i := 0; i < 8; i++ {
+		q := fmt.Sprintf("SELECT Name FROM Account WHERE Aid = %d", i)
+		if _, err := m.Query(35, q); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	}
+	s := m.Cache.Stats()
+	if s.Misses != 1 || s.TemplateHits != 7 || s.Hits != 0 {
+		t.Fatalf("after distinct literals: %+v", s)
+	}
+	// Repeats of the same raw texts: pure raw hits.
+	for i := 0; i < 8; i++ {
+		q := fmt.Sprintf("SELECT Name FROM Account WHERE Aid = %d", i)
+		if _, err := m.Query(35, q); err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+	}
+	s = m.Cache.Stats()
+	if s.Hits != 8 {
+		t.Fatalf("after repeats: %+v", s)
+	}
+	if hr := s.HitRate(); hr < 0.9 {
+		t.Fatalf("hit rate %.2f < 0.9: %+v", hr, s)
+	}
+	// Another tenant does not share entries (tenant is in the key).
+	if _, err := m.Query(17, "SELECT Name FROM Account WHERE Aid = 0"); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if s2 := m.Cache.Stats(); s2.Misses != 2 {
+		t.Fatalf("cross-tenant lookup should miss: %+v", s2)
+	}
+	// INSERT stays uncacheable.
+	if _, err := m.Exec(35, "INSERT INTO Account (Aid, Name) VALUES (7, 'x')"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if s3 := m.Cache.Stats(); s3.Uncacheable != 1 {
+		t.Fatalf("INSERT should be uncacheable: %+v", s3)
+	}
+}
+
+// TestRewriteCacheDDLInvalidation: a catalog version bump must make the
+// cache re-rewrite instead of serving a stale physical mapping.
+func TestRewriteCacheDDLInvalidation(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 0)
+
+	q := "SELECT Name FROM Account WHERE Aid = 1"
+	if _, err := m.Query(35, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(35, q); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Cache.Stats()
+	if before.Hits != 1 || before.Misses != 1 {
+		t.Fatalf("warmup: %+v", before)
+	}
+	// Unrelated DDL bumps the catalog version.
+	if _, err := db.Exec("CREATE TABLE Unrelated (A INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(35, q); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Cache.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("post-DDL lookup should re-rewrite: before %+v after %+v", before, after)
+	}
+}
+
+// TestRewriteCacheEviction: the LRU cap holds and evicted entries
+// re-fill correctly.
+func TestRewriteCacheEviction(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 8)
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 32; i++ {
+			// Distinct templates (structure varies), defeating
+			// canonical sharing on purpose.
+			q := fmt.Sprintf("SELECT Name FROM Account WHERE Aid = %d AND Aid < %d + %d", i, i, i)
+			if _, err := m.Query(35, q); err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+		}
+	}
+	if s := m.Cache.Stats(); s.Entries > 8 {
+		t.Fatalf("cap exceeded: %+v", s)
+	}
+}
+
+// TestRewriteCacheConcurrentTenants is the race test: many goroutines
+// as different tenants sharing statement text, through one cache, with
+// concurrent DML mixed in. Run under -race this proves the fill/alias/
+// eviction paths and the shared template ASTs are data-race free.
+func TestRewriteCacheConcurrentTenants(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRewriteCache(db, l, 64)
+
+	seed := NewMapper(db, l)
+	for _, tn := range []int64{17, 35, 42} {
+		if _, err := seed.Exec(tn, "INSERT INTO Account (Aid, Name) VALUES (1, 'a'), (2, 'b')"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 12
+	const iters = 60
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	tenants := []int64{17, 35, 42}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := NewMapper(db, l)
+			m.Cache = cache
+			tn := tenants[w%len(tenants)]
+			for i := 0; i < iters; i++ {
+				// Shared templates across workers and tenants.
+				q := fmt.Sprintf("SELECT Name FROM Account WHERE Aid = %d", i%4)
+				if _, err := m.Query(tn, q); err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				u := fmt.Sprintf("UPDATE Account SET Name = 'n%d' WHERE Aid = %d", i, i%4)
+				if _, err := m.Exec(tn, u); err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := cache.Stats()
+	if s.Hits+s.TemplateHits == 0 {
+		t.Fatalf("no sharing happened: %+v", s)
+	}
+}
+
+// TestRewriteCacheUserParams: statements that already carry `?` params
+// cache under their raw text and bind the caller's values.
+func TestRewriteCacheUserParams(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 0)
+	if _, err := m.Exec(35, "INSERT INTO Account (Aid, Name) VALUES (1, 'Ball'), (2, 'Cube')"); err != nil {
+		t.Fatal(err)
+	}
+
+	q := "SELECT Name FROM Account WHERE Aid = ?"
+	for want, arg := range map[string]int64{"Ball": 1, "Cube": 2} {
+		for i := 0; i < 2; i++ { // second pass = cache hit
+			rows, err := m.Query(35, q, types.NewInt(arg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows.Data) != 1 || rows.Data[0][0].Str != want {
+				t.Fatalf("arg %d pass %d: %v", arg, i, rows.Data)
+			}
+		}
+	}
+	s := m.Cache.Stats()
+	if s.Misses != 1 || s.Hits != 3 {
+		t.Fatalf("param statement accounting: %+v", s)
+	}
+}

@@ -900,6 +900,11 @@ type Stats struct {
 	// records those recoveries applied.
 	Recoveries       int64
 	RecoveryReplayed int64
+	// Plan-cache effectiveness: lookups served from the compiled-plan
+	// LRU vs lookups that had to plan (a DDL bump or first sight of a
+	// statement text).
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // Stats returns current counters.
@@ -937,6 +942,7 @@ func (db *DB) Stats() Stats {
 	s.CommitPipelineMax = c.PipelineMax
 	s.PublishBatches = c.PublishBatches
 	s.PublishedTxns = c.PublishedTxns
+	s.PlanCacheHits, s.PlanCacheMisses = db.plans.counters()
 	if db.log != nil {
 		s.WAL = db.log.Stats()
 	}

@@ -18,6 +18,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		&RowsHeader{Columns: []string{"a"}},
 		&RowBatch{Last: true},
 		&Error{Code: CodeSQL, Msg: "x"},
+		&Batch{Stmts: []BatchStmt{{SQL: "BEGIN"}, {Query: true, SQL: "SELECT 1"}}},
+		&BatchResult{Index: 1, RowsAffected: 2},
+		&BatchError{Index: 2, Code: CodePoisoned, Msg: "skipped"},
+		&BatchRowsHeader{Index: 0, Columns: []string{"a"}},
+		&BatchDone{Executed: 3},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

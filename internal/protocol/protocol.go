@@ -38,6 +38,11 @@ const Version uint32 = 1
 // wire is a corrupt or hostile peer.
 const MaxFrame = 8 << 20
 
+// MaxBatch bounds the statements one Batch frame may carry. A pipeline
+// deeper than this is a hostile or broken client (the server refuses
+// the whole frame as a protocol error).
+const MaxBatch = 1024
+
 // headerSize is the fixed frame header: length + CRC.
 const headerSize = 8
 
@@ -69,6 +74,7 @@ const (
 	TypePing      byte = 0x08 // Ping
 	TypeGoodbye   byte = 0x09 // Goodbye: orderly close
 	TypeStats     byte = 0x0A // Stats: request the server's counters
+	TypeBatch     byte = 0x0B // Batch: pipelined statements, executed in order
 
 	TypeHelloOK  byte = 0x81 // HelloOK: session id
 	TypeError    byte = 0x82 // Error: code, message
@@ -78,6 +84,11 @@ const (
 	TypePrepared byte = 0x86 // Prepared: stmt id, is-query flag
 	TypePong     byte = 0x87 // Pong
 	TypeStatsRes byte = 0x88 // StatsResult: JSON blob
+
+	TypeBatchResult byte = 0x89 // BatchResult: index, rows affected
+	TypeBatchError  byte = 0x8A // BatchError: index, code, message
+	TypeBatchRows   byte = 0x8B // BatchRowsHeader: index, columns (RowBatch frames follow)
+	TypeBatchDone   byte = 0x8C // BatchDone: statements executed (ends the reply stream)
 )
 
 // Error codes carried by Error messages.
@@ -90,6 +101,7 @@ const (
 	CodeConflict  uint16 = 6 // write-write conflict; transaction rolled back
 	CodeShutdown  uint16 = 7 // server is draining
 	CodeClosed    uint16 = 8 // session already closed
+	CodePoisoned  uint16 = 9 // skipped: an earlier statement in the pipeline failed
 )
 
 // --- framing -----------------------------------------------------------------
@@ -241,6 +253,52 @@ type Pong struct{}
 // StatsResult carries the server's counters as JSON.
 type StatsResult struct{ JSON []byte }
 
+// BatchStmt is one statement inside a Batch. Query selects the reply
+// shape: a query answers BatchRowsHeader + RowBatch*, a non-query
+// answers BatchResult.
+type BatchStmt struct {
+	Query  bool
+	SQL    string
+	Params []types.Value
+}
+
+// Batch pipelines up to MaxBatch statements in one frame. The server
+// executes them strictly in order and streams back exactly one tagged
+// reply per statement (BatchResult, BatchError, or BatchRowsHeader +
+// its RowBatch stream), then a single BatchDone. After the first
+// failure the remaining statements are NOT executed; each answers
+// BatchError with CodePoisoned so replies stay 1:1 with statements.
+type Batch struct {
+	Stmts []BatchStmt
+}
+
+// BatchResult reports statement Index's non-query outcome.
+type BatchResult struct {
+	Index        uint32
+	RowsAffected int64
+}
+
+// BatchError reports statement Index's failure (or CodePoisoned if it
+// was skipped because an earlier statement in the batch failed).
+type BatchError struct {
+	Index uint32
+	Code  uint16
+	Msg   string
+}
+
+// BatchRowsHeader opens statement Index's result stream; ordinary
+// RowBatch frames follow until one with Last set.
+type BatchRowsHeader struct {
+	Index   uint32
+	Columns []string
+}
+
+// BatchDone terminates a Batch's reply stream. Executed counts the
+// statements that actually ran (the rest were poisoned).
+type BatchDone struct {
+	Executed uint32
+}
+
 // --- encoding ----------------------------------------------------------------
 
 func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
@@ -259,57 +317,88 @@ func appendBytes(b, p []byte) []byte {
 }
 
 // appendParams appends a parameter row (types.EncodeRow with a length
-// prefix).
+// prefix), encoding directly into b's tail via a backfilled length —
+// no intermediate row buffer.
 func appendParams(b []byte, params []types.Value) []byte {
-	return appendBytes(b, types.EncodeRow(nil, params))
+	return appendRowInline(b, params)
+}
+
+// appendRowInline appends one length-prefixed EncodeRow payload by
+// reserving the 4-byte length, encoding in place, and backfilling the
+// actual size. This is the arena path: when b has capacity (FrameWriter
+// reuse), a row costs zero allocations.
+func appendRowInline(b []byte, row []types.Value) []byte {
+	at := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = types.EncodeRow(b, row)
+	binary.BigEndian.PutUint32(b[at:at+4], uint32(len(b)-at-4))
+	return b
 }
 
 // Encode renders m as a frame payload (type byte + body). It panics on
 // an unknown message type: encoding is always of our own values.
-func Encode(m any) []byte {
+func Encode(m any) []byte { return AppendEncode(nil, m) }
+
+// AppendEncode appends m's frame payload (type byte + body) to dst and
+// returns the extended slice. FrameWriter uses it to reuse one encode
+// arena across frames; Encode is AppendEncode(nil, m).
+func AppendEncode(dst []byte, m any) []byte {
 	switch m := m.(type) {
 	case *Hello:
-		b := []byte{TypeHello}
+		b := append(dst, TypeHello)
 		b = appendU32(b, m.Version)
 		b = appendI64(b, m.Tenant)
 		return appendString(b, m.Token)
 	case *HelloOK:
-		return appendU64([]byte{TypeHelloOK}, m.SessionID)
+		return appendU64(append(dst, TypeHelloOK), m.SessionID)
 	case *Exec:
-		b := appendString([]byte{TypeExec}, m.SQL)
+		b := appendString(append(dst, TypeExec), m.SQL)
 		return appendParams(b, m.Params)
 	case *Query:
-		b := appendString([]byte{TypeQuery}, m.SQL)
+		b := appendString(append(dst, TypeQuery), m.SQL)
 		return appendParams(b, m.Params)
 	case *Prepare:
-		return appendString([]byte{TypePrepare}, m.SQL)
+		return appendString(append(dst, TypePrepare), m.SQL)
 	case *StmtExec:
-		b := appendU32([]byte{TypeStmtExec}, m.ID)
+		b := appendU32(append(dst, TypeStmtExec), m.ID)
 		return appendParams(b, m.Params)
 	case *StmtQuery:
-		b := appendU32([]byte{TypeStmtQuery}, m.ID)
+		b := appendU32(append(dst, TypeStmtQuery), m.ID)
 		return appendParams(b, m.Params)
 	case *StmtClose:
-		return appendU32([]byte{TypeStmtClose}, m.ID)
+		return appendU32(append(dst, TypeStmtClose), m.ID)
 	case *Ping:
-		return []byte{TypePing}
+		return append(dst, TypePing)
 	case *Goodbye:
-		return []byte{TypeGoodbye}
+		return append(dst, TypeGoodbye)
 	case *Stats:
-		return []byte{TypeStats}
+		return append(dst, TypeStats)
+	case *Batch:
+		b := appendU32(append(dst, TypeBatch), uint32(len(m.Stmts)))
+		for i := range m.Stmts {
+			s := &m.Stmts[i]
+			if s.Query {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = appendString(b, s.SQL)
+			b = appendParams(b, s.Params)
+		}
+		return b
 	case *Error:
-		b := appendU16([]byte{TypeError}, m.Code)
+		b := appendU16(append(dst, TypeError), m.Code)
 		return appendString(b, m.Msg)
 	case *Result:
-		return appendI64([]byte{TypeResult}, m.RowsAffected)
+		return appendI64(append(dst, TypeResult), m.RowsAffected)
 	case *RowsHeader:
-		b := appendU32([]byte{TypeRowsHdr}, uint32(len(m.Columns)))
+		b := appendU32(append(dst, TypeRowsHdr), uint32(len(m.Columns)))
 		for _, c := range m.Columns {
 			b = appendString(b, c)
 		}
 		return b
 	case *RowBatch:
-		b := []byte{TypeRowBatch}
+		b := append(dst, TypeRowBatch)
 		if m.Last {
 			b = append(b, 1)
 		} else {
@@ -317,19 +406,35 @@ func Encode(m any) []byte {
 		}
 		b = appendU32(b, uint32(len(m.Rows)))
 		for _, r := range m.Rows {
-			b = appendBytes(b, types.EncodeRow(nil, r))
+			b = appendRowInline(b, r)
 		}
 		return b
 	case *Prepared:
-		b := appendU32([]byte{TypePrepared}, m.ID)
+		b := appendU32(append(dst, TypePrepared), m.ID)
 		if m.IsQuery {
 			return append(b, 1)
 		}
 		return append(b, 0)
 	case *Pong:
-		return []byte{TypePong}
+		return append(dst, TypePong)
 	case *StatsResult:
-		return appendBytes([]byte{TypeStatsRes}, m.JSON)
+		return appendBytes(append(dst, TypeStatsRes), m.JSON)
+	case *BatchResult:
+		b := appendU32(append(dst, TypeBatchResult), m.Index)
+		return appendI64(b, m.RowsAffected)
+	case *BatchError:
+		b := appendU32(append(dst, TypeBatchError), m.Index)
+		b = appendU16(b, m.Code)
+		return appendString(b, m.Msg)
+	case *BatchRowsHeader:
+		b := appendU32(append(dst, TypeBatchRows), m.Index)
+		b = appendU32(b, uint32(len(m.Columns)))
+		for _, c := range m.Columns {
+			b = appendString(b, c)
+		}
+		return b
+	case *BatchDone:
+		return appendU32(append(dst, TypeBatchDone), m.Executed)
 	}
 	panic(fmt.Sprintf("protocol: Encode of unknown message %T", m))
 }
@@ -483,6 +588,20 @@ func Decode(payload []byte) (any, error) {
 		return &Goodbye{}, d.done()
 	case TypeStats:
 		return &Stats{}, d.done()
+	case TypeBatch:
+		n := d.u32()
+		if d.err == nil && (n == 0 || n > MaxBatch || !maxListItems(n, len(d.b))) {
+			d.fail()
+		}
+		m := &Batch{}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Stmts = append(m.Stmts, BatchStmt{
+				Query:  d.byte() != 0,
+				SQL:    d.str(),
+				Params: d.row(),
+			})
+		}
+		return m, d.done()
 	case TypeError:
 		m := &Error{Code: d.u16(), Msg: d.str()}
 		return m, d.done()
@@ -518,6 +637,25 @@ func Decode(payload []byte) (any, error) {
 		b := d.bytes()
 		m := &StatsResult{JSON: append([]byte(nil), b...)}
 		return m, d.done()
+	case TypeBatchResult:
+		m := &BatchResult{Index: d.u32(), RowsAffected: d.i64()}
+		return m, d.done()
+	case TypeBatchError:
+		m := &BatchError{Index: d.u32(), Code: d.u16(), Msg: d.str()}
+		return m, d.done()
+	case TypeBatchRows:
+		m := &BatchRowsHeader{Index: d.u32()}
+		n := d.u32()
+		if d.err == nil && !maxListItems(n, len(d.b)) {
+			d.fail()
+		}
+		for i := uint32(0); i < n && d.err == nil; i++ {
+			m.Columns = append(m.Columns, d.str())
+		}
+		return m, d.done()
+	case TypeBatchDone:
+		m := &BatchDone{Executed: d.u32()}
+		return m, d.done()
 	}
 	return nil, fmt.Errorf("%w: unknown type 0x%02x", ErrBadMessage, payload[0])
 }
@@ -537,4 +675,43 @@ func SanitizeParams(params []types.Value) error {
 // flow through Go error returns on the client.
 func (e *Error) Error() string {
 	return fmt.Sprintf("server error %d: %s", e.Code, e.Msg)
+}
+
+// --- frame writer ------------------------------------------------------------
+
+// FrameWriter encodes messages into a reusable arena and writes each as
+// one framed Write call (header + payload in a single buffer, so a
+// bufio.Writer underneath sees one append per frame instead of two, and
+// row batches encode with zero per-row allocations once the arena is
+// warm). Not safe for concurrent use; each connection owns one.
+type FrameWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewFrameWriter returns a FrameWriter over w (typically a
+// bufio.Writer; the caller decides when to Flush it).
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: w, buf: make([]byte, 0, 4096)}
+}
+
+// WriteMsg encodes m and writes it as one frame. The encode arena is
+// reused across calls; oversized frames shrink it back afterwards so a
+// single huge result does not pin memory for the connection's life.
+func (fw *FrameWriter) WriteMsg(m any) error {
+	b := append(fw.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	b = AppendEncode(b, m)
+	payload := b[headerSize:]
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[4:8], crc32.Checksum(payload, castagnoli))
+	if cap(b) <= 1<<20 {
+		fw.buf = b[:0]
+	} else {
+		fw.buf = make([]byte, 0, 4096)
+	}
+	_, err := fw.w.Write(b)
+	return err
 }

@@ -54,6 +54,17 @@ func TestMessageRoundTrips(t *testing.T) {
 		&Prepared{ID: 3, IsQuery: true},
 		&Pong{},
 		&StatsResult{JSON: []byte(`{"x":1}`)},
+		&Batch{Stmts: []BatchStmt{
+			{SQL: "BEGIN"},
+			{SQL: "UPDATE t SET a = ? WHERE id = ?", Params: params[:2]},
+			{Query: true, SQL: "SELECT * FROM t WHERE id = ?", Params: params[:1]},
+			{SQL: "COMMIT"},
+		}},
+		&BatchResult{Index: 2, RowsAffected: 7},
+		&BatchError{Index: 3, Code: CodePoisoned, Msg: "skipped"},
+		&BatchRowsHeader{Index: 1, Columns: []string{"a", "b"}},
+		&BatchRowsHeader{Index: 0},
+		&BatchDone{Executed: 4},
 	}
 	for _, m := range msgs {
 		out := roundTrip(t, m)
@@ -167,6 +178,13 @@ func TestDecodeTruncatedBodies(t *testing.T) {
 		&RowBatch{Rows: [][]types.Value{{types.NewInt(1)}}, Last: true},
 		&Prepared{ID: 9, IsQuery: false},
 		&Result{RowsAffected: 3},
+		&Batch{Stmts: []BatchStmt{
+			{SQL: "BEGIN"},
+			{Query: true, SQL: "SELECT 1", Params: []types.Value{types.NewInt(4)}},
+		}},
+		&BatchError{Index: 1, Code: CodeSQL, Msg: "boom"},
+		&BatchRowsHeader{Index: 2, Columns: []string{"a"}},
+		&BatchDone{Executed: 2},
 	}
 	for _, m := range msgs {
 		full := Encode(m)
@@ -207,6 +225,106 @@ func TestDecodeUnknownType(t *testing.T) {
 	}
 	if _, err := Decode(nil); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("empty payload: want ErrBadMessage, got %v", err)
+	}
+}
+
+func TestDecodeBatchBounds(t *testing.T) {
+	// An empty batch is a protocol error: there is nothing to answer.
+	if _, err := Decode(appendU32([]byte{TypeBatch}, 0)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	// A count beyond MaxBatch fails before any statement decodes, even
+	// if the body had bytes to back it.
+	b := appendU32([]byte{TypeBatch}, MaxBatch+1)
+	b = append(b, make([]byte, MaxBatch+1)...)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("over-limit batch accepted")
+	}
+	// A hostile count with a tiny body fails fast without allocating.
+	if _, err := Decode(appendU32([]byte{TypeBatch}, 0xFFFFFFF0)); err == nil {
+		t.Fatal("hostile batch count accepted")
+	}
+	// MaxBatch exactly is accepted.
+	big := &Batch{Stmts: make([]BatchStmt, MaxBatch)}
+	for i := range big.Stmts {
+		big.Stmts[i].SQL = "SELECT 1"
+	}
+	if _, err := Decode(Encode(big)); err != nil {
+		t.Fatalf("MaxBatch-sized batch rejected: %v", err)
+	}
+}
+
+func TestFrameWriter(t *testing.T) {
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	params := []types.Value{types.NewInt(1), types.NewString("row")}
+	msgs := []any{
+		&RowsHeader{Columns: []string{"a", "b"}},
+		&RowBatch{Rows: [][]types.Value{params, params}, Last: false},
+		&RowBatch{Last: true},
+		&BatchDone{Executed: 3},
+	}
+	for _, m := range msgs {
+		if err := fw.WriteMsg(m); err != nil {
+			t.Fatalf("WriteMsg(%T): %v", m, err)
+		}
+	}
+	// The stream must be byte-identical to the WriteFrame(Encode()) path.
+	var want bytes.Buffer
+	for _, m := range msgs {
+		if err := WriteFrame(&want, Encode(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), want.Bytes()) {
+		t.Fatal("FrameWriter stream differs from WriteFrame stream")
+	}
+	// And it must read back cleanly.
+	r := bytes.NewReader(buf.Bytes())
+	for i := range msgs {
+		payload, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if _, err := Decode(payload); err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+	}
+}
+
+func TestFrameWriterArenaReuse(t *testing.T) {
+	// After a warm-up write, steady-state row batches must not allocate
+	// per row (the whole point of the arena).
+	fw := NewFrameWriter(io.Discard)
+	rows := make([][]types.Value, 64)
+	for i := range rows {
+		rows[i] = []types.Value{types.NewInt(int64(i)), types.NewString("abcdefgh")}
+	}
+	batch := &RowBatch{Rows: rows, Last: true}
+	if err := fw.WriteMsg(batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := fw.WriteMsg(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("steady-state WriteMsg allocates %.1f times per frame", allocs)
+	}
+}
+
+func TestFrameWriterOversized(t *testing.T) {
+	fw := NewFrameWriter(io.Discard)
+	if err := fw.WriteMsg(&StatsResult{JSON: make([]byte, MaxFrame+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// The writer stays usable and its arena shrank back.
+	if err := fw.WriteMsg(&Pong{}); err != nil {
+		t.Fatalf("WriteMsg after oversize: %v", err)
+	}
+	if cap(fw.buf) > 1<<20 {
+		t.Fatalf("arena not released after oversized frame: cap %d", cap(fw.buf))
 	}
 }
 

@@ -9,12 +9,12 @@ import (
 
 // Audit event names.
 const (
-	AuditConnect    = "connect"     // handshake accepted
-	AuditAuthFail   = "auth_fail"   // bad tenant or token
+	AuditConnect    = "connect"      // handshake accepted
+	AuditAuthFail   = "auth_fail"    // bad tenant or token
 	AuditQuota      = "quota_reject" // session quota exhausted
-	AuditRateLimit  = "rate_limit"  // statement rejected by rate limiter
-	AuditStatement  = "statement"   // one statement (only with Statements on)
-	AuditDisconnect = "disconnect"  // session reaped
+	AuditRateLimit  = "rate_limit"   // statement rejected by rate limiter
+	AuditStatement  = "statement"    // one statement (only with Statements on)
+	AuditDisconnect = "disconnect"   // session reaped
 )
 
 // AuditEvent is one append-only audit record.
@@ -27,17 +27,35 @@ type AuditEvent struct {
 	Detail string    `json:"detail,omitempty"`
 }
 
+// auditFlushBytes flushes the mirror buffer once this much JSON is
+// pending, independent of the timer.
+const auditFlushBytes = 32 << 10
+
+// auditFlushEvery bounds how long a mirrored event may sit buffered.
+const auditFlushEvery = 50 * time.Millisecond
+
 // AuditLog is an append-only log of security-relevant server events.
 // Every record gets a strictly increasing sequence number; the most
 // recent records are kept in a bounded in-memory ring, and each record
 // is optionally mirrored as a JSON line to a writer (a file, for a
 // durable trail). Safe for concurrent use.
+//
+// Mirror writes are buffered: records accumulate in memory and reach
+// the writer in batches — when the buffer passes auditFlushBytes, when
+// the flush timer (auditFlushEvery) fires, or on an explicit Flush or
+// Close. At statement-audit volume this turns one writer syscall per
+// event into one per batch; Server.Close flushes, so a clean shutdown
+// never loses a buffered event.
 type AuditLog struct {
 	mu   sync.Mutex
 	seq  uint64
 	ring []AuditEvent // newest at the end, bounded by max
 	max  int
 	w    io.Writer
+
+	pending    []byte      // mirror bytes not yet written to w
+	flushTimer *time.Timer // armed while pending is non-empty
+	closed     bool
 
 	// Statements also audits every statement (high volume; off by
 	// default — connection and rejection events are always recorded).
@@ -79,9 +97,63 @@ func (l *AuditLog) Record(tenant int64, conn uint64, event, detail string) {
 	}
 	if l.w != nil {
 		if b, err := json.Marshal(e); err == nil {
-			l.w.Write(append(b, '\n'))
+			l.pending = append(l.pending, b...)
+			l.pending = append(l.pending, '\n')
+		}
+		if len(l.pending) >= auditFlushBytes || l.closed {
+			l.flushLocked()
+		} else if l.flushTimer == nil {
+			l.flushTimer = time.AfterFunc(auditFlushEvery, l.timedFlush)
 		}
 	}
+}
+
+// timedFlush is the timer callback: drain whatever accumulated.
+func (l *AuditLog) timedFlush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.flushTimer = nil
+	l.flushLocked()
+}
+
+// flushLocked writes the pending mirror bytes. Caller holds l.mu.
+func (l *AuditLog) flushLocked() {
+	if len(l.pending) == 0 {
+		return
+	}
+	l.w.Write(l.pending)
+	l.pending = l.pending[:0]
+}
+
+// Flush forces any buffered mirror bytes out to the writer. Nil-safe.
+func (l *AuditLog) Flush() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.flushTimer != nil {
+		l.flushTimer.Stop()
+		l.flushTimer = nil
+	}
+	l.flushLocked()
+}
+
+// Close flushes and puts the log into write-through mode: any event
+// recorded after Close reaches the writer immediately (teardown paths
+// may record disconnects after the owner flushed). Nil-safe.
+func (l *AuditLog) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	if l.flushTimer != nil {
+		l.flushTimer.Stop()
+		l.flushTimer = nil
+	}
+	l.flushLocked()
 }
 
 // Seq reports the number of events ever recorded.

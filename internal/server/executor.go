@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// executor is the fair-admission gate in front of the engine: a
+// counting semaphore with a strict FIFO waiter queue. At 1024
+// connections, unbounded concurrency turns into a thundering herd —
+// every session's statement contends on the same engine internals and
+// p99 collapses. Bounding concurrent statement execution keeps the
+// engine at its throughput sweet spot, and FIFO hand-off (a released
+// slot goes to the longest-waiting connection, never to a barger)
+// keeps per-connection latency fair instead of power-law shaped.
+//
+// A nil *executor is the unlimited mode: every method no-ops.
+type executor struct {
+	mu     sync.Mutex
+	slots  int
+	active int
+	// queue is a FIFO ring of parked acquirers; head indexes the oldest.
+	queue    []chan struct{}
+	head     int
+	queueMax int
+
+	waits     atomic.Int64
+	waitNanos atomic.Int64
+}
+
+// executorStats is a point-in-time snapshot for Server.Stats.
+type executorStats struct {
+	slots      int
+	active     int
+	queueDepth int
+	queueMax   int
+	waits      int64
+	waitNanos  int64
+}
+
+// newExecutor builds a gate with the given slot count; slots <= 0
+// means unlimited (returns nil, and nil receivers no-op).
+func newExecutor(slots int) *executor {
+	if slots <= 0 {
+		return nil
+	}
+	return &executor{slots: slots}
+}
+
+// acquire blocks until a slot is free. Admission is strictly FIFO: a
+// caller parks whenever anyone is already waiting, even if a slot is
+// technically free, so late arrivals cannot overtake.
+func (e *executor) acquire() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.active < e.slots && e.head == len(e.queue) {
+		e.active++
+		e.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	e.queue = append(e.queue, ch)
+	if d := len(e.queue) - e.head; d > e.queueMax {
+		e.queueMax = d
+	}
+	e.mu.Unlock()
+	e.waits.Add(1)
+	start := time.Now()
+	<-ch
+	e.waitNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// release frees a slot, handing it directly to the oldest waiter if
+// one is parked (the slot never returns to the free pool over a
+// waiter's head).
+func (e *executor) release() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.head < len(e.queue) {
+		ch := e.queue[e.head]
+		e.queue[e.head] = nil
+		e.head++
+		// Compact once the dead prefix dominates so the ring does not
+		// grow without bound across bursts.
+		if e.head >= 64 && e.head*2 >= len(e.queue) {
+			n := copy(e.queue, e.queue[e.head:])
+			for i := n; i < len(e.queue); i++ {
+				e.queue[i] = nil
+			}
+			e.queue = e.queue[:n]
+			e.head = 0
+		}
+		e.mu.Unlock()
+		close(ch) // slot ownership transfers to the waiter
+		return
+	}
+	e.active--
+	e.mu.Unlock()
+}
+
+// stats snapshots the gate.
+func (e *executor) stats() executorStats {
+	if e == nil {
+		return executorStats{}
+	}
+	e.mu.Lock()
+	s := executorStats{
+		slots:      e.slots,
+		active:     e.active,
+		queueDepth: len(e.queue) - e.head,
+		queueMax:   e.queueMax,
+	}
+	e.mu.Unlock()
+	s.waits = e.waits.Load()
+	s.waitNanos = e.waitNanos.Load()
+	return s
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExecutorFIFOOrder: with one slot, waiters are admitted strictly
+// in arrival order — released slots hand off to the oldest waiter.
+func TestExecutorFIFOOrder(t *testing.T) {
+	e := newExecutor(1)
+	e.acquire() // hold the only slot
+
+	const n = 16
+	var mu sync.Mutex
+	var order []int
+	started := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Serialize arrival so queue order is deterministic: each
+			// goroutine parks before the next is released to start.
+			<-started
+			e.acquire()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			e.release()
+		}(i)
+		started <- struct{}{}
+		waitQueued(t, e, i+1)
+	}
+	e.release() // let the chain run
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+	s := e.stats()
+	if s.waits != n {
+		t.Fatalf("waits = %d, want %d", s.waits, n)
+	}
+	if s.queueMax != n {
+		t.Fatalf("queueMax = %d, want %d", s.queueMax, n)
+	}
+	if s.queueDepth != 0 || s.active != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+	if s.waitNanos <= 0 {
+		t.Fatalf("waitNanos = %d, want > 0", s.waitNanos)
+	}
+}
+
+// waitQueued polls until the gate has depth waiters parked.
+func waitQueued(t *testing.T, e *executor, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for e.stats().queueDepth < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", depth, e.stats().queueDepth)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// TestExecutorConcurrencyBound: active never exceeds the slot count
+// under a storm of concurrent acquirers.
+func TestExecutorConcurrencyBound(t *testing.T) {
+	const slots = 4
+	e := newExecutor(slots)
+	var mu sync.Mutex
+	var active, peak int
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.acquire()
+			mu.Lock()
+			active++
+			if active > peak {
+				peak = active
+			}
+			mu.Unlock()
+			time.Sleep(100 * time.Microsecond)
+			mu.Lock()
+			active--
+			mu.Unlock()
+			e.release()
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Fatalf("peak concurrency %d exceeds %d slots", peak, slots)
+	}
+	if s := e.stats(); s.active != 0 || s.queueDepth != 0 {
+		t.Fatalf("gate not drained: %+v", s)
+	}
+}
+
+// TestExecutorUnlimited: slots <= 0 disables the gate (nil executor,
+// all methods no-op).
+func TestExecutorUnlimited(t *testing.T) {
+	e := newExecutor(-1)
+	if e != nil {
+		t.Fatal("negative slots should disable the gate")
+	}
+	e.acquire()
+	e.release()
+	if s := e.stats(); s.slots != 0 {
+		t.Fatalf("nil stats: %+v", s)
+	}
+}
+
+// TestExecutorRingCompaction: a long burst through the queue must not
+// leave the ring growing without bound.
+func TestExecutorRingCompaction(t *testing.T) {
+	e := newExecutor(1)
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 100; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				e.acquire()
+				e.release()
+			}()
+		}
+		wg.Wait()
+	}
+	e.mu.Lock()
+	qcap := cap(e.queue)
+	e.mu.Unlock()
+	if qcap > 1024 {
+		t.Fatalf("queue ring grew to cap %d", qcap)
+	}
+}

@@ -12,6 +12,13 @@
 // the open transaction, releases write-admission tokens, and unpins
 // the snapshot. A dropped client can therefore never wedge the GC
 // horizon or leak a quota slot.
+//
+// The statement path is built for thousands of connections: logical
+// SQL resolves through a shared per-tenant rewrite cache (layout
+// mode), pipelined Batch frames amortize round trips and flush once
+// per batch, responses are encoded into a per-connection reusable
+// arena, and a bounded FIFO executor admits statements fairly instead
+// of letting every connection pile onto the engine at once.
 package server
 
 import (
@@ -20,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,28 +64,62 @@ type Config struct {
 	// to complete its Hello (default 5s) so half-open connections cannot
 	// hold sockets forever.
 	HandshakeTimeout time.Duration
+	// MaxConcurrent bounds how many statements (or batches) execute
+	// simultaneously; excess connections park in a fair FIFO queue.
+	// 0 picks a default sized to the host (8×GOMAXPROCS, at least 32 —
+	// well above the core count, because an in-flight session spends
+	// most of its life parked in group-commit flushes or buffer-pool
+	// misses, not on a CPU; not far above it, because admitting too
+	// many writers multiplies first-updater-wins conflict aborts);
+	// negative disables the gate entirely.
+	MaxConcurrent int
+	// RewriteCacheCap bounds the shared rewrite cache (layout mode).
+	// 0 picks core.DefaultRewriteCacheCap; negative disables caching.
+	RewriteCacheCap int
 }
 
 // Stats is a point-in-time snapshot of the server's counters plus the
-// engine's leak-relevant gauges.
+// engine's leak-relevant gauges and the statement-path caches.
 type Stats struct {
-	Accepted        int64 `json:"accepted"`
-	OpenSessions    int   `json:"open_sessions"`
-	Statements      int64 `json:"statements"`
-	AuthFailures    int64 `json:"auth_failures"`
-	QuotaRejects    int64 `json:"quota_rejects"`
-	RateLimited     int64 `json:"rate_limited"`
-	ProtocolErrors  int64 `json:"protocol_errors"`
+	Accepted        int64  `json:"accepted"`
+	OpenSessions    int    `json:"open_sessions"`
+	Statements      int64  `json:"statements"`
+	Batches         int64  `json:"batches"`
+	AuthFailures    int64  `json:"auth_failures"`
+	QuotaRejects    int64  `json:"quota_rejects"`
+	RateLimited     int64  `json:"rate_limited"`
+	ProtocolErrors  int64  `json:"protocol_errors"`
 	AuditSeq        uint64 `json:"audit_seq"`
-	ActiveTxns      int64 `json:"active_txns"`
-	PinnedSnapshots int64 `json:"pinned_snapshots"`
+	ActiveTxns      int64  `json:"active_txns"`
+	PinnedSnapshots int64  `json:"pinned_snapshots"`
+
+	// Rewrite-cache counters (layout mode; zero otherwise).
+	RewriteHits         int64   `json:"rewrite_hits"`
+	RewriteTemplateHits int64   `json:"rewrite_template_hits"`
+	RewriteMisses       int64   `json:"rewrite_misses"`
+	RewriteUncacheable  int64   `json:"rewrite_uncacheable"`
+	RewriteHitRate      float64 `json:"rewrite_hit_rate"`
+
+	// Engine plan-cache counters.
+	PlanCacheHits   int64 `json:"plan_cache_hits"`
+	PlanCacheMisses int64 `json:"plan_cache_misses"`
+
+	// Fair-admission executor gauges (zero when the gate is disabled).
+	ExecSlots      int   `json:"exec_slots"`
+	ExecActive     int   `json:"exec_active"`
+	ExecQueueDepth int   `json:"exec_queue_depth"`
+	ExecQueueMax   int   `json:"exec_queue_max"`
+	ExecWaits      int64 `json:"exec_waits"`
+	ExecWaitMicros int64 `json:"exec_wait_micros"`
 }
 
 // Server accepts protocol connections and drives them against the
 // engine. Construct with New, then Serve/ListenAndServe.
 type Server struct {
-	cfg Config
-	reg *registry
+	cfg      Config
+	reg      *registry
+	exec     *executor
+	rewrites *core.RewriteCache
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -88,6 +130,7 @@ type Server struct {
 
 	accepted    atomic.Int64
 	statements  atomic.Int64
+	batches     atomic.Int64
 	authFails   atomic.Int64
 	quotaFails  atomic.Int64
 	rateLimited atomic.Int64
@@ -105,7 +148,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 5 * time.Second
 	}
-	return &Server{cfg: cfg, reg: newRegistry()}, nil
+	slots := cfg.MaxConcurrent
+	if slots == 0 {
+		slots = 8 * runtime.GOMAXPROCS(0)
+		if slots < 32 {
+			slots = 32
+		}
+	}
+	s := &Server{cfg: cfg, reg: newRegistry(), exec: newExecutor(slots)}
+	if cfg.Layout != nil && cfg.RewriteCacheCap >= 0 {
+		s.rewrites = core.NewRewriteCache(cfg.DB, cfg.Layout, cfg.RewriteCacheCap)
+	}
+	return s, nil
 }
 
 // ListenAndServe listens on addr ("host:port") and serves until Close.
@@ -164,7 +218,8 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting, reaps every live session (rolling back its
-// open transaction), and waits for the handlers to drain.
+// open transaction), waits for the handlers to drain, and flushes the
+// audit trail so no buffered event is lost.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -181,6 +236,7 @@ func (s *Server) Close() error {
 		s.reap(c, "server shutdown")
 	}
 	s.wg.Wait()
+	s.cfg.Audit.Flush()
 	return nil
 }
 
@@ -197,13 +253,15 @@ func (s *Server) CloseSessions() {
 	}
 }
 
-// Stats snapshots the server's counters and the engine's leak gauges.
+// Stats snapshots the server's counters, the statement-path caches,
+// and the engine's leak gauges.
 func (s *Server) Stats() Stats {
 	est := s.cfg.DB.Stats()
-	return Stats{
+	st := Stats{
 		Accepted:        s.accepted.Load(),
 		OpenSessions:    s.reg.len(),
 		Statements:      s.statements.Load(),
+		Batches:         s.batches.Load(),
 		AuthFailures:    s.authFails.Load(),
 		QuotaRejects:    s.quotaFails.Load(),
 		RateLimited:     s.rateLimited.Load(),
@@ -211,17 +269,58 @@ func (s *Server) Stats() Stats {
 		AuditSeq:        s.cfg.Audit.Seq(),
 		ActiveTxns:      est.ActiveTxns,
 		PinnedSnapshots: est.PinnedSnapshots,
+		PlanCacheHits:   est.PlanCacheHits,
+		PlanCacheMisses: est.PlanCacheMisses,
 	}
+	if s.rewrites != nil {
+		rc := s.rewrites.Stats()
+		st.RewriteHits = rc.Hits
+		st.RewriteTemplateHits = rc.TemplateHits
+		st.RewriteMisses = rc.Misses
+		st.RewriteUncacheable = rc.Uncacheable
+		st.RewriteHitRate = rc.HitRate()
+	}
+	if es := s.exec.stats(); es.slots > 0 {
+		st.ExecSlots = es.slots
+		st.ExecActive = es.active
+		st.ExecQueueDepth = es.queueDepth
+		st.ExecQueueMax = es.queueMax
+		st.ExecWaits = es.waits
+		st.ExecWaitMicros = es.waitNanos / 1e3
+	}
+	return st
 }
 
 // --- connection handling -----------------------------------------------------
 
-// writeMsg frames, writes, and flushes one message.
-func writeMsg(bw *bufio.Writer, m any) error {
-	if err := protocol.WriteFrame(bw, protocol.Encode(m)); err != nil {
+// connWriter owns a connection's response path: a FrameWriter encoding
+// into a reusable arena over a buffered socket writer. Responses
+// coalesce in the buffer and hit the kernel once per flush point — the
+// end of a reply for single statements, the end of the whole batch for
+// pipelined ones.
+type connWriter struct {
+	bw *bufio.Writer
+	fw *protocol.FrameWriter
+}
+
+func newConnWriter(nc net.Conn) *connWriter {
+	bw := bufio.NewWriter(nc)
+	return &connWriter{bw: bw, fw: protocol.NewFrameWriter(bw)}
+}
+
+// send frames one message into the buffer without flushing.
+func (w *connWriter) send(m any) error { return w.fw.WriteMsg(m) }
+
+// flush pushes everything buffered to the socket.
+func (w *connWriter) flush() error { return w.bw.Flush() }
+
+// writeMsg frames, writes, and flushes one message — the response
+// boundary for non-pipelined traffic.
+func writeMsg(w *connWriter, m any) error {
+	if err := w.send(m); err != nil {
 		return err
 	}
-	return bw.Flush()
+	return w.flush()
 }
 
 // errCode maps a statement error onto its protocol error code.
@@ -238,9 +337,9 @@ func errCode(err error) uint16 {
 // handleConn runs one connection: handshake, then the statement loop.
 func (s *Server) handleConn(nc net.Conn) {
 	br := bufio.NewReader(nc)
-	bw := bufio.NewWriter(nc)
+	w := newConnWriter(nc)
 
-	c, ok := s.handshake(nc, br, bw)
+	c, ok := s.handshake(nc, br, w)
 	if !ok {
 		nc.Close()
 		return
@@ -255,24 +354,24 @@ func (s *Server) handleConn(nc net.Conn) {
 			// worth telling the peer about (best effort) before dropping.
 			if errors.Is(err, protocol.ErrBadCRC) || errors.Is(err, protocol.ErrFrameTooLarge) {
 				s.protoErrors.Add(1)
-				writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+				writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
 			}
 			return
 		}
 		msg, err := protocol.Decode(payload)
 		if err != nil {
 			s.protoErrors.Add(1)
-			writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+			writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
 			return
 		}
-		if done, err := s.dispatch(c, bw, msg); done || err != nil {
+		if done, err := s.dispatch(c, w, msg); done || err != nil {
 			return
 		}
 	}
 }
 
 // handshake performs the credentialed Hello exchange under a deadline.
-func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*connState, bool) {
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader, w *connWriter) (*connState, bool) {
 	nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
 	defer nc.SetReadDeadline(time.Time{})
 
@@ -283,18 +382,18 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*co
 	msg, err := protocol.Decode(payload)
 	if err != nil {
 		s.protoErrors.Add(1)
-		writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+		writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
 		return nil, false
 	}
 	hello, ok := msg.(*protocol.Hello)
 	if !ok {
 		s.protoErrors.Add(1)
-		writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: "expected Hello"})
+		writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: "expected Hello"})
 		return nil, false
 	}
 	if hello.Version != protocol.Version {
 		s.protoErrors.Add(1)
-		writeMsg(bw, &protocol.Error{
+		writeMsg(w, &protocol.Error{
 			Code: protocol.CodeProtocol,
 			Msg:  fmt.Sprintf("protocol version %d, server speaks %d", hello.Version, protocol.Version),
 		})
@@ -308,26 +407,27 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (*co
 		if err := s.cfg.Auth.Authenticate(hello.Tenant, hello.Token); err != nil {
 			s.authFails.Add(1)
 			s.cfg.Audit.Record(hello.Tenant, id, AuditAuthFail, err.Error())
-			writeMsg(bw, &protocol.Error{Code: protocol.CodeAuth, Msg: "authentication failed"})
+			writeMsg(w, &protocol.Error{Code: protocol.CodeAuth, Msg: "authentication failed"})
 			return nil, false
 		}
 		if err := s.cfg.Auth.AcquireSession(hello.Tenant); err != nil {
 			s.quotaFails.Add(1)
 			s.cfg.Audit.Record(hello.Tenant, id, AuditQuota, err.Error())
-			writeMsg(bw, &protocol.Error{Code: protocol.CodeQuota, Msg: err.Error()})
+			writeMsg(w, &protocol.Error{Code: protocol.CodeQuota, Msg: err.Error()})
 			return nil, false
 		}
 	}
 	c := &connState{id: id, tenant: hello.Tenant, nc: nc, stmts: make(map[uint32]*prepStmt)}
 	if s.cfg.Layout != nil {
 		c.mapper = core.NewSessionMapper(s.cfg.DB, s.cfg.Layout)
+		c.mapper.Cache = s.rewrites
 		c.sess = c.mapper.Session
 	} else {
 		c.sess = s.cfg.DB.Session()
 	}
 	s.reg.add(c)
 	s.cfg.Audit.Record(c.tenant, c.id, AuditConnect, nc.RemoteAddr().String())
-	if err := writeMsg(bw, &protocol.HelloOK{SessionID: id}); err != nil {
+	if err := writeMsg(w, &protocol.HelloOK{SessionID: id}); err != nil {
 		s.reap(c, "handshake write failed")
 		return nil, false
 	}
@@ -354,7 +454,7 @@ func (s *Server) reap(c *connState, reason string) {
 // Error to the client (the connection survives) and returns false.
 // detail is the statement summary for the (optional) per-statement
 // audit trail.
-func (s *Server) admitStatement(c *connState, bw *bufio.Writer, detail string) bool {
+func (s *Server) admitStatement(c *connState, w *connWriter, detail string) bool {
 	s.statements.Add(1)
 	if s.cfg.Audit != nil && s.cfg.Audit.Statements {
 		s.cfg.Audit.Record(c.tenant, c.id, AuditStatement, detail)
@@ -365,7 +465,7 @@ func (s *Server) admitStatement(c *connState, bw *bufio.Writer, detail string) b
 	if err := s.cfg.Auth.AllowStatement(c.tenant); err != nil {
 		s.rateLimited.Add(1)
 		s.cfg.Audit.Record(c.tenant, c.id, AuditRateLimit, err.Error())
-		writeMsg(bw, &protocol.Error{Code: protocol.CodeRateLimit, Msg: err.Error()})
+		writeMsg(w, &protocol.Error{Code: protocol.CodeRateLimit, Msg: err.Error()})
 		return false
 	}
 	return true
@@ -374,118 +474,241 @@ func (s *Server) admitStatement(c *connState, bw *bufio.Writer, detail string) b
 // dispatch handles one decoded client message. done means the
 // connection should close (Goodbye); a non-nil error means the socket
 // is gone.
-func (s *Server) dispatch(c *connState, bw *bufio.Writer, msg any) (done bool, err error) {
+//
+// Statement-bearing messages pass through the fair-admission executor:
+// the connection parks in FIFO order for a slot, holds it across
+// execution and response encoding, and releases it at the flush point.
+// Control traffic (Ping, Goodbye, Stats, Prepare, StmtClose) bypasses
+// the gate so health checks and teardown stay responsive under load.
+func (s *Server) dispatch(c *connState, w *connWriter, msg any) (done bool, err error) {
+	switch msg.(type) {
+	case *protocol.Exec, *protocol.Query, *protocol.StmtExec, *protocol.StmtQuery, *protocol.Batch:
+		// Statement work passes the fair-admission gate; control
+		// traffic below bypasses it so a loaded server still answers
+		// pings and stats.
+		s.exec.acquire()
+		defer s.exec.release()
+	}
+
 	switch m := msg.(type) {
 	case *protocol.Ping:
-		return false, writeMsg(bw, &protocol.Pong{})
+		return false, writeMsg(w, &protocol.Pong{})
 	case *protocol.Goodbye:
 		s.reap(c, "goodbye")
 		return true, nil
 	case *protocol.Stats:
 		b, jerr := json.Marshal(s.Stats())
 		if jerr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: jerr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeSQL, Msg: jerr.Error()})
 		}
-		return false, writeMsg(bw, &protocol.StatsResult{JSON: b})
+		return false, writeMsg(w, &protocol.StatsResult{JSON: b})
 
 	case *protocol.Exec:
-		if !s.admitStatement(c, bw, m.SQL) {
+		if !s.admitStatement(c, w, m.SQL) {
 			return false, nil
 		}
 		if perr := protocol.SanitizeParams(m.Params); perr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
 		}
 		res, xerr := s.doExec(c, m.SQL, m.Params)
 		if xerr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
 		}
-		return false, writeMsg(bw, &protocol.Result{RowsAffected: res.RowsAffected})
+		return false, writeMsg(w, &protocol.Result{RowsAffected: res.RowsAffected})
 
 	case *protocol.Query:
-		if !s.admitStatement(c, bw, m.SQL) {
+		if !s.admitStatement(c, w, m.SQL) {
 			return false, nil
 		}
 		if perr := protocol.SanitizeParams(m.Params); perr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
 		}
 		rows, qerr := s.doQuery(c, m.SQL, m.Params)
 		if qerr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
 		}
-		return false, s.writeRows(bw, rows)
+		return false, s.writeRows(w, rows)
+
+	case *protocol.Batch:
+		return false, s.doBatch(c, w, m)
 
 	case *protocol.Prepare:
 		ps, perr := s.prepare(c, m.SQL)
 		if perr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: errCode(perr), Msg: perr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: errCode(perr), Msg: perr.Error()})
 		}
 		c.nextStmt++
 		id := c.nextStmt
 		c.stmts[id] = ps
-		return false, writeMsg(bw, &protocol.Prepared{ID: id, IsQuery: ps.isQuery})
+		return false, writeMsg(w, &protocol.Prepared{ID: id, IsQuery: ps.isQuery})
 
 	case *protocol.StmtExec:
-		if !s.admitStatement(c, bw, fmt.Sprintf("stmt %d", m.ID)) {
+		if !s.admitStatement(c, w, fmt.Sprintf("stmt %d", m.ID)) {
 			return false, nil
 		}
 		ps, ok := c.stmts[m.ID]
 		if !ok {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
 		}
 		if perr := protocol.SanitizeParams(m.Params); perr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
 		}
 		res, xerr := s.execPrepared(c, ps, m.Params)
 		if xerr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: errCode(xerr), Msg: xerr.Error()})
 		}
-		return false, writeMsg(bw, &protocol.Result{RowsAffected: res.RowsAffected})
+		return false, writeMsg(w, &protocol.Result{RowsAffected: res.RowsAffected})
 
 	case *protocol.StmtQuery:
-		if !s.admitStatement(c, bw, fmt.Sprintf("stmt %d", m.ID)) {
+		if !s.admitStatement(c, w, fmt.Sprintf("stmt %d", m.ID)) {
 			return false, nil
 		}
 		ps, ok := c.stmts[m.ID]
 		if !ok {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeSQL, Msg: fmt.Sprintf("unknown statement %d", m.ID)})
 		}
 		if perr := protocol.SanitizeParams(m.Params); perr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: perr.Error()})
 		}
 		rows, qerr := s.queryPrepared(c, ps, m.Params)
 		if qerr != nil {
-			return false, writeMsg(bw, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
+			return false, writeMsg(w, &protocol.Error{Code: errCode(qerr), Msg: qerr.Error()})
 		}
-		return false, s.writeRows(bw, rows)
+		return false, s.writeRows(w, rows)
 
 	case *protocol.StmtClose:
 		delete(c.stmts, m.ID)
-		return false, writeMsg(bw, &protocol.Result{})
+		return false, writeMsg(w, &protocol.Result{})
 	}
 	s.protoErrors.Add(1)
-	return false, writeMsg(bw, &protocol.Error{Code: protocol.CodeProtocol, Msg: fmt.Sprintf("unexpected message %T", msg)})
+	return false, writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: fmt.Sprintf("unexpected message %T", msg)})
+}
+
+// --- pipelined batches -------------------------------------------------------
+
+// doBatch executes a pipelined Batch strictly in order, one tagged
+// reply per statement, a single BatchDone trailer, one flush for the
+// whole exchange.
+//
+// Error semantics: the first failure — rate limit, bad params, SQL
+// error, write conflict — poisons the remainder. Poisoned statements
+// are NOT executed; each answers BatchError{CodePoisoned} so replies
+// stay 1:1 with statements. This is what makes a pipelined
+// BEGIN…COMMIT safe: once any statement inside the transaction fails,
+// the trailing COMMIT is poisoned and can never commit a partial
+// transaction. The client sees the real error at its index, rolls
+// back, and retries.
+func (s *Server) doBatch(c *connState, w *connWriter, m *protocol.Batch) error {
+	s.batches.Add(1)
+	var poisoned error
+	var executed uint32
+	for i, bs := range m.Stmts {
+		idx := uint32(i)
+		if poisoned != nil {
+			if err := w.send(&protocol.BatchError{Index: idx, Code: protocol.CodePoisoned, Msg: "not executed: " + poisoned.Error()}); err != nil {
+				return err
+			}
+			continue
+		}
+		s.statements.Add(1)
+		if s.cfg.Audit != nil && s.cfg.Audit.Statements {
+			s.cfg.Audit.Record(c.tenant, c.id, AuditStatement, bs.SQL)
+		}
+		if s.cfg.Auth != nil {
+			if err := s.cfg.Auth.AllowStatement(c.tenant); err != nil {
+				s.rateLimited.Add(1)
+				s.cfg.Audit.Record(c.tenant, c.id, AuditRateLimit, err.Error())
+				poisoned = err
+				if werr := w.send(&protocol.BatchError{Index: idx, Code: protocol.CodeRateLimit, Msg: err.Error()}); werr != nil {
+					return werr
+				}
+				continue
+			}
+		}
+		if perr := protocol.SanitizeParams(bs.Params); perr != nil {
+			poisoned = perr
+			if werr := w.send(&protocol.BatchError{Index: idx, Code: protocol.CodeProtocol, Msg: perr.Error()}); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if bs.Query {
+			rows, qerr := s.doQuery(c, bs.SQL, bs.Params)
+			if qerr != nil {
+				poisoned = qerr
+				if werr := w.send(&protocol.BatchError{Index: idx, Code: errCode(qerr), Msg: qerr.Error()}); werr != nil {
+					return werr
+				}
+				continue
+			}
+			executed++
+			if werr := s.writeBatchRows(w, idx, rows); werr != nil {
+				return werr
+			}
+			continue
+		}
+		res, xerr := s.doExec(c, bs.SQL, bs.Params)
+		if xerr != nil {
+			poisoned = xerr
+			if werr := w.send(&protocol.BatchError{Index: idx, Code: errCode(xerr), Msg: xerr.Error()}); werr != nil {
+				return werr
+			}
+			continue
+		}
+		executed++
+		if werr := w.send(&protocol.BatchResult{Index: idx, RowsAffected: res.RowsAffected}); werr != nil {
+			return werr
+		}
+	}
+	if err := w.send(&protocol.BatchDone{Executed: executed}); err != nil {
+		return err
+	}
+	return w.flush()
+}
+
+// writeBatchRows streams one batch statement's result: an indexed
+// header, then ordinary RowBatch frames. No flush — the batch's
+// trailer flushes everything at once.
+func (s *Server) writeBatchRows(w *connWriter, idx uint32, rows *engine.Rows) error {
+	if err := w.send(&protocol.BatchRowsHeader{Index: idx, Columns: rows.Columns}); err != nil {
+		return err
+	}
+	data := rows.Data
+	for {
+		n := len(data)
+		last := n <= s.cfg.MaxRowBatch
+		if !last {
+			n = s.cfg.MaxRowBatch
+		}
+		if err := w.send(&protocol.RowBatch{Rows: data[:n], Last: last}); err != nil {
+			return err
+		}
+		if last {
+			return nil
+		}
+		data = data[n:]
+	}
 }
 
 // --- statement execution -----------------------------------------------------
 
-// doExec runs one non-query (or drained SELECT) statement.
+// doExec runs one non-query (or drained SELECT) statement. In layout
+// mode the text resolves through the shared rewrite cache (Mapper.Do),
+// so the statement's shape is decided by the cache lookup itself —
+// no pre-parse on the hot path.
 func (s *Server) doExec(c *connState, q string, params []types.Value) (engine.Result, error) {
 	if c.mapper == nil {
 		return c.sess.Exec(q, params...)
 	}
-	st, err := sql.Parse(q)
+	res, rows, err := c.mapper.Do(c.tenant, q, params...)
 	if err != nil {
 		return engine.Result{}, err
 	}
-	if _, isSel := st.(*sql.SelectStmt); isSel {
+	if rows != nil {
 		// Exec-of-SELECT in layout mode: run and drain.
-		rows, qerr := c.mapper.Query(c.tenant, q, params...)
-		if qerr != nil {
-			return engine.Result{}, qerr
-		}
 		return engine.Result{RowsAffected: int64(len(rows.Data))}, nil
 	}
-	return c.mapper.Exec(c.tenant, q, params...)
+	return res, nil
 }
 
 // doQuery runs one SELECT.
@@ -499,7 +722,7 @@ func (s *Server) doQuery(c *connState, q string, params []types.Value) (*engine.
 // prepare registers one statement. In raw mode it is parsed once and
 // the SQL string doubles as the engine's plan-cache key; in layout mode
 // the rewrite is tenant-dependent, so only the classification happens
-// here and the SQL is rewritten per execution.
+// here and the per-execution lookup goes through the rewrite cache.
 func (s *Server) prepare(c *connState, q string) (*prepStmt, error) {
 	st, err := sql.Parse(q)
 	if err != nil {
@@ -532,9 +755,10 @@ func (s *Server) queryPrepared(c *connState, ps *prepStmt, params []types.Value)
 
 // writeRows streams a materialized result as RowsHeader + RowBatch
 // frames, chunked to MaxRowBatch rows per frame; the final batch
-// carries Last (a zero-row result is a single empty Last batch).
-func (s *Server) writeRows(bw *bufio.Writer, rows *engine.Rows) error {
-	if err := protocol.WriteFrame(bw, protocol.Encode(&protocol.RowsHeader{Columns: rows.Columns})); err != nil {
+// carries Last (a zero-row result is a single empty Last batch). The
+// frames coalesce in the connection buffer and flush once at the end.
+func (s *Server) writeRows(w *connWriter, rows *engine.Rows) error {
+	if err := w.send(&protocol.RowsHeader{Columns: rows.Columns}); err != nil {
 		return err
 	}
 	data := rows.Data
@@ -544,12 +768,11 @@ func (s *Server) writeRows(bw *bufio.Writer, rows *engine.Rows) error {
 		if !last {
 			n = s.cfg.MaxRowBatch
 		}
-		rb := &protocol.RowBatch{Rows: data[:n], Last: last}
-		if err := protocol.WriteFrame(bw, protocol.Encode(rb)); err != nil {
+		if err := w.send(&protocol.RowBatch{Rows: data[:n], Last: last}); err != nil {
 			return err
 		}
 		if last {
-			return bw.Flush()
+			return w.flush()
 		}
 		data = data[n:]
 	}

@@ -1,0 +1,217 @@
+// Canonicalization: turning literal-inlined statements into
+// parameterized templates. Application code (and the CRM benchmark
+// deck) mostly sends SQL with values inlined — `SELECT * FROM Account
+// WHERE Id = 7` — which defeats any text-keyed statement cache: every
+// distinct value is a distinct cache key. ExtractParams rewrites such a
+// statement in place into its template form (`... WHERE Id = ?`) and
+// hands back the extracted values, so the rewrite/plan caches key on
+// the template while execution binds the original values as ordinary
+// positional parameters.
+package sql
+
+import "repro/internal/types"
+
+// ExtractParams canonicalizes st in place for SELECT, UPDATE, and
+// DELETE: every literal in a parameterizable position (WHERE and HAVING
+// trees, UPDATE SET values — including inside IN lists, LIKE patterns,
+// function arguments, and CASTs, but never inside subqueries) is
+// replaced by a positional Param, and the displaced values are returned
+// in Param index order (the deterministic walk order: SET before WHERE
+// before HAVING).
+//
+// It returns (nil, false), leaving st untouched, when st is not a
+// candidate: a statement kind whose rewrite may be value-dependent or
+// side-effecting (INSERT reserves row ids; DDL changes the catalog), a
+// statement that already carries explicit Params (mixing caller params
+// with extracted ones would renumber the caller's indexes), or one with
+// no literals to extract.
+func ExtractParams(st Statement) ([]types.Value, bool) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		if s.Where == nil && s.Having == nil {
+			return nil, false
+		}
+		if hasParams(st) {
+			return nil, false
+		}
+		c := &canonizer{}
+		s.Where = c.walk(s.Where)
+		s.Having = c.walk(s.Having)
+		return c.finish()
+	case *UpdateStmt:
+		if hasParams(st) {
+			return nil, false
+		}
+		c := &canonizer{}
+		for i := range s.Set {
+			s.Set[i].Value = c.walk(s.Set[i].Value)
+		}
+		s.Where = c.walk(s.Where)
+		return c.finish()
+	case *DeleteStmt:
+		if s.Where == nil {
+			return nil, false
+		}
+		if hasParams(st) {
+			return nil, false
+		}
+		c := &canonizer{}
+		s.Where = c.walk(s.Where)
+		return c.finish()
+	}
+	return nil, false
+}
+
+// canonizer carries the extracted values of one ExtractParams walk.
+type canonizer struct {
+	vals []types.Value
+}
+
+func (c *canonizer) finish() ([]types.Value, bool) {
+	if len(c.vals) == 0 {
+		return nil, false
+	}
+	return c.vals, true
+}
+
+// walk replaces literals with Params bottom-up. Subqueries (IN
+// subqueries here; derived tables never appear below a WHERE) are left
+// intact: their literals stay inlined and simply make the template text
+// more specific.
+func (c *canonizer) walk(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		p := &Param{Index: len(c.vals)}
+		c.vals = append(c.vals, e.Val)
+		return p
+	case *BinaryExpr:
+		e.L = c.walk(e.L)
+		e.R = c.walk(e.R)
+		return e
+	case *UnaryExpr:
+		e.X = c.walk(e.X)
+		return e
+	case *IsNullExpr:
+		e.X = c.walk(e.X)
+		return e
+	case *InExpr:
+		e.X = c.walk(e.X)
+		for i := range e.List {
+			e.List[i] = c.walk(e.List[i])
+		}
+		return e
+	case *LikeExpr:
+		e.X = c.walk(e.X)
+		e.Pattern = c.walk(e.Pattern)
+		return e
+	case *FuncExpr:
+		for i := range e.Args {
+			e.Args[i] = c.walk(e.Args[i])
+		}
+		return e
+	case *CastExpr:
+		e.X = c.walk(e.X)
+		return e
+	}
+	return e
+}
+
+// hasParams reports whether any expression anywhere in st (including
+// subqueries and projection lists) is already a Param. Such statements
+// are never canonicalized: the caller's positional values bind to the
+// existing indexes, and extraction would interleave new indexes with
+// theirs.
+func hasParams(st Statement) bool {
+	found := false
+	visitStatement(st, func(e Expr) {
+		if _, ok := e.(*Param); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// visitStatement calls fn on every expression node reachable from st,
+// including inside subqueries.
+func visitStatement(st Statement, fn func(Expr)) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		visitSelect(s, fn)
+	case *InsertStmt:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				visitExpr(e, fn)
+			}
+		}
+	case *UpdateStmt:
+		for i := range s.Set {
+			visitExpr(s.Set[i].Value, fn)
+		}
+		visitExpr(s.Where, fn)
+	case *DeleteStmt:
+		visitExpr(s.Where, fn)
+	}
+}
+
+func visitSelect(s *SelectStmt, fn func(Expr)) {
+	for _, it := range s.Items {
+		visitExpr(it.Expr, fn)
+	}
+	for _, f := range s.From {
+		visitTableRef(f, fn)
+	}
+	visitExpr(s.Where, fn)
+	for _, g := range s.GroupBy {
+		visitExpr(g, fn)
+	}
+	visitExpr(s.Having, fn)
+	for _, o := range s.OrderBy {
+		visitExpr(o.Expr, fn)
+	}
+}
+
+func visitTableRef(t TableRef, fn func(Expr)) {
+	switch t := t.(type) {
+	case *SubqueryTable:
+		visitSelect(t.Select, fn)
+	case *JoinTable:
+		visitTableRef(t.Left, fn)
+		visitTableRef(t.Right, fn)
+		visitExpr(t.On, fn)
+	}
+}
+
+func visitExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *BinaryExpr:
+		visitExpr(e.L, fn)
+		visitExpr(e.R, fn)
+	case *UnaryExpr:
+		visitExpr(e.X, fn)
+	case *IsNullExpr:
+		visitExpr(e.X, fn)
+	case *InExpr:
+		visitExpr(e.X, fn)
+		for _, i := range e.List {
+			visitExpr(i, fn)
+		}
+		if e.Subquery != nil {
+			visitSelect(e.Subquery, fn)
+		}
+	case *LikeExpr:
+		visitExpr(e.X, fn)
+		visitExpr(e.Pattern, fn)
+	case *FuncExpr:
+		for _, a := range e.Args {
+			visitExpr(a, fn)
+		}
+	case *CastExpr:
+		visitExpr(e.X, fn)
+	}
+}
