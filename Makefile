@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke bench-net-pipeline check
+.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke bench-net-pipeline bench-alter bench-alter-smoke fuzz-alter check
 
 all: check
 
@@ -78,5 +78,22 @@ bench-net-smoke:
 bench-net-pipeline:
 	$(GO) run ./cmd/mtdbench -net -json-out BENCH_6.json
 	$(GO) run ./cmd/mtdbench -net -net-pipeline=false -json-out BENCH_6_nopipeline.json
+
+# Regenerate BENCH_7.json (online schema evolution: CRM steady-state
+# throughput before/during/after ALTERing every physical table and
+# live-moving one tenant to another layout; target is a <10% dip).
+bench-alter:
+	$(GO) run ./cmd/mtdbench -alter -json-out BENCH_7.json
+
+# Reduced -alter sweep (CI regression canary): the full churn path —
+# online ALTERs, background backfill, the tenant move and its cutover —
+# in under two seconds, writing its JSON to the system temp dir.
+bench-alter-smoke:
+	$(GO) run ./cmd/mtdbench -alter -alter-smoke
+
+# Short fuzz burst over the ALTER grammar: the parser must never panic
+# and every accepted ALTER must round-trip through String().
+fuzz-alter:
+	$(GO) test ./internal/sql/ -fuzz FuzzParseAlter -fuzztime 20s
 
 check: build vet test race race-bench bench-smoke

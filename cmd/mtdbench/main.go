@@ -47,6 +47,8 @@ func main() {
 		recovery  = flag.Bool("recovery", false, "run the WAL/recovery benchmark (commit latency with and without group commit, recovery time vs checkpoint interval)")
 		txnBench  = flag.Bool("txn", false, "run the interactive-transaction benchmark (commits/sec and conflict-abort rate vs session count)")
 		txnSmoke  = flag.Bool("txn-smoke", false, "with -txn, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
+		alterBn   = flag.Bool("alter", false, "run the online-schema-evolution benchmark: CRM steady state while ALTERing every table and live-moving a tenant")
+		alterSmk  = flag.Bool("alter-smoke", false, "with -alter, run the reduced smoke configuration (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		netBench  = flag.Bool("net", false, "run the network benchmark: the CRM workload over the wire protocol, swept over concurrent connections")
 		netSmoke  = flag.Bool("net-smoke", false, "with -net, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		netConns  = flag.String("net-conns", "64,256,1024", "comma-separated connection counts for -net")
@@ -89,6 +91,18 @@ func main() {
 			out = "BENCH_4.json"
 		}
 		runRecoveryBench(out)
+		return
+	}
+	if *alterBn {
+		out := *jsonOut
+		if out == "" {
+			if *alterSmk {
+				out = filepath.Join(os.TempDir(), "BENCH_7_smoke.json")
+			} else {
+				out = "BENCH_7.json"
+			}
+		}
+		runAlterBench(out, *alterSmk)
 		return
 	}
 	if *netBench {

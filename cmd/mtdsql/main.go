@@ -145,7 +145,66 @@ func run() (code int) {
 		// volatile state (buffer pool and WAL tail), `.recover` rebuilds
 		// the database from the durable log + disk image.
 		if strings.HasPrefix(stmt, ".") {
-			switch stmt {
+			fields := strings.Fields(stmt)
+			switch fields[0] {
+			case ".schema":
+				// `.schema <physical-table>`: the engine catalog's version
+				// chain for one table — every live schema version with its
+				// commit stamp and column list (dropped slots marked), i.e.
+				// what an online ALTER has published and what old snapshots
+				// may still be reading under.
+				if img != nil {
+					fail(fmt.Errorf("crashed (use .recover)"))
+					continue
+				}
+				if len(fields) != 2 {
+					fail(fmt.Errorf("usage: .schema <physical-table>"))
+					continue
+				}
+				tab, err := db.Catalog().Table(fields[1])
+				if err != nil {
+					fail(fmt.Errorf("%w (physical tables: %s)", err, strings.Join(db.Catalog().TableNames(), ", ")))
+					continue
+				}
+				for _, v := range tab.Schemas.Versions() {
+					fmt.Printf("  version %d (commit ts %d):\n", v.Ver, v.CommitTS)
+					for _, c := range v.Cols {
+						note := ""
+						if c.Dropped {
+							note = "  -- dropped"
+						}
+						fmt.Printf("    %s %s%s\n", c.Name, c.Type, note)
+					}
+				}
+			case ".migrate-status":
+				// `.migrate-status`: background backfill progress for every
+				// table an online ALTER has touched. A stuck migration (idle
+				// passes piling up with stale rows left) fails the run so
+				// scripts can gate on it.
+				if img != nil {
+					fail(fmt.Errorf("crashed (use .recover)"))
+					continue
+				}
+				db.NudgeBackfill()
+				status := db.BackfillStatus()
+				if len(status) == 0 {
+					fmt.Println("  no migrations")
+					continue
+				}
+				for _, p := range status {
+					state := "migrating"
+					switch {
+					case p.Done:
+						state = "done"
+					case p.Stuck():
+						state = "STUCK"
+					}
+					fmt.Printf("  %s: %s (passes %d, scanned %d, rewritten %d, skipped %d, residual %d)\n",
+						p.Table, state, p.Passes, p.Scanned, p.Rewritten, p.Skipped, p.Residual)
+					if p.Stuck() {
+						fail(fmt.Errorf("migration of %s is stuck", p.Table))
+					}
+				}
 			case ".crash":
 				if img != nil {
 					fail(fmt.Errorf("already crashed (use .recover)"))
@@ -177,12 +236,27 @@ func run() (code int) {
 				}
 				fmt.Println("  checkpoint written, log truncated")
 			default:
-				fail(fmt.Errorf("unknown meta-command %q (.crash, .recover, .checkpoint)", stmt))
+				fail(fmt.Errorf("unknown meta-command %q (.schema <table>, .migrate-status, .crash, .recover, .checkpoint)", stmt))
 			}
 			continue
 		}
 		if img != nil {
 			fail(fmt.Errorf("database is crashed (use .recover)"))
+			continue
+		}
+		// ALTER is physical DDL: it targets an engine table by its
+		// physical name (like .schema does) and bypasses tenant
+		// rewriting — the layouts own the logical-to-physical column
+		// mapping, the engine owns the online evolution of the physical
+		// tables underneath. The statement returns as soon as the new
+		// schema version is published; rows migrate lazily and in the
+		// background (.migrate-status shows the backfill).
+		if strings.EqualFold(firstWord(stmt), "ALTER") {
+			if _, err := db.Exec(stmt); err != nil {
+				fail(err)
+			} else {
+				fmt.Println("  ok (new schema version published; rows migrate lazily)")
+			}
 			continue
 		}
 		// Transaction control runs through the mapper's session as-is —
@@ -239,10 +313,19 @@ func run() (code int) {
 	return code
 }
 
+// firstWord returns the first whitespace-delimited token of stmt.
+func firstWord(stmt string) string {
+	f := strings.Fields(stmt)
+	if len(f) == 0 {
+		return ""
+	}
+	return f[0]
+}
+
 // isTxnControl reports whether stmt is BEGIN/COMMIT/ROLLBACK/SAVEPOINT
 // (including ROLLBACK TO), which bypass tenant rewriting.
 func isTxnControl(stmt string) bool {
-	word := strings.ToUpper(strings.Fields(strings.TrimSpace(stmt))[0])
+	word := strings.ToUpper(firstWord(stmt))
 	switch word {
 	case "BEGIN", "COMMIT", "ROLLBACK", "SAVEPOINT", "START":
 		return true

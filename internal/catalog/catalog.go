@@ -7,6 +7,7 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/btree"
 	"repro/internal/mvcc"
+	"repro/internal/schemaver"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -23,12 +25,11 @@ import (
 // paper cites for IBM DB2 V9.1.
 const DefaultMetaBytesPerTable = 4096
 
-// Column describes one table column.
-type Column struct {
-	Name    string
-	Type    types.ColumnType
-	NotNull bool
-}
+// Column describes one physical column slot. It is an alias of the
+// schema-versioning package's definition: a slot may be live or Dropped
+// (retained so older schema versions keep decoding its bytes — see
+// internal/schemaver for the grow-only physical invariant).
+type Column = schemaver.Column
 
 // Index is a secondary or primary access path backed by a B+tree whose
 // pages live in the shared buffer pool.
@@ -89,10 +90,19 @@ type Table struct {
 	Heap    *storage.HeapFile
 	Indexes []*Index
 
+	// Schemas is the table's schema-version chain (always non-nil).
+	// Columns mirrors its newest version; snapshot transactions older
+	// than an in-flight ALTER resolve their column prefix through it.
+	Schemas *schemaver.Chain
+
 	// Vers holds the table's MVCC version chains (always non-nil). The
 	// heap's slot-pin hook keeps chained RIDs from being reused while a
 	// chain still refers to them.
 	Vers *mvcc.VersionStore
+
+	// LazyUpgrades counts rows whose stored encoding predated the newest
+	// schema and were rewritten to it by a foreground DML write.
+	LazyUpgrades atomic.Int64
 
 	Mu sync.RWMutex
 }
@@ -114,10 +124,12 @@ func (t *Table) SetWAL(h storage.HeapLogger, tl btree.Logger) {
 	}
 }
 
-// ColIndex returns the ordinal of the named column, or -1.
+// ColIndex returns the ordinal of the named column, or -1. Dropped
+// slots are unaddressable (their name may be reused by a later ADD
+// COLUMN), so they never match.
 func (t *Table) ColIndex(name string) int {
 	for i, c := range t.Columns {
-		if strings.EqualFold(c.Name, name) {
+		if !c.Dropped && strings.EqualFold(c.Name, name) {
 			return i
 		}
 	}
@@ -145,6 +157,12 @@ func (t *Table) normalizeRow(row []types.Value) ([]types.Value, error) {
 	copy(out, row)
 	for i := range out {
 		c := t.Columns[i]
+		if c.Dropped {
+			// A dropped slot stores nothing going forward; its declared
+			// type and NOT NULL constraint died with the column.
+			out[i] = types.Null()
+			continue
+		}
 		v := out[i]
 		if v.IsNull() {
 			if c.NotNull {
@@ -354,6 +372,12 @@ func (t *Table) updateHeapUndo(rid storage.RID, newRow []types.Value, u *UndoLog
 	if err != nil {
 		return storage.RID{}, err
 	}
+	// Lazy schema upgrade accounting: a write always re-encodes the full
+	// current-width row, so touching a row that predates the newest
+	// schema migrates it as a side effect.
+	if arity, n := binary.Uvarint(oldRec); n > 0 && int(arity) < len(t.Columns) {
+		t.LazyUpgrades.Add(1)
+	}
 	newRID, err := t.Heap.Update(rid, types.EncodeRow(nil, newRow))
 	if err != nil {
 		return storage.RID{}, err
@@ -453,7 +477,8 @@ type Catalog struct {
 	pool   *storage.BufferPool
 	cfg    Config
 
-	version atomic.Int64
+	version  atomic.Int64
+	schemaTS atomic.Uint64
 }
 
 // New creates a catalog over pool.
@@ -515,6 +540,7 @@ func (c *Catalog) CreateTable(name string, cols []Column) (*Table, error) {
 		Name:    name,
 		Columns: append([]Column(nil), cols...),
 		Heap:    storage.NewHeapFile(c.pool, c.cfg.InsertMode),
+		Schemas: schemaver.NewChain(cols),
 	}
 	t.initVersions(c.cfg.Versions)
 	c.tables[key(name)] = t
@@ -709,24 +735,127 @@ func (c *Catalog) DropIndexDeferred(tableName, indexName string) ([]storage.Page
 
 // AddColumn appends a nullable column to the table. Existing rows read
 // back with NULL in the new position — a pure meta-data change, which
-// is what lets generic layouts do on-line schema evolution.
+// is what lets generic layouts do on-line schema evolution. This is the
+// offline (DDL-fenced) path: no snapshot can be in flight, so the
+// schema chain's head is rewritten in place rather than versioned.
 func (c *Catalog) AddColumn(tableName string, col Column) error {
 	c.version.Add(1)
-	if col.NotNull {
-		return fmt.Errorf("catalog: ADD COLUMN must be nullable")
-	}
 	t, err := c.Table(tableName)
 	if err != nil {
 		return err
 	}
 	t.Mu.Lock()
 	defer t.Mu.Unlock()
-	if t.ColIndex(col.Name) >= 0 {
-		return fmt.Errorf("catalog: column %s already exists in %s", col.Name, tableName)
+	cols, err := t.ComputeAddColumn(col)
+	if err != nil {
+		return err
 	}
-	t.Columns = append(t.Columns, col)
+	t.Columns = cols
+	t.Schemas.SetLatest(cols)
 	return nil
 }
+
+// --- online schema evolution ---------------------------------------------------
+//
+// The Compute* methods validate one ALTER against the table's newest
+// schema and return the resulting column slice without mutating
+// anything; PublishSchema makes it the newest version under a commit
+// stamp. The engine calls Compute under the table's exclusive latch,
+// WALs the change, stamps the commit clock, then publishes — so the
+// new version's stamp is strictly newer than every snapshot begun
+// before the ALTER, and those snapshots keep resolving the old prefix.
+// Caller holds t.Mu exclusively for all of these.
+
+// ComputeAddColumn validates appending a nullable column slot.
+func (t *Table) ComputeAddColumn(col Column) ([]Column, error) {
+	if col.NotNull {
+		return nil, fmt.Errorf("catalog: ADD COLUMN must be nullable")
+	}
+	if col.Dropped {
+		return nil, fmt.Errorf("catalog: cannot add a dropped column")
+	}
+	if t.ColIndex(col.Name) >= 0 {
+		return nil, fmt.Errorf("catalog: column %s already exists in %s", col.Name, t.Name)
+	}
+	out := append([]Column(nil), t.Columns...)
+	return append(out, col), nil
+}
+
+// ComputeDropColumn validates dropping a column: the slot is retained
+// (flagged Dropped) so older schema versions keep decoding its bytes.
+// Indexed columns cannot be dropped, nor can the last visible column.
+func (t *Table) ComputeDropColumn(name string) ([]Column, error) {
+	ord := t.ColIndex(name)
+	if ord < 0 {
+		return nil, fmt.Errorf("catalog: no column %s in %s", name, t.Name)
+	}
+	for _, ix := range t.Indexes {
+		for _, c := range ix.Cols {
+			if c == ord {
+				return nil, fmt.Errorf("catalog: cannot drop %s.%s: referenced by index %s", t.Name, name, ix.Name)
+			}
+		}
+	}
+	visible := 0
+	for _, c := range t.Columns {
+		if !c.Dropped {
+			visible++
+		}
+	}
+	if visible <= 1 {
+		return nil, fmt.Errorf("catalog: cannot drop the last column of %s", t.Name)
+	}
+	out := append([]Column(nil), t.Columns...)
+	out[ord].Dropped = true
+	return out, nil
+}
+
+// ComputeWidenColumn validates widening a column's declared type in
+// place. Only INT -> FLOAT is a widening here: every stored INT value
+// is exactly representable (values are self-describing and coerce on
+// read), and the order-preserving key encoding of INT n equals that of
+// FLOAT n, so even indexed columns need no key maintenance. (Integers
+// beyond 2^53 lose precision once physically rewritten — the usual
+// IEEE-754 caveat.)
+func (t *Table) ComputeWidenColumn(name string, typ types.ColumnType) ([]Column, error) {
+	ord := t.ColIndex(name)
+	if ord < 0 {
+		return nil, fmt.Errorf("catalog: no column %s in %s", name, t.Name)
+	}
+	cur := t.Columns[ord].Type
+	if cur.Kind == typ.Kind && cur.Width == typ.Width {
+		return nil, fmt.Errorf("catalog: %s.%s is already %s", t.Name, name, typ)
+	}
+	if cur.Kind != types.KindInt || typ.Kind != types.KindFloat {
+		return nil, fmt.Errorf("catalog: cannot widen %s.%s from %s to %s (only INT -> FLOAT)", t.Name, name, cur, typ)
+	}
+	out := append([]Column(nil), t.Columns...)
+	out[ord].Type = typ
+	return out, nil
+}
+
+// PublishSchema installs cols as the table's newest schema version
+// under commit stamp ts and bumps the catalog version. Caller holds
+// t.Mu exclusively; every reader of t.Columns holds at least a shared
+// latch (or the engine's exclusive DDL fence), so the swap is safe.
+func (c *Catalog) PublishSchema(t *Table, cols []Column, ts uint64) int64 {
+	ver := t.Schemas.Publish(cols, ts)
+	t.Columns = cols
+	for {
+		old := c.schemaTS.Load()
+		if ts <= old || c.schemaTS.CompareAndSwap(old, ts) {
+			break
+		}
+	}
+	c.version.Add(1)
+	return ver
+}
+
+// SchemaTS returns the commit stamp of the newest published schema
+// version across all tables (0 if none was ever published online). A
+// pinned snapshot older than this must resolve schemas through the
+// version chains instead of the cached latest plans.
+func (c *Catalog) SchemaTS() uint64 { return c.schemaTS.Load() }
 
 // Version returns the schema version, bumped by every DDL operation.
 // Plan caches key on it to invalidate after on-line schema changes.

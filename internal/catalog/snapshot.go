@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/btree"
+	"repro/internal/schemaver"
 	"repro/internal/storage"
 )
 
@@ -94,6 +95,8 @@ const (
 	OpCreateIndex = "create_index"
 	OpDropIndex   = "drop_index"
 	OpAddColumn   = "add_column"
+	OpDropColumn  = "drop_column"
+	OpWidenColumn = "widen_column"
 )
 
 // DDLChange is the durable form of one DDL statement (a KCatalog
@@ -179,6 +182,32 @@ func (s *Snapshot) Apply(ch *DDLChange) error {
 			return fmt.Errorf("catalog: replay add column on missing table %s", ch.Table)
 		}
 		t.Cols = append(t.Cols, ch.Cols...)
+	case OpDropColumn:
+		t := s.table(ch.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: replay drop column on missing table %s", ch.Table)
+		}
+		name := ch.Cols[0].Name
+		for i := range t.Cols {
+			if !t.Cols[i].Dropped && strings.EqualFold(t.Cols[i].Name, name) {
+				t.Cols[i].Dropped = true
+				return nil
+			}
+		}
+		return fmt.Errorf("catalog: replay drop of missing column %s.%s", ch.Table, name)
+	case OpWidenColumn:
+		t := s.table(ch.Table)
+		if t == nil {
+			return fmt.Errorf("catalog: replay widen column on missing table %s", ch.Table)
+		}
+		name := ch.Cols[0].Name
+		for i := range t.Cols {
+			if !t.Cols[i].Dropped && strings.EqualFold(t.Cols[i].Name, name) {
+				t.Cols[i].Type = ch.Cols[0].Type
+				return nil
+			}
+		}
+		return fmt.Errorf("catalog: replay widen of missing column %s.%s", ch.Table, name)
 	default:
 		return fmt.Errorf("catalog: replay of unknown DDL op %q", ch.Op)
 	}
@@ -244,10 +273,14 @@ func Restore(pool *storage.BufferPool, cfg Config, snap *Snapshot) *Catalog {
 	}
 	c := &Catalog{tables: make(map[string]*Table), pool: pool, cfg: cfg}
 	for _, ts := range snap.Tables {
+		// The schema chain restarts at a single version: no snapshot
+		// survives a crash, so the whole history collapses to the newest
+		// columns (Dropped flags included — the slots themselves live on).
 		t := &Table{
 			Name:    ts.Name,
 			Columns: append([]Column(nil), ts.Cols...),
 			Heap:    storage.RestoreHeapFile(pool, cfg.InsertMode, ts.Pages),
+			Schemas: schemaver.NewChain(ts.Cols),
 		}
 		for _, is := range ts.Indexes {
 			t.Indexes = append(t.Indexes, &Index{

@@ -96,8 +96,21 @@ func (m *Mapper) queryStmt(sel *sql.SelectStmt, key string, params ...types.Valu
 	return m.DB.QueryStmt(sel, params...)
 }
 
+// gate takes the tenant's statement gate when the layout is gated (a
+// LayoutMux with a move in flight blocks for the cutover instant; any
+// other layout returns a no-op). Held across the whole call — cache
+// lookup through execution — which is what the move protocol's dirty
+// tracking relies on.
+func (m *Mapper) gate(tenantID int64) func() {
+	if g, ok := m.Layout.(gatedLayout); ok {
+		return g.acquire(tenantID)
+	}
+	return func() {}
+}
+
 // Query runs a logical SELECT for a tenant.
 func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*engine.Rows, error) {
+	defer m.gate(tenantID)()
 	if m.Cache != nil {
 		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
 		if err != nil {
@@ -130,6 +143,7 @@ func (m *Mapper) Query(tenantID int64, query string, params ...types.Value) (*en
 // session-backed mapper — transaction control for a tenant and returns
 // the count of affected logical rows.
 func (m *Mapper) Exec(tenantID int64, query string, params ...types.Value) (engine.Result, error) {
+	defer m.gate(tenantID)()
 	if m.Cache != nil {
 		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
 		if err != nil {
@@ -219,6 +233,7 @@ func (m *Mapper) execRewritten(cr *cachedRewrite, params []types.Value) (engine.
 // batch entry point — one parse/cache lookup decides the shape instead
 // of the caller pre-parsing to route between Query and Exec.
 func (m *Mapper) Do(tenantID int64, query string, params ...types.Value) (engine.Result, *engine.Rows, error) {
+	defer m.gate(tenantID)()
 	if m.Cache != nil {
 		cr, bind, st, err := m.Cache.lookup(tenantID, query, params)
 		if err != nil {

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sql"
+)
+
+// moveFixture: an extension-layout source serving the paper tenants
+// through a LayoutMux, and a private-layout destination provisioned on
+// the same database (private's physical names are per-tenant, so the
+// two layouts coexist).
+func moveFixture(t *testing.T) (*engine.DB, *LayoutMux, *PrivateLayout, *Mapper) {
+	t.Helper()
+	schema := paperSchema()
+	src, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	mux := NewLayoutMux(src)
+	if err := mux.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewPrivateLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Create(db, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, mux)
+	m.Cache = NewRewriteCache(db, mux, 0)
+	return db, mux, dst, m
+}
+
+// TestMoveTenantBasic: a quiet tenant moves between layouts; data
+// lands at the destination, routing flips, and post-move statements
+// execute against the destination while other tenants stay put.
+func TestMoveTenantBasic(t *testing.T) {
+	db, mux, dst, m := moveFixture(t)
+	for i := 1; i <= 20; i++ {
+		if _, err := m.Exec(35, fmt.Sprintf("INSERT INTO Account (Aid, Name) VALUES (%d, 'acct%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Exec(17, "INSERT INTO Account (Aid, Name, Hospital, Beds) VALUES (1, 'hc', 'St Mary', 12)"); err != nil {
+		t.Fatal(err)
+	}
+
+	mv := &Mover{DB: db, Mux: mux, Cache: m.Cache, Verify: true}
+	rep, err := mv.Move(35, dst)
+	if err != nil {
+		t.Fatalf("Move: %v (report %+v)", err, rep)
+	}
+	if mux.Route(35) != Layout(dst) {
+		t.Fatalf("route not flipped: %s", mux.Route(35).Name())
+	}
+	if mux.Route(17).Name() != "extension" {
+		t.Fatalf("tenant 17 rerouted: %s", mux.Route(17).Name())
+	}
+	if rep.Rounds < 1 || rep.RowsCopied < 20 {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	// Served from the destination now.
+	rows, err := m.Query(35, "SELECT Name FROM Account WHERE Aid = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "acct7" {
+		t.Fatalf("post-move read: %+v", rows.Data)
+	}
+	// A post-move write goes to the private tables, not the old shared
+	// ones: the extension layout must NOT see it.
+	if _, err := m.Exec(35, "INSERT INTO Account (Aid, Name) VALUES (21, 'after')"); err != nil {
+		t.Fatal(err)
+	}
+	stale, err := sql.Parse("SELECT Aid FROM Account WHERE Aid = 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := mux.def.Rewrite(35, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := db.QueryStmt(rw.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old.Data) != 0 {
+		t.Fatalf("write leaked to source layout: %+v", old.Data)
+	}
+	rows, err = m.Query(35, "SELECT Aid FROM Account WHERE Aid = 21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("post-move write not visible at destination")
+	}
+	// Other tenants unaffected.
+	rows, err = m.Query(17, "SELECT Hospital FROM Account WHERE Aid = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Str != "St Mary" {
+		t.Fatalf("tenant 17 disturbed: %+v", rows.Data)
+	}
+}
+
+// TestMoveTenantUnderTraffic is the tentpole test: the tenant keeps
+// reading and writing through the whole move. Every acknowledged insert
+// must be present at the destination afterwards — the convergence
+// rounds plus the gated final delta may not lose a write — and no
+// statement may fail.
+func TestMoveTenantUnderTraffic(t *testing.T) {
+	db, mux, dst, m := moveFixture(t)
+	const seed = 400
+	for i := 0; i < seed; i++ {
+		if _, err := m.Exec(35, fmt.Sprintf("INSERT INTO Account (Aid, Name) VALUES (%d, 'seed%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers = 3
+	var (
+		stop     atomic.Bool
+		acked    atomic.Int64
+		wg       sync.WaitGroup
+		failures = make(chan error, 64)
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				aid := 1000 + w*100000 + i
+				_, err := m.Exec(35, fmt.Sprintf("INSERT INTO Account (Aid, Name) VALUES (%d, 'w%d')", aid, w))
+				if err != nil {
+					select {
+					case failures <- err:
+					default:
+					}
+					return
+				}
+				acked.Add(1)
+				if i%3 == 0 {
+					if _, err := m.Query(35, fmt.Sprintf("SELECT Name FROM Account WHERE Aid = %d", aid)); err != nil {
+						select {
+						case failures <- err:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Small batches slow the copy down so the writers genuinely overlap
+	// the convergence rounds.
+	time.Sleep(2 * time.Millisecond)
+	mv := &Mover{DB: db, Mux: mux, Cache: m.Cache, MaxRounds: 6, BatchRows: 4}
+	rep, err := mv.Move(35, dst)
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Move: %v (report %+v)", err, rep)
+	}
+	close(failures)
+	for ferr := range failures {
+		t.Fatalf("foreground statement failed during move: %v", ferr)
+	}
+
+	rows, err := m.Query(35, "SELECT Aid FROM Account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seed + int(acked.Load())
+	if len(rows.Data) != want {
+		t.Fatalf("lost writes across move: %d rows at destination, %d acknowledged", len(rows.Data), want)
+	}
+	if mux.Route(35) != Layout(dst) {
+		t.Fatalf("route not flipped")
+	}
+	t.Logf("move report: %+v (acked writes during move: %d)", rep, acked.Load())
+}
+
+// TestMoveRejectsSameLayout: moving a tenant onto its current layout is
+// an error, not a silent no-op.
+func TestMoveRejectsSameLayout(t *testing.T) {
+	db, mux, _, m := moveFixture(t)
+	_ = m
+	mv := &Mover{DB: db, Mux: mux}
+	if _, err := mv.Move(35, mux.def); err == nil {
+		t.Fatal("expected error moving tenant onto its own layout")
+	}
+}
+
+// TestMoveCacheScoping: the move invalidates only the moved tenant's
+// cached rewrites; a bystander tenant's entries stay warm across the
+// whole move.
+func TestMoveCacheScoping(t *testing.T) {
+	db, mux, dst, m := moveFixture(t)
+	q := "SELECT Name FROM Account WHERE Aid = 1"
+	if _, err := m.Query(17, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(17, q); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Cache.Stats()
+
+	mv := &Mover{DB: db, Mux: mux, Cache: m.Cache}
+	if _, err := mv.Move(35, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(17, q); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Cache.Stats()
+	if after.Hits != before.Hits+1 || after.Misses != before.Misses {
+		t.Fatalf("bystander tenant cold-started by move: before %+v after %+v", before, after)
+	}
+}

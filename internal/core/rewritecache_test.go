@@ -146,9 +146,14 @@ func TestRewriteCacheHitAccounting(t *testing.T) {
 	}
 }
 
-// TestRewriteCacheDDLInvalidation: a catalog version bump must make the
-// cache re-rewrite instead of serving a stale physical mapping.
-func TestRewriteCacheDDLInvalidation(t *testing.T) {
+// TestRewriteCacheDDLKeepsWarm: physical DDL — an engine-level online
+// ALTER, an unrelated CREATE TABLE — must NOT cold-start the rewrite
+// cache. Layout rewrites depend only on the logical schema and tenant
+// metadata, so bumping the catalog version is the plan cache's problem,
+// not the rewrite cache's. This is the regression the old
+// version-in-the-key scheme failed: one tenant's ALTER evicted every
+// tenant's rewrites.
+func TestRewriteCacheDDLKeepsWarm(t *testing.T) {
 	schema := paperSchema()
 	l, err := NewExtensionLayout(schema)
 	if err != nil {
@@ -162,26 +167,115 @@ func TestRewriteCacheDDLInvalidation(t *testing.T) {
 	m.Cache = NewRewriteCache(db, l, 0)
 
 	q := "SELECT Name FROM Account WHERE Aid = 1"
-	if _, err := m.Query(35, q); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := m.Query(35, q); err != nil {
-		t.Fatal(err)
+	for _, tenant := range []int64{35, 42} {
+		if _, err := m.Query(tenant, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Query(tenant, q); err != nil {
+			t.Fatal(err)
+		}
 	}
 	before := m.Cache.Stats()
-	if before.Hits != 1 || before.Misses != 1 {
+	if before.Hits != 2 || before.Misses != 2 {
 		t.Fatalf("warmup: %+v", before)
 	}
-	// Unrelated DDL bumps the catalog version.
+	// Physical DDL bumps the catalog version; the rewrite cache must not
+	// care. (The engine plan cache re-derives on its own.)
 	if _, err := db.Exec("CREATE TABLE Unrelated (A INT)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Query(35, q); err != nil {
+	for _, tenant := range []int64{35, 42} {
+		if _, err := m.Query(tenant, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := m.Cache.Stats()
+	if after.Hits != before.Hits+2 || after.Misses != before.Misses {
+		t.Fatalf("post-DDL lookups should stay warm: before %+v after %+v", before, after)
+	}
+	if after.HitRate() < 0.66 {
+		t.Fatalf("hit rate regressed across DDL: %+v", after)
+	}
+}
+
+// TestRewriteCacheInvalidateTable: bumping one (tenant, table)
+// generation must make exactly that tenant's entries over that table
+// miss, while the same statement stays warm for every other tenant and
+// other tables of the same tenant stay warm too.
+func TestRewriteCacheInvalidateTable(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 0)
+
+	qAcc := "SELECT Name FROM Account WHERE Aid = 1"
+	for _, tenant := range []int64{35, 42} {
+		if _, err := m.Query(tenant, qAcc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Cache.Stats()
+
+	m.Cache.InvalidateTable(35, "Account")
+
+	// Tenant 35's Account entry refills; tenant 42's stays warm.
+	if _, err := m.Query(35, qAcc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(42, qAcc); err != nil {
 		t.Fatal(err)
 	}
 	after := m.Cache.Stats()
 	if after.Misses != before.Misses+1 {
-		t.Fatalf("post-DDL lookup should re-rewrite: before %+v after %+v", before, after)
+		t.Fatalf("tenant 35 should re-rewrite once: before %+v after %+v", before, after)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("tenant 42 should stay warm: before %+v after %+v", before, after)
+	}
+	if after.Invalidated == 0 {
+		t.Fatalf("stale entry should be counted: %+v", after)
+	}
+}
+
+// TestRewriteCacheInvalidateTenant: a tenant-wide bump (what a layout
+// move issues at cutover) cold-starts exactly one tenant.
+func TestRewriteCacheInvalidateTenant(t *testing.T) {
+	schema := paperSchema()
+	l, err := NewExtensionLayout(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.Open(engine.Config{})
+	if err := l.Create(db, paperTenants()); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapper(db, l)
+	m.Cache = NewRewriteCache(db, l, 0)
+
+	q := "SELECT Name FROM Account WHERE Aid = 1"
+	for _, tenant := range []int64{35, 42} {
+		if _, err := m.Query(tenant, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := m.Cache.Stats()
+	m.Cache.InvalidateTenant(35)
+	if _, err := m.Query(35, q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(42, q); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Cache.Stats()
+	if after.Misses != before.Misses+1 || after.Hits != before.Hits+1 {
+		t.Fatalf("only tenant 35 should refill: before %+v after %+v", before, after)
 	}
 }
 

@@ -168,8 +168,15 @@ type DB struct {
 	// column values decoded vs skipped by pruning) across statements.
 	execStats exec.Stats
 
-	// ddlMu serializes DDL against all other statements; DML and
-	// queries hold it shared.
+	// backfillOnce/backfillState lazily create the background schema
+	// backfiller that migrates cold rows after an online ALTER (see
+	// backfill.go).
+	backfillOnce  sync.Once
+	backfillState *backfiller
+
+	// ddlMu serializes structural DDL (CREATE/DROP TABLE and INDEX)
+	// against all other statements; DML, queries, and online ALTERs hold
+	// it shared.
 	ddlMu sync.RWMutex
 	// planMu serializes planning when the plan cache is disabled (the
 	// cache's in-flight table provides this per key otherwise).
@@ -252,8 +259,14 @@ func (db *DB) ExecStmt(st sql.Statement, params ...types.Value) (Result, error) 
 func (db *DB) execStmtKeyed(st sql.Statement, key string, params []types.Value) (Result, error) {
 	switch st := st.(type) {
 	case *sql.CreateTableStmt, *sql.CreateIndexStmt, *sql.DropTableStmt,
-		*sql.DropIndexStmt, *sql.AlterAddColumnStmt:
+		*sql.DropIndexStmt:
 		err := db.execDDL(st)
+		if err == nil {
+			db.maybeCheckpoint()
+		}
+		return Result{}, err
+	case *sql.AlterAddColumnStmt, *sql.AlterDropColumnStmt, *sql.AlterColumnTypeStmt:
+		err := db.execAlterOnline(st)
 		if err == nil {
 			db.maybeCheckpoint()
 		}

@@ -435,7 +435,7 @@ func (s *Session) dmlLocked(st sql.Statement, key string, params []types.Value) 
 	if err != nil {
 		return Result{}, err
 	}
-	p, err := db.planFor(key, st)
+	p, err := db.planForTx(key, st, s.tx)
 	if err != nil {
 		unlock()
 		return Result{}, err
@@ -554,7 +554,7 @@ func (s *Session) querySelect(sel *sql.SelectStmt, key string, params []types.Va
 		return nil, err
 	}
 	defer unlock()
-	p, err := db.planFor(key, sel)
+	p, err := db.planForTx(key, sel, s.tx)
 	if err != nil {
 		return nil, err
 	}
@@ -575,7 +575,7 @@ func (s *Session) drainSelect(sel *sql.SelectStmt, key string, params []types.Va
 		return 0, err
 	}
 	defer unlock()
-	p, err := db.planFor(key, sel)
+	p, err := db.planForTx(key, sel, s.tx)
 	if err != nil {
 		return 0, err
 	}
@@ -667,4 +667,8 @@ func (s *Session) reset() {
 	s.saves = nil
 	s.written = nil
 	s.aborted = false
+	// A transaction ending may have advanced the GC horizon past the
+	// snapshot that blocked a schema-chain prune; wake parked backfills
+	// (a cheap no-op when none are parked).
+	s.db.NudgeBackfill()
 }

@@ -222,6 +222,20 @@ func (h *harness) compareCommitted() {
 // every query result, the periodic committed snapshots, the final
 // state, and the transaction counters.
 func runSeed(t *testing.T, seed int64, minTxns int) {
+	runSeedChurn(t, seed, minTxns, 0)
+}
+
+// runSeedChurn is runSeed with optional online-ALTER churn: every
+// churnEvery steps the driver runs a full evolution cycle (ADD COLUMN,
+// widen it, DROP it) on both tables, mid-stream, while sessions hold
+// open transactions. The model knows nothing about schemas — which is
+// the point: the workload never references the churned column, so
+// every statement outcome and every committed state must be exactly
+// what the model predicts, ALTERs or not. Transactions opened before a
+// cycle keep planning under their snapshot's schema version; positional
+// INSERTs keep working because a completed cycle leaves the visible
+// column set unchanged (the dropped slot is not insertable).
+func runSeedChurn(t *testing.T, seed int64, minTxns, churnEvery int) {
 	const sessions = 3
 	// A short conflict wait keeps the driver fast: statements are issued
 	// serially, so every engine-side park (row wait or admission) runs
@@ -257,9 +271,25 @@ func runSeed(t *testing.T, seed int64, minTxns int) {
 	gen := NewGenerator(seed)
 
 	maxSteps := minTxns * 60
+	cycles := 0
 	for h.step = 1; h.step <= maxSteps; h.step++ {
 		if model.Commits+model.Aborts >= minTxns {
 			break
+		}
+		if churnEvery > 0 && h.step%churnEvery == 0 {
+			cycles++
+			for _, table := range []string{"acct1", "acct2"} {
+				col := fmt.Sprintf("evo%d", cycles)
+				for _, q := range []string{
+					fmt.Sprintf("ALTER TABLE %s ADD COLUMN %s INTEGER", table, col),
+					fmt.Sprintf("ALTER TABLE %s ALTER COLUMN %s TYPE FLOAT", table, col),
+					fmt.Sprintf("ALTER TABLE %s DROP COLUMN %s", table, col),
+				} {
+					if _, err := db.Exec(q); err != nil {
+						t.Fatalf("seed %d step %d: %s: %v", seed, h.step, q, err)
+					}
+				}
+			}
 		}
 		i := gen.rng.Intn(sessions)
 		h.op = gen.Next(h.ms[i])
@@ -280,6 +310,14 @@ func runSeed(t *testing.T, seed int64, minTxns int) {
 		}
 		if err := h.es[i].Close(); err != nil {
 			t.Fatalf("seed %d: close session %d: %v", seed, i, err)
+		}
+	}
+	if churnEvery > 0 {
+		// Let every backfill drain (sessions are closed, so no snapshot
+		// blocks the prune), then re-check: the background rewrites must
+		// not have changed any committed logical state.
+		if err := db.WaitBackfill(10 * time.Second); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
 		}
 	}
 	h.compareCommitted()
@@ -313,6 +351,20 @@ func TestDifferentialSeeds(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			runSeed(t, seed, 1000)
+		})
+	}
+}
+
+// TestDifferentialAlterChurn reruns the differential workload with an
+// online-ALTER evolution cycle injected every 400 steps: the engine
+// under active schema churn must stay statement-for-statement
+// equivalent to a model that has never heard of ALTER, and the
+// post-run backfill must leave committed state untouched.
+func TestDifferentialAlterChurn(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSeedChurn(t, seed, 500, 400)
 		})
 	}
 }

@@ -214,6 +214,22 @@ func (m *Manager) MarkDurable(tx *Txn) {
 	m.maybeGC()
 }
 
+// StampDDL burns one commit timestamp through the full pipeline and
+// returns it published. A schema version published under this stamp is
+// strictly newer than every snapshot begun before the call (their
+// beginTS is at most the previously published clock), so those
+// snapshots keep resolving the prior schema version — the same
+// visibility rule rows get, applied to catalog entries. The call may
+// briefly block behind commits already mid-sync (publication is in
+// reservation order), which is the only "wait" an online ALTER performs
+// beyond its table latch.
+func (m *Manager) StampDDL() uint64 {
+	tx := m.Begin()
+	m.ReserveCommit(tx)
+	m.MarkDurable(tx)
+	return tx.word.Load()
+}
+
 // ResolveAbort withdraws tx's commit reservation after a failed
 // durability step: its queue slot is skipped (the timestamp is burned,
 // which snapshots never notice) so the pipeline behind it keeps

@@ -13,14 +13,17 @@ func (p *Planner) planInsert(st *sql.InsertStmt) (Node, error) {
 	}
 	var colMap []int
 	if len(st.Columns) == 0 {
-		colMap = make([]int, len(t.Columns))
-		for i := range colMap {
-			colMap[i] = i
+		// Bare INSERT targets the visible columns of the planner's schema
+		// epoch, in order; dropped slots are not insertable.
+		for ord, c := range p.physCols(t) {
+			if !c.Dropped {
+				colMap = append(colMap, ord)
+			}
 		}
 	} else {
 		colMap = make([]int, len(st.Columns))
 		for i, name := range st.Columns {
-			ord := t.ColIndex(name)
+			ord := p.colIndex(t, name)
 			if ord < 0 {
 				return nil, fmt.Errorf("plan: no column %s in %s", name, st.Table)
 			}
@@ -56,7 +59,7 @@ func (p *Planner) planWriteAccess(tableName, alias string, where sql.Expr) (*sou
 	if alias == "" {
 		alias = tableName
 	}
-	src := &source{table: t, alias: alias, cols: tableSchema(t, alias)}
+	src := &source{table: t, alias: alias, cols: p.tableSchema(t, alias)}
 	sc := &scope{cols: src.cols}
 	var conjs []sql.Expr
 	if where != nil {
@@ -88,7 +91,7 @@ func (p *Planner) planUpdate(st *sql.UpdateStmt) (Node, error) {
 	sc := &scope{cols: src.cols}
 	plan := &UpdatePlan{Table: src.table, Alias: src.alias, Path: path, Filter: filter}
 	for _, a := range st.Set {
-		ord := src.table.ColIndex(a.Column)
+		ord := p.colIndex(src.table, a.Column)
 		if ord < 0 {
 			return nil, fmt.Errorf("plan: no column %s in %s", a.Column, st.Table)
 		}

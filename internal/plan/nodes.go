@@ -14,6 +14,11 @@ type ColInfo struct {
 	Qual string // table alias (empty for computed columns)
 	Name string
 	Type types.ColumnType
+	// Hidden marks a physical column slot name resolution must skip: a
+	// dropped column whose slot survives so physical ordinals (and older
+	// schema versions) stay valid. Hidden columns never match references
+	// or star expansion, but keep their position in scan schemas.
+	Hidden bool
 }
 
 // Node is a physical plan operator.
@@ -68,14 +73,20 @@ func (a *AccessPath) String() string {
 	return a.Index.Name + "(" + strings.Join(parts, ",") + ")"
 }
 
-// tableSchema builds the ColInfo list for a base table under an alias.
+// tableSchema builds the ColInfo list for a base table under an alias,
+// from the newest schema. Dropped slots stay in place (ordinals are
+// physical) but are Hidden from resolution.
 func tableSchema(t *catalog.Table, alias string) []ColInfo {
+	return colInfos(t.Columns, t.Name, alias)
+}
+
+func colInfos(cols []catalog.Column, tableName, alias string) []ColInfo {
 	if alias == "" {
-		alias = t.Name
+		alias = tableName
 	}
-	out := make([]ColInfo, len(t.Columns))
-	for i, c := range t.Columns {
-		out[i] = ColInfo{Qual: alias, Name: c.Name, Type: c.Type}
+	out := make([]ColInfo, len(cols))
+	for i, c := range cols {
+		out[i] = ColInfo{Qual: alias, Name: c.Name, Type: c.Type, Hidden: c.Dropped}
 	}
 	return out
 }
@@ -85,6 +96,10 @@ type SeqScan struct {
 	Table  *catalog.Table
 	Alias  string
 	Filter Scalar // may be nil
+	// Cols is the scan's output schema, fixed at plan time so an as-of
+	// plan keeps its snapshot's column prefix even if the live schema
+	// grows afterwards; nil derives from the table's newest schema.
+	Cols []ColInfo
 	// Needed lists the table column ordinals the query actually reads
 	// (projections, filters, join keys), sorted ascending; nil means all.
 	// Set by PruneColumns and immutable afterwards — plan clones share it.
@@ -92,7 +107,12 @@ type SeqScan struct {
 }
 
 // Schema implements Node.
-func (s *SeqScan) Schema() []ColInfo { return tableSchema(s.Table, s.Alias) }
+func (s *SeqScan) Schema() []ColInfo {
+	if s.Cols != nil {
+		return s.Cols
+	}
+	return tableSchema(s.Table, s.Alias)
+}
 
 // Children implements Node.
 func (s *SeqScan) Children() []Node { return nil }
@@ -130,13 +150,20 @@ type IndexScan struct {
 	Alias    string
 	Path     AccessPath
 	Residual Scalar // may be nil
+	// Cols fixes the scan's output schema at plan time (see SeqScan.Cols).
+	Cols []ColInfo
 	// Needed lists the table column ordinals the query actually reads;
 	// nil means all. Set by PruneColumns, immutable afterwards.
 	Needed []int
 }
 
 // Schema implements Node.
-func (s *IndexScan) Schema() []ColInfo { return tableSchema(s.Table, s.Alias) }
+func (s *IndexScan) Schema() []ColInfo {
+	if s.Cols != nil {
+		return s.Cols
+	}
+	return tableSchema(s.Table, s.Alias)
+}
 
 // Children implements Node.
 func (s *IndexScan) Children() []Node { return nil }
@@ -246,6 +273,9 @@ type IndexNLJoin struct {
 	Path     AccessPath // scalars see the outer row
 	Residual Scalar     // sees the combined row
 	Type     sql.JoinType
+	// InnerCols fixes the inner table's schema at plan time (see
+	// SeqScan.Cols).
+	InnerCols []ColInfo
 	// NeededInner lists the inner-table column ordinals the query reads
 	// from fetched rows; nil means all. Set by PruneColumns.
 	NeededInner []int
@@ -253,7 +283,11 @@ type IndexNLJoin struct {
 
 // Schema implements Node.
 func (j *IndexNLJoin) Schema() []ColInfo {
-	return append(append([]ColInfo{}, j.Outer.Schema()...), tableSchema(j.Inner, j.Alias)...)
+	inner := j.InnerCols
+	if inner == nil {
+		inner = tableSchema(j.Inner, j.Alias)
+	}
+	return append(append([]ColInfo{}, j.Outer.Schema()...), inner...)
 }
 
 // Children implements Node.

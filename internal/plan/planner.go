@@ -27,6 +27,42 @@ const (
 type Planner struct {
 	Cat  *catalog.Catalog
 	Mode Mode
+	// AsOf, when AsOfSet, plans under the schema version each table had
+	// at that commit timestamp instead of the newest one: a snapshot
+	// transaction that began before an online ALTER resolves its column
+	// prefix through the table's schema chain. Because the physical
+	// column space only grows and slots never move, the resulting plan
+	// addresses current rows with plain physical ordinals. (A separate
+	// flag because 0 is a legitimate snapshot timestamp: the publish
+	// clock only advances when versioned commits or ALTERs stamp it.)
+	AsOf    uint64
+	AsOfSet bool
+}
+
+// physCols returns the physical column slots visible to the planner's
+// schema epoch (the newest schema when no as-of snapshot is set).
+func (p *Planner) physCols(t *catalog.Table) []catalog.Column {
+	if p.AsOfSet {
+		return t.Schemas.At(p.AsOf).Cols
+	}
+	return t.Columns
+}
+
+// colIndex resolves a column name within the planner's schema epoch;
+// dropped slots never match.
+func (p *Planner) colIndex(t *catalog.Table, name string) int {
+	for i, c := range p.physCols(t) {
+		if !c.Dropped && strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// tableSchema builds a table's ColInfo list under the planner's schema
+// epoch.
+func (p *Planner) tableSchema(t *catalog.Table, alias string) []ColInfo {
+	return colInfos(p.physCols(t), t.Name, alias)
 }
 
 // New creates a planner over cat.
@@ -75,7 +111,7 @@ func (p *Planner) makeSource(tr sql.TableRef) (*source, error) {
 		if alias == "" {
 			alias = tr.Name
 		}
-		return &source{table: t, alias: alias, cols: tableSchema(t, alias)}, nil
+		return &source{table: t, alias: alias, cols: p.tableSchema(t, alias)}, nil
 	case *sql.SubqueryTable:
 		sub, err := p.PlanSelect(tr.Select)
 		if err != nil {
@@ -614,7 +650,7 @@ func (p *Planner) buildSource(s *source) (Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &SeqScan{Table: s.table, Alias: s.alias, Filter: cond}, nil
+		return &SeqScan{Table: s.table, Alias: s.alias, Filter: cond, Cols: s.cols}, nil
 	}
 	// Constants resolve against the empty scope.
 	if err := p.resolvePath(path, &scope{}); err != nil {
@@ -624,7 +660,7 @@ func (p *Planner) buildSource(s *source) (Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &IndexScan{Table: s.table, Alias: s.alias, Path: *path, Residual: residual}, nil
+	return &IndexScan{Table: s.table, Alias: s.alias, Path: *path, Residual: residual, Cols: s.cols}, nil
 }
 
 func subtract(all, consumed []sql.Expr) []sql.Expr {
@@ -665,7 +701,7 @@ func (p *Planner) joinTo(cur Node, s *source, conds []sql.Expr, jt sql.JoinType)
 				return nil, err
 			}
 			return &IndexNLJoin{Outer: cur, Inner: s.table, Alias: s.alias,
-				Path: *path, Residual: residual, Type: jt}, nil
+				Path: *path, Residual: residual, Type: jt, InnerCols: s.cols}, nil
 		}
 	}
 

@@ -18,6 +18,9 @@ type scope struct {
 func (sc *scope) resolveColumn(qual, name string) (int, error) {
 	found := -1
 	for i, c := range sc.cols {
+		if c.Hidden {
+			continue // dropped slot: the name is gone, the position is not
+		}
 		if qual != "" && !strings.EqualFold(c.Qual, qual) {
 			continue
 		}

@@ -178,6 +178,9 @@ func expandStars(items []sql.SelectItem, sc *scope) ([]sql.SelectItem, error) {
 		}
 		matched := false
 		for _, c := range sc.cols {
+			if c.Hidden {
+				continue
+			}
 			if it.StarQualifier != "" && !strings.EqualFold(c.Qual, it.StarQualifier) {
 				continue
 			}

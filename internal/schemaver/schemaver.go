@@ -1,0 +1,165 @@
+// Package schemaver makes table schemas multi-versioned the same way
+// rows are: every ALTER publishes a new schema version stamped with a
+// commit timestamp from the transaction manager's clock, and a snapshot
+// transaction resolves the version whose commit timestamp is newest
+// among those <= its begin timestamp — exactly the row-visibility rule.
+// In-flight snapshots therefore keep planning and decoding under the
+// schema they began with while later statements see the new one, which
+// is what lets the engine publish an ALTER under a single table latch
+// instead of fencing it off from every open transaction ("Online Schema
+// Evolution is (Almost) Free for Snapshot Databases", VLDB 2023).
+//
+// The whole design leans on one physical invariant kept by the catalog:
+// the physical column space only ever grows and existing slots never
+// move or change meaning.
+//
+//   - ADD COLUMN appends a slot;
+//   - DROP COLUMN flips a Dropped flag in place (the slot and any row
+//     bytes in it survive so older versions keep decoding them);
+//   - widening (INT -> FLOAT) changes a slot's declared type in place
+//     (the order-preserving key encoding is identical for both kinds,
+//     so even indexed columns need no key maintenance).
+//
+// Any version's column list is therefore a strict prefix of the current
+// physical column space, row records are self-describing (each value
+// carries its kind; decode pads short rows with NULLs), and a plan
+// compiled against any version addresses rows written under any other
+// version with plain physical ordinals.
+package schemaver
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// Column is one physical column slot. The catalog aliases this type, so
+// it is the single definition of a column across the system.
+type Column struct {
+	Name    string
+	Type    types.ColumnType
+	NotNull bool
+	// Dropped marks a slot whose column was removed: it is invisible to
+	// schema versions at or after the drop, but the slot (and the row
+	// bytes stored in it) remain so older versions keep reading it.
+	Dropped bool
+}
+
+// Version is one published schema: the column prefix visible to
+// snapshots whose begin timestamp is >= CommitTS (until a newer version
+// shadows it).
+type Version struct {
+	// Ver numbers versions 1..n in publication order.
+	Ver int64
+	// CommitTS is the commit-clock stamp the version published at.
+	// The initial version carries 0: visible to every snapshot.
+	CommitTS uint64
+	// Cols is the version's column list — a prefix of the physical
+	// column space, including any slots already Dropped *before* this
+	// version (kept so physical ordinals stay aligned).
+	Cols []Column
+}
+
+// VisibleCols returns the version's non-dropped columns in order.
+func (v Version) VisibleCols() []Column {
+	out := make([]Column, 0, len(v.Cols))
+	for _, c := range v.Cols {
+		if !c.Dropped {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Chain is one table's schema history, newest last. It is safe for
+// concurrent use; the engine publishes under the table's exclusive
+// latch and resolves under shared latches, but the chain locks itself
+// so diagnostic readers (.schema, stats) need no latch discipline.
+type Chain struct {
+	mu   sync.RWMutex
+	vers []Version
+}
+
+// NewChain starts a history at version 1 with CommitTS 0 (visible to
+// every snapshot, like rows that predate the oldest transaction).
+func NewChain(cols []Column) *Chain {
+	return &Chain{vers: []Version{{Ver: 1, CommitTS: 0, Cols: append([]Column(nil), cols...)}}}
+}
+
+// Latest returns the newest version.
+func (c *Chain) Latest() Version {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vers[len(c.vers)-1]
+}
+
+// At resolves the version a snapshot with begin timestamp ts reads
+// under: the newest version with CommitTS <= ts. ts 0 (no snapshot yet)
+// resolves the initial version.
+func (c *Chain) At(ts uint64) Version {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i := len(c.vers) - 1; i >= 0; i-- {
+		if c.vers[i].CommitTS <= ts {
+			return c.vers[i]
+		}
+	}
+	// Unreachable: vers[0].CommitTS == 0 <= every ts.
+	return c.vers[0]
+}
+
+// Publish appends a new version with the given columns and commit
+// stamp, returning its version number. The stamp must be newer than the
+// chain head's (the commit clock only moves forward).
+func (c *Chain) Publish(cols []Column, commitTS uint64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	head := c.vers[len(c.vers)-1]
+	if commitTS <= head.CommitTS {
+		panic(fmt.Sprintf("schemaver: publish stamp %d not after head %d", commitTS, head.CommitTS))
+	}
+	v := Version{Ver: head.Ver + 1, CommitTS: commitTS, Cols: append([]Column(nil), cols...)}
+	c.vers = append(c.vers, v)
+	return v.Ver
+}
+
+// SetLatest replaces the head version's columns in place without
+// publishing a new version. Only valid when no snapshot could observe
+// the difference — the offline (DDL-fenced) catalog paths, where the
+// engine holds every transaction out.
+func (c *Chain) SetLatest(cols []Column) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vers[len(c.vers)-1].Cols = append([]Column(nil), cols...)
+}
+
+// Prune drops versions no live snapshot can resolve anymore: while the
+// chain has more than one version and the *second* version's CommitTS
+// is <= horizon, the first version is unreachable (every snapshot at or
+// past the horizon resolves the second or newer). Returns how many
+// versions were pruned.
+func (c *Chain) Prune(horizon uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for len(c.vers) > 1 && c.vers[1].CommitTS <= horizon {
+		c.vers = c.vers[1:]
+		n++
+	}
+	return n
+}
+
+// Len reports how many versions the chain currently holds.
+func (c *Chain) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.vers)
+}
+
+// Versions returns a copy of the history, oldest first.
+func (c *Chain) Versions() []Version {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]Version(nil), c.vers...)
+}

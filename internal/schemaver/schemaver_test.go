@@ -1,0 +1,147 @@
+package schemaver
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func cols(names ...string) []Column {
+	out := make([]Column, len(names))
+	for i, n := range names {
+		out[i] = Column{Name: n, Type: types.ColumnType{Kind: types.KindInt}}
+	}
+	return out
+}
+
+func TestChainResolution(t *testing.T) {
+	c := NewChain(cols("a", "b"))
+	if got := c.Latest(); got.Ver != 1 || len(got.Cols) != 2 {
+		t.Fatalf("initial version wrong: %+v", got)
+	}
+	if v := c.At(0); v.Ver != 1 {
+		t.Fatalf("At(0) = v%d, want v1", v.Ver)
+	}
+
+	if ver := c.Publish(cols("a", "b", "c"), 10); ver != 2 {
+		t.Fatalf("Publish returned %d, want 2", ver)
+	}
+	c.Publish(cols("a", "b", "c", "d"), 20)
+
+	tests := []struct {
+		ts   uint64
+		ver  int64
+		ncol int
+	}{
+		{0, 1, 2}, {9, 1, 2}, {10, 2, 3}, {15, 2, 3}, {20, 3, 4}, {99, 3, 4},
+	}
+	for _, tc := range tests {
+		v := c.At(tc.ts)
+		if v.Ver != tc.ver || len(v.Cols) != tc.ncol {
+			t.Errorf("At(%d) = v%d/%d cols, want v%d/%d", tc.ts, v.Ver, len(v.Cols), tc.ver, tc.ncol)
+		}
+	}
+}
+
+func TestChainPublishMonotonic(t *testing.T) {
+	c := NewChain(cols("a"))
+	c.Publish(cols("a", "b"), 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("publishing a stale stamp should panic")
+		}
+	}()
+	c.Publish(cols("a", "b", "c"), 5)
+}
+
+func TestChainPrune(t *testing.T) {
+	c := NewChain(cols("a"))
+	c.Publish(cols("a", "b"), 10)
+	c.Publish(cols("a", "b", "c"), 20)
+
+	if n := c.Prune(5); n != 0 || c.Len() != 3 {
+		t.Fatalf("Prune(5) removed %d (len %d), want 0 (len 3)", n, c.Len())
+	}
+	// Horizon 10: every snapshot resolves v2 or newer; v1 unreachable.
+	if n := c.Prune(10); n != 1 || c.Len() != 2 {
+		t.Fatalf("Prune(10) removed %d (len %d), want 1 (len 2)", n, c.Len())
+	}
+	if v := c.At(10); v.Ver != 2 {
+		t.Fatalf("post-prune At(10) = v%d, want v2", v.Ver)
+	}
+	// Horizon past everything: only the head survives.
+	if n := c.Prune(100); n != 1 || c.Len() != 1 {
+		t.Fatalf("Prune(100) removed %d (len %d), want 1 (len 1)", n, c.Len())
+	}
+	if v := c.At(0); v.Ver != 3 {
+		t.Fatalf("sole survivor is v%d, want v3 (head never pruned)", v.Ver)
+	}
+}
+
+func TestVisibleCols(t *testing.T) {
+	v := Version{Cols: []Column{
+		{Name: "a"}, {Name: "b", Dropped: true}, {Name: "c"},
+	}}
+	vis := v.VisibleCols()
+	if len(vis) != 2 || vis[0].Name != "a" || vis[1].Name != "c" {
+		t.Fatalf("VisibleCols = %+v", vis)
+	}
+}
+
+func TestChainConcurrent(t *testing.T) {
+	c := NewChain(cols("a"))
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = c.At(50)
+				_ = c.Latest()
+				_ = c.Versions()
+			}
+		}()
+	}
+	for ts := uint64(10); ts <= 1000; ts += 10 {
+		c.Publish(cols("a", "b"), ts)
+		c.Prune(ts - 5)
+	}
+	close(stop)
+	wg.Wait()
+	if v := c.Latest(); v.CommitTS != 1000 {
+		t.Fatalf("final head stamp %d, want 1000", v.CommitTS)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("t1")
+	tr.Update("t1", func(p *Progress) { p.Scanned = 10; p.Rewritten = 10; p.Done = true })
+	p, ok := tr.Get("t1")
+	if !ok || !p.Done || p.Rewritten != 10 {
+		t.Fatalf("progress = %+v ok=%v", p, ok)
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", tr.Pending())
+	}
+	// Re-opening resets Done.
+	tr.Begin("t1")
+	if tr.Pending() != 1 {
+		t.Fatalf("pending after Begin = %d, want 1", tr.Pending())
+	}
+	tr.Update("t1", func(p *Progress) { p.IdlePasses = 3 })
+	p, _ = tr.Get("t1")
+	if !p.Stuck() {
+		t.Fatal("3 idle passes on a pending table should report stuck")
+	}
+	if len(tr.Snapshot()) != 1 {
+		t.Fatalf("snapshot size %d", len(tr.Snapshot()))
+	}
+}

@@ -1,0 +1,115 @@
+package schemaver
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress is one table's backfill state: how far the background worker
+// has gotten rewriting cold rows up to the newest schema version.
+type Progress struct {
+	Table string
+	// Scanned counts rows examined; Rewritten counts rows physically
+	// upgraded to the newest schema encoding.
+	Scanned   int64
+	Rewritten int64
+	// Skipped counts rows left alone because a version chain pins them
+	// (a concurrent transaction is mid-write); Residual counts rows
+	// whose upgraded encoding no longer fit their page in place — both
+	// are picked up by a later pass or by lazy DML upgrade.
+	Skipped  int64
+	Residual int64
+	// Batches counts WAL'd batches committed; Passes counts complete
+	// walks of the heap.
+	Batches int64
+	Passes  int64
+	// IdlePasses counts consecutive passes that found stale rows but
+	// could not rewrite any (e.g. an old snapshot still pins the prior
+	// schema version). Reset on any progress.
+	IdlePasses int64
+	// Done reports the table is fully migrated: a complete pass found
+	// no stale rows and the schema chain has a single live version.
+	Done bool
+	// Updated is the wall-clock time of the last state change.
+	Updated time.Time
+}
+
+// Stuck reports a migration that is pending but has stopped moving:
+// several consecutive passes made no progress. A long-lived snapshot
+// pinning the old schema version is the usual cause.
+func (p Progress) Stuck() bool { return !p.Done && p.IdlePasses >= 3 }
+
+// Tracker aggregates per-table backfill progress for diagnostics
+// (.migrate-status, engine stats). It is independent of the worker's
+// scheduling; the worker reports in, readers snapshot out.
+type Tracker struct {
+	mu     sync.Mutex
+	tables map[string]*Progress
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker { return &Tracker{tables: make(map[string]*Progress)} }
+
+// Begin (re)opens a table's migration: marks it pending and resets the
+// per-pass counters. Called when an ALTER publishes a new version.
+func (t *Tracker) Begin(table string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.tables[table]
+	if p == nil {
+		p = &Progress{Table: table}
+		t.tables[table] = p
+	}
+	p.Done = false
+	p.IdlePasses = 0
+	p.Updated = time.Now()
+}
+
+// Update applies fn to a table's progress under the tracker lock.
+func (t *Tracker) Update(table string, fn func(*Progress)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.tables[table]
+	if p == nil {
+		p = &Progress{Table: table}
+		t.tables[table] = p
+	}
+	fn(p)
+	p.Updated = time.Now()
+}
+
+// Get returns a copy of one table's progress (zero Progress, false if
+// the table never migrated).
+func (t *Tracker) Get(table string) (Progress, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.tables[table]
+	if !ok {
+		return Progress{}, false
+	}
+	return *p, true
+}
+
+// Snapshot returns a copy of every table's progress, unordered.
+func (t *Tracker) Snapshot() []Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Progress, 0, len(t.tables))
+	for _, p := range t.tables {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// Pending reports how many tables are not Done.
+func (t *Tracker) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, p := range t.tables {
+		if !p.Done {
+			n++
+		}
+	}
+	return n
+}

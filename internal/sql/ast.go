@@ -157,6 +157,20 @@ type AlterAddColumnStmt struct {
 	Col   ColumnDef
 }
 
+// AlterDropColumnStmt is ALTER TABLE ... DROP COLUMN.
+type AlterDropColumnStmt struct {
+	Table string
+	Col   string
+}
+
+// AlterColumnTypeStmt is ALTER TABLE ... ALTER COLUMN ... TYPE (also
+// accepted as SET DATA TYPE) — a type widening.
+type AlterColumnTypeStmt struct {
+	Table string
+	Col   string
+	Type  types.ColumnType
+}
+
 // BeginStmt is BEGIN [TRANSACTION | WORK] / START TRANSACTION.
 type BeginStmt struct{}
 
@@ -183,7 +197,9 @@ func (*CreateTableStmt) stmt()    {}
 func (*CreateIndexStmt) stmt()    {}
 func (*DropTableStmt) stmt()      {}
 func (*DropIndexStmt) stmt()      {}
-func (*AlterAddColumnStmt) stmt() {}
+func (*AlterAddColumnStmt) stmt()  {}
+func (*AlterDropColumnStmt) stmt() {}
+func (*AlterColumnTypeStmt) stmt() {}
 func (*BeginStmt) stmt()          {}
 func (*CommitStmt) stmt()         {}
 func (*RollbackStmt) stmt()       {}
@@ -601,6 +617,14 @@ func (s *AlterAddColumnStmt) String() string {
 		out += " NOT NULL"
 	}
 	return out
+}
+
+func (s *AlterDropColumnStmt) String() string {
+	return "ALTER TABLE " + s.Table + " DROP COLUMN " + s.Col
+}
+
+func (s *AlterColumnTypeStmt) String() string {
+	return "ALTER TABLE " + s.Table + " ALTER COLUMN " + s.Col + " TYPE " + s.Type.String()
 }
 
 func (s *BeginStmt) String() string { return "BEGIN" }

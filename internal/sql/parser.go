@@ -637,15 +637,43 @@ func (p *parser) parseAlter() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := p.expectKw("ADD"); err != nil {
-		return nil, err
+	switch {
+	case p.acceptKw("ADD"):
+		p.acceptKw("COLUMN")
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		return &AlterAddColumnStmt{Table: table, Col: col}, nil
+	case p.acceptKw("DROP"):
+		p.acceptKw("COLUMN")
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &AlterDropColumnStmt{Table: table, Col: col}, nil
+	case p.acceptKw("ALTER"):
+		p.acceptKw("COLUMN")
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// TYPE <t> or SET DATA TYPE <t>.
+		if p.acceptKw("SET") {
+			if err := p.expectKw("DATA"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("TYPE"); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return &AlterColumnTypeStmt{Table: table, Col: col, Type: typ}, nil
 	}
-	p.acceptKw("COLUMN")
-	col, err := p.parseColumnDef()
-	if err != nil {
-		return nil, err
-	}
-	return &AlterAddColumnStmt{Table: table, Col: col}, nil
+	return nil, p.errf("expected ADD, DROP, or ALTER COLUMN after ALTER TABLE %s", table)
 }
 
 func (p *parser) parseColumnDef() (ColumnDef, error) {

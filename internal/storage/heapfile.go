@@ -338,6 +338,44 @@ func (h *HeapFile) Update(rid RID, rec []byte) (RID, error) {
 	return newRID, nil
 }
 
+// UpdateInPlace replaces the record at rid only if the replacement fits
+// on its page; it returns ErrPageFull instead of relocating. The schema
+// backfill worker uses it: relocation would hand the row a new RID,
+// invalidating RIDs a concurrent statement gathered under its shared
+// latch, so rows that no longer fit are left for a foreground DML write
+// (which owns its latches end to end) to migrate.
+func (h *HeapFile) UpdateInPlace(rid RID, rec []byte) error {
+	buf, err := h.pool.Fetch(rid.Page, CatData)
+	if err != nil {
+		return err
+	}
+	sp := Slotted(buf)
+	lg := h.log()
+	var old []byte
+	if lg != nil {
+		// Keep the pre-image so a failed log call can physically revert.
+		if o, gerr := sp.Get(rid.Slot); gerr == nil {
+			old = append([]byte(nil), o...)
+		}
+	}
+	if uerr := sp.Update(rid.Slot, rec); uerr != nil {
+		h.pool.Unpin(rid.Page, false)
+		return uerr
+	}
+	if lg != nil {
+		if lerr := lg.HeapUpdate(rid.Page, rid.Slot, rec); lerr != nil {
+			if old != nil {
+				_ = sp.Update(rid.Slot, old)
+			}
+			h.pool.Unpin(rid.Page, true)
+			return lerr
+		}
+	}
+	h.noteFree(rid.Page, sp.ReclaimableSpace())
+	h.pool.Unpin(rid.Page, true)
+	return nil
+}
+
 // Reinsert restores rec at exactly rid, undoing a Delete. Statement
 // rollback replays undo actions in LIFO order, so the slot is free and
 // the page has the space the record occupied before.
