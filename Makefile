@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-txn race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke bench-net-pipeline bench-alter bench-alter-smoke fuzz-alter check
+.PHONY: all build vet test test-txn test-repl race race-bench bench-smoke bench-scaling bench-wide bench-recovery bench-txn bench-txn-smoke bench-net bench-net-smoke bench-net-pipeline bench-alter bench-alter-smoke bench-repl bench-repl-smoke fuzz-alter check
 
 all: check
 
@@ -20,6 +20,15 @@ test-txn:
 	$(GO) test ./internal/engine/ -run 'TestTxn|TestStmtRollback'
 	$(GO) test ./internal/modeltest/ -run TestDifferentialSeeds -v
 	$(GO) test ./internal/wal/ -run TestTxnCrashPointSweep
+
+# The replication torture suite: primary- and follower-side crash-point
+# sweeps (every append/ship/apply site), the lag/consistency property
+# test across a mid-stream ALTER, the WAL tail-read race regressions,
+# and the model-differential harness checked against a live follower.
+test-repl:
+	$(GO) test ./internal/repl/
+	$(GO) test ./internal/wal/ -run 'TestCursor|TestReadDurable|TestIngest'
+	$(GO) test ./internal/modeltest/ -run TestDifferentialReplica -v
 
 race:
 	$(GO) test -race ./...
@@ -90,6 +99,20 @@ bench-alter:
 # in under two seconds, writing its JSON to the system temp dir.
 bench-alter-smoke:
 	$(GO) run ./cmd/mtdbench -alter -alter-smoke
+
+# Regenerate BENCH_8.json (WAL-shipping replication: routed read
+# scaling over 0-3 replicas under a primary write load, plus replica
+# catch-up after a 10k-commit backlog with lag converging to zero).
+bench-repl:
+	$(GO) run ./cmd/mtdbench -repl -json-out BENCH_8.json
+
+# Reduced -repl sweep (CI regression canary): the full replication
+# path — wire-protocol snapshot bootstrap, frame shipping, routed
+# follower reads, ack telemetry — in seconds, writing its JSON to the
+# system temp dir. The run itself asserts lag converges to 0 and the
+# caught-up replica agrees with the primary.
+bench-repl-smoke:
+	$(GO) run ./cmd/mtdbench -repl -repl-smoke
 
 # Short fuzz burst over the ALTER grammar: the parser must never panic
 # and every accepted ALTER must round-trip through String().

@@ -1,0 +1,97 @@
+package client
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RouterConfig configures a placement-aware connection router.
+type RouterConfig struct {
+	// Placement maps tenants onto the primary and its read replicas.
+	Placement core.PlacementMap
+	// Creds builds the dial Config for reaching addr as tenant. The
+	// default fills in only Addr and Tenant; deployments with per-tenant
+	// tokens or custom timeouts supply their own.
+	Creds func(addr string, tenant int64) Config
+	// Pool tuning, applied to every per-(address, tenant) pool.
+	MaxConns       int
+	HealthInterval time.Duration
+	IdlePingAfter  time.Duration
+}
+
+// Router hands out pooled connections placed by tenant: ReadPool routes
+// to the tenant's pinned replica (the primary when there are none),
+// WritePool always to the primary. Pools are created lazily per
+// (address, tenant) pair — connections carry tenant credentials, so
+// tenants never share a pool.
+type Router struct {
+	cfg RouterConfig
+
+	mu     sync.Mutex
+	pools  map[routeKey]*Pool
+	closed bool
+}
+
+type routeKey struct {
+	addr   string
+	tenant int64
+}
+
+// NewRouter builds a router over a placement map.
+func NewRouter(cfg RouterConfig) *Router {
+	if cfg.Creds == nil {
+		cfg.Creds = func(addr string, tenant int64) Config {
+			return Config{Addr: addr, Tenant: tenant}
+		}
+	}
+	return &Router{cfg: cfg, pools: map[routeKey]*Pool{}}
+}
+
+// ReadPool is the pool serving tenant's reads.
+func (r *Router) ReadPool(tenant int64) *Pool {
+	return r.pool(r.cfg.Placement.ReadAddr(tenant), tenant)
+}
+
+// WritePool is the pool serving tenant's writes: the primary's.
+func (r *Router) WritePool(tenant int64) *Pool {
+	return r.pool(r.cfg.Placement.WriteAddr(), tenant)
+}
+
+// ReadAddr exposes the routing decision without opening a pool.
+func (r *Router) ReadAddr(tenant int64) string {
+	return r.cfg.Placement.ReadAddr(tenant)
+}
+
+func (r *Router) pool(addr string, tenant int64) *Pool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := routeKey{addr, tenant}
+	if p, ok := r.pools[k]; ok {
+		return p
+	}
+	p := NewPool(PoolConfig{
+		Conn:           r.cfg.Creds(addr, tenant),
+		MaxConns:       r.cfg.MaxConns,
+		HealthInterval: r.cfg.HealthInterval,
+		IdlePingAfter:  r.cfg.IdlePingAfter,
+	})
+	r.pools[k] = p
+	return p
+}
+
+// Close shuts every pool.
+func (r *Router) Close() {
+	r.mu.Lock()
+	pools := make([]*Pool, 0, len(r.pools))
+	for _, p := range r.pools {
+		pools = append(pools, p)
+	}
+	r.pools = map[routeKey]*Pool{}
+	r.closed = true
+	r.mu.Unlock()
+	for _, p := range pools {
+		p.Close()
+	}
+}

@@ -1,0 +1,87 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+// TestRouterReadsFromReplica is the end-to-end placement path: a
+// primary server, a network replica subscribed over the wire protocol,
+// and a router sending writes to the primary and reads to the replica.
+func TestRouterReadsFromReplica(t *testing.T) {
+	_, db, paddr := startServer(t, server.Config{})
+
+	rep, err := repl.Connect(repl.ReplicaConfig{Addr: paddr.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep.Close)
+	rsrv, err := server.New(server.Config{DB: rep.DB()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raddr, err := rsrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rsrv.Close() })
+
+	router := NewRouter(RouterConfig{Placement: core.PlacementMap{
+		Primary:  paddr.String(),
+		Replicas: []string{raddr.String()},
+	}})
+	defer router.Close()
+
+	const tenant = 7
+	if got := router.ReadAddr(tenant); got != raddr.String() {
+		t.Fatalf("tenant %d reads at %q, want replica %q", tenant, got, raddr)
+	}
+
+	// Write through the router: must land on the primary.
+	wp := router.WritePool(tenant)
+	wc, err := wp.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := wc.Exec("UPDATE t SET v = 77 WHERE k = 3"); err != nil || n != 1 {
+		t.Fatalf("routed write: n=%d err=%v", n, err)
+	}
+	wp.Put(wc)
+
+	// Read-your-writes: wait for the replica to apply the primary's
+	// durable horizon, then read through the router.
+	if err := rep.WaitForLSN(db.WAL().DurableLSN(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rp := router.ReadPool(tenant)
+	rc, err := rp.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := rc.Query("SELECT v FROM t WHERE k = ?", types.NewInt(3))
+	if err != nil {
+		t.Fatalf("routed read: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Int != 77 {
+		t.Fatalf("replica read got %v, want 77", rows.Data)
+	}
+
+	// The replica fences writes; the connection survives the rejection.
+	if _, err := rc.Exec("UPDATE t SET v = 1 WHERE k = 0"); err == nil {
+		t.Fatal("write accepted by read-only replica")
+	}
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping after rejected write: %v", err)
+	}
+	rp.Put(rc)
+
+	// Write and read pools route to different addresses for this tenant.
+	if router.ReadAddr(tenant) == router.cfg.Placement.WriteAddr() {
+		t.Fatal("reads and writes landed on the same address despite a live replica")
+	}
+}

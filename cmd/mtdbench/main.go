@@ -49,6 +49,8 @@ func main() {
 		txnSmoke  = flag.Bool("txn-smoke", false, "with -txn, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		alterBn   = flag.Bool("alter", false, "run the online-schema-evolution benchmark: CRM steady state while ALTERing every table and live-moving a tenant")
 		alterSmk  = flag.Bool("alter-smoke", false, "with -alter, run the reduced smoke configuration (CI regression canary; writes to the system temp dir unless -json-out is given)")
+		replBench = flag.Bool("repl", false, "run the replication benchmark: routed read scaling over 0-3 WAL-shipping replicas, plus catch-up after a large commit backlog")
+		replSmoke = flag.Bool("repl-smoke", false, "with -repl, run the reduced smoke configuration (CI canary: lag must converge to 0; writes to the system temp dir unless -json-out is given)")
 		netBench  = flag.Bool("net", false, "run the network benchmark: the CRM workload over the wire protocol, swept over concurrent connections")
 		netSmoke  = flag.Bool("net-smoke", false, "with -net, run the reduced smoke sweep (CI regression canary; writes to the system temp dir unless -json-out is given)")
 		netConns  = flag.String("net-conns", "64,256,1024", "comma-separated connection counts for -net")
@@ -103,6 +105,18 @@ func main() {
 			}
 		}
 		runAlterBench(out, *alterSmk)
+		return
+	}
+	if *replBench {
+		out := *jsonOut
+		if out == "" {
+			if *replSmoke {
+				out = filepath.Join(os.TempDir(), "BENCH_8_smoke.json")
+			} else {
+				out = "BENCH_8.json"
+			}
+		}
+		runReplBench(out, *replSmoke)
 		return
 	}
 	if *netBench {

@@ -1,0 +1,475 @@
+// The -repl benchmark measures the WAL-shipping replication tier end
+// to end, over the real network stack: a primary mtdserver process
+// image, replicas subscribed through repl.Connect (wire-protocol
+// snapshot bootstrap + frame stream), each replica fronted by its own
+// read-only server, and a placement-aware client router pinning each
+// tenant's reads to one replica.
+//
+// Two experiments land in BENCH_8.json:
+//
+//   - Read scaling: a fixed point-read workload (16 reader tenants,
+//     pooled connections, router-placed) swept over the replica count
+//     0/1/2/3. Replica 0 is the baseline — every read lands on the
+//     primary — so the series shows what fan-out across followers buys.
+//   - Catch-up: a replica subscribes AFTER the primary has committed a
+//     large backlog (default 10 000 autocommit updates), and the lag
+//     (primary durable LSN minus replica applied LSN) is sampled until
+//     it reaches zero. The run fails loudly if lag does not converge,
+//     if the caught-up replica's aggregate disagrees with the primary,
+//     or if the primary's own repl_lag_bytes telemetry does not also
+//     drop to zero — which makes -repl-smoke a CI canary for the whole
+//     ship/ack/apply loop.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/types"
+)
+
+type replScalingPoint struct {
+	Replicas int   `json:"replicas"`
+	Readers  int   `json:"readers"`
+	Reads    int64 `json:"reads"`
+	// Writers hammer the primary for the whole measured window — the
+	// scenario replicas exist for. At replicas=0 the same server absorbs
+	// both roles; with replicas the router moves every read off the
+	// primary.
+	Writers      int     `json:"writers"`
+	Writes       int64   `json:"writes"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// Speedup is relative to the replicas=0 point (all reads on the
+	// primary), the series' baseline.
+	Speedup   float64 `json:"speedup"`
+	P50ReadUs float64 `json:"p50_read_us"`
+	P99ReadUs float64 `json:"p99_read_us"`
+	// AddrsUsed is how many distinct server addresses served reads —
+	// the router's placement spread for this point.
+	AddrsUsed int `json:"addrs_used"`
+	// FinalLagBytes is every replica's lag after the writers stop: the
+	// per-point convergence proof (always 0, or the run aborts).
+	FinalLagBytes int64 `json:"final_lag_bytes"`
+}
+
+type replLagSample struct {
+	Ms       float64 `json:"ms"`
+	LagBytes int64   `json:"lag_bytes"`
+}
+
+type replCatchup struct {
+	BacklogCommits int   `json:"backlog_commits"`
+	BacklogBytes   int64 `json:"backlog_bytes"`
+	// BootstrapMs is the blocking repl.Connect call: dial, handshake,
+	// snapshot transfer, image restore.
+	BootstrapMs float64 `json:"bootstrap_ms"`
+	// CatchupMs is from Connect start until applied == durable.
+	CatchupMs     float64         `json:"catchup_ms"`
+	FinalLagBytes int64           `json:"final_lag_bytes"`
+	AckRoundTrips int64           `json:"ack_round_trips"`
+	Samples       []replLagSample `json:"samples"`
+}
+
+// replSeedPrimary opens a primary engine with one indexed account
+// table of rows rows (bal = 100 each) and serves it on a loopback
+// port. The engine config travels inside the bootstrap image, so every
+// replica runs the same buffer-pool budget and simulated I/O latency
+// as the primary — symmetric nodes.
+func replSeedPrimary(rows int, cfg engine.Config, slots int) (*engine.DB, *server.Server, string) {
+	db := engine.Open(cfg)
+	mustBenchExec(db, "CREATE TABLE acct (k INTEGER NOT NULL, v VARCHAR(40), bal INTEGER)")
+	mustBenchExec(db, "CREATE UNIQUE INDEX acct_pk ON acct (k)")
+	for k := 0; k < rows; k++ {
+		mustBenchExec(db, "INSERT INTO acct VALUES (?, ?, 100)",
+			types.NewInt(int64(k)), types.NewString(fmt.Sprintf("v-%04d", k)))
+	}
+	srv, err := server.New(server.Config{DB: db, MaxConcurrent: slots})
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	return db, srv, addr.String()
+}
+
+func mustBenchExec(db *engine.DB, q string, params ...types.Value) {
+	if _, err := db.Exec(q, params...); err != nil {
+		fatal(fmt.Errorf("%s: %w", q, err))
+	}
+}
+
+// runReplScalingPoint spins up nReplicas wire-protocol replicas behind
+// their own servers, waits for all of them to reach the primary's
+// durable horizon, and then drives totalReads point reads through a
+// placement router with readers concurrent reader tenants — while
+// writers connections keep the primary busy with autocommit updates.
+// After the window it proves convergence: every replica must drain its
+// lag to zero once the writers stop.
+func runReplScalingPoint(nReplicas, readers, writers, totalReads, rows int, cfg engine.Config, slots int, seed int64) replScalingPoint {
+	db, psrv, paddr := replSeedPrimary(rows, cfg, slots)
+	defer psrv.Close()
+
+	var (
+		reps  []*repl.Replica
+		rsrvs []*server.Server
+		raddr []string
+	)
+	defer func() {
+		for _, s := range rsrvs {
+			s.Close()
+		}
+		for _, r := range reps {
+			r.Close()
+		}
+	}()
+	for i := 0; i < nReplicas; i++ {
+		rep, err := repl.Connect(repl.ReplicaConfig{Addr: paddr})
+		if err != nil {
+			fatal(fmt.Errorf("replica %d connect: %w", i, err))
+		}
+		reps = append(reps, rep)
+		if err := rep.WaitForLSN(db.WAL().DurableLSN(), 30*time.Second); err != nil {
+			fatal(fmt.Errorf("replica %d catch-up: %w", i, err))
+		}
+		rsrv, err := server.New(server.Config{DB: rep.DB(), MaxConcurrent: slots})
+		if err != nil {
+			fatal(err)
+		}
+		a, err := rsrv.Start("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		rsrvs = append(rsrvs, rsrv)
+		raddr = append(raddr, a.String())
+	}
+
+	router := client.NewRouter(client.RouterConfig{
+		Placement: core.PlacementMap{Primary: paddr, Replicas: raddr},
+		MaxConns:  readers,
+	})
+	defer router.Close()
+
+	addrs := map[string]bool{}
+	for i := 0; i < readers; i++ {
+		addrs[router.ReadAddr(int64(i+1))] = true
+	}
+	if nReplicas > 0 && addrs[paddr] {
+		fatal(fmt.Errorf("%d-replica point routed reads to the primary", nReplicas))
+	}
+	if nReplicas >= 2 && readers >= 8 && len(addrs) < 2 {
+		fatal(fmt.Errorf("%d-replica point used %d address(es); placement is not spreading reads", nReplicas, len(addrs)))
+	}
+
+	base, extra := totalReads/readers, totalReads%readers
+	var (
+		reads  atomic.Int64
+		writes atomic.Int64
+		latMu  sync.Mutex
+		lats   []time.Duration
+	)
+	start := make(chan struct{})
+	stopWrites := make(chan struct{})
+	ready := make(chan error, readers+writers)
+	var wg, writeWg sync.WaitGroup
+
+	// Background write load on the primary: autocommit balance bumps,
+	// running for the whole measured window. Their WAL records stream to
+	// the replicas while the readers run.
+	for i := 0; i < writers; i++ {
+		writeWg.Add(1)
+		go func(i int) {
+			defer writeWg.Done()
+			pool := router.WritePool(int64(100 + i))
+			c, err := pool.Get()
+			ready <- err
+			if err != nil {
+				return
+			}
+			defer pool.Put(c)
+			<-start
+			rng := rand.New(rand.NewSource(seed + 9973*int64(i)))
+			for {
+				select {
+				case <-stopWrites:
+					return
+				default:
+				}
+				k := rng.Intn(rows)
+				if _, err := c.Exec("UPDATE acct SET bal = bal + 1 WHERE k = ?", types.NewInt(int64(k))); err != nil {
+					fatal(fmt.Errorf("primary write (writer %d): %w", i, err))
+				}
+				writes.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pool := router.ReadPool(int64(i + 1))
+			c, err := pool.Get()
+			ready <- err
+			if err != nil {
+				return
+			}
+			defer pool.Put(c)
+			<-start
+			share := base
+			if i < extra {
+				share++
+			}
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			local := make([]time.Duration, 0, share)
+			for n := 0; n < share; n++ {
+				k := rng.Intn(rows)
+				t0 := time.Now()
+				res, err := c.Query("SELECT bal FROM acct WHERE k = ?", types.NewInt(int64(k)))
+				if err != nil {
+					fatal(fmt.Errorf("routed read (reader %d): %w", i, err))
+				}
+				local = append(local, time.Since(t0))
+				// bal moves under the writers; the invariant is exactly one
+				// row at or above the seeded balance.
+				if len(res.Data) != 1 || res.Data[0][0].Int < 100 {
+					fatal(fmt.Errorf("reader %d: k=%d returned %v, want one row bal>=100", i, k, res.Data))
+				}
+				reads.Add(1)
+			}
+			latMu.Lock()
+			lats = append(lats, local...)
+			latMu.Unlock()
+		}(i)
+	}
+	for i := 0; i < readers+writers; i++ {
+		if err := <-ready; err != nil {
+			fatal(fmt.Errorf("dial: %w", err))
+		}
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	close(stopWrites)
+	writeWg.Wait()
+
+	// Convergence proof: with the writers stopped, every replica must
+	// drain the stream to the primary's durable horizon.
+	durable := db.WAL().DurableLSN()
+	for i, rep := range reps {
+		if err := rep.WaitForLSN(durable, 30*time.Second); err != nil {
+			fatal(fmt.Errorf("replica %d lag did not converge after writers stopped: %w", i, err))
+		}
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return replScalingPoint{
+		Replicas:     nReplicas,
+		Readers:      readers,
+		Reads:        reads.Load(),
+		Writers:      writers,
+		Writes:       writes.Load(),
+		WritesPerSec: float64(writes.Load()) / elapsed.Seconds(),
+		ElapsedMs:    float64(elapsed.Microseconds()) / 1000,
+		ReadsPerSec:  float64(reads.Load()) / elapsed.Seconds(),
+		P50ReadUs:    float64(quantile(lats, 0.50).Nanoseconds()) / 1000,
+		P99ReadUs:    float64(quantile(lats, 0.99).Nanoseconds()) / 1000,
+		AddrsUsed:    len(addrs),
+	}
+}
+
+// runReplCatchup commits a backlog on an unsubscribed primary, then
+// connects a replica and samples its lag until it converges to zero.
+func runReplCatchup(backlog, rows int) replCatchup {
+	db, psrv, paddr := replSeedPrimary(rows, engine.Config{}, 0)
+	defer psrv.Close()
+
+	before := db.WAL().DurableLSN()
+	for n := 0; n < backlog; n++ {
+		mustBenchExec(db, "UPDATE acct SET bal = bal + 1 WHERE k = ?", types.NewInt(int64(n%rows)))
+	}
+	backlogBytes := int64(db.WAL().DurableLSN() - before)
+	durable := db.WAL().DurableLSN()
+
+	t0 := time.Now()
+	rep, err := repl.Connect(repl.ReplicaConfig{Addr: paddr})
+	if err != nil {
+		fatal(fmt.Errorf("catch-up connect: %w", err))
+	}
+	defer rep.Close()
+	bootstrapMs := float64(time.Since(t0).Microseconds()) / 1000
+
+	var samples []replLagSample
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		lag := int64(durable) - int64(rep.AppliedLSN())
+		if lag < 0 {
+			lag = 0
+		}
+		samples = append(samples, replLagSample{
+			Ms:       float64(time.Since(t0).Microseconds()) / 1000,
+			LagBytes: lag,
+		})
+		if lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("replication lag did not converge: still %d bytes behind after %s", lag, time.Since(t0)))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	catchupMs := float64(time.Since(t0).Microseconds()) / 1000
+
+	// The caught-up replica must agree with the primary exactly.
+	want, err := db.Query("SELECT SUM(bal) FROM acct")
+	if err != nil {
+		fatal(err)
+	}
+	got, err := rep.DB().Query("SELECT SUM(bal) FROM acct")
+	if err != nil {
+		fatal(fmt.Errorf("replica aggregate after catch-up: %w", err))
+	}
+	if got.Data[0][0].Int != want.Data[0][0].Int {
+		fatal(fmt.Errorf("replica SUM(bal) = %d after catch-up, primary has %d",
+			got.Data[0][0].Int, want.Data[0][0].Int))
+	}
+
+	// The primary's own telemetry must agree: once the replica acks the
+	// tail, repl_lag_bytes on the primary server drops to zero too.
+	st := psrv.Stats()
+	ackDeadline := time.Now().Add(10 * time.Second)
+	for st.ReplLagBytes != 0 || st.ReplAckedLSN < uint64(durable) {
+		if time.Now().After(ackDeadline) {
+			fatal(fmt.Errorf("primary telemetry never converged: repl_lag_bytes=%d repl_acked_lsn=%d durable=%d",
+				st.ReplLagBytes, st.ReplAckedLSN, uint64(durable)))
+		}
+		time.Sleep(time.Millisecond)
+		st = psrv.Stats()
+	}
+
+	return replCatchup{
+		BacklogCommits: backlog,
+		BacklogBytes:   backlogBytes,
+		BootstrapMs:    bootstrapMs,
+		CatchupMs:      catchupMs,
+		FinalLagBytes:  st.ReplLagBytes,
+		AckRoundTrips:  st.ReplAckRoundTrips,
+		Samples:        thinLagSamples(samples, 64),
+	}
+}
+
+// thinLagSamples keeps at most max evenly spaced samples (always
+// including the first and last) so the JSON stays readable.
+func thinLagSamples(s []replLagSample, max int) []replLagSample {
+	if len(s) <= max {
+		return s
+	}
+	out := make([]replLagSample, 0, max)
+	for i := 0; i < max-1; i++ {
+		out = append(out, s[i*(len(s)-1)/(max-1)])
+	}
+	return append(out, s[len(s)-1])
+}
+
+// runReplBench runs both replication experiments and writes BENCH_8.
+func runReplBench(jsonOut string, smoke bool) {
+	rows, readers, writers, totalReads := 8192, 16, 8, 8000
+	replicaCounts := []int{0, 1, 2, 3}
+	backlog := 10000
+	// Each node is deliberately latency-bound, the paper's setting: a
+	// buffer pool much smaller than the working set, a simulated I/O
+	// cost per miss, and a small fair-admission gate. A node's capacity
+	// is then slots/latency rather than CPU, so read throughput scales
+	// with the number of nodes the router can spread tenants over — and
+	// at replicas=0 the writers compete with every read for the
+	// primary's slots.
+	cfg := engine.Config{
+		MemoryBytes: 160 << 10,
+		PageSize:    4096,
+		ReadLatency: 500 * time.Microsecond,
+	}
+	slots := 4
+	if smoke {
+		rows, readers, writers, totalReads = 2048, 8, 2, 800
+		cfg.MemoryBytes = 96 << 10
+		replicaCounts = []int{0, 1}
+		backlog = 1000
+	}
+	const seed = 2008
+
+	fmt.Println("WAL-Shipping Replication: routed read scaling under write load, and catch-up")
+	fmt.Printf("%-10s %-9s %-8s %-12s %-10s %-12s %-12s %-12s %s\n",
+		"Replicas", "Readers", "Reads", "Reads/sec", "Speedup", "Writes/sec", "p50(us)", "p99(us)", "Addrs")
+	var pts []replScalingPoint
+	for _, n := range replicaCounts {
+		fmt.Fprintf(os.Stderr, "scaling point: %d replica(s), %d readers + %d writers, %d reads...\n", n, readers, writers, totalReads)
+		p := runReplScalingPoint(n, readers, writers, totalReads, rows, cfg, slots, seed)
+		if len(pts) > 0 {
+			p.Speedup = p.ReadsPerSec / pts[0].ReadsPerSec
+		} else {
+			p.Speedup = 1
+		}
+		pts = append(pts, p)
+		fmt.Printf("%-10d %-9d %-8d %-12.1f %-10.2f %-12.1f %-12.1f %-12.1f %d\n",
+			p.Replicas, p.Readers, p.Reads, p.ReadsPerSec, p.Speedup, p.WritesPerSec, p.P50ReadUs, p.P99ReadUs, p.AddrsUsed)
+	}
+	fmt.Println("\nconvergence: every point's replicas drained to the primary's durable horizon after the writers stopped")
+
+	fmt.Fprintf(os.Stderr, "catch-up: %d-commit backlog...\n", backlog)
+	cu := runReplCatchup(backlog, rows)
+	fmt.Printf("\nCatch-up after a %d-commit backlog (%d WAL bytes)\n", cu.BacklogCommits, cu.BacklogBytes)
+	fmt.Printf("  bootstrap (snapshot+restore): %.1f ms\n", cu.BootstrapMs)
+	fmt.Printf("  lag zero after:               %.1f ms\n", cu.CatchupMs)
+	fmt.Printf("  ack round trips:              %d\n", cu.AckRoundTrips)
+	fmt.Printf("  final lag:                    %d bytes\n", cu.FinalLagBytes)
+
+	out := struct {
+		Benchmark   string                 `json:"benchmark"`
+		Config      map[string]interface{} `json:"config"`
+		ReadScaling []replScalingPoint     `json:"read_scaling"`
+		Catchup     replCatchup            `json:"catchup"`
+	}{
+		Benchmark: "wal_shipping_replication",
+		Config: map[string]interface{}{
+			"rows":            rows,
+			"readers":         readers,
+			"writers":         writers,
+			"total_reads":     totalReads,
+			"memory_bytes":    cfg.MemoryBytes,
+			"page_size":       cfg.PageSize,
+			"read_latency":    cfg.ReadLatency.String(),
+			"exec_slots":      slots,
+			"backlog_commits": backlog,
+			"placement":       "rendezvous per tenant",
+			"fresh_per_point": true,
+			"seed":            seed,
+			"smoke":           smoke,
+		},
+		ReadScaling: pts,
+		Catchup:     cu,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}

@@ -14,11 +14,20 @@
 //     send LOGICAL SQL that is tenant-rewritten per their handshake
 //     credentials — a connection can only touch its own tenant's rows.
 //
+// A third mode turns the process into a WAL-shipping read replica:
+//
+//   - Replica mode (-replica-of ADDR): subscribe to the primary
+//     mtdserver at ADDR, bootstrap from its snapshot, apply its WAL
+//     stream continuously, and serve read-only sessions pinned at the
+//     last applied commit LSN. Writes are fenced with a read-only
+//     error.
+//
 // Usage:
 //
 //	mtdserver -addr :7070
 //	mtdserver -addr :7070 -layout chunk -auth "17:alpha,35:beta,42:gamma" \
 //	    -max-sessions 64 -stmt-rate 1000 -audit audit.jsonl
+//	mtdserver -addr :7071 -replica-of 127.0.0.1:7070
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/types"
 )
@@ -48,10 +58,38 @@ func run() int {
 		auditPath   = flag.String("audit", "", "append audit records as JSON lines to this file (\"-\" = stderr)")
 		auditStmts  = flag.Bool("audit-statements", false, "also audit every statement (high volume)")
 		batchRows   = flag.Int("batch-rows", 256, "rows per result batch frame")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica of the primary mtdserver at this address")
+		replTenant  = flag.Int64("replica-tenant", 0, "tenant credential for the replication subscription handshake")
+		replToken   = flag.String("replica-token", "", "token credential for the replication subscription handshake")
 	)
 	flag.Parse()
 
-	db := engine.Open(engine.Config{})
+	var db *engine.DB
+	if *replicaOf != "" {
+		if *layoutName != "" {
+			fmt.Fprintln(os.Stderr, "-replica-of and -layout are mutually exclusive: a replica's schema comes from the primary's stream")
+			return 1
+		}
+		rep, err := repl.Connect(repl.ReplicaConfig{
+			Addr:   *replicaOf,
+			Tenant: *replTenant,
+			Token:  *replToken,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replica bootstrap from %s: %v\n", *replicaOf, err)
+			return 1
+		}
+		defer rep.Close()
+		// Serve the replica's database. Known limitation: if the primary
+		// truncates history past our position the replica re-bootstraps
+		// into a FRESH engine, and sessions opened on the old one keep
+		// reading a frozen snapshot until they reconnect. Keeping the
+		// follower close to the primary (the normal state) avoids this.
+		db = rep.DB()
+		fmt.Fprintf(os.Stderr, "mtdserver: replicating from %s (applied LSN %d)\n", *replicaOf, rep.AppliedLSN())
+	} else {
+		db = engine.Open(engine.Config{})
+	}
 	cfg := server.Config{DB: db, MaxRowBatch: *batchRows}
 
 	if *layoutName != "" {
@@ -127,6 +165,9 @@ func run() int {
 	mode := "raw"
 	if cfg.Layout != nil {
 		mode = "layout:" + *layoutName
+	}
+	if *replicaOf != "" {
+		mode = "replica:" + *replicaOf
 	}
 	fmt.Fprintf(os.Stderr, "mtdserver: listening on %s (%s mode)\n", *addr, mode)
 	if err := srv.ListenAndServe(*addr); err != nil && err != server.ErrServerClosed {

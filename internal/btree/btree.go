@@ -129,6 +129,21 @@ func (t *BTree) Root() storage.PageID {
 	return t.root
 }
 
+// SetRoot repoints the tree from old to new — the live replay of a
+// primary's KBTreeRoot record on a replica, where the split that grew
+// the tree happened through the redo path rather than through Insert.
+// Reports whether the tree's root actually was old (a record belonging
+// to some other table's index matches nothing).
+func (t *BTree) SetRoot(old, new storage.PageID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root != old {
+		return false
+	}
+	t.root = new
+	return true
+}
+
 // Len returns the number of entries.
 func (t *BTree) Len() int64 {
 	t.mu.RLock()

@@ -690,6 +690,34 @@ func (c *Catalog) CreateIndexLogged(tableName, indexName string, colNames []stri
 	return ix, nil
 }
 
+// AdoptIndex registers an index over an ALREADY-BUILT tree rooted at
+// root — the replica's replay of a committed create_index DDLChange,
+// where every tree page (root allocation, backfill inserts, splits) was
+// already materialized by the physical redo stream. Unlike
+// CreateIndexLogged it scans nothing and logs nothing. Call
+// Tree.RecountSize afterwards to rebuild the entry count.
+func (c *Catalog) AdoptIndex(tableName, indexName string, cols []int, unique bool, root storage.PageID) (*Index, error) {
+	c.version.Add(1)
+	t, err := c.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	if t.Index(indexName) != nil {
+		return nil, fmt.Errorf("catalog: index %s already exists on %s", indexName, tableName)
+	}
+	for _, ord := range cols {
+		if ord < 0 || ord >= len(t.Columns) {
+			return nil, fmt.Errorf("catalog: index %s column ordinal %d out of range on %s", indexName, ord, tableName)
+		}
+	}
+	ix := &Index{Name: indexName, Table: t.Name, Cols: append([]int(nil), cols...),
+		Unique: unique, Tree: btree.Restore(c.pool, root)}
+	t.Indexes = append(t.Indexes, ix)
+	return ix, nil
+}
+
 // DropIndex removes an index from a table, freeing its pages
 // immediately (the non-WAL path).
 func (c *Catalog) DropIndex(tableName, indexName string) error {

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// PlacementMap routes a multi-tenant workload across a replicated
+// service: every write goes to the primary, while each tenant's reads
+// are pinned to one member of the replica set. Pinning is by rendezvous
+// (highest-random-weight) hashing, so the assignment is deterministic —
+// any client holding the same map routes the same tenant to the same
+// replica without coordination — and minimally disruptive: growing or
+// shrinking the replica set only moves the tenants whose winner joined
+// or left, about 1/n of them, instead of reshuffling everyone the way a
+// modular hash would.
+type PlacementMap struct {
+	// Primary is the write master's address; it also serves reads for
+	// tenants when the replica set is empty or entirely down.
+	Primary string
+	// Replicas are the read-replica addresses.
+	Replicas []string
+}
+
+// WriteAddr is where a tenant's writes must go: always the primary.
+func (p *PlacementMap) WriteAddr() string { return p.Primary }
+
+// ReadAddr is the replica serving a tenant's reads, or the primary when
+// there are no replicas.
+func (p *PlacementMap) ReadAddr(tenant int64) string {
+	return p.ReadAddrExcluding(tenant, nil)
+}
+
+// ReadAddrExcluding routes around replicas known to be down: the tenant
+// lands on its highest-weight healthy replica, and on the primary only
+// when none is left. Tenants on healthy replicas are unaffected by
+// another replica's failure — the rendezvous property again.
+func (p *PlacementMap) ReadAddrExcluding(tenant int64, down map[string]bool) string {
+	best := ""
+	var bestScore uint64
+	for _, r := range p.Replicas {
+		if down[r] {
+			continue
+		}
+		s := placementScore(tenant, r)
+		if best == "" || s > bestScore || (s == bestScore && r < best) {
+			best, bestScore = r, s
+		}
+	}
+	if best == "" {
+		return p.Primary
+	}
+	return best
+}
+
+// placementScore is the rendezvous weight of (tenant, replica).
+func placementScore(tenant int64, addr string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(tenant))
+	h.Write(b[:])
+	h.Write([]byte(addr))
+	return h.Sum64()
+}

@@ -1,0 +1,71 @@
+package core
+
+import "testing"
+
+func TestPlacementPrimaryFallback(t *testing.T) {
+	p := &PlacementMap{Primary: "p:1"}
+	if got := p.ReadAddr(42); got != "p:1" {
+		t.Fatalf("no replicas: reads at %q, want primary", got)
+	}
+	if got := p.WriteAddr(); got != "p:1" {
+		t.Fatalf("writes at %q, want primary", got)
+	}
+	p.Replicas = []string{"r1:1", "r2:1"}
+	down := map[string]bool{"r1:1": true, "r2:1": true}
+	if got := p.ReadAddrExcluding(42, down); got != "p:1" {
+		t.Fatalf("all replicas down: reads at %q, want primary", got)
+	}
+}
+
+func TestPlacementDeterministicAndCovering(t *testing.T) {
+	p := &PlacementMap{Primary: "p:1", Replicas: []string{"r1:1", "r2:1", "r3:1"}}
+	counts := map[string]int{}
+	for tenant := int64(0); tenant < 300; tenant++ {
+		a := p.ReadAddr(tenant)
+		if b := p.ReadAddr(tenant); b != a {
+			t.Fatalf("tenant %d: %q then %q", tenant, a, b)
+		}
+		counts[a]++
+	}
+	for _, r := range p.Replicas {
+		if counts[r] == 0 {
+			t.Fatalf("replica %s received no tenants: %v", r, counts)
+		}
+	}
+	if counts[p.Primary] != 0 {
+		t.Fatalf("primary served reads with replicas available: %v", counts)
+	}
+}
+
+// TestPlacementMinimalDisruption is the rendezvous property: adding a
+// replica only moves tenants TO the new replica; removing one only
+// moves its own tenants.
+func TestPlacementMinimalDisruption(t *testing.T) {
+	small := &PlacementMap{Primary: "p:1", Replicas: []string{"r1:1", "r2:1"}}
+	big := &PlacementMap{Primary: "p:1", Replicas: []string{"r1:1", "r2:1", "r3:1"}}
+	moved := 0
+	for tenant := int64(0); tenant < 1000; tenant++ {
+		before, after := small.ReadAddr(tenant), big.ReadAddr(tenant)
+		if before != after {
+			moved++
+			if after != "r3:1" {
+				t.Fatalf("tenant %d moved %q -> %q, not to the new replica", tenant, before, after)
+			}
+		}
+	}
+	if moved == 0 || moved > 550 {
+		t.Fatalf("%d of 1000 tenants moved on grow, want roughly a third", moved)
+	}
+	// Down-routing: tenants not on the failed replica stay put.
+	down := map[string]bool{"r2:1": true}
+	for tenant := int64(0); tenant < 1000; tenant++ {
+		before := big.ReadAddr(tenant)
+		after := big.ReadAddrExcluding(tenant, down)
+		if before != "r2:1" && after != before {
+			t.Fatalf("tenant %d on %q displaced to %q by another replica's failure", tenant, before, after)
+		}
+		if before == "r2:1" && (after == "r2:1" || after == big.Primary) {
+			t.Fatalf("tenant %d still routed to %q with r2 down", tenant, after)
+		}
+	}
+}

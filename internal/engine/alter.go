@@ -40,6 +40,9 @@ import (
 // everything (CREATE INDEX in particular scans the heap; keeping it
 // fenced is a documented exception to online evolution).
 func (db *DB) execAlterOnline(st sql.Statement) error {
+	if db.readOnly.Load() {
+		return ErrReadOnlyReplica
+	}
 	db.ddlMu.RLock()
 	defer db.ddlMu.RUnlock()
 

@@ -149,6 +149,25 @@ type DB struct {
 	recoveries   int64
 	replayedRecs int64
 
+	// readOnly marks this instance a replica: statements that would write
+	// (DML, DDL, online ALTER, session writes) fail with
+	// ErrReadOnlyReplica; the streaming applier mutates through the
+	// physical replay path instead.
+	readOnly atomic.Bool
+
+	// Replication telemetry. On a primary the shipper maintains
+	// replShippedLSN (stream offset shipped to the furthest subscriber),
+	// replAckedLSN (highest subscriber-confirmed applied LSN), and
+	// replAckRounds. On a replica the applier maintains replAppliedLSN
+	// (frame end of the last applied record) and replAppliedCommitLSN
+	// (LSN of the last applied commit — the snapshot horizon follower
+	// reads are pinned at).
+	replShippedLSN       atomic.Uint64
+	replAckedLSN         atomic.Uint64
+	replAckRounds        atomic.Int64
+	replAppliedLSN       atomic.Uint64
+	replAppliedCommitLSN atomic.Uint64
+
 	// stmtRollbacks counts DML statements that failed and had their
 	// partial effects rolled back cleanly (statement-level atomicity);
 	// stmtRollbackFailures counts statements whose undo replay itself
@@ -463,6 +482,9 @@ func dmlLockSets(st sql.Statement) (write string, reads []string, err error) {
 // are concurrently active — an ephemeral mvcc transaction so the
 // statement's writes are versioned and stamped.
 func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Result, error) {
+	if db.readOnly.Load() {
+		return Result{}, ErrReadOnlyReplica
+	}
 	write, reads, err := dmlLockSets(st)
 	if err != nil {
 		return Result{}, err
@@ -557,6 +579,9 @@ func (db *DB) execDML(st sql.Statement, key string, params []types.Value) (Resul
 }
 
 func (db *DB) execDDL(st sql.Statement) error {
+	if db.readOnly.Load() {
+		return ErrReadOnlyReplica
+	}
 	db.ddlMu.Lock()
 	defer db.ddlMu.Unlock()
 	// DDL is serialized against whole transactions, not just statements:
@@ -918,6 +943,21 @@ type Stats struct {
 	// statement text).
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// Replication telemetry. Primary side: ReplShippedLSN is the stream
+	// offset shipped to the furthest subscriber, ReplAckedLSN the highest
+	// applied LSN a subscriber confirmed, ReplAckRoundTrips the number of
+	// acks received. Replica side: ReplAppliedLSN is the frame end of the
+	// last applied record, ReplAppliedCommitLSN the last applied commit
+	// (the snapshot horizon follower reads are pinned at). ReplLagBytes
+	// is durable-horizon minus the confirmed/applied position — on a
+	// primary how far the slowest acked subscriber trails, on a replica
+	// how many ingested bytes await apply. Zero when unused.
+	ReplShippedLSN       uint64
+	ReplAckedLSN         uint64
+	ReplAckRoundTrips    int64
+	ReplAppliedLSN       uint64
+	ReplAppliedCommitLSN uint64
+	ReplLagBytes         int64
 }
 
 // Stats returns current counters.
@@ -958,6 +998,20 @@ func (db *DB) Stats() Stats {
 	s.PlanCacheHits, s.PlanCacheMisses = db.plans.counters()
 	if db.log != nil {
 		s.WAL = db.log.Stats()
+	}
+	s.ReplShippedLSN = db.replShippedLSN.Load()
+	s.ReplAckedLSN = db.replAckedLSN.Load()
+	s.ReplAckRoundTrips = db.replAckRounds.Load()
+	s.ReplAppliedLSN = db.replAppliedLSN.Load()
+	s.ReplAppliedCommitLSN = db.replAppliedCommitLSN.Load()
+	if db.log != nil {
+		end := uint64(db.log.DurableLSN())
+		switch {
+		case db.readOnly.Load() && s.ReplAppliedLSN > 0:
+			s.ReplLagBytes = int64(end - s.ReplAppliedLSN)
+		case s.ReplAckedLSN > 0:
+			s.ReplLagBytes = int64(end - s.ReplAckedLSN)
+		}
 	}
 	return s
 }

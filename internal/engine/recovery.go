@@ -82,10 +82,36 @@ type RecoverReport struct {
 // writes no checkpoint, so running it twice from the same image is
 // byte-identical (idempotence).
 func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
+	db, rep, _, err := recoverImpl(img, false)
+	return db, rep, err
+}
+
+// recoverImpl is Recover with an optional replica mode. A replica's
+// "losers" are not dead: they are the PRIMARY's open transactions, whose
+// remaining records (and terminators) arrive later over the stream. So
+// in replica mode their physical records replay too (the primary's log
+// is the truth about page state), their row-level effects are journaled
+// — with pre-images captured at replay position, exactly what the live
+// applier would have recorded — for the applier to resume, and their
+// buffered metadata (KCatalog, KPageFree) stays buffered instead of
+// applying. Three further differences: every KPageAlloc is executed up
+// front (on a replica allocation happens at apply time, which a crash
+// can separate from the record's ingest), pages allocated by open
+// transactions are exempt from the orphan sweep, and the structural
+// invariant check is skipped when open transactions exist (their
+// mid-statement state is consistent only at applied-commit boundaries).
+func recoverImpl(img *CrashImage, replica bool) (*DB, *RecoverReport, []journalEntry, error) {
 	if img.Log == nil {
-		return nil, nil, fmt.Errorf("engine: cannot recover without a WAL")
+		return nil, nil, nil, fmt.Errorf("engine: cannot recover without a WAL")
 	}
 	img.Log.Reopen()
+	if replica {
+		// Reopen cleared the active map (on a primary those statements
+		// died with the crash). Rebuild it: the no-steal gate must keep
+		// treating the primary's open transactions as live, both during
+		// the replay below and for the resumed apply loop.
+		img.Log.RecoverActive()
+	}
 	img.Disk.SetCrashed(false)
 	img.Disk.SetFault(nil) // recovery is a fresh boot: planted faults die with the old process
 
@@ -107,7 +133,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		case wal.KCheckpoint:
 			var p ckptPayload
 			if err := json.Unmarshal(r.Data, &p); err != nil {
-				return nil, rep, fmt.Errorf("engine: checkpoint decode at LSN %d: %w", r.LSN, err)
+				return nil, rep, nil, fmt.Errorf("engine: checkpoint decode at LSN %d: %w", r.LSN, err)
 			}
 			snap = p.Catalog
 			rep.CheckpointLSN = r.LSN
@@ -149,32 +175,68 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		page storage.PageID
 	}
 	var frees []freeReq
+	var journal []journalEntry
+	openAlloc := map[storage.PageID]bool{}
+	if replica {
+		// A replica allocates pages when it APPLIES a KPageAlloc, which a
+		// crash can separate from the record's ingest; on a primary the
+		// allocation preceded the record and the Disk object carries it
+		// across the crash. Execute every retained alloc up front
+		// (idempotently) so the physical redo below never meets an
+		// unallocated page, and remember which allocations belong to open
+		// transactions — the orphan sweep must not reclaim them.
+		for _, r := range recs {
+			if r.Kind != wal.KPageAlloc {
+				continue
+			}
+			if err := img.Disk.AllocAt(r.Page, r.Cat); err != nil {
+				return nil, rep, nil, err
+			}
+			if r.Txn != 0 && !terminated[r.Txn] {
+				openAlloc[r.Page] = true
+			}
+		}
+	}
 	ckpt := rep.CheckpointLSN
 	frameStart := img.Log.Base()
 	for _, r := range recs {
 		start := frameStart
 		frameStart = r.LSN
-		if r.Txn != 0 && !terminated[r.Txn] {
+		open := r.Txn != 0 && !terminated[r.Txn]
+		if open && !replica {
 			continue // loser: its pages never reached disk
 		}
 		// Metadata replay: schema-shaped records older than the
-		// checkpoint are already reflected in its snapshot.
+		// checkpoint are already reflected in its snapshot. An open
+		// transaction's catalog changes and page frees stay buffered (the
+		// journal) until its commit streams in; its structural records
+		// (heap growth, root moves) apply like an aborted transaction's —
+		// structure survives either outcome.
 		switch r.Kind {
+		case wal.KBegin:
+			if open {
+				journal = append(journal, journalEntry{rec: r})
+			}
+			continue
 		case wal.KCatalog:
+			if open {
+				journal = append(journal, journalEntry{rec: r})
+				continue
+			}
 			if r.LSN > ckpt {
 				ch, err := catalog.DecodeDDLChange(r.Data)
 				if err != nil {
-					return nil, rep, err
+					return nil, rep, nil, err
 				}
 				if err := snap.Apply(ch); err != nil {
-					return nil, rep, err
+					return nil, rep, nil, err
 				}
 			}
 			continue
 		case wal.KHeapNewPage:
 			if r.LSN > ckpt {
 				if err := snap.AddHeapPage(r.Table, r.Page); err != nil {
-					return nil, rep, err
+					return nil, rep, nil, err
 				}
 			}
 			// Fall through below to the physical redo (page format).
@@ -184,11 +246,15 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 			}
 			continue
 		case wal.KPageFree:
+			if open {
+				journal = append(journal, journalEntry{rec: r})
+				continue
+			}
 			if committed[r.Txn] {
 				frees = append(frees, freeReq{page: r.Page})
 			}
 			continue
-		case wal.KBegin, wal.KCommit, wal.KAbort, wal.KCheckpoint, wal.KPageAlloc, wal.KSavepoint:
+		case wal.KCommit, wal.KAbort, wal.KCheckpoint, wal.KPageAlloc, wal.KSavepoint:
 			continue
 		}
 		// Physical redo of page-addressed records.
@@ -196,12 +262,29 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 			rep.Unallocated++
 			continue
 		}
+		if open {
+			// Journal the row-level effect with its pre-image read at this
+			// replay position — identical to what the live applier recorded
+			// before the crash, because replay reproduces page state in log
+			// order and the no-steal gate kept open-transaction bytes off
+			// the disk image.
+			switch r.Kind {
+			case wal.KHeapInsert, wal.KHeapInsertAt:
+				journal = append(journal, journalEntry{rec: r})
+			case wal.KHeapDelete, wal.KHeapUpdate:
+				pre, err := storage.ReadSlot(pool, r.Page, r.Slot)
+				if err != nil {
+					return nil, rep, nil, err
+				}
+				journal = append(journal, journalEntry{rec: r, pre: pre})
+			}
+		}
 		if r.LSN <= cur(r.Page) {
 			rep.Skipped++
 			continue
 		}
 		if err := redoPage(pool, r); err != nil {
-			return nil, rep, fmt.Errorf("engine: redo %s at LSN %d: %w", r.Kind, r.LSN, err)
+			return nil, rep, nil, fmt.Errorf("engine: redo %s at LSN %d: %w", r.Kind, r.LSN, err)
 		}
 		pageLSN[r.Page] = r.LSN
 		pool.StampLSN(r.Page, r.LSN, start)
@@ -211,7 +294,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 	for _, f := range frees {
 		if img.Disk.Allocated(f.page) {
 			if err := pool.FreePage(f.page); err != nil {
-				return nil, rep, err
+				return nil, rep, nil, err
 			}
 			rep.FreedPages++
 		}
@@ -227,17 +310,20 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		Versions:          txns,
 	}, snap)
 	if err := cat.RecomputeAll(); err != nil {
-		return nil, rep, err
+		return nil, rep, nil, err
 	}
 
 	// Orphan sweep: free any disk page no durable structure references —
 	// loser allocations and abandoned index backfills. Tree walks happen
-	// after replay, so the reachable sets are final.
+	// after replay, so the reachable sets are final. On a replica, pages
+	// allocated by still-open transactions are exempt: a split mid-flight
+	// at the cut point may have allocated pages not yet linked into any
+	// structure, and the stream's next records will write into them.
 	referenced := map[storage.PageID]bool{}
 	for _, name := range cat.TableNames() {
 		t, err := cat.Table(name)
 		if err != nil {
-			return nil, rep, err
+			return nil, rep, nil, err
 		}
 		for _, p := range t.Heap.Pages() {
 			referenced[p] = true
@@ -245,7 +331,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		for _, ix := range t.Indexes {
 			pages, err := ix.Tree.Pages()
 			if err != nil {
-				return nil, rep, err
+				return nil, rep, nil, err
 			}
 			for _, p := range pages {
 				referenced[p] = true
@@ -253,22 +339,27 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		}
 	}
 	for _, id := range img.Disk.PageIDs() {
-		if !referenced[id] {
+		if !referenced[id] && !openAlloc[id] {
 			if err := pool.FreePage(id); err != nil {
-				return nil, rep, err
+				return nil, rep, nil, err
 			}
 			rep.OrphanPages++
 		}
 	}
 
-	// The recovered database must satisfy every structural invariant.
-	for _, name := range cat.TableNames() {
-		t, err := cat.Table(name)
-		if err != nil {
-			return nil, rep, err
-		}
-		if err := t.CheckInvariants(); err != nil {
-			return nil, rep, fmt.Errorf("engine: post-recovery invariant violation on %s: %w", name, err)
+	// The recovered database must satisfy every structural invariant —
+	// except a replica with open transactions, whose mid-statement state
+	// (a heap row inserted, its index entry still in flight) is by design
+	// consistent only at applied-commit boundaries.
+	if !replica || rep.Losers == 0 {
+		for _, name := range cat.TableNames() {
+			t, err := cat.Table(name)
+			if err != nil {
+				return nil, rep, nil, err
+			}
+			if err := t.CheckInvariants(); err != nil {
+				return nil, rep, nil, fmt.Errorf("engine: post-recovery invariant violation on %s: %w", name, err)
+			}
 		}
 	}
 
@@ -291,7 +382,7 @@ func Recover(img *CrashImage) (*DB, *RecoverReport, error) {
 		recoveries:    img.recoveries + 1,
 		replayedRecs:  img.replayedRecs + int64(rep.Replayed),
 	}
-	return db, rep, nil
+	return db, rep, journal, nil
 }
 
 // redoPage applies one page-addressed record. The pageLSN check has

@@ -319,6 +319,11 @@ func (s *Session) rollback() (Result, error) {
 }
 
 func (s *Session) savepoint(name string) (Result, error) {
+	if s.db.readOnly.Load() {
+		// A savepoint would open a WAL scope, and a replica's log only
+		// ever mirrors the primary's stream — it never self-appends.
+		return Result{}, ErrReadOnlyReplica
+	}
 	if s.aborted {
 		return Result{}, ErrTxnAborted
 	}
@@ -369,6 +374,9 @@ func (s *Session) rollbackTo(name string) (Result, error) {
 // conflict aborts and rolls back the whole transaction (first-updater
 // wins — this session was second).
 func (s *Session) dml(st sql.Statement, key string, params []types.Value) (Result, error) {
+	if s.db.readOnly.Load() {
+		return Result{}, ErrReadOnlyReplica
+	}
 	res, err := s.dmlLocked(st, key, params)
 	if err != nil && errors.Is(err, mvcc.ErrWriteConflict) {
 		db := s.db

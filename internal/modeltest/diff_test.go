@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mvcc"
+	"repro/internal/repl"
 	"repro/internal/types"
 )
 
@@ -60,6 +61,9 @@ type harness struct {
 	model *Model
 	es    []*engine.Session
 	ms    []*MSession
+	// follower, when set, is a live replica fed from the primary's WAL
+	// and held to the same model (see repl_diff_test.go).
+	follower *repl.Follower
 }
 
 func (h *harness) failf(format string, args ...interface{}) {
@@ -195,21 +199,28 @@ func (h *harness) applyExec(i int) {
 // compareCommitted checks the engine's committed state (as an
 // autocommit reader sees it) against the model's ground truth.
 func (h *harness) compareCommitted() {
+	h.compareCommittedOn(h.db, "primary")
+}
+
+// compareCommittedOn runs the committed-state check against any DB —
+// the primary, or a replica that claims to have applied through the
+// latest commit.
+func (h *harness) compareCommittedOn(db *engine.DB, who string) {
 	for _, table := range []string{"acct1", "acct2"} {
-		rows, err := h.db.Query(fmt.Sprintf("SELECT k, v, bal FROM %s ORDER BY k", table))
+		rows, err := db.Query(fmt.Sprintf("SELECT k, v, bal FROM %s ORDER BY k", table))
 		if err != nil {
-			h.failf("committed-state query on %s: %v", table, err)
+			h.failf("%s committed-state query on %s: %v", who, table, err)
 		}
 		want := h.model.CommittedState(table)
 		if len(rows.Data) != len(want) {
-			h.failf("%s: %d committed rows, model %d", table, len(rows.Data), len(want))
+			h.failf("%s %s: %d committed rows, model %d", who, table, len(rows.Data), len(want))
 		}
 		for r := range want {
 			gk, gv, gb := rows.Data[r][0].Int, fmtVal(rows.Data[r][1]), rows.Data[r][2].Int
 			wk, wv, wb := want[r][0].(int64), want[r][1].(string), want[r][2].(int64)
 			if gk != wk || gv != wv || gb != wb {
-				h.failf("%s row %d = (%d, %s, %d), model (%d, %s, %d)",
-					table, r, gk, gv, gb, wk, wv, wb)
+				h.failf("%s %s row %d = (%d, %s, %d), model (%d, %s, %d)",
+					who, table, r, gk, gv, gb, wk, wv, wb)
 			}
 		}
 	}
@@ -236,6 +247,15 @@ func runSeed(t *testing.T, seed int64, minTxns int) {
 // INSERTs keep working because a completed cycle leaves the visible
 // column set unchanged (the dropped slot is not insertable).
 func runSeedChurn(t *testing.T, seed int64, minTxns, churnEvery int) {
+	runSeedReplicated(t, seed, minTxns, churnEvery, false)
+}
+
+// runSeedReplicated is runSeedChurn with an optional third participant:
+// a live follower bootstrapped before the workload and caught up after
+// every model-acknowledged commit. Once a commit's LSN is applied the
+// replica must agree with the model (and therefore the primary) on the
+// full committed state — the model/primary/replica parity check.
+func runSeedReplicated(t *testing.T, seed int64, minTxns, churnEvery int, replicate bool) {
 	const sessions = 3
 	// A short conflict wait keeps the driver fast: statements are issued
 	// serially, so every engine-side park (row wait or admission) runs
@@ -268,10 +288,18 @@ func runSeedChurn(t *testing.T, seed int64, minTxns, churnEvery int) {
 		h.es = append(h.es, db.Session())
 		h.ms = append(h.ms, model.Session())
 	}
+	if replicate {
+		f, err := repl.Bootstrap(db)
+		if err != nil {
+			t.Fatalf("seed %d: bootstrap follower: %v", seed, err)
+		}
+		h.follower = f
+	}
 	gen := NewGenerator(seed)
 
 	maxSteps := minTxns * 60
 	cycles := 0
+	lastCommits := 0
 	for h.step = 1; h.step <= maxSteps; h.step++ {
 		if model.Commits+model.Aborts >= minTxns {
 			break
@@ -294,6 +322,18 @@ func runSeedChurn(t *testing.T, seed int64, minTxns, churnEvery int) {
 		i := gen.rng.Intn(sessions)
 		h.op = gen.Next(h.ms[i])
 		h.apply(i)
+		if replicate && model.Commits > lastCommits {
+			lastCommits = model.Commits
+			h.syncFollower()
+			if churnEvery == 0 {
+				// No background writers: catching up must land exactly on
+				// the primary's durable horizon.
+				if got, want := h.follower.App.AppliedLSN(), db.WAL().DurableLSN(); got != want {
+					h.failf("replica applied LSN %d, primary durable %d", got, want)
+				}
+			}
+			h.compareCommittedOn(h.follower.DB, "replica")
+		}
 		if h.step%1000 == 0 {
 			h.compareCommitted()
 		}
@@ -321,6 +361,10 @@ func runSeedChurn(t *testing.T, seed int64, minTxns, churnEvery int) {
 		}
 	}
 	h.compareCommitted()
+	if replicate {
+		h.syncFollower()
+		h.compareCommittedOn(h.follower.DB, "replica")
+	}
 
 	// The engine's transaction counters must match the model's exactly.
 	st := db.Stats()

@@ -1,0 +1,57 @@
+package modeltest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// Replica-extended differential runs: the same three-session workload
+// against the same model, plus a live follower fed from the primary's
+// WAL. After every commit the model acknowledges, the follower catches
+// up and its full committed state is held to the model's ground truth —
+// a commit is never visible on the replica half-applied, and never
+// missing once its LSN is applied.
+
+// syncFollower pulls the follower to the primary's durable horizon,
+// re-bootstrapping if a checkpoint truncated the history behind it.
+func (h *harness) syncFollower() {
+	if _, err := h.follower.CatchUp(h.db); err != nil {
+		if !errors.Is(err, wal.ErrTruncatedHistory) {
+			h.failf("replica catch-up: %v", err)
+		}
+		f, err := repl.Bootstrap(h.db)
+		if err != nil {
+			h.failf("replica re-bootstrap: %v", err)
+		}
+		h.follower = f
+	}
+}
+
+// TestDifferentialReplicaSeeds is the replication parity acceptance
+// run: three fixed seeds, at least 1000 transactions each, with the
+// follower checked against the model after every single commit.
+func TestDifferentialReplicaSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSeedReplicated(t, seed, 1000, 0, true)
+		})
+	}
+}
+
+// TestDifferentialReplicaAlterChurn repeats the parity run under
+// online-ALTER churn: evolution cycles (and their background backfills)
+// stream through the same WAL, and the replica must keep matching the
+// model after every commit while schemas change mid-stream.
+func TestDifferentialReplicaAlterChurn(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			runSeedReplicated(t, seed, 500, 400, true)
+		})
+	}
+}

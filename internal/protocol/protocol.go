@@ -89,6 +89,12 @@ const (
 	TypeBatchError  byte = 0x8A // BatchError: index, code, message
 	TypeBatchRows   byte = 0x8B // BatchRowsHeader: index, columns (RowBatch frames follow)
 	TypeBatchDone   byte = 0x8C // BatchDone: statements executed (ends the reply stream)
+
+	TypeReplSubscribe byte = 0x0C // ReplSubscribe: start streaming WAL from an LSN
+	TypeReplAck       byte = 0x0D // ReplAck: follower's applied LSN
+
+	TypeReplSnapshot byte = 0x8D // ReplSnapshot: bootstrap image chunk, last flag
+	TypeReplFrames   byte = 0x8E // ReplFrames: start LSN, raw WAL frame bytes
 )
 
 // Error codes carried by Error messages.
@@ -299,6 +305,34 @@ type BatchDone struct {
 	Executed uint32
 }
 
+// ReplSubscribe turns the connection into a replication stream: the
+// server ships WAL frames from From onward, forever. From below the
+// primary's retained history triggers a bootstrap: ReplSnapshot chunks
+// carrying a full engine.ReplImage precede the frame stream. From 0
+// always bootstraps (the empty-follower case). After subscribing, the
+// client sends only ReplAck; the server sends only ReplSnapshot,
+// ReplFrames, and Error.
+type ReplSubscribe struct{ From uint64 }
+
+// ReplAck reports the follower's applied position (flow-control-free
+// telemetry; the server never waits for it).
+type ReplAck struct{ Applied uint64 }
+
+// ReplSnapshot carries one chunk of a bootstrap image; Last marks the
+// final chunk (the concatenation decodes via engine.DecodeReplImage).
+type ReplSnapshot struct {
+	Last  bool
+	Chunk []byte
+}
+
+// ReplFrames carries raw WAL frame bytes whose first byte sits at
+// stream offset Start. Frames are whole WAL frames, verbatim — the
+// follower ingests them into its mirror log without re-encoding.
+type ReplFrames struct {
+	Start  uint64
+	Frames []byte
+}
+
 // --- encoding ----------------------------------------------------------------
 
 func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
@@ -435,6 +469,21 @@ func AppendEncode(dst []byte, m any) []byte {
 		return b
 	case *BatchDone:
 		return appendU32(append(dst, TypeBatchDone), m.Executed)
+	case *ReplSubscribe:
+		return appendU64(append(dst, TypeReplSubscribe), m.From)
+	case *ReplAck:
+		return appendU64(append(dst, TypeReplAck), m.Applied)
+	case *ReplSnapshot:
+		b := append(dst, TypeReplSnapshot)
+		if m.Last {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		return appendBytes(b, m.Chunk)
+	case *ReplFrames:
+		b := appendU64(append(dst, TypeReplFrames), m.Start)
+		return appendBytes(b, m.Frames)
 	}
 	panic(fmt.Sprintf("protocol: Encode of unknown message %T", m))
 }
@@ -655,6 +704,22 @@ func Decode(payload []byte) (any, error) {
 		return m, d.done()
 	case TypeBatchDone:
 		m := &BatchDone{Executed: d.u32()}
+		return m, d.done()
+	case TypeReplSubscribe:
+		m := &ReplSubscribe{From: d.u64()}
+		return m, d.done()
+	case TypeReplAck:
+		m := &ReplAck{Applied: d.u64()}
+		return m, d.done()
+	case TypeReplSnapshot:
+		m := &ReplSnapshot{Last: d.byte() != 0}
+		b := d.bytes()
+		m.Chunk = append([]byte(nil), b...)
+		return m, d.done()
+	case TypeReplFrames:
+		m := &ReplFrames{Start: d.u64()}
+		b := d.bytes()
+		m.Frames = append([]byte(nil), b...)
 		return m, d.done()
 	}
 	return nil, fmt.Errorf("%w: unknown type 0x%02x", ErrBadMessage, payload[0])

@@ -65,6 +65,13 @@ func TestMessageRoundTrips(t *testing.T) {
 		&BatchRowsHeader{Index: 1, Columns: []string{"a", "b"}},
 		&BatchRowsHeader{Index: 0},
 		&BatchDone{Executed: 4},
+		&ReplSubscribe{From: 1},
+		&ReplSubscribe{},
+		&ReplAck{Applied: 1 << 40},
+		&ReplSnapshot{Chunk: []byte{1, 2, 3}},
+		&ReplSnapshot{Last: true},
+		&ReplFrames{Start: 4096, Frames: []byte{9, 9, 9}},
+		&ReplFrames{Start: 1},
 	}
 	for _, m := range msgs {
 		out := roundTrip(t, m)
@@ -185,6 +192,10 @@ func TestDecodeTruncatedBodies(t *testing.T) {
 		&BatchError{Index: 1, Code: CodeSQL, Msg: "boom"},
 		&BatchRowsHeader{Index: 2, Columns: []string{"a"}},
 		&BatchDone{Executed: 2},
+		&ReplSubscribe{From: 77},
+		&ReplAck{Applied: 1234},
+		&ReplSnapshot{Last: true, Chunk: []byte("img")},
+		&ReplFrames{Start: 88, Frames: []byte("fr")},
 	}
 	for _, m := range msgs {
 		full := Encode(m)

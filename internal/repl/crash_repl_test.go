@@ -1,0 +1,483 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// The replication torture suite. Two sweeps:
+//
+//   - TestPrimaryCrashSweep kills the PRIMARY at every durability
+//     operation of a deterministic workload that ships to a live
+//     follower after every statement. After recovery the follower must
+//     still be a prefix of the primary's committed history, converge to
+//     equality (re-bootstrapping if a checkpoint truncated past it),
+//     and tolerate the entire retained history being fed a second time.
+//
+//   - TestFollowerCrashSweep kills the FOLLOWER after every single
+//     applied record of a transfer workload. Recovery must never expose
+//     a torn transaction (the money-sum invariant), must keep the write
+//     fence up, and must accept both the remaining stream and a full
+//     overlapping re-feed.
+//
+// Between them the sweeps cover well over 300 deterministic crash
+// sites; both assert their own floors so a shrinking workload fails
+// loudly instead of silently weakening the suite.
+
+// tortureConfig keeps pages and the checkpoint interval tiny so the
+// primary sweep crosses many checkpoints — log truncation happens for
+// real, which is what forces the follower re-bootstrap path.
+func tortureConfig() engine.Config {
+	return engine.Config{
+		MemoryBytes:     64 << 10,
+		PageSize:        1024,
+		CheckpointBytes: 4 << 10,
+	}
+}
+
+// replModel is table -> id -> val; presence of a table is its existence
+// in the schema.
+type replModel map[string]map[int64]string
+
+func (m replModel) clone() replModel {
+	c := make(replModel, len(m))
+	for t, rows := range m {
+		cr := make(map[int64]string, len(rows))
+		for k, v := range rows {
+			cr[k] = v
+		}
+		c[t] = cr
+	}
+	return c
+}
+
+type replStep struct {
+	q      string
+	params []types.Value
+	mut    func(m replModel)
+}
+
+// buildReplWorkload is a deterministic single-tenant statement sequence
+// over two long-lived tables plus a scratch table's full lifecycle and
+// an index build/drop, with modelAt[k] = state after the first k steps.
+func buildReplWorkload() (steps []replStep, modelAt []replModel) {
+	rng := rand.New(rand.NewSource(7))
+	add := func(q string, mut func(m replModel), params ...types.Value) {
+		steps = append(steps, replStep{q: q, params: params, mut: mut})
+	}
+
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("r%d", i)
+		add("CREATE TABLE "+name+" (id INT NOT NULL, val TEXT)",
+			func(m replModel) { m[name] = map[int64]string{} })
+	}
+	add("CREATE UNIQUE INDEX r0_pk ON r0 (id)", func(m replModel) {})
+
+	nextID := map[string]int64{}
+	for i := 0; i < 96; i++ {
+		name := fmt.Sprintf("r%d", i%2)
+		switch {
+		case i == 20:
+			add("CREATE INDEX r1_id ON r1 (id)", func(m replModel) {})
+		case i == 70:
+			add("DROP INDEX r1_id ON r1", func(m replModel) {})
+		case i == 30:
+			add("CREATE TABLE scratch (id INT NOT NULL, val TEXT)",
+				func(m replModel) { m["scratch"] = map[int64]string{} })
+		case i > 30 && i < 60 && i%5 == 0:
+			id := nextID["scratch"]
+			nextID["scratch"]++
+			add("INSERT INTO scratch VALUES (?, ?)",
+				func(m replModel) { m["scratch"][id] = "s" },
+				types.NewInt(id), types.NewString("s"))
+		case i == 60:
+			add("DROP TABLE scratch", func(m replModel) { delete(m, "scratch") })
+		default:
+			switch r := rng.Intn(10); {
+			case r < 6:
+				id := nextID[name]
+				nextID[name]++
+				val := fmt.Sprintf("v%d", i)
+				add("INSERT INTO "+name+" VALUES (?, ?)",
+					func(m replModel) { m[name][id] = val },
+					types.NewInt(id), types.NewString(val))
+			case r < 8:
+				id := int64(rng.Intn(int(nextID[name]) + 1))
+				val := fmt.Sprintf("u%d", i)
+				add("UPDATE "+name+" SET val = ? WHERE id = ?",
+					func(m replModel) {
+						if _, ok := m[name][id]; ok {
+							m[name][id] = val
+						}
+					},
+					types.NewString(val), types.NewInt(id))
+			default:
+				id := int64(rng.Intn(int(nextID[name]) + 1))
+				add("DELETE FROM "+name+" WHERE id = ?",
+					func(m replModel) { delete(m[name], id) },
+					types.NewInt(id))
+			}
+		}
+	}
+
+	m := replModel{}
+	modelAt = make([]replModel, len(steps)+1)
+	modelAt[0] = m.clone()
+	for k, s := range steps {
+		s.mut(m)
+		modelAt[k+1] = m.clone()
+	}
+	return steps, modelAt
+}
+
+// replSnapshot reads every table into model form.
+func replSnapshot(t *testing.T, db *engine.DB) replModel {
+	t.Helper()
+	m := replModel{}
+	for _, name := range db.Catalog().TableNames() {
+		rows, err := db.Query("SELECT id, val FROM " + name)
+		if err != nil {
+			t.Fatalf("snapshot %s: %v", name, err)
+		}
+		rm := map[int64]string{}
+		for _, r := range rows.Data {
+			rm[r[0].Int] = r[1].Str
+		}
+		m[name] = rm
+	}
+	return m
+}
+
+// refeedAll ships the primary's entire retained history into the
+// follower a second time; a correct applier treats it as a no-op.
+func refeedAll(t *testing.T, f *Follower, primary *engine.DB) {
+	t.Helper()
+	base, end := primary.WAL().DurableBounds()
+	if end == base {
+		return
+	}
+	buf, next, err := primary.WAL().ReadDurable(base, int(end-base))
+	if err != nil {
+		t.Fatalf("re-read retained history: %v", err)
+	}
+	if next != end {
+		t.Fatalf("short history read: %d of %d", next, end)
+	}
+	if _, err := f.Feed(base, buf); err != nil {
+		t.Fatalf("overlapping re-feed: %v", err)
+	}
+}
+
+func TestPrimaryCrashSweep(t *testing.T) {
+	steps, modelAt := buildReplWorkload()
+	boundary := func(k int) replModel {
+		if k > len(steps) {
+			k = len(steps)
+		}
+		return modelAt[k]
+	}
+
+	// The follower deliberately lags: it pulls only every third
+	// statement, and every tenth statement the primary flushes its pool
+	// and checkpoints — with no dirty page pinning the bound, truncation
+	// jumps to the log's end and regularly cuts history out from under
+	// the lagging follower, so the re-bootstrap path runs for real.
+	// Re-bootstrapping checkpoints the primary (counted ops), but the
+	// schedule is deterministic, so every sweep run behaves identically
+	// to the counting pass up to its crash site.
+	shipNow := func(k int) bool { return k%3 == 2 || k == len(steps)-1 }
+	flushNow := func(k int) bool { return k%10 == 9 }
+
+	// Counting pass: bootstrap first (initial image creation is outside
+	// the sweep in both passes, keeping the op sequence identical), then
+	// run the workload on the shipping schedule.
+	count := engine.Open(tortureConfig())
+	cf, err := Bootstrap(count)
+	if err != nil {
+		t.Fatalf("counting bootstrap: %v", err)
+	}
+	probe := wal.InstallCrashPlan(wal.NeverCrash, count.Disk(), count.WAL())
+	countReboots := 0
+	for k, s := range steps {
+		if _, err := count.Exec(s.q, s.params...); err != nil {
+			t.Fatalf("counting pass failed at step %d: %v", k, err)
+		}
+		if flushNow(k) {
+			if err := count.DropCaches(); err != nil {
+				t.Fatalf("counting flush at step %d: %v", k, err)
+			}
+			if err := count.Checkpoint(); err != nil {
+				t.Fatalf("counting checkpoint at step %d: %v", k, err)
+			}
+		}
+		if !shipNow(k) {
+			continue
+		}
+		if _, err := cf.CatchUp(count); err != nil {
+			if !errors.Is(err, wal.ErrTruncatedHistory) {
+				t.Fatalf("counting ship at step %d: %v", k, err)
+			}
+			if cf, err = Bootstrap(count); err != nil {
+				t.Fatalf("counting re-bootstrap at step %d: %v", k, err)
+			}
+			countReboots++
+		}
+	}
+	if countReboots == 0 {
+		t.Fatal("lagging schedule never outran a checkpoint; workload no longer exercises re-bootstrap")
+	}
+	total := probe.Ops()
+	if total < 300 {
+		t.Fatalf("workload too small for the sweep: %d crash sites, want >= 300", total)
+	}
+	t.Logf("sweeping %d primary crash sites over %d statements", total, len(steps))
+
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	rebootstraps := 0
+	for site := int64(1); site <= total; site += stride {
+		p := engine.Open(tortureConfig())
+		f, err := Bootstrap(p)
+		if err != nil {
+			t.Fatalf("site %d: bootstrap: %v", site, err)
+		}
+		plan := wal.InstallCrashPlan(site, p.Disk(), p.WAL())
+		pending := len(steps)
+		shipped := 0 // steps reflected on the follower
+		for k, s := range steps {
+			if _, err := p.Exec(s.q, s.params...); err != nil {
+				pending = k
+				break
+			}
+			if flushNow(k) {
+				// A crash inside the flush or the checkpoint lands after
+				// statement k acknowledged; the Fired check below ends
+				// the run at that boundary.
+				if err := p.DropCaches(); err == nil {
+					_ = p.Checkpoint()
+				}
+			}
+			if plan.Fired() {
+				pending = k + 1
+				break
+			}
+			if !shipNow(k) {
+				continue
+			}
+			if _, err := f.CatchUp(p); err != nil {
+				if !errors.Is(err, wal.ErrTruncatedHistory) {
+					t.Fatalf("site %d: ship after step %d: %v", site, k, err)
+				}
+				nf, err := Bootstrap(p)
+				if err != nil {
+					// The crash fired inside the re-bootstrap's
+					// checkpoint; the primary is down and the follower
+					// keeps its last good state.
+					pending = k + 1
+					break
+				}
+				f = nf
+				rebootstraps++
+			}
+			shipped = k + 1
+		}
+		if !plan.Fired() {
+			t.Fatalf("site %d: plan never fired (pending=%d)", site, pending)
+		}
+
+		// Before the primary comes back, the follower is frozen at the
+		// last shipped statement: exactly a prefix boundary of the
+		// primary's acknowledged history.
+		if got := replSnapshot(t, f.DB); !reflect.DeepEqual(got, modelAt[shipped]) {
+			t.Fatalf("site %d: follower not a prefix at shipped step %d:\n got  %v\nwant %v",
+				site, shipped, got, modelAt[shipped])
+		}
+
+		rec, _, err := engine.Recover(p.Crash())
+		if err != nil {
+			t.Fatalf("site %d: primary recover: %v", site, err)
+		}
+		pstate := replSnapshot(t, rec)
+		if !reflect.DeepEqual(pstate, modelAt[pending]) &&
+			!reflect.DeepEqual(pstate, boundary(pending+1)) {
+			t.Fatalf("site %d: primary matches neither boundary of step %d:\n got   %v\nbefore %v\nafter  %v",
+				site, pending, pstate, modelAt[pending], boundary(pending+1))
+		}
+
+		// Re-subscribe: catch up, or re-bootstrap if a checkpoint
+		// truncated the history out from under us.
+		if _, err := f.CatchUp(rec); err != nil {
+			if !errors.Is(err, wal.ErrTruncatedHistory) {
+				t.Fatalf("site %d: converge: %v", site, err)
+			}
+			if f, err = Bootstrap(rec); err != nil {
+				t.Fatalf("site %d: re-bootstrap: %v", site, err)
+			}
+			rebootstraps++
+		}
+		fstate := replSnapshot(t, f.DB)
+		if !reflect.DeepEqual(fstate, pstate) {
+			t.Fatalf("site %d: follower diverged after converge:\n follower %v\n primary  %v",
+				site, fstate, pstate)
+		}
+
+		// Apply-twice: feeding the whole retained history again must
+		// change nothing.
+		refeedAll(t, f, rec)
+		if again := replSnapshot(t, f.DB); !reflect.DeepEqual(again, fstate) {
+			t.Fatalf("site %d: overlapping re-feed changed follower state", site)
+		}
+	}
+	t.Logf("follower re-bootstrapped at %d of the sites (history truncated)", rebootstraps)
+	if rebootstraps == 0 && stride == 1 {
+		t.Fatal("sweep never exercised the truncated-history re-bootstrap path")
+	}
+}
+
+func TestFollowerCrashSweep(t *testing.T) {
+	// Build the primary once: bootstrap image up front, then a transfer
+	// workload whose every commit preserves SUM(bal). The shipped stream
+	// is recorded and replayed per crash site, so each site's run is a
+	// pure follower-side experiment. Default config: the log must retain
+	// the whole stream (no checkpoint truncation behind our back).
+	const accounts = 8
+	const transfers = 110
+	const total = accounts * 1000
+
+	p := engine.Open(engine.Config{})
+	mustExec(t, p, "CREATE TABLE acct (k INTEGER NOT NULL, v VARCHAR(40), bal INTEGER)")
+	mustExec(t, p, "CREATE UNIQUE INDEX acct_pk ON acct (k)")
+	for k := 0; k < accounts; k++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, 'a', 1000)", types.NewInt(int64(k)))
+	}
+	img, err := p.ReplImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgBytes, err := img.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := img.LogBase + wal.LSN(len(img.Log))
+
+	rng := rand.New(rand.NewSource(11))
+	sess := p.Session()
+	for i := 0; i < transfers; i++ {
+		from := rng.Intn(accounts)
+		to := (from + 1 + rng.Intn(accounts-1)) % accounts
+		amt := int64(1 + rng.Intn(9))
+		if _, err := sess.Exec("BEGIN"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Exec("UPDATE acct SET bal = bal - ? WHERE k = ?",
+			types.NewInt(amt), types.NewInt(int64(from))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Exec("UPDATE acct SET bal = bal + ? WHERE k = ?",
+			types.NewInt(amt), types.NewInt(int64(to))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Exec("COMMIT"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	if got := intQuery(t, p, "SELECT SUM(bal) FROM acct"); got != total {
+		t.Fatalf("primary SUM(bal) = %d, want %d", got, total)
+	}
+	pfinal := replAcctState(t, p)
+
+	stream, next, err := p.WAL().ReadDurable(base, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != p.WAL().DurableLSN() {
+		t.Fatalf("stream read stopped at %d, durable %d", next, p.WAL().DurableLSN())
+	}
+	// Split the stream at frame boundaries: [len u32][crc u32][payload].
+	var frames [][]byte
+	for off := 0; off < len(stream); {
+		n := int(binary.LittleEndian.Uint32(stream[off:]))
+		frames = append(frames, stream[off:off+8+n])
+		off += 8 + n
+	}
+	if len(frames) < 300 {
+		t.Fatalf("workload shipped %d frames, want >= 300 crash sites", len(frames))
+	}
+	t.Logf("sweeping %d follower crash sites (one per applied record)", len(frames))
+
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	for site := 1; site <= len(frames); site += stride {
+		img2, err := engine.DecodeReplImage(imgBytes)
+		if err != nil {
+			t.Fatalf("site %d: decode image: %v", site, err)
+		}
+		db, app, err := engine.OpenReplica(img2)
+		if err != nil {
+			t.Fatalf("site %d: open replica: %v", site, err)
+		}
+		f := &Follower{DB: db, App: app}
+		pos := base
+		for i, fr := range frames {
+			if _, err := f.Feed(pos, fr); err != nil {
+				t.Fatalf("site %d: feed frame %d: %v", site, i, err)
+			}
+			pos += wal.LSN(len(fr))
+			if i+1 == site {
+				f2, err := Recover(f.Crash())
+				if err != nil {
+					t.Fatalf("site %d: follower recover: %v", site, err)
+				}
+				f = f2
+				if !f.DB.ReadOnly() {
+					t.Fatalf("site %d: write fence down after recovery", site)
+				}
+				// No torn transaction: committed money is conserved at
+				// every possible crash point, including mid-transfer.
+				if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != total {
+					t.Fatalf("site %d: SUM(bal) = %d after crash, want %d (torn transaction visible)", site, got, total)
+				}
+				// Apply-twice: everything held so far, again.
+				if _, err := f.Feed(base, stream[:pos-base]); err != nil {
+					t.Fatalf("site %d: post-recovery re-feed: %v", site, err)
+				}
+				if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != total {
+					t.Fatalf("site %d: SUM(bal) = %d after re-feed, want %d", site, got, total)
+				}
+			}
+		}
+		if n := f.App.OpenTxns(); n != 0 {
+			t.Fatalf("site %d: %d open transactions after full stream", site, n)
+		}
+		if got := replAcctState(t, f.DB); !reflect.DeepEqual(got, pfinal) {
+			t.Fatalf("site %d: follower end state diverged:\n follower %v\n primary  %v", site, got, pfinal)
+		}
+	}
+}
+
+// replAcctState reads acct into k -> bal form.
+func replAcctState(t *testing.T, db *engine.DB) map[int64]int64 {
+	t.Helper()
+	rows, err := db.Query("SELECT k, bal FROM acct ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := make(map[int64]int64, len(rows.Data))
+	for _, r := range rows.Data {
+		m[r[0].Int] = r[1].Int
+	}
+	return m
+}

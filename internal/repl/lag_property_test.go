@@ -1,0 +1,170 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// TestLagConsistencyProperty is the follower's visibility contract,
+// checked at every stream position: a reader that observes the replica
+// at applied-commit LSN L sees every transaction whose commit LSN is
+// <= L and nothing from any later transaction — even while an ALTER
+// publishes a new schema mid-stream. The workload is 120 serial
+// inserts with a mid-stream ADD COLUMN; T[i] (the primary's durable
+// horizon right after insert i's commit) brackets each commit LSN, so
+// the exact visible set at any L is computable.
+func TestLagConsistencyProperty(t *testing.T) {
+	const phase1, phase2 = 60, 60
+	const seedBase = 100000 // seed keys live far above workload keys
+
+	p := engine.Open(engine.Config{})
+	mustExec(t, p, "CREATE TABLE acct (k INTEGER NOT NULL, v VARCHAR(40), bal INTEGER)")
+	mustExec(t, p, "CREATE UNIQUE INDEX acct_pk ON acct (k)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, 'seed', 0)", types.NewInt(int64(seedBase+i)))
+	}
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := f.DB.WAL().DurableLSN()
+
+	// Phase 1, ALTER, phase 2 — recording the durable horizon after each
+	// insert's commit. No checkpoint fires at this scale (default
+	// interval is megabytes), so T[i] is exactly insert i's commit LSN.
+	T := make([]wal.LSN, 0, phase1+phase2)
+	for i := 0; i < phase1; i++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, 'x', ?)",
+			types.NewInt(int64(i)), types.NewInt(int64(i)))
+		T = append(T, p.WAL().DurableLSN())
+	}
+	mustExec(t, p, "ALTER TABLE acct ADD COLUMN extra INTEGER")
+	if err := p.WaitBackfill(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := phase1; i < phase1+phase2; i++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, 'x', ?, ?)",
+			types.NewInt(int64(i)), types.NewInt(int64(i)), types.NewInt(int64(i)))
+		T = append(T, p.WAL().DurableLSN())
+	}
+
+	// The whole shipped stream, split at frame boundaries.
+	stream, next, err := p.WAL().ReadDurable(base, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != p.WAL().DurableLSN() {
+		t.Fatalf("stream read stopped at %d, durable %d", next, p.WAL().DurableLSN())
+	}
+
+	countVisible := func(db *engine.DB) (cnt, sum int64) {
+		rows, err := db.Query("SELECT COUNT(*), SUM(bal) FROM acct WHERE k >= 0 AND k < ?",
+			types.NewInt(seedBase))
+		if err != nil {
+			t.Fatalf("visibility query: %v", err)
+		}
+		cnt = rows.Data[0][0].Int
+		if rows.Data[0][1].Kind != types.KindNull {
+			sum = rows.Data[0][1].Int
+		}
+		return cnt, sum
+	}
+
+	var pinned *engine.Session // opened right before the ALTER applies
+	pos := base
+	for len(stream) > 0 {
+		fr := frameAt(t, stream)
+		if _, err := f.Feed(pos, fr); err != nil {
+			t.Fatalf("feed at %d: %v", pos, err)
+		}
+		pos += wal.LSN(len(fr))
+		stream = stream[len(fr):]
+
+		// The property: at applied-commit LSN L, exactly the inserts
+		// with commit LSN <= L are visible — as a prefix (the sum over
+		// bal pins the exact key set, not just the count).
+		L := f.App.AppliedCommitLSN()
+		want := int64(0)
+		for _, ti := range T {
+			if ti <= L {
+				want++
+			}
+		}
+		cnt, sum := countVisible(f.DB)
+		if cnt != want {
+			t.Fatalf("at applied-commit LSN %d: %d inserts visible, want %d (every txn <= L, none > L)",
+				L, cnt, want)
+		}
+		if sum != want*(want-1)/2 {
+			t.Fatalf("at applied-commit LSN %d: SUM(bal) = %d, want %d — visible set is not the txn prefix",
+				L, sum, want*(want-1)/2)
+		}
+
+		// Pin a reader at the last pre-ALTER commit.
+		if pinned == nil && want == phase1 {
+			pinned = f.DB.Session()
+			if _, err := pinned.Exec("BEGIN"); err != nil {
+				t.Fatal(err)
+			}
+			if c, _ := sessionCount(t, pinned, seedBase); c != phase1 {
+				t.Fatalf("pinned reader opened seeing %d inserts, want %d", c, phase1)
+			}
+		}
+	}
+	if pinned == nil {
+		t.Fatal("stream never reached the pre-ALTER pin point")
+	}
+
+	// End of stream: everything applied. A fresh reader sees both phases
+	// and the new column; the pinned reader still sees its snapshot —
+	// pre-ALTER row set AND pre-ALTER schema.
+	if cnt, _ := countVisible(f.DB); cnt != phase1+phase2 {
+		t.Fatalf("fresh reader sees %d inserts after full stream, want %d", cnt, phase1+phase2)
+	}
+	rows, err := f.DB.Query("SELECT extra FROM acct WHERE k = 70")
+	if err != nil {
+		t.Fatalf("new column on follower: %v", err)
+	}
+	if rows.Data[0][0].Kind == types.KindNull || rows.Data[0][0].Int != 70 {
+		t.Fatalf("extra(k=70) = %v, want 70", rows.Data[0][0])
+	}
+	if c, _ := sessionCount(t, pinned, seedBase); c != phase1 {
+		t.Fatalf("pinned reader drifted to %d inserts, want %d", c, phase1)
+	}
+	if _, err := pinned.Query("SELECT extra FROM acct WHERE k = 1"); err == nil {
+		t.Fatal("pinned pre-ALTER reader resolved the post-ALTER column")
+	}
+	if _, err := pinned.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := pinned.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// frameAt returns the first whole WAL frame of buf.
+func frameAt(t *testing.T, buf []byte) []byte {
+	t.Helper()
+	if len(buf) < 8 {
+		t.Fatalf("torn frame header: %d bytes", len(buf))
+	}
+	n := int(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24)
+	if len(buf) < 8+n {
+		t.Fatalf("torn frame: header says %d payload bytes, have %d", n, len(buf)-8)
+	}
+	return buf[:8+n]
+}
+
+// sessionCount reads the workload-row count inside an open session.
+func sessionCount(t *testing.T, s *engine.Session, seedBase int64) (int64, error) {
+	t.Helper()
+	rows, err := s.Query("SELECT COUNT(*) FROM acct WHERE k >= 0 AND k < ?", types.NewInt(seedBase))
+	if err != nil {
+		return 0, err
+	}
+	return rows.Data[0][0].Int, nil
+}

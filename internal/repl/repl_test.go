@@ -1,0 +1,382 @@
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// mustExec fails the test on statement error.
+func mustExec(t *testing.T, db *engine.DB, q string, params ...types.Value) {
+	t.Helper()
+	if _, err := db.Exec(q, params...); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+}
+
+// intQuery runs a single-row single-int query.
+func intQuery(t *testing.T, db *engine.DB, q string) int64 {
+	t.Helper()
+	rows, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("%s: %d rows, want 1", q, len(rows.Data))
+	}
+	return rows.Data[0][0].Int
+}
+
+// seedPrimary builds a primary with one indexed table of n rows.
+func seedPrimary(t *testing.T, n int) *engine.DB {
+	t.Helper()
+	p := engine.Open(engine.Config{})
+	mustExec(t, p, "CREATE TABLE acct (k INTEGER NOT NULL, v VARCHAR(40), bal INTEGER)")
+	mustExec(t, p, "CREATE UNIQUE INDEX acct_pk ON acct (k)")
+	for k := 0; k < n; k++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, ?, 100)",
+			types.NewInt(int64(k)), types.NewString(fmt.Sprintf("v-%03d", k)))
+	}
+	return p
+}
+
+func TestBootstrapAndCatchUp(t *testing.T) {
+	p := seedPrimary(t, 100)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bootstrap image alone must already be complete.
+	if got := intQuery(t, f.DB, "SELECT COUNT(*) FROM acct"); got != 100 {
+		t.Fatalf("bootstrapped follower has %d rows, want 100", got)
+	}
+	// Writes after the image arrive by catch-up.
+	for k := 100; k < 200; k++ {
+		mustExec(t, p, "INSERT INTO acct VALUES (?, ?, 100)",
+			types.NewInt(int64(k)), types.NewString("late"))
+	}
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := intQuery(t, f.DB, "SELECT COUNT(*) FROM acct"); got != 200 {
+		t.Fatalf("follower has %d rows after catch-up, want 200", got)
+	}
+	if got, want := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"), int64(200*100); got != want {
+		t.Fatalf("follower SUM(bal) = %d, want %d", got, want)
+	}
+	// The follower tracks the primary's durable horizon exactly.
+	if fl, pl := f.DB.WAL().DurableLSN(), p.WAL().DurableLSN(); fl != pl {
+		t.Fatalf("follower durable LSN %d, primary %d", fl, pl)
+	}
+}
+
+func TestReplicaRejectsWrites(t *testing.T) {
+	p := seedPrimary(t, 5)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DB.Exec("INSERT INTO acct VALUES (9, 'x', 1)"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("autocommit DML on replica: %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := f.DB.Exec("CREATE TABLE t2 (a INTEGER)"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("DDL on replica: %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := f.DB.Exec("ALTER TABLE acct ADD COLUMN c INTEGER"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("online ALTER on replica: %v, want ErrReadOnlyReplica", err)
+	}
+	s := f.DB.Session()
+	defer s.Close()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatalf("BEGIN on replica: %v (read-only transactions must work)", err)
+	}
+	if _, err := s.Exec("UPDATE acct SET bal = 0 WHERE k = 1"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("in-txn DML on replica: %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := s.Exec("SAVEPOINT sp1"); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("SAVEPOINT on replica: %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := s.Query("SELECT COUNT(*) FROM acct"); err != nil {
+		t.Fatalf("SELECT inside replica txn: %v", err)
+	}
+	if _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatalf("COMMIT of read-only txn on replica: %v", err)
+	}
+}
+
+// TestSnapshotConsistency ships a transfer workload frame by frame —
+// the smallest possible apply granularity — and checks after every
+// single frame that a fresh reader sees a balance-preserving state:
+// transfers move money between rows, so ANY torn transaction surfaces
+// as a wrong total.
+func TestSnapshotConsistency(t *testing.T) {
+	const accounts = 8
+	const transfers = 60
+	p := seedPrimary(t, accounts)
+	total := int64(accounts * 100)
+
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := p.Session()
+	defer s.Close()
+	for i := 0; i < transfers; i++ {
+		from, to := i%accounts, (i+3)%accounts
+		if from == to {
+			continue
+		}
+		if _, err := s.Exec("BEGIN"); err != nil {
+			t.Fatal(err)
+		}
+		mustExecSess(t, s, "UPDATE acct SET bal = bal - 7 WHERE k = ?", types.NewInt(int64(from)))
+		mustExecSess(t, s, "UPDATE acct SET bal = bal + 7 WHERE k = ?", types.NewInt(int64(to)))
+		if _, err := s.Exec("COMMIT"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	src := p.WAL()
+	steps := 0
+	for {
+		pos := f.DB.WAL().DurableLSN()
+		buf, next, err := src.ReadDurable(pos, 1) // exactly one frame
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next == pos {
+			break
+		}
+		if _, err := f.Feed(pos, buf); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != total {
+			t.Fatalf("after frame %d (LSN %d): follower SUM(bal) = %d, want %d (torn transaction visible)",
+				steps, next, got, total)
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no frames shipped")
+	}
+
+	// A snapshot pinned mid-stream must stay pinned: open a follower
+	// transaction, ship more commits, and re-read under the old snapshot.
+	for i := 0; i < 5; i++ {
+		mustExec(t, p, "UPDATE acct SET bal = bal + 1000 WHERE k = 0")
+	}
+	rs := f.DB.Session()
+	defer rs.Close()
+	if _, err := rs.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	before := queryIntSess(t, rs, "SELECT SUM(bal) FROM acct")
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	after := queryIntSess(t, rs, "SELECT SUM(bal) FROM acct")
+	if before != after {
+		t.Fatalf("pinned replica snapshot moved: %d then %d", before, after)
+	}
+	if _, err := rs.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	// A new reader sees the shipped updates.
+	if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != total+5000 {
+		t.Fatalf("follower SUM(bal) = %d after catch-up, want %d", got, total+5000)
+	}
+}
+
+func mustExecSess(t *testing.T, s *engine.Session, q string, params ...types.Value) {
+	t.Helper()
+	if _, err := s.Exec(q, params...); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+}
+
+func queryIntSess(t *testing.T, s *engine.Session, q string) int64 {
+	t.Helper()
+	rows, err := s.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return rows.Data[0][0].Int
+}
+
+// TestDDLMidStream replicates the full DDL vocabulary published after
+// the bootstrap image: CREATE TABLE, CREATE INDEX, online ALTERs
+// (add/widen/drop), DROP INDEX, DROP TABLE.
+func TestDDLMidStream(t *testing.T) {
+	p := seedPrimary(t, 10)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustExec(t, p, "CREATE TABLE ev (a INTEGER NOT NULL, b VARCHAR(20))")
+	mustExec(t, p, "CREATE UNIQUE INDEX ev_pk ON ev (a)")
+	for i := 0; i < 20; i++ {
+		mustExec(t, p, "INSERT INTO ev VALUES (?, ?)", types.NewInt(int64(i)), types.NewString("x"))
+	}
+	mustExec(t, p, "ALTER TABLE ev ADD COLUMN c INTEGER")
+	mustExec(t, p, "INSERT INTO ev VALUES (97, 'y', 7)")
+	mustExec(t, p, "ALTER TABLE ev ALTER COLUMN c TYPE FLOAT")
+	mustExec(t, p, "ALTER TABLE acct DROP COLUMN v")
+
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	if got := intQuery(t, f.DB, "SELECT COUNT(*) FROM ev"); got != 21 {
+		t.Fatalf("follower ev count = %d, want 21", got)
+	}
+	// The added column is readable, with old rows NULL and the typed row
+	// present (index point lookup exercises the adopted index).
+	rows, err := f.DB.Query("SELECT c FROM ev WHERE a = 97")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0].Kind == types.KindNull {
+		t.Fatalf("follower lost the post-ALTER insert: %+v", rows.Data)
+	}
+	// The dropped column is gone on the follower too.
+	if _, err := f.DB.Query("SELECT v FROM acct"); err == nil {
+		t.Fatal("follower still serves dropped column v")
+	}
+
+	// Structural teardown replicates as well.
+	mustExec(t, p, "DROP INDEX ev_pk ON ev")
+	mustExec(t, p, "DROP TABLE ev")
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DB.Query("SELECT COUNT(*) FROM ev"); err == nil {
+		t.Fatal("follower still serves dropped table ev")
+	}
+}
+
+// TestRefeedIdempotent re-ships already-applied history (the
+// re-subscribe overlap) and verifies nothing changes, then checks the
+// gap guard.
+func TestRefeedIdempotent(t *testing.T) {
+	p := seedPrimary(t, 50)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, p, "UPDATE acct SET bal = bal + 1 WHERE k < 25")
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	want := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct")
+
+	// Re-feed the follower's entire retained history.
+	base, end := f.DB.WAL().DurableBounds()
+	buf, _, err := p.WAL().ReadDurable(base, int(end-base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Feed(base, buf); err != nil {
+		t.Fatalf("overlap re-feed: %v", err)
+	}
+	if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != want {
+		t.Fatalf("overlap re-feed changed state: %d -> %d", want, got)
+	}
+
+	// A range that skips ahead must be rejected, not torn in.
+	if _, err := f.Feed(end+1024, []byte{1, 2, 3}); !errors.Is(err, wal.ErrStreamGap) {
+		t.Fatalf("gap feed: %v, want ErrStreamGap", err)
+	}
+}
+
+// TestFollowerCrashRecovery crashes the follower while the primary has
+// an open transaction mid-stream, recovers it, and finishes the stream:
+// the open transaction's effects must stay invisible until its commit
+// arrives, then become visible.
+func TestFollowerCrashRecovery(t *testing.T) {
+	p := seedPrimary(t, 10)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open a transaction on the primary and force its records durable
+	// (a later autocommit write syncs the shared tail).
+	s := p.Session()
+	defer s.Close()
+	if _, err := s.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	mustExecSess(t, s, "UPDATE acct SET bal = bal + 500 WHERE k = 3")
+	mustExec(t, p, "UPDATE acct SET bal = bal + 1 WHERE k = 9")
+
+	if _, err := f.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	if n := f.App.OpenTxns(); n != 1 {
+		t.Fatalf("follower sees %d open stream transactions, want 1", n)
+	}
+	if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != 1001 {
+		t.Fatalf("follower SUM(bal) = %d, want 1001 (open txn leaked or committed write lost)", got)
+	}
+
+	// Crash and recover the follower mid-transaction.
+	f2, err := Recover(f.Crash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f2.App.OpenTxns(); n != 1 {
+		t.Fatalf("recovered follower sees %d open stream transactions, want 1", n)
+	}
+	if got := intQuery(t, f2.DB, "SELECT SUM(bal) FROM acct"); got != 1001 {
+		t.Fatalf("recovered follower SUM(bal) = %d, want 1001", got)
+	}
+	if !f2.DB.ReadOnly() {
+		t.Fatal("recovered follower lost its write fence")
+	}
+
+	// Commit on the primary; the recovered follower applies it.
+	if _, err := s.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.CatchUp(p); err != nil {
+		t.Fatal(err)
+	}
+	if n := f2.App.OpenTxns(); n != 0 {
+		t.Fatalf("follower still holds %d open transactions after commit", n)
+	}
+	if got := intQuery(t, f2.DB, "SELECT SUM(bal) FROM acct"); got != 1501 {
+		t.Fatalf("follower SUM(bal) = %d after commit, want 1501", got)
+	}
+}
+
+// TestCatchUpAfterBacklog lets the primary run far ahead (including
+// checkpoints) and verifies a stale follower either catches up or is
+// told to re-bootstrap — never silently diverges.
+func TestCatchUpAfterBacklog(t *testing.T) {
+	p := seedPrimary(t, 20)
+	f, err := Bootstrap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		mustExec(t, p, "UPDATE acct SET bal = bal + 1 WHERE k = ?", types.NewInt(int64(i%20)))
+	}
+	_, err = f.CatchUp(p)
+	if errors.Is(err, wal.ErrTruncatedHistory) {
+		// The primary checkpointed past us: re-bootstrap is the contract.
+		if f, err = Bootstrap(p); err != nil {
+			t.Fatal(err)
+		}
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	want := intQuery(t, p, "SELECT SUM(bal) FROM acct")
+	if got := intQuery(t, f.DB, "SELECT SUM(bal) FROM acct"); got != want {
+		t.Fatalf("follower SUM(bal) = %d, primary %d", got, want)
+	}
+}

@@ -111,6 +111,17 @@ type Stats struct {
 	ExecQueueMax   int   `json:"exec_queue_max"`
 	ExecWaits      int64 `json:"exec_waits"`
 	ExecWaitMicros int64 `json:"exec_wait_micros"`
+
+	// Replication gauges. On a primary with subscribers: furthest
+	// shipped stream offset, highest acknowledged apply position, ack
+	// count, and how far the slowest acked subscriber trails the durable
+	// horizon. On a replica: applied positions and ingest-to-apply lag.
+	ReplShippedLSN       uint64 `json:"repl_shipped_lsn"`
+	ReplAckedLSN         uint64 `json:"repl_acked_lsn"`
+	ReplAckRoundTrips    int64  `json:"repl_ack_round_trips"`
+	ReplAppliedLSN       uint64 `json:"repl_applied_lsn"`
+	ReplAppliedCommitLSN uint64 `json:"repl_applied_commit_lsn"`
+	ReplLagBytes         int64  `json:"repl_lag_bytes"`
 }
 
 // Server accepts protocol connections and drives them against the
@@ -271,6 +282,13 @@ func (s *Server) Stats() Stats {
 		PinnedSnapshots: est.PinnedSnapshots,
 		PlanCacheHits:   est.PlanCacheHits,
 		PlanCacheMisses: est.PlanCacheMisses,
+
+		ReplShippedLSN:       est.ReplShippedLSN,
+		ReplAckedLSN:         est.ReplAckedLSN,
+		ReplAckRoundTrips:    est.ReplAckRoundTrips,
+		ReplAppliedLSN:       est.ReplAppliedLSN,
+		ReplAppliedCommitLSN: est.ReplAppliedCommitLSN,
+		ReplLagBytes:         est.ReplLagBytes,
 	}
 	if s.rewrites != nil {
 		rc := s.rewrites.Stats()
@@ -362,6 +380,12 @@ func (s *Server) handleConn(nc net.Conn) {
 		if err != nil {
 			s.protoErrors.Add(1)
 			writeMsg(w, &protocol.Error{Code: protocol.CodeProtocol, Msg: err.Error()})
+			return
+		}
+		if sub, ok := msg.(*protocol.ReplSubscribe); ok {
+			// The connection becomes a one-way WAL stream; it never
+			// returns to the statement loop.
+			s.serveReplication(c, br, w, sub)
 			return
 		}
 		if done, err := s.dispatch(c, w, msg); done || err != nil {
